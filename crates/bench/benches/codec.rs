@@ -1,0 +1,28 @@
+//! Criterion microbenchmarks of the log codec: binary encode/decode and
+//! LZSS compress/decompress throughput on a realistic browser log.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use idna_replay::codec::{compress, decode_log, decompress, encode_log};
+use idna_replay::recorder::record;
+use tvm::scheduler::RunConfig;
+use workloads::browser::{browser_program, BrowserConfig};
+
+fn bench_codec(c: &mut Criterion) {
+    let cfg = BrowserConfig { fetchers: 4, parsers: 3, jobs: 16, work: 48 };
+    let program = browser_program(&cfg);
+    let recording = record(&program, &RunConfig::chunked(3, 1, 8).with_max_steps(10_000_000));
+    let encoded = encode_log(&recording.log);
+    let compressed = compress(&encoded);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| encode_log(&recording.log)));
+    group.bench_function("decode", |b| b.iter(|| decode_log(&encoded).expect("decode")));
+    group.bench_function("compress", |b| b.iter(|| compress(&encoded)));
+    group.bench_function("decompress", |b| b.iter(|| decompress(&compressed).expect("decompress")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of each pipeline phase (the §5.1 overheads,
+//! measured precisely): native execution, recording, replay, detection,
+//! classification.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use idna_replay::recorder::record;
+use idna_replay::replayer::replay;
+use replay_race::classify::{classify_races, ClassifierConfig};
+use replay_race::detect::{detect_races, DetectorConfig};
+use tvm::scheduler::{run, RunConfig};
+use tvm::Machine;
+use workloads::browser::{browser_program, BrowserConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = BrowserConfig { fetchers: 3, parsers: 2, jobs: 8, work: 24 };
+    let program = browser_program(&cfg);
+    let schedule = RunConfig::chunked(7, 1, 8).with_max_steps(10_000_000);
+
+    // Shared inputs for the later phases.
+    let recording = record(&program, &schedule);
+    let instructions = recording.summary.steps;
+    let trace = replay(&program, &recording.log).expect("replay");
+    let detected = detect_races(&trace, &DetectorConfig::default());
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(instructions));
+
+    group.bench_function("native", |b| {
+        b.iter_batched(
+            || Machine::new(program.clone()),
+            |mut m| run(&mut m, &schedule, &mut ()),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("record", |b| {
+        b.iter(|| record(&program, &schedule));
+    });
+
+    group.bench_function("replay", |b| {
+        b.iter(|| replay(&program, &recording.log).expect("replay"));
+    });
+
+    group.bench_function("detect", |b| {
+        b.iter(|| detect_races(&trace, &DetectorConfig::default()));
+    });
+
+    group.bench_function("classify", |b| {
+        b.iter(|| classify_races(&trace, &detected, &ClassifierConfig::default()));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion microbenchmark of the virtual processor: the cost of one
+//! dual-order replay (the unit of work behind the paper's 280× analysis
+//! overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use idna_replay::recorder::record;
+use idna_replay::replayer::replay;
+use idna_replay::vproc::{PairOrder, Vproc, VprocConfig};
+use replay_race::classify::classify_instance;
+use replay_race::detect::{detect_races, DetectorConfig};
+use tvm::scheduler::RunConfig;
+use workloads::browser::{browser_program, BrowserConfig};
+
+fn bench_vproc(c: &mut Criterion) {
+    let cfg = BrowserConfig { fetchers: 3, parsers: 2, jobs: 8, work: 24 };
+    let program = browser_program(&cfg);
+    let recording = record(&program, &RunConfig::chunked(7, 1, 8).with_max_steps(10_000_000));
+    let trace = replay(&program, &recording.log).expect("replay");
+    let detected = detect_races(&trace, &DetectorConfig::default());
+    assert!(!detected.instances.is_empty(), "browser must have race instances");
+    let instance = detected.instances[0];
+    let vproc = Vproc::new(&trace, VprocConfig::default());
+
+    let mut group = c.benchmark_group("vproc");
+    group.bench_function("single_order_replay", |b| {
+        b.iter(|| vproc.run_pair(&instance.a, &instance.b, PairOrder::AThenB));
+    });
+    group.bench_function("classify_instance_both_orders", |b| {
+        b.iter(|| classify_instance(&vproc, &instance));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vproc);
+criterion_main!(benches);

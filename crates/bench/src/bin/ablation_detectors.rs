@@ -1,0 +1,125 @@
+//! E-A1 (DESIGN.md D1): compares the paper's offline region-granularity
+//! happens-before detector against the two classic online families over the
+//! same corpus executions:
+//!
+//! * **vector-clock happens-before** — per-object ordering; more precise
+//!   about cross-thread ordering, but pays its cost online;
+//! * **Eraser lockset** — heuristic; warns on anything not consistently
+//!   lock-protected, producing false positives on correct
+//!   happens-before-only synchronization (the paper's §2.2.2 argument for
+//!   not building on locksets).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation_detectors
+//! ```
+
+use std::collections::BTreeSet;
+
+use replay_race::baselines::{HybridDetector, LocksetDetector, VcDetector};
+use replay_race::detect::{detect_races, DetectorConfig, StaticRaceId};
+use tvm::Machine;
+use workloads::corpus::{corpus_executions, corpus_program};
+use workloads::truth::TruthTable;
+
+fn main() {
+    let mut region_hb: BTreeSet<StaticRaceId> = BTreeSet::new();
+    let mut vector_clock: BTreeSet<StaticRaceId> = BTreeSet::new();
+    let mut hybrid: BTreeSet<StaticRaceId> = BTreeSet::new();
+    let mut hybrid_refuted = 0usize;
+    let mut lockset_locations: BTreeSet<u64> = BTreeSet::new();
+    let mut lockset_warnings = 0usize;
+    let mut truth: Option<TruthTable> = None;
+
+    for exec in corpus_executions() {
+        let enabled: BTreeSet<&str> = exec.enabled.iter().copied().collect();
+        let program = corpus_program(&enabled);
+        if truth.is_none() {
+            truth = Some(TruthTable::resolve(&program, &workloads::corpus::corpus_manifest()));
+        }
+
+        // Offline region-based detection (record -> replay -> detect).
+        let rec = idna_replay::recorder::record(&program, &exec.schedule);
+        let trace = idna_replay::replayer::replay(&program, &rec.log).expect("replay");
+        let detected = detect_races(&trace, &DetectorConfig::default());
+        region_hb.extend(detected.by_static.keys().copied());
+
+        // Online vector-clock detection.
+        let mut m = Machine::new(program.clone());
+        let mut vc = VcDetector::new();
+        tvm::run(&mut m, &exec.schedule, &mut vc);
+        vector_clock.extend(vc.races().iter().copied());
+
+        // Online lockset detection.
+        let mut m = Machine::new(program.clone());
+        let mut ls = LocksetDetector::new();
+        tvm::run(&mut m, &exec.schedule, &mut ls);
+        lockset_warnings += ls.warnings().len();
+        lockset_locations.extend(ls.warnings().iter().map(|w| w.addr));
+
+        // Hybrid: lockset candidates confirmed by happens-before.
+        let mut m = Machine::new(program.clone());
+        let mut hy = HybridDetector::new();
+        tvm::run(&mut m, &exec.schedule, &mut hy);
+        hybrid.extend(hy.races());
+        hybrid_refuted += hy.refuted_warnings();
+    }
+    let truth = truth.expect("at least one execution");
+
+    let coverage = |races: &BTreeSet<StaticRaceId>| {
+        let known = races.iter().filter(|id| truth.verdict(**id).is_some()).count();
+        let harmful = races
+            .iter()
+            .filter(|id| truth.verdict(**id).is_some_and(|v| v.is_harmful()))
+            .count();
+        (known, harmful)
+    };
+
+    println!("detector comparison over the 18-execution corpus:");
+    println!(
+        "  {:<26} {:>14} {:>16} {:>16}",
+        "detector", "races found", "in ground truth", "harmful covered"
+    );
+    let (hb_known, hb_harm) = coverage(&region_hb);
+    println!(
+        "  {:<26} {:>14} {:>16} {:>16}",
+        "region happens-before", region_hb.len(), hb_known, format!("{hb_harm}/7")
+    );
+    let (vc_known, vc_harm) = coverage(&vector_clock);
+    println!(
+        "  {:<26} {:>14} {:>16} {:>16}",
+        "vector-clock (online)", vector_clock.len(), vc_known, format!("{vc_harm}/7")
+    );
+    println!(
+        "  {:<26} {:>14} {:>16} {:>16}",
+        "Eraser lockset (online)",
+        format!("{lockset_warnings} warns"),
+        format!("{} locations", lockset_locations.len()),
+        "n/a (per-location)"
+    );
+    let (hy_known, hy_harm) = coverage(&hybrid);
+    println!(
+        "  {:<26} {:>14} {:>16} {:>16}",
+        "hybrid lockset+HB (online)",
+        hybrid.len(),
+        hy_known,
+        format!("{hy_harm}/7")
+    );
+    println!("  (hybrid refuted {hybrid_refuted} lockset warnings as happens-before ordered)");
+
+    println!();
+    let only_vc: Vec<_> = vector_clock.difference(&region_hb).collect();
+    let only_hb: Vec<_> = region_hb.difference(&vector_clock).collect();
+    println!(
+        "races only the vector clock finds (region sequencers over-order): {}",
+        only_vc.len()
+    );
+    println!(
+        "races only the region detector finds (e.g. plain vs atomic in overlapping regions): {}",
+        only_hb.len()
+    );
+    println!();
+    println!(
+        "note: neither happens-before detector reports false positives by construction; \
+         the lockset detector's warnings include correctly synchronized handoffs."
+    );
+}

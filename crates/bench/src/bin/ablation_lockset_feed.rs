@@ -1,0 +1,77 @@
+//! E-A3 (paper §2.2.2 last paragraph): feed the Eraser lockset baseline's
+//! warnings through the replay classifier.
+//!
+//! > "The analysis should be able to filter out the benign data races and
+//! > also the false positives produced by those algorithms."
+//!
+//! For every lockset warning on the corpus we materialize concrete access
+//! pairs from the replay trace — including pairs that are actually ordered
+//! by happens-before (the lockset stage's false positives) — and classify
+//! each with the dual-order virtual processor.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation_lockset_feed
+//! ```
+
+use std::collections::BTreeSet;
+
+use idna_replay::vproc::VprocConfig;
+use replay_race::baselines::LocksetDetector;
+use replay_race::lockset_feed::{classify_lockset_warnings, FeedSummary, HbStatus};
+use tvm::Machine;
+use workloads::corpus::{corpus_executions, corpus_program};
+
+fn main() {
+    let mut total = FeedSummary::default();
+    let mut ordered_filtered = 0usize;
+    let mut ordered_flagged = 0usize;
+    for exec in corpus_executions() {
+        let enabled: BTreeSet<&str> = exec.enabled.iter().copied().collect();
+        let program = corpus_program(&enabled);
+
+        let mut machine = Machine::new(program.clone());
+        let mut lockset = LocksetDetector::new();
+        tvm::run(&mut machine, &exec.schedule, &mut lockset);
+        let warnings: Vec<_> = lockset.warnings().iter().cloned().collect();
+
+        let rec = idna_replay::recorder::record(&program, &exec.schedule);
+        let trace = idna_replay::replayer::replay(&program, &rec.log).expect("replay");
+        let summary = classify_lockset_warnings(&trace, &warnings, VprocConfig::default());
+
+        total.warnings += summary.warnings;
+        total.candidate_pairs += summary.candidate_pairs;
+        total.ordered_pairs += summary.ordered_pairs;
+        total.filtered += summary.filtered;
+        total.flagged += summary.flagged;
+        for r in &summary.results {
+            if r.hb == HbStatus::Ordered {
+                if r.outcome == replay_race::classify::InstanceOutcome::NoStateChange {
+                    ordered_filtered += 1;
+                } else {
+                    ordered_flagged += 1;
+                }
+            }
+        }
+        total.results.extend(summary.results);
+    }
+
+    println!("lockset warnings across the corpus : {}", total.warnings);
+    println!("materialized access pairs           : {}", total.candidate_pairs);
+    println!(
+        "  ordered by happens-before (lockset false positives): {}",
+        total.ordered_pairs
+    );
+    println!("classifier filtered (both orders converge)          : {}", total.filtered);
+    println!("classifier flagged potentially harmful              : {}", total.flagged);
+    println!();
+    println!(
+        "of the ordered (false-positive) pairs: {ordered_filtered} filtered, {ordered_flagged} still flagged"
+    );
+    println!();
+    println!(
+        "reading: the classifier removes the *benign* lockset noise (the paper's claim), but\n\
+         an ordered pair whose flip changes state is still flagged — replay classification\n\
+         judges what WOULD happen under the other order, not whether that order is reachable;\n\
+         pairing it with a happens-before check (the hybrid baseline) removes those too."
+    );
+}

@@ -1,0 +1,24 @@
+//! E-F3: regenerates the paper's **Figure 3** — instance counts for every
+//! race classified potentially benign. The paper reports between ~50 and 1
+//! instances per race, all No-State-Change; the shape to reproduce is a
+//! long-tailed spread with zero exposing instances.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin figure3
+//! ```
+
+use bench::corpus;
+use workloads::eval::Figure;
+
+fn main() {
+    let report = corpus();
+    let fig = Figure::figure3(&report);
+    println!("{fig}");
+    let max = fig.bars.first().map_or(0, |b| b.instances);
+    let min = fig.bars.last().map_or(0, |b| b.instances);
+    println!("races: {} (paper: 32); instance spread {min}..{max} (paper: 1..~50)", fig.bars.len());
+    assert!(
+        fig.bars.iter().all(|b| b.exposing == 0),
+        "potentially-benign races must have zero exposing instances"
+    );
+}

@@ -1,0 +1,29 @@
+//! E-F4: regenerates the paper's **Figure 4** — instance counts for the
+//! really harmful races, split into total vs exposing (state-change or
+//! replay-failure) instances. The paper's key observation: only about one
+//! in ten instances of a harmful race exposes it, so races must be observed
+//! many times.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin figure4
+//! ```
+
+use bench::corpus;
+use workloads::eval::Figure;
+
+fn main() {
+    let report = corpus();
+    let fig = Figure::figure4(&report);
+    println!("{fig}");
+    println!("races: {} (paper: 7)", fig.bars.len());
+    let total: usize = fig.bars.iter().map(|b| b.instances).sum();
+    let exposing: usize = fig.bars.iter().map(|b| b.exposing).sum();
+    println!(
+        "instances: {total} total, {exposing} exposing ({:.0}%; the paper reports ~10% for the loopy races)",
+        exposing as f64 * 100.0 / total.max(1) as f64
+    );
+    assert!(
+        fig.bars.iter().all(|b| b.exposing > 0),
+        "every real-harmful race must have at least one exposing instance"
+    );
+}

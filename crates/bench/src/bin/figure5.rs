@@ -1,0 +1,22 @@
+//! E-F5: regenerates the paper's **Figure 5** — instance counts for the
+//! *misclassified* races: potentially harmful by the tool, really benign by
+//! manual triage (approximate computation plus the replayer-limitation
+//! failures).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin figure5
+//! ```
+
+use bench::corpus;
+use workloads::eval::Figure;
+
+fn main() {
+    let report = corpus();
+    let fig = Figure::figure5(&report);
+    println!("{fig}");
+    println!("races: {} (paper: 29 = 23 approximate computation + 6 replayer limitations)", fig.bars.len());
+    assert!(
+        fig.bars.iter().all(|b| b.exposing > 0),
+        "misclassified races are misclassified because instances exposed them"
+    );
+}

@@ -1,0 +1,57 @@
+//! E-LOG: the paper's §5.1 log-size study. Measures the replay-log size in
+//! bits per executed instruction, raw and compressed, over the corpus
+//! executions and the browser workload.
+//!
+//! Paper numbers: ≈0.8 bits/instruction raw, ≈0.3 compressed, ≈96 MB per
+//! billion instructions.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin logsize
+//! ```
+
+use bench::{row, PAPER_BITS_PER_INSTR_COMPRESSED, PAPER_BITS_PER_INSTR_RAW};
+use idna_replay::codec::measure;
+use idna_replay::recorder::record;
+use tvm::scheduler::RunConfig;
+use workloads::browser::{browser_program, BrowserConfig};
+
+fn main() {
+    // The interesting regime is long executions, where start checkpoints
+    // amortize: measure the browser at increasing scales.
+    println!("browser workload, growing scales:");
+    println!(
+        "  {:<28} {:>12} {:>10} {:>12} {:>12}",
+        "config", "instructions", "raw bytes", "bits/instr", "compressed"
+    );
+    let mut last = None;
+    for (jobs, work) in [(8u64, 32u64), (32, 64), (64, 128), (96, 256)] {
+        let cfg = BrowserConfig { fetchers: 6, parsers: 4, jobs, work };
+        let program = browser_program(&cfg);
+        let rec = record(&program, &RunConfig::chunked(7, 1, 8).with_max_steps(50_000_000));
+        assert!(rec.summary.completed, "browser run truncated");
+        let report = measure(&rec.log);
+        println!(
+            "  jobs={jobs:<4} work={work:<14} {:>12} {:>10} {:>12.3} {:>9.3} b/i",
+            report.instructions,
+            report.raw_bytes,
+            report.bits_per_instr_raw(),
+            report.bits_per_instr_compressed()
+        );
+        last = Some(report);
+    }
+    let last = last.expect("at least one scale");
+    println!();
+    println!("paper vs measured (largest scale):");
+    row("raw bits/instruction", PAPER_BITS_PER_INSTR_RAW, format!("{:.3}", last.bits_per_instr_raw()));
+    row(
+        "compressed bits/instruction",
+        PAPER_BITS_PER_INSTR_COMPRESSED,
+        format!("{:.3}", last.bits_per_instr_compressed()),
+    );
+    row("MB per 10^9 instructions", "~96", format!("{:.1}", last.mb_per_billion_instrs()));
+    println!();
+    println!(
+        "shape check: compression gains {:.1}x (paper: ~2.7x)",
+        last.bits_per_instr_raw() / last.bits_per_instr_compressed().max(1e-9)
+    );
+}

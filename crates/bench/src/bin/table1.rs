@@ -1,0 +1,41 @@
+//! E-T1: regenerates the paper's **Table 1** (data race classification) on
+//! the 18-execution corpus and compares it against the published numbers.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table1
+//! ```
+
+use bench::{corpus, row, PAPER_TABLE1};
+use workloads::eval::Table1;
+
+fn main() {
+    let report = corpus();
+    let t1 = Table1::compute(&report);
+    println!("{t1}");
+
+    println!("paper vs measured:");
+    let groups = ["No State Change", "State Change", "Replay Failure"];
+    for (g, label) in groups.iter().enumerate() {
+        row(
+            &format!("{label} (benign / harmful)"),
+            format!("{} / {}", PAPER_TABLE1[g][0], PAPER_TABLE1[g][1]),
+            format!("{} / {}", t1.cells[g][0], t1.cells[g][1]),
+        );
+    }
+    row("total unique races", PAPER_TABLE1.iter().flatten().sum::<usize>(), t1.total());
+    row("harmful classified potentially benign", 0, t1.missed_harmful());
+    row(
+        "benign filtered out (% of real benign)",
+        "32 (52%)",
+        format!(
+            "{} ({}%)",
+            t1.cells[0][0],
+            t1.cells[0][0] * 100 / (t1.cells[0][0] + t1.benign_flagged_harmful()).max(1)
+        ),
+    );
+
+    if !report.unexpected.is_empty() {
+        println!("WARNING: unplanted races detected: {:?}", report.unexpected);
+        std::process::exit(1);
+    }
+}

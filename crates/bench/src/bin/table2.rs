@@ -1,0 +1,21 @@
+//! E-T2: regenerates the paper's **Table 2** (benign data race categories).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table2
+//! ```
+
+use bench::{corpus, row, PAPER_TABLE2};
+use workloads::eval::Table2;
+use workloads::truth::BenignCategory;
+
+fn main() {
+    let report = corpus();
+    let t2 = Table2::compute(&report);
+    println!("{t2}");
+
+    println!("paper vs measured:");
+    for (i, cat) in BenignCategory::ALL.iter().enumerate() {
+        row(cat.label(), PAPER_TABLE2[i], t2.counts.get(cat).copied().unwrap_or(0));
+    }
+    row("total benign", PAPER_TABLE2.iter().sum::<usize>(), t2.total());
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` §5 for the experiment index) and prints paper-reported
+//! values next to the measured ones so drift is visible at a glance.
+
+use workloads::eval::CorpusReport;
+
+/// Paper-reported Table 1 for comparison:
+/// `[group][real]`, groups = NSC/SC/RF, real = benign/harmful.
+pub const PAPER_TABLE1: [[usize; 2]; 3] = [[32, 0], [15, 2], [14, 5]];
+
+/// Paper-reported Table 2 (same order as `BenignCategory::ALL`).
+pub const PAPER_TABLE2: [usize; 6] = [8, 3, 5, 13, 9, 23];
+
+/// Paper-reported §5.1 overheads relative to native execution.
+pub const PAPER_OVERHEADS: [(&str, f64); 4] =
+    [("record", 6.0), ("replay", 10.0), ("hb detection", 45.0), ("classification", 280.0)];
+
+/// Paper-reported log sizes (bits per instruction).
+pub const PAPER_BITS_PER_INSTR_RAW: f64 = 0.8;
+pub const PAPER_BITS_PER_INSTR_COMPRESSED: f64 = 0.3;
+
+/// Prints a side-by-side row.
+pub fn row(label: &str, paper: impl std::fmt::Display, measured: impl std::fmt::Display) {
+    println!("  {label:<40} paper: {paper:<10} measured: {measured}");
+}
+
+/// Runs the corpus once (shared by the table/figure binaries).
+#[must_use]
+pub fn corpus() -> CorpusReport {
+    eprintln!("running the 18-execution corpus ...");
+    workloads::eval::run_corpus()
+}

@@ -1,0 +1,581 @@
+//! # racerep — command-line front end for `replay-race`
+//!
+//! Drives the record/replay race-classification pipeline over programs in
+//! the [`tvm::asm`] text format:
+//!
+//! ```text
+//! racerep run       prog.tasm [--schedule S] [--max-steps N]
+//! racerep record    prog.tasm -o run.idna [--schedule S]
+//! racerep replay    prog.tasm run.idna
+//! racerep races     prog.tasm run.idna [--json] [--permissive] [--triage-db db.json]
+//! racerep classify  prog.tasm [--schedule S] [--json]
+//! racerep triage    db.json <benign|harmful> <pc_lo> <pc_hi> [note...]
+//! racerep loginfo   run.idna
+//! racerep disasm    prog.tasm
+//! ```
+//!
+//! Schedules: `rr:<quantum>`, `random:<seed>`, `chunked:<seed>:<min>:<max>`.
+//!
+//! The library half exists so the command implementations are unit-testable
+//! without spawning processes.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use idna_replay::codec::{compress, decode_log, decompress, encode_log, measure};
+use idna_replay::event::ReplayLog;
+use idna_replay::recorder::record;
+use idna_replay::replayer::replay;
+use idna_replay::vproc::VprocConfig;
+use replay_race::classify::ClassifierConfig;
+use replay_race::pipeline::{run_pipeline, PipelineConfig};
+use replay_race::triage::{ManualVerdict, TriageDb};
+use tvm::asm::{assemble, disassemble};
+use tvm::machine::Machine;
+use tvm::program::Program;
+use tvm::scheduler::{run as run_machine, RunConfig};
+
+/// Log-file magic (followed by the LZSS-compressed encoded log).
+const FILE_MAGIC: &[u8; 8] = b"IDNAFIL2";
+
+/// A CLI error: message plus the exit code to use.
+#[derive(Debug)]
+pub struct CliError {
+    pub message: String,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError { message: message.into() })
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError { message: format!("io error: {e}") }
+    }
+}
+
+/// Parses a schedule spec: `rr:<quantum>`, `random:<seed>`, or
+/// `chunked:<seed>:<min>:<max>`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for malformed specs.
+pub fn parse_schedule(spec: &str) -> Result<RunConfig, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64, CliError> {
+        s.parse::<u64>().map_err(|_| CliError { message: format!("bad number {s:?} in schedule") })
+    };
+    match parts.as_slice() {
+        ["rr", q] => Ok(RunConfig::round_robin(num(q)?)),
+        ["random", seed] => Ok(RunConfig::random(num(seed)?)),
+        ["chunked", seed, min, max] => {
+            let (seed, min, max) = (num(seed)?, num(min)?, num(max)?);
+            if min == 0 || max < min {
+                return err("chunked schedule needs 1 <= min <= max");
+            }
+            Ok(RunConfig::chunked(seed, min, max))
+        }
+        _ => err(format!(
+            "unknown schedule {spec:?} (expected rr:<q>, random:<seed>, chunked:<seed>:<min>:<max>)"
+        )),
+    }
+}
+
+/// Loads and assembles a program file.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on io or assembly failure.
+pub fn load_program(path: &Path) -> Result<Arc<Program>, CliError> {
+    let src = fs::read_to_string(path)
+        .map_err(|e| CliError { message: format!("cannot read {}: {e}", path.display()) })?;
+    let program =
+        assemble(&src).map_err(|e| CliError { message: format!("{}: {e}", path.display()) })?;
+    if program.threads().is_empty() {
+        return err(format!("{}: program has no threads", path.display()));
+    }
+    Ok(Arc::new(program))
+}
+
+/// Serializes a replay log plus the schedule that produced it into the
+/// on-disk container format (the schedule enables fidelity verification on
+/// replay).
+#[must_use]
+pub fn log_to_bytes(log: &ReplayLog, schedule: &RunConfig) -> Vec<u8> {
+    let mut out = Vec::from(&FILE_MAGIC[..]);
+    let schedule_json =
+        serde_json::to_vec(schedule).expect("schedule serialization cannot fail");
+    out.extend(u32::try_from(schedule_json.len()).expect("tiny header").to_le_bytes());
+    out.extend(schedule_json);
+    out.extend(compress(&encode_log(log)));
+    out
+}
+
+/// Parses the on-disk container format.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad magic or a corrupt payload.
+pub fn log_from_bytes(bytes: &[u8]) -> Result<(ReplayLog, RunConfig), CliError> {
+    let payload = bytes
+        .strip_prefix(&FILE_MAGIC[..])
+        .ok_or_else(|| CliError { message: "not a racerep log file (bad magic)".into() })?;
+    if payload.len() < 4 {
+        return err("truncated log file header");
+    }
+    let hlen = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    if payload.len() < 4 + hlen {
+        return err("truncated schedule header");
+    }
+    let schedule: RunConfig = serde_json::from_slice(&payload[4..4 + hlen])
+        .map_err(|e| CliError { message: format!("bad schedule header: {e}") })?;
+    let raw = decompress(&payload[4 + hlen..]).map_err(|e| CliError { message: e.to_string() })?;
+    let log = decode_log(&raw).map_err(|e| CliError { message: e.to_string() })?;
+    Ok((log, schedule))
+}
+
+/// Loads a log file.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on io or decode failure.
+pub fn load_log(path: &Path) -> Result<(ReplayLog, RunConfig), CliError> {
+    let bytes = fs::read(path)
+        .map_err(|e| CliError { message: format!("cannot read {}: {e}", path.display()) })?;
+    log_from_bytes(&bytes)
+}
+
+/// `racerep run`: executes the program natively and renders the outcome.
+///
+/// # Errors
+///
+/// Propagates load failures.
+pub fn cmd_run(path: &Path, schedule: RunConfig) -> Result<String, CliError> {
+    let program = load_program(path)?;
+    let mut machine = Machine::new(program);
+    let summary = run_machine(&mut machine, &schedule, &mut ());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} instructions, {}\n",
+        summary.steps,
+        if summary.completed { "completed" } else { "step budget exhausted" }
+    ));
+    for rec in machine.output() {
+        out.push_str(&format!("thread {} printed {}\n", rec.tid, rec.value));
+    }
+    for (tid, fault) in &summary.faults {
+        out.push_str(&format!("thread {tid} FAULTED: {fault}\n"));
+    }
+    Ok(out)
+}
+
+/// `racerep record`: records an execution and writes the log file.
+///
+/// # Errors
+///
+/// Propagates load and io failures.
+pub fn cmd_record(path: &Path, out_path: &Path, schedule: RunConfig) -> Result<String, CliError> {
+    let program = load_program(path)?;
+    let recording = record(&program, &schedule);
+    let bytes = log_to_bytes(&recording.log, &schedule);
+    fs::write(out_path, &bytes)?;
+    let sizes = measure(&recording.log);
+    Ok(format!(
+        "recorded {} instructions across {} threads\nwrote {} ({} bytes; {:.3} bits/instr raw, {:.3} compressed)\n",
+        recording.summary.steps,
+        recording.log.threads.len(),
+        out_path.display(),
+        bytes.len(),
+        sizes.bits_per_instr_raw(),
+        sizes.bits_per_instr_compressed(),
+    ))
+}
+
+/// `racerep replay`: replays a log against its program and reports
+/// fidelity statistics.
+///
+/// # Errors
+///
+/// Fails if the log does not replay against the program.
+pub fn cmd_replay(path: &Path, log_path: &Path) -> Result<String, CliError> {
+    let program = load_program(path)?;
+    let (log, schedule) = load_log(log_path)?;
+    let trace = replay(&program, &log).map_err(|e| CliError { message: e.to_string() })?;
+    let mut out = format!(
+        "replayed {} instructions, {} sequencing regions across {} threads\n",
+        trace.total_instructions,
+        trace.regions().len(),
+        trace.thread_count(),
+    );
+    let fidelity = idna_replay::verify::verify_fidelity(&program, &trace, &schedule);
+    out.push_str(&format!("{fidelity}\n"));
+    for tid in 0..trace.thread_count() {
+        let regions = trace.regions().iter().filter(|r| r.region.id.tid == tid).count();
+        out.push_str(&format!(
+            "  thread {tid} ({}): {} regions, status {:?}\n",
+            trace.thread_name(tid),
+            regions,
+            trace.thread_status(tid)
+        ));
+    }
+    Ok(out)
+}
+
+/// `racerep races`: detects and classifies the races in a recorded log and
+/// renders the developer report.
+///
+/// # Errors
+///
+/// Fails if the log does not replay against the program.
+pub fn cmd_races(
+    path: &Path,
+    log_path: &Path,
+    json: bool,
+    permissive: bool,
+    triage_db: Option<&Path>,
+) -> Result<String, CliError> {
+    let program = load_program(path)?;
+    let (log, _schedule) = load_log(log_path)?;
+    let trace = replay(&program, &log).map_err(|e| CliError { message: e.to_string() })?;
+    let detected =
+        replay_race::detect::detect_races(&trace, &replay_race::detect::DetectorConfig::default());
+    let vproc = if permissive { VprocConfig::permissive() } else { VprocConfig::default() };
+    let classification = replay_race::classify::classify_races(
+        &trace,
+        &detected,
+        &ClassifierConfig { vproc, ..ClassifierConfig::default() },
+    );
+    let report = replay_race::report::Report::build(&trace, &classification);
+    let mut out = if json { report.to_json() } else { report.to_text() };
+    if let Some(db_path) = triage_db {
+        let db = TriageDb::load(db_path).map_err(|e| CliError { message: e.to_string() })?;
+        let queue = db.queue(&classification);
+        out.push('\n');
+        out.push_str(&queue.to_string());
+    }
+    Ok(out)
+}
+
+/// `racerep triage`: records a manual verdict for a race in the database.
+///
+/// # Errors
+///
+/// Fails on bad verdicts or io errors.
+pub fn cmd_triage(
+    db_path: &Path,
+    verdict: &str,
+    pc_lo: usize,
+    pc_hi: usize,
+    note: &str,
+) -> Result<String, CliError> {
+    let verdict = match verdict {
+        "benign" => ManualVerdict::ConfirmedBenign,
+        "harmful" => ManualVerdict::ConfirmedHarmful,
+        other => return err(format!("verdict must be benign or harmful, got {other:?}")),
+    };
+    let mut db = TriageDb::load(db_path).map_err(|e| CliError { message: e.to_string() })?;
+    let id = replay_race::detect::StaticRaceId::new(pc_lo, pc_hi);
+    db.mark(id, verdict, note);
+    db.save(db_path).map_err(|e| CliError { message: e.to_string() })?;
+    Ok(format!("marked {id} in {} ({} races triaged)\n", db_path.display(), db.len()))
+}
+
+/// `racerep classify`: the whole pipeline in one shot (record in memory,
+/// then triage).
+///
+/// # Errors
+///
+/// Propagates load failures; a fresh recording always replays.
+pub fn cmd_classify(path: &Path, schedule: RunConfig, json: bool) -> Result<String, CliError> {
+    let program = load_program(path)?;
+    let result = run_pipeline(&program, &PipelineConfig::new(schedule))
+        .map_err(|e| CliError { message: e.to_string() })?;
+    Ok(if json {
+        result.report.to_json()
+    } else {
+        let mut out = result.report.to_text();
+        out.push_str(&format!(
+            "\n{} instructions, {} dynamic race instances, log {:.3} bits/instr\n",
+            result.instructions,
+            result.detected.instance_count(),
+            result.log_size.bits_per_instr_raw(),
+        ));
+        out
+    })
+}
+
+/// `racerep loginfo`: decodes a log file and prints its statistics.
+///
+/// # Errors
+///
+/// Fails on io or decode errors.
+pub fn cmd_loginfo(log_path: &Path) -> Result<String, CliError> {
+    let (log, schedule) = load_log(log_path)?;
+    let _ = &schedule;
+    let sizes = measure(&log);
+    let mut out = format!(
+        "{} threads, {} instructions, {} events, {} sequencers\n",
+        log.threads.len(),
+        log.total_instructions,
+        log.event_count(),
+        log.sequencer_count(),
+    );
+    out.push_str(&format!(
+        "encoded {} bytes ({:.3} bits/instr), compressed {} bytes ({:.3} bits/instr)\n",
+        sizes.raw_bytes,
+        sizes.bits_per_instr_raw(),
+        sizes.compressed_bytes,
+        sizes.bits_per_instr_compressed(),
+    ));
+    for t in &log.threads {
+        out.push_str(&format!(
+            "  thread {} ({}): {} instructions, {} events, end {:?}\n",
+            t.tid,
+            t.name,
+            t.end_instr,
+            t.events.len(),
+            t.end_status
+        ));
+    }
+    Ok(out)
+}
+
+/// `racerep disasm`: assembles and disassembles a program (normalizing it).
+///
+/// # Errors
+///
+/// Propagates load failures.
+pub fn cmd_disasm(path: &Path) -> Result<String, CliError> {
+    let program = load_program(path)?;
+    Ok(disassemble(&program))
+}
+
+/// Top-level argument dispatch; returns the text to print.
+///
+/// # Errors
+///
+/// Returns usage or command errors for the binary to report.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let mut schedule = RunConfig::round_robin(2);
+    let mut json = false;
+    let mut permissive = false;
+    let mut out_path: Option<String> = None;
+    let mut triage_db: Option<String> = None;
+    let mut max_steps: Option<u64> = None;
+    let mut positional: Vec<&String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--schedule" | "-s" => {
+                i += 1;
+                let spec = args.get(i).ok_or_else(|| CliError { message: "--schedule needs a value".into() })?;
+                schedule = parse_schedule(spec)?;
+            }
+            "--max-steps" => {
+                i += 1;
+                let v = args.get(i).ok_or_else(|| CliError { message: "--max-steps needs a value".into() })?;
+                max_steps = Some(v.parse().map_err(|_| CliError { message: format!("bad --max-steps {v:?}") })?);
+            }
+            "-o" | "--output" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError { message: "-o needs a path".into() })?
+                        .clone(),
+                );
+            }
+            "--json" => json = true,
+            "--permissive" => permissive = true,
+            "--triage-db" => {
+                i += 1;
+                triage_db = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError { message: "--triage-db needs a path".into() })?
+                        .clone(),
+                );
+            }
+            other if other.starts_with('-') => {
+                return err(format!("unknown flag {other:?}"));
+            }
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    if let Some(ms) = max_steps {
+        schedule = schedule.with_max_steps(ms);
+    }
+
+    let usage = "usage: racerep <run|record|replay|races|classify|triage|loginfo|disasm> ...";
+    let Some((&cmd, rest)) = positional.split_first() else {
+        return err(usage);
+    };
+    let arg = |n: usize, what: &str| -> Result<&Path, CliError> {
+        rest.get(n).map(|s| Path::new(s.as_str())).ok_or_else(|| CliError {
+            message: format!("{cmd}: missing {what}"),
+        })
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(arg(0, "program path")?, schedule),
+        "record" => {
+            let out = out_path.ok_or_else(|| CliError { message: "record: missing -o <log>".into() })?;
+            cmd_record(arg(0, "program path")?, Path::new(&out), schedule)
+        }
+        "replay" => cmd_replay(arg(0, "program path")?, arg(1, "log path")?),
+        "races" => cmd_races(
+            arg(0, "program path")?,
+            arg(1, "log path")?,
+            json,
+            permissive,
+            triage_db.as_deref().map(Path::new),
+        ),
+        "classify" => cmd_classify(arg(0, "program path")?, schedule, json),
+        "triage" => {
+            let parse_pc = |n: usize, what: &str| -> Result<usize, CliError> {
+                rest.get(n)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError { message: format!("triage: bad or missing {what}") })
+            };
+            let note: String = rest.get(4..).unwrap_or(&[]).iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ");
+            cmd_triage(
+                arg(0, "db path")?,
+                rest.get(1).map(|s| s.as_str()).unwrap_or(""),
+                parse_pc(2, "pc_lo")?,
+                parse_pc(3, "pc_hi")?,
+                &note,
+            )
+        }
+        "loginfo" => cmd_loginfo(arg(0, "log path")?),
+        "disasm" => cmd_disasm(arg(0, "program path")?),
+        other => err(format!("unknown command {other:?}\n{usage}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, contents: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("racerep_test_{}_{name}", std::process::id()));
+        fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const RACY: &str = "
+.thread writer
+  movi r1, 1
+  st [r15+32], r1
+  halt
+.thread reader
+  ld r2, [r15+32]
+  halt
+";
+
+    #[test]
+    fn parse_schedules() {
+        assert!(matches!(
+            parse_schedule("rr:4").unwrap().policy,
+            tvm::SchedulePolicy::RoundRobin { quantum: 4 }
+        ));
+        assert!(matches!(
+            parse_schedule("random:9").unwrap().policy,
+            tvm::SchedulePolicy::Random { seed: 9 }
+        ));
+        assert!(matches!(
+            parse_schedule("chunked:1:2:5").unwrap().policy,
+            tvm::SchedulePolicy::Chunked { seed: 1, min_quantum: 2, max_quantum: 5 }
+        ));
+        assert!(parse_schedule("bogus").is_err());
+        assert!(parse_schedule("chunked:1:5:2").is_err());
+    }
+
+    #[test]
+    fn run_and_classify_roundtrip() {
+        let prog = temp_file("racy.tasm", RACY);
+        let out = cmd_run(&prog, RunConfig::round_robin(1)).unwrap();
+        assert!(out.contains("completed"));
+        let report = cmd_classify(&prog, RunConfig::round_robin(1), false).unwrap();
+        assert!(report.contains("POTENTIALLY HARMFUL"), "{report}");
+        let json = cmd_classify(&prog, RunConfig::round_robin(1), true).unwrap();
+        assert!(json.contains("\"verdict\""));
+        let _ = fs::remove_file(prog);
+    }
+
+    #[test]
+    fn record_replay_races_roundtrip() {
+        let prog = temp_file("racy2.tasm", RACY);
+        let log = std::env::temp_dir().join(format!("racerep_test_{}.idna", std::process::id()));
+        let msg = cmd_record(&prog, &log, RunConfig::round_robin(1)).unwrap();
+        assert!(msg.contains("recorded"));
+        let info = cmd_loginfo(&log).unwrap();
+        assert!(info.contains("2 threads"), "{info}");
+        let rep = cmd_replay(&prog, &log).unwrap();
+        assert!(rep.contains("sequencing regions"));
+        assert!(rep.contains("fidelity verified"), "{rep}");
+        let races = cmd_races(&prog, &log, false, false, None).unwrap();
+        assert!(races.contains("data race report"));
+        // With a triage database: first everything is new, then suppressed.
+        let db = std::env::temp_dir().join(format!("racerep_db_{}.json", std::process::id()));
+        let _ = fs::remove_file(&db);
+        let with_queue = cmd_races(&prog, &log, false, false, Some(&db)).unwrap();
+        assert!(with_queue.contains("triage queue: 1 new"), "{with_queue}");
+        // Mark the race benign; resolve the pcs from the report is overkill
+        // here — mark via the id printed in the queue line.
+        let id_line = with_queue.lines().find(|l| l.contains("NEW")).unwrap().trim().to_string();
+        let nums: Vec<usize> = id_line
+            .chars()
+            .map(|c| if c.is_ascii_digit() { c } else { ' ' })
+            .collect::<String>()
+            .split_whitespace()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let msg = cmd_triage(&db, "benign", nums[0], nums[1], "known ok").unwrap();
+        assert!(msg.contains("1 races triaged"));
+        let after = cmd_races(&prog, &log, false, false, Some(&db)).unwrap();
+        assert!(after.contains("triage queue: 0 new"), "{after}");
+        assert!(after.contains("1 suppressed"), "{after}");
+        let _ = fs::remove_file(db);
+        let _ = fs::remove_file(prog);
+        let _ = fs::remove_file(log);
+    }
+
+    #[test]
+    fn dispatch_reports_usage_errors() {
+        let e = dispatch(&[]).unwrap_err();
+        assert!(e.message.contains("usage"));
+        let e = dispatch(&["frobnicate".into()]).unwrap_err();
+        assert!(e.message.contains("unknown command"));
+        let e = dispatch(&["run".into()]).unwrap_err();
+        assert!(e.message.contains("missing program path"));
+        let e = dispatch(&["run".into(), "--bogus".into()]).unwrap_err();
+        assert!(e.message.contains("unknown flag"));
+    }
+
+    #[test]
+    fn log_container_rejects_garbage() {
+        assert!(log_from_bytes(b"nope").is_err());
+        assert!(log_from_bytes(b"IDNAFIL2ga").is_err());
+    }
+
+    #[test]
+    fn disasm_normalizes() {
+        let prog = temp_file("d.tasm", RACY);
+        let text = cmd_disasm(&prog).unwrap();
+        assert!(text.contains(".thread writer"));
+        assert!(text.contains("st [r15+32], r1"));
+        // Round-trips through the assembler.
+        assert!(tvm::asm::assemble(&text).is_ok());
+        let _ = fs::remove_file(prog);
+    }
+}

@@ -1,0 +1,13 @@
+//! `racerep` binary: see the library docs (`racerep::dispatch`) for the
+//! command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match racerep::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("racerep: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Drives `racerep` end-to-end over the shipped sample programs in
+//! `examples/asm/`.
+
+use std::path::PathBuf;
+
+use racerep::{cmd_classify, cmd_disasm, cmd_run, parse_schedule};
+
+fn sample(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/asm").join(name)
+}
+
+#[test]
+fn samples_assemble_and_run() {
+    for name in ["refcount.tasm", "handoff.tasm", "stats.tasm"] {
+        let path = sample(name);
+        let out = cmd_run(&path, parse_schedule("rr:2").unwrap())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.contains("completed"), "{name}: {out}");
+        // Disassembly round-trips through the assembler.
+        let disasm = cmd_disasm(&path).unwrap();
+        assert!(tvm::asm::assemble(&disasm).is_ok(), "{name} disassembly must reassemble");
+    }
+}
+
+#[test]
+fn refcount_sample_is_flagged_harmful_under_an_adversarial_schedule() {
+    let path = sample("refcount.tasm");
+    for seed in 0..32u64 {
+        let spec = format!("chunked:{seed}:1:6");
+        let report = cmd_classify(&path, parse_schedule(&spec).unwrap(), false).unwrap();
+        if report.contains("POTENTIALLY HARMFUL") {
+            assert!(report.contains("w1_") || report.contains("w2_") || report.contains("st [r15+16]"),
+                "the refcount instructions appear in the report:\n{report}");
+            return;
+        }
+    }
+    panic!("no schedule exposed the refcount bug");
+}
+
+#[test]
+fn handoff_sample_is_filtered_benign() {
+    let path = sample("handoff.tasm");
+    let report = cmd_classify(&path, parse_schedule("rr:2").unwrap(), false).unwrap();
+    assert!(report.contains("potentially benign"), "{report}");
+    assert!(!report.contains("POTENTIALLY HARMFUL"), "{report}");
+}
+
+#[test]
+fn stats_sample_is_flagged_like_the_paper() {
+    // Approximate computation: really benign, flagged potentially harmful.
+    let path = sample("stats.tasm");
+    let report = cmd_classify(&path, parse_schedule("rr:2").unwrap(), false).unwrap();
+    assert!(report.contains("POTENTIALLY HARMFUL"), "{report}");
+}

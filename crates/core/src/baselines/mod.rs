@@ -1,0 +1,24 @@
+//! Baseline dynamic race detectors for comparison and ablation (DESIGN.md
+//! experiment E-A1).
+//!
+//! The paper positions its offline, region-granularity happens-before
+//! detector against the two classic families of online detectors:
+//!
+//! * [`vc`] — a vector-clock happens-before detector (Lamport clocks with
+//!   FastTrack-style epochs), which treats atomic instructions as
+//!   acquire/release synchronization,
+//! * [`lockset`] — the Eraser lockset algorithm, which is heuristic and can
+//!   report false positives,
+//! * [`hybrid`] — lockset candidates confirmed by happens-before (the
+//!   combination §2.2.2 describes).
+//!
+//! Both run *online* as [`tvm::Observer`]s over the executing machine,
+//! which is exactly the cost profile the paper's offline approach avoids.
+
+pub mod hybrid;
+pub mod lockset;
+pub mod vc;
+
+pub use hybrid::HybridDetector;
+pub use lockset::{LocksetDetector, LocksetWarning};
+pub use vc::{VcDetector, VectorClock};

@@ -1,0 +1,445 @@
+//! Replay-based classification of data races (paper §4, §5.2).
+//!
+//! For every dynamic race instance, the classifier replays the two involved
+//! sequencing regions twice in the virtual processor — once per order of the
+//! racing operations — and compares the live-outs:
+//!
+//! * identical live-outs → **No-State-Change**,
+//! * different live-outs → **State-Change**,
+//! * either replay failed → **Replay-Failure**.
+//!
+//! A *static* race is then classified from all its instances (§5.2.1): it is
+//! No-State-Change (and therefore **potentially benign**) only when *every*
+//! instance is; any State-Change instance puts it in the State-Change group;
+//! the remaining races with at least one failure form the Replay-Failure
+//! group. State-Change and Replay-Failure races are **potentially harmful**
+//! and are the ones handed to developers.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use idna_replay::replayer::ReplayTrace;
+use idna_replay::vproc::{PairOrder, ReplayFailure, Vproc, VprocConfig};
+
+use crate::detect::{DetectedRaces, RaceInstance, StaticRaceId};
+
+/// Outcome of replaying both orders of one race instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceOutcome {
+    /// Both orders completed with identical live-outs.
+    NoStateChange,
+    /// Both orders completed but the live-outs differ.
+    StateChange,
+    /// At least one order could not be replayed.
+    ReplayFailure(ReplayFailure),
+}
+
+impl InstanceOutcome {
+    /// Whether this instance outcome marks the race potentially harmful.
+    #[must_use]
+    pub fn is_harmful_signal(self) -> bool {
+        !matches!(self, InstanceOutcome::NoStateChange)
+    }
+}
+
+/// One classified race instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifiedInstance {
+    pub instance: RaceInstance,
+    pub outcome: InstanceOutcome,
+    /// Which order reproduced the recorded execution, when identifiable —
+    /// the "original order" of the paper's race reports.
+    pub original_order: Option<PairOrder>,
+}
+
+/// Table 1 row: the aggregate outcome group of a static race (§5.2.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OutcomeGroup {
+    /// Every instance was No-State-Change.
+    NoStateChange,
+    /// At least one instance was State-Change.
+    StateChange,
+    /// No State-Change instance, at least one Replay-Failure.
+    ReplayFailure,
+}
+
+/// Table 1 column: the tool's verdict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    PotentiallyBenign,
+    PotentiallyHarmful,
+}
+
+impl OutcomeGroup {
+    /// The verdict implied by the group (paper §5.2.2).
+    #[must_use]
+    pub fn verdict(self) -> Verdict {
+        match self {
+            OutcomeGroup::NoStateChange => Verdict::PotentiallyBenign,
+            OutcomeGroup::StateChange | OutcomeGroup::ReplayFailure => Verdict::PotentiallyHarmful,
+        }
+    }
+}
+
+/// Instance statistics for one static race (the data behind Figures 3–5).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceCounts {
+    /// Instances detected.
+    pub detected: usize,
+    /// Instances analyzed (bounded by the per-race budget).
+    pub analyzed: usize,
+    pub no_state_change: usize,
+    pub state_change: usize,
+    pub replay_failure: usize,
+}
+
+impl InstanceCounts {
+    /// Instances that exposed the race (State-Change or Replay-Failure) —
+    /// the dark bars of Figure 4.
+    #[must_use]
+    pub fn exposing(&self) -> usize {
+        self.state_change + self.replay_failure
+    }
+}
+
+/// A fully classified static race.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassifiedRace {
+    pub id: StaticRaceId,
+    pub group: OutcomeGroup,
+    pub verdict: Verdict,
+    pub counts: InstanceCounts,
+    /// The classified instances (up to the analysis budget), in detection
+    /// order. The first harmful-signal instance, if any, is the reproducible
+    /// scenario quoted in reports.
+    pub instances: Vec<ClassifiedInstance>,
+}
+
+impl ClassifiedRace {
+    /// The first instance whose outcome signals harm, if any — the scenario
+    /// a developer should replay first.
+    #[must_use]
+    pub fn first_exposing_instance(&self) -> Option<&ClassifiedInstance> {
+        self.instances.iter().find(|i| i.outcome.is_harmful_signal())
+    }
+}
+
+/// Classifier options.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClassifierConfig {
+    /// Virtual-processor options (budget, permissive mode).
+    pub vproc: VprocConfig,
+    /// Maximum instances analyzed per static race; further instances are
+    /// counted but not replayed. The paper analyzed thousands of instances
+    /// for some races (§5.3); this bound keeps large corpora tractable.
+    pub max_instances_per_race: usize,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig { vproc: VprocConfig::default(), max_instances_per_race: 2_000 }
+    }
+}
+
+/// The result of classifying every detected race in one trace.
+#[derive(Clone, Debug, Default)]
+pub struct ClassificationResult {
+    /// Classified races, keyed by static identity.
+    pub races: BTreeMap<StaticRaceId, ClassifiedRace>,
+    /// Total virtual-processor replays performed (two per analyzed
+    /// instance) — a cost metric for the overhead experiment.
+    pub vproc_replays: u64,
+}
+
+impl ClassificationResult {
+    /// Races with the given verdict, in static-id order.
+    pub fn with_verdict(&self, verdict: Verdict) -> impl Iterator<Item = &ClassifiedRace> + '_ {
+        self.races.values().filter(move |r| r.verdict == verdict)
+    }
+
+    /// Count of races in each outcome group: `(no_state_change,
+    /// state_change, replay_failure)` — Table 1's row totals.
+    #[must_use]
+    pub fn group_counts(&self) -> (usize, usize, usize) {
+        let mut nsc = 0;
+        let mut sc = 0;
+        let mut rf = 0;
+        for race in self.races.values() {
+            match race.group {
+                OutcomeGroup::NoStateChange => nsc += 1,
+                OutcomeGroup::StateChange => sc += 1,
+                OutcomeGroup::ReplayFailure => rf += 1,
+            }
+        }
+        (nsc, sc, rf)
+    }
+}
+
+/// Classifies one race instance by replaying both orders.
+#[must_use]
+pub fn classify_instance(
+    vproc: &Vproc<'_>,
+    instance: &RaceInstance,
+) -> ClassifiedInstance {
+    let fwd = vproc.run_pair(&instance.a, &instance.b, PairOrder::AThenB);
+    let rev = vproc.run_pair(&instance.a, &instance.b, PairOrder::BThenA);
+    let (outcome, original_order) = match (fwd, rev) {
+        (Ok(x), Ok(y)) => {
+            let original = if x.matches_recorded(vproc.trace(), &instance.a, &instance.b) {
+                Some(PairOrder::AThenB)
+            } else if y.matches_recorded(vproc.trace(), &instance.a, &instance.b) {
+                Some(PairOrder::BThenA)
+            } else {
+                None
+            };
+            let outcome = if x == y {
+                InstanceOutcome::NoStateChange
+            } else {
+                InstanceOutcome::StateChange
+            };
+            (outcome, original)
+        }
+        (Ok(x), Err(f)) => {
+            let original = x
+                .matches_recorded(vproc.trace(), &instance.a, &instance.b)
+                .then_some(PairOrder::AThenB);
+            (InstanceOutcome::ReplayFailure(f), original)
+        }
+        (Err(f), Ok(y)) => {
+            let original = y
+                .matches_recorded(vproc.trace(), &instance.a, &instance.b)
+                .then_some(PairOrder::BThenA);
+            (InstanceOutcome::ReplayFailure(f), original)
+        }
+        (Err(f), Err(_)) => (InstanceOutcome::ReplayFailure(f), None),
+    };
+    ClassifiedInstance { instance: *instance, outcome, original_order }
+}
+
+/// Classifies every detected race in `trace`.
+#[must_use]
+pub fn classify_races(
+    trace: &ReplayTrace,
+    detected: &DetectedRaces,
+    config: &ClassifierConfig,
+) -> ClassificationResult {
+    let vproc = Vproc::new(trace, config.vproc);
+    let mut result = ClassificationResult::default();
+    for (&id, indices) in &detected.by_static {
+        let mut counts = InstanceCounts { detected: indices.len(), ..InstanceCounts::default() };
+        let mut classified = Vec::new();
+        for &idx in indices.iter().take(config.max_instances_per_race) {
+            let ci = classify_instance(&vproc, &detected.instances[idx]);
+            result.vproc_replays += 2;
+            counts.analyzed += 1;
+            match ci.outcome {
+                InstanceOutcome::NoStateChange => counts.no_state_change += 1,
+                InstanceOutcome::StateChange => counts.state_change += 1,
+                InstanceOutcome::ReplayFailure(_) => counts.replay_failure += 1,
+            }
+            classified.push(ci);
+        }
+        let group = if counts.state_change > 0 {
+            OutcomeGroup::StateChange
+        } else if counts.replay_failure > 0 {
+            OutcomeGroup::ReplayFailure
+        } else {
+            OutcomeGroup::NoStateChange
+        };
+        result.races.insert(
+            id,
+            ClassifiedRace { id, group, verdict: group.verdict(), counts, instances: classified },
+        );
+    }
+    result
+}
+
+/// Merges classifications of the same program across several executions
+/// (paper §4.3: "several instances of the same data race should be found in
+/// the same execution or across different test scenarios").
+///
+/// A race is potentially benign only if every instance in every execution
+/// was No-State-Change.
+#[must_use]
+pub fn merge_classifications(results: &[ClassificationResult]) -> ClassificationResult {
+    let mut merged: BTreeMap<StaticRaceId, ClassifiedRace> = BTreeMap::new();
+    let mut vproc_replays = 0;
+    for result in results {
+        vproc_replays += result.vproc_replays;
+        for (id, race) in &result.races {
+            merged
+                .entry(*id)
+                .and_modify(|existing| {
+                    existing.counts.detected += race.counts.detected;
+                    existing.counts.analyzed += race.counts.analyzed;
+                    existing.counts.no_state_change += race.counts.no_state_change;
+                    existing.counts.state_change += race.counts.state_change;
+                    existing.counts.replay_failure += race.counts.replay_failure;
+                    existing.instances.extend(race.instances.iter().copied());
+                    existing.group = if existing.counts.state_change > 0 {
+                        OutcomeGroup::StateChange
+                    } else if existing.counts.replay_failure > 0 {
+                        OutcomeGroup::ReplayFailure
+                    } else {
+                        OutcomeGroup::NoStateChange
+                    };
+                    existing.verdict = existing.group.verdict();
+                })
+                .or_insert_with(|| race.clone());
+        }
+    }
+    ClassificationResult { races: merged, vproc_replays }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_races, DetectorConfig};
+    use idna_replay::recorder::record;
+    use idna_replay::replayer::replay;
+    use std::sync::Arc;
+    use tvm::isa::Reg;
+    use tvm::scheduler::RunConfig;
+    use tvm::{Program, ProgramBuilder};
+
+    fn classify_program(b: ProgramBuilder, cfg: RunConfig) -> ClassificationResult {
+        let program: Arc<Program> = Arc::new(b.build());
+        let rec = record(&program, &cfg);
+        let trace = replay(&program, &rec.log).unwrap();
+        let detected = detect_races(&trace, &DetectorConfig::default());
+        classify_races(&trace, &detected, &ClassifierConfig::default())
+    }
+
+    #[test]
+    fn redundant_write_is_potentially_benign() {
+        let mut b = ProgramBuilder::new();
+        for name in ["a", "b"] {
+            b.thread(name);
+            b.movi(Reg::R1, 7).store(Reg::R1, Reg::R15, 0x20).halt();
+        }
+        let result = classify_program(b, RunConfig::round_robin(1));
+        assert_eq!(result.races.len(), 1);
+        let race = result.races.values().next().unwrap();
+        assert_eq!(race.group, OutcomeGroup::NoStateChange);
+        assert_eq!(race.verdict, Verdict::PotentiallyBenign);
+    }
+
+    #[test]
+    fn conflicting_write_is_potentially_harmful() {
+        let mut b = ProgramBuilder::new();
+        for (name, val) in [("a", 1u64), ("b", 2u64)] {
+            b.thread(name);
+            b.movi(Reg::R1, val).store(Reg::R1, Reg::R15, 0x20).halt();
+        }
+        let result = classify_program(b, RunConfig::round_robin(1));
+        let race = result.races.values().next().unwrap();
+        assert_eq!(race.group, OutcomeGroup::StateChange);
+        assert_eq!(race.verdict, Verdict::PotentiallyHarmful);
+        assert!(race.first_exposing_instance().is_some());
+    }
+
+    #[test]
+    fn read_write_race_identifies_the_original_order() {
+        let mut b = ProgramBuilder::new();
+        b.thread("w");
+        b.movi(Reg::R1, 5).store(Reg::R1, Reg::R15, 0x30).halt();
+        b.thread("r");
+        b.load(Reg::R2, Reg::R15, 0x30).halt();
+        let result = classify_program(b, RunConfig::round_robin(1));
+        let race = result.races.values().next().unwrap();
+        assert_eq!(race.group, OutcomeGroup::StateChange);
+        let ci = &race.instances[0];
+        assert!(ci.original_order.is_some(), "one order matches the recording");
+    }
+
+    #[test]
+    fn one_state_change_instance_dominates_many_benign_ones() {
+        // Thread a stores the same value 7 in a loop; thread b stores a
+        // different value once. Many instances are order-insensitive, but
+        // any state-change instance forces the StateChange group.
+        let mut b = ProgramBuilder::new();
+        b.thread("a");
+        let top = b.fresh_label("top");
+        b.movi(Reg::R2, 5)
+            .movi(Reg::R1, 7)
+            .label(top)
+            .store(Reg::R1, Reg::R15, 0x20)
+            .subi(Reg::R2, Reg::R2, 1)
+            .branch(tvm::isa::Cond::Ne, Reg::R2, Reg::R15, top)
+            .halt();
+        b.thread("b");
+        b.movi(Reg::R1, 9).store(Reg::R1, Reg::R15, 0x20).halt();
+        let result = classify_program(b, RunConfig::round_robin(2));
+        // Whatever the instance mix, any SC instance forces StateChange.
+        for race in result.races.values() {
+            if race.counts.state_change > 0 {
+                assert_eq!(race.group, OutcomeGroup::StateChange);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_makes_harmful_dominate_across_executions() {
+        let mut benign = ClassificationResult::default();
+        let id = StaticRaceId::new(1, 2);
+        benign.races.insert(
+            id,
+            ClassifiedRace {
+                id,
+                group: OutcomeGroup::NoStateChange,
+                verdict: Verdict::PotentiallyBenign,
+                counts: InstanceCounts {
+                    detected: 3,
+                    analyzed: 3,
+                    no_state_change: 3,
+                    ..InstanceCounts::default()
+                },
+                instances: vec![],
+            },
+        );
+        let mut harmful = ClassificationResult::default();
+        harmful.races.insert(
+            id,
+            ClassifiedRace {
+                id,
+                group: OutcomeGroup::StateChange,
+                verdict: Verdict::PotentiallyHarmful,
+                counts: InstanceCounts {
+                    detected: 1,
+                    analyzed: 1,
+                    state_change: 1,
+                    ..InstanceCounts::default()
+                },
+                instances: vec![],
+            },
+        );
+        let merged = merge_classifications(&[benign, harmful]);
+        let race = &merged.races[&id];
+        assert_eq!(race.group, OutcomeGroup::StateChange);
+        assert_eq!(race.counts.detected, 4);
+        assert_eq!(race.counts.exposing(), 1);
+    }
+
+    #[test]
+    fn group_counts_partition_races() {
+        let mut b = ProgramBuilder::new();
+        // Benign redundant write on 0x20, harmful conflicting write on 0x28.
+        b.thread("a");
+        b.movi(Reg::R1, 7)
+            .store(Reg::R1, Reg::R15, 0x20)
+            .movi(Reg::R2, 1)
+            .store(Reg::R2, Reg::R15, 0x28)
+            .halt();
+        b.thread("b");
+        b.movi(Reg::R1, 7)
+            .store(Reg::R1, Reg::R15, 0x20)
+            .movi(Reg::R2, 2)
+            .store(Reg::R2, Reg::R15, 0x28)
+            .halt();
+        let result = classify_program(b, RunConfig::round_robin(1));
+        let (nsc, sc, rf) = result.group_counts();
+        assert_eq!(nsc + sc + rf, result.races.len());
+        assert!(sc >= 1, "the conflicting write must be state-change");
+    }
+}

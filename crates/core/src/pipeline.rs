@@ -1,0 +1,201 @@
+//! The end-to-end pipeline: native run → record → replay → detect →
+//! classify → report, with phase timings for the paper's §5.1 overhead
+//! study.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use idna_replay::codec::{measure, LogSizeReport};
+use idna_replay::recorder::record;
+use idna_replay::replayer::{replay, ReplayError, ReplayTrace};
+use tvm::machine::Machine;
+use tvm::program::Program;
+use tvm::scheduler::{run, RunConfig};
+
+use crate::classify::{classify_races, ClassificationResult, ClassifierConfig};
+use crate::detect::{detect_races, DetectedRaces, DetectorConfig};
+use crate::report::Report;
+
+/// Pipeline options.
+#[derive(Copy, Clone, Debug)]
+pub struct PipelineConfig {
+    /// Scheduler policy and step budget for the recorded run.
+    pub run: RunConfig,
+    pub detector: DetectorConfig,
+    pub classifier: ClassifierConfig,
+    /// Whether to run the program once *without* recording to obtain the
+    /// native-execution baseline for the overhead ratios.
+    pub measure_native: bool,
+}
+
+impl PipelineConfig {
+    /// A pipeline configuration with the given scheduler.
+    #[must_use]
+    pub fn new(run: RunConfig) -> Self {
+        PipelineConfig {
+            run,
+            detector: DetectorConfig::default(),
+            classifier: ClassifierConfig::default(),
+            measure_native: true,
+        }
+    }
+}
+
+/// Wall-clock duration of each pipeline phase.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PhaseTimings {
+    /// Native execution, no instrumentation.
+    pub native: Duration,
+    /// Execution with the recorder attached.
+    pub record: Duration,
+    /// Replay of the log into a trace.
+    pub replay: Duration,
+    /// Happens-before race detection over the trace.
+    pub detect: Duration,
+    /// Dual-order classification of every race instance.
+    pub classify: Duration,
+}
+
+impl PhaseTimings {
+    /// Slowdown of a phase relative to native execution (paper §5.1 reports
+    /// record ≈6×, replay ≈10×, detection ≈45×, classification ≈280×).
+    #[must_use]
+    pub fn overhead(&self, phase: Duration) -> f64 {
+        let native = self.native.as_secs_f64();
+        if native <= 0.0 {
+            return f64::NAN;
+        }
+        phase.as_secs_f64() / native
+    }
+}
+
+/// Everything the pipeline produces for one recorded execution.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// The replayed trace (kept for report drill-down and time travel).
+    pub trace: ReplayTrace,
+    /// Detected races.
+    pub detected: DetectedRaces,
+    /// Classification of every race.
+    pub classification: ClassificationResult,
+    /// The developer-facing report.
+    pub report: Report,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+    /// Log-size metrics.
+    pub log_size: LogSizeReport,
+    /// Whether the recorded run finished within its step budget.
+    pub run_completed: bool,
+    /// Total instructions in the recorded run.
+    pub instructions: u64,
+}
+
+/// Runs the complete pipeline on one program.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] when the freshly recorded log fails to replay —
+/// which indicates a bug in the recorder/replayer pair, not in the analyzed
+/// program.
+///
+/// # Examples
+///
+/// ```
+/// use replay_race::pipeline::{run_pipeline, PipelineConfig};
+/// use tvm::{ProgramBuilder, RunConfig};
+/// use tvm::isa::Reg;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.thread("w");
+/// b.movi(Reg::R1, 5).store(Reg::R1, Reg::R15, 0x30).halt();
+/// b.thread("r");
+/// b.load(Reg::R2, Reg::R15, 0x30).halt();
+/// let result = run_pipeline(&b.build().into(), &PipelineConfig::new(RunConfig::round_robin(1)))?;
+/// assert_eq!(result.detected.unique_races(), 1);
+/// # Ok::<(), idna_replay::replayer::ReplayError>(())
+/// ```
+pub fn run_pipeline(
+    program: &Arc<Program>,
+    config: &PipelineConfig,
+) -> Result<PipelineResult, ReplayError> {
+    let mut timings = PhaseTimings::default();
+
+    if config.measure_native {
+        let start = Instant::now();
+        let mut machine = Machine::new(program.clone());
+        run(&mut machine, &config.run, &mut ());
+        timings.native = start.elapsed();
+    }
+
+    let start = Instant::now();
+    let recording = record(program, &config.run);
+    timings.record = start.elapsed();
+
+    let log_size = measure(&recording.log);
+
+    let start = Instant::now();
+    let trace = replay(program, &recording.log)?;
+    timings.replay = start.elapsed();
+
+    let start = Instant::now();
+    let detected = detect_races(&trace, &config.detector);
+    timings.detect = start.elapsed();
+
+    let start = Instant::now();
+    let classification = classify_races(&trace, &detected, &config.classifier);
+    timings.classify = start.elapsed();
+
+    let report = Report::build(&trace, &classification);
+
+    Ok(PipelineResult {
+        trace,
+        detected,
+        classification,
+        report,
+        timings,
+        log_size,
+        run_completed: recording.summary.completed,
+        instructions: recording.summary.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Verdict;
+    use tvm::isa::Reg;
+    use tvm::ProgramBuilder;
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let mut b = ProgramBuilder::new();
+        b.thread("a");
+        b.movi(Reg::R1, 1).store(Reg::R1, Reg::R15, 0x20).halt();
+        b.thread("b");
+        b.movi(Reg::R1, 2).store(Reg::R1, Reg::R15, 0x20).halt();
+        let result =
+            run_pipeline(&b.build().into(), &PipelineConfig::new(RunConfig::round_robin(1)))
+                .unwrap();
+        assert!(result.run_completed);
+        assert_eq!(result.detected.unique_races(), 1);
+        assert_eq!(
+            result.classification.with_verdict(Verdict::PotentiallyHarmful).count(),
+            1
+        );
+        assert_eq!(result.report.races.len(), 1);
+        assert!(result.log_size.raw_bytes > 0);
+        assert!(result.instructions > 0);
+    }
+
+    #[test]
+    fn pipeline_without_native_baseline() {
+        let mut b = ProgramBuilder::new();
+        b.thread("only");
+        b.movi(Reg::R0, 1).halt();
+        let mut cfg = PipelineConfig::new(RunConfig::round_robin(1));
+        cfg.measure_native = false;
+        let result = run_pipeline(&b.build().into(), &cfg).unwrap();
+        assert_eq!(result.timings.native, Duration::default());
+        assert!(result.timings.overhead(result.timings.record).is_nan());
+    }
+}

@@ -1,0 +1,583 @@
+//! Binary encoding and compression of replay logs.
+//!
+//! The paper reports ≈0.8 bits per executed instruction for raw iDNA logs
+//! and ≈0.3 after zip compression (§5.1). This module provides the two
+//! stages for our logs:
+//!
+//! 1. a compact **binary encoding** — varints with per-stream delta
+//!    compression for the monotone indices,
+//! 2. an **LZSS** pass (4 KiB window) standing in for the zip utility.
+//!
+//! [`measure`] computes the bits-per-instruction metrics for the E-LOG
+//! experiment.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use tvm::isa::NUM_REGS;
+use tvm::machine::Fault;
+
+use crate::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
+
+const MAGIC: &[u8; 4] = b"IDNL";
+const FORMAT_VERSION: u8 = 1;
+
+/// Decoding failed: the byte stream is not a valid encoded log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    pub message: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn cerr<T>(message: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError { message: message.into() })
+}
+
+// --- varint primitives ----------------------------------------------------
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return cerr("truncated varint");
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return cerr("varint overflow");
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return cerr("truncated string");
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError { message: "bad utf-8".into() })
+}
+
+fn put_fault(buf: &mut BytesMut, f: Fault) {
+    match f {
+        Fault::InvalidAccess { addr } => {
+            buf.put_u8(0);
+            put_varint(buf, addr);
+        }
+        Fault::UseAfterFree { addr } => {
+            buf.put_u8(1);
+            put_varint(buf, addr);
+        }
+        Fault::InvalidFree { addr } => {
+            buf.put_u8(2);
+            put_varint(buf, addr);
+        }
+        Fault::DivideByZero => buf.put_u8(3),
+        Fault::CallStackOverflow => buf.put_u8(4),
+        Fault::CallStackUnderflow => buf.put_u8(5),
+        Fault::PcOutOfRange { pc } => {
+            buf.put_u8(6);
+            put_varint(buf, pc as u64);
+        }
+    }
+}
+
+fn get_fault(buf: &mut Bytes) -> Result<Fault, CodecError> {
+    if !buf.has_remaining() {
+        return cerr("truncated fault");
+    }
+    Ok(match buf.get_u8() {
+        0 => Fault::InvalidAccess { addr: get_varint(buf)? },
+        1 => Fault::UseAfterFree { addr: get_varint(buf)? },
+        2 => Fault::InvalidFree { addr: get_varint(buf)? },
+        3 => Fault::DivideByZero,
+        4 => Fault::CallStackOverflow,
+        5 => Fault::CallStackUnderflow,
+        6 => Fault::PcOutOfRange { pc: get_varint(buf)? as usize },
+        t => return cerr(format!("bad fault tag {t}")),
+    })
+}
+
+// --- log encoding -----------------------------------------------------------
+
+/// Encodes a log into the compact binary form.
+#[must_use]
+pub fn encode_log(log: &ReplayLog) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(FORMAT_VERSION);
+    put_varint(&mut buf, log.total_instructions);
+    put_varint(&mut buf, log.threads.len() as u64);
+    for t in &log.threads {
+        encode_thread(&mut buf, t);
+    }
+    buf.to_vec()
+}
+
+fn encode_thread(buf: &mut BytesMut, t: &ThreadLog) {
+    put_varint(buf, t.tid as u64);
+    put_str(buf, &t.name);
+    for r in t.start_regs {
+        put_varint(buf, r);
+    }
+    put_varint(buf, t.start_pc as u64);
+    put_varint(buf, t.start_ts);
+    put_varint(buf, t.end_instr);
+    put_varint(buf, t.end_ts);
+    match t.end_status {
+        EndStatus::Halted => buf.put_u8(0),
+        EndStatus::Truncated => buf.put_u8(1),
+        EndStatus::Faulted(f) => {
+            buf.put_u8(2);
+            put_fault(buf, f);
+        }
+    }
+    // Footprint: sorted pcs, delta-encoded.
+    put_varint(buf, t.footprint.len() as u64);
+    let mut prev = 0u64;
+    for &pc in &t.footprint {
+        put_varint(buf, pc as u64 - prev);
+        prev = pc as u64;
+    }
+    // Events: per-stream delta encoding of the monotone indices.
+    put_varint(buf, t.events.len() as u64);
+    let (mut prev_load, mut prev_sys, mut prev_instr, mut prev_ts) = (0u64, 0u64, 0u64, 0u64);
+    for ev in &t.events {
+        match *ev {
+            ThreadEvent::Load { load_index, value } => {
+                buf.put_u8(0);
+                put_varint(buf, load_index - prev_load);
+                prev_load = load_index;
+                put_varint(buf, value);
+            }
+            ThreadEvent::SyscallRet { sys_index, value } => {
+                buf.put_u8(1);
+                put_varint(buf, sys_index - prev_sys);
+                prev_sys = sys_index;
+                put_varint(buf, value);
+            }
+            ThreadEvent::Sequencer { instr_index, ts } => {
+                buf.put_u8(2);
+                put_varint(buf, instr_index - prev_instr);
+                prev_instr = instr_index;
+                put_varint(buf, ts - prev_ts);
+                prev_ts = ts;
+            }
+        }
+    }
+}
+
+/// Decodes a log previously produced by [`encode_log`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncated or corrupted input.
+pub fn decode_log(bytes: &[u8]) -> Result<ReplayLog, CodecError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 5 {
+        return cerr("input too short");
+    }
+    let magic = buf.copy_to_bytes(4);
+    if magic.as_ref() != MAGIC {
+        return cerr("bad magic");
+    }
+    let version = buf.get_u8();
+    if version != FORMAT_VERSION {
+        return cerr(format!("unsupported format version {version}"));
+    }
+    let total_instructions = get_varint(&mut buf)?;
+    let nthreads = get_varint(&mut buf)? as usize;
+    if nthreads > 1 << 20 {
+        return cerr("implausible thread count");
+    }
+    let mut threads = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        threads.push(decode_thread(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return cerr("trailing bytes");
+    }
+    Ok(ReplayLog { threads, total_instructions })
+}
+
+fn decode_thread(buf: &mut Bytes) -> Result<ThreadLog, CodecError> {
+    let tid = get_varint(buf)? as usize;
+    let name = get_str(buf)?;
+    let mut start_regs = [0u64; NUM_REGS];
+    for r in &mut start_regs {
+        *r = get_varint(buf)?;
+    }
+    let start_pc = get_varint(buf)? as usize;
+    let start_ts = get_varint(buf)?;
+    let end_instr = get_varint(buf)?;
+    let end_ts = get_varint(buf)?;
+    let end_status = match buf.has_remaining().then(|| buf.get_u8()) {
+        Some(0) => EndStatus::Halted,
+        Some(1) => EndStatus::Truncated,
+        Some(2) => EndStatus::Faulted(get_fault(buf)?),
+        Some(t) => return cerr(format!("bad end status {t}")),
+        None => return cerr("truncated end status"),
+    };
+    let fp_len = get_varint(buf)? as usize;
+    if fp_len > 1 << 28 {
+        return cerr("implausible footprint length");
+    }
+    let mut footprint = Vec::with_capacity(fp_len);
+    let mut prev = 0u64;
+    for _ in 0..fp_len {
+        prev += get_varint(buf)?;
+        footprint.push(prev as usize);
+    }
+    let ev_len = get_varint(buf)? as usize;
+    if ev_len > 1 << 30 {
+        return cerr("implausible event count");
+    }
+    let mut events = Vec::with_capacity(ev_len.min(1 << 20));
+    let (mut prev_load, mut prev_sys, mut prev_instr, mut prev_ts) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..ev_len {
+        if !buf.has_remaining() {
+            return cerr("truncated event");
+        }
+        match buf.get_u8() {
+            0 => {
+                prev_load += get_varint(buf)?;
+                events.push(ThreadEvent::Load { load_index: prev_load, value: get_varint(buf)? });
+            }
+            1 => {
+                prev_sys += get_varint(buf)?;
+                events.push(ThreadEvent::SyscallRet { sys_index: prev_sys, value: get_varint(buf)? });
+            }
+            2 => {
+                prev_instr += get_varint(buf)?;
+                prev_ts += get_varint(buf)?;
+                events.push(ThreadEvent::Sequencer { instr_index: prev_instr, ts: prev_ts });
+            }
+            t => return cerr(format!("bad event tag {t}")),
+        }
+    }
+    Ok(ThreadLog {
+        tid,
+        name,
+        start_regs,
+        start_pc,
+        start_ts,
+        events,
+        end_instr,
+        end_ts,
+        end_status,
+        footprint,
+    })
+}
+
+// --- LZSS compression -------------------------------------------------------
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// LZSS-compresses a byte stream (4 KiB window), standing in for the zip
+/// pass of the paper's log-size study.
+#[must_use]
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = BytesMut::new();
+    put_varint(&mut out, input.len() as u64);
+    let mut i = 0usize;
+    // Token group: a flag byte describing the next 8 tokens (bit set =
+    // back-reference), then the tokens.
+    let mut flags = 0u8;
+    let mut nflags = 0u32;
+    let mut group = BytesMut::new();
+    // Hash chain on 3-byte prefixes for match finding.
+    let mut heads: Vec<i64> = vec![-1; 1 << 14];
+    let mut prevs: Vec<i64> = vec![-1; input.len().max(1)];
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((usize::from(a) << 6) ^ (usize::from(b) << 3) ^ usize::from(c)) & ((1 << 14) - 1)
+    };
+
+    let flush_group = |out: &mut BytesMut, flags: &mut u8, nflags: &mut u32, group: &mut BytesMut| {
+        if *nflags > 0 {
+            out.put_u8(*flags);
+            out.put_slice(group);
+            *flags = 0;
+            *nflags = 0;
+            group.clear();
+        }
+    };
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(input[i], input[i + 1], input[i + 2]);
+            let mut cand = heads[h];
+            let mut tries = 32;
+            while cand >= 0 && tries > 0 {
+                let c = cand as usize;
+                if i - c > WINDOW {
+                    break;
+                }
+                let limit = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                }
+                cand = prevs[c];
+                tries -= 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            // Back-reference token: 12-bit distance, 4-bit (len - 3).
+            flags |= 1 << nflags;
+            let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+            group.put_u16(token);
+            // Insert hash entries for the covered positions.
+            for k in i..i + best_len {
+                if k + MIN_MATCH <= input.len() {
+                    let h = hash(input[k], input[k + 1], input[k + 2]);
+                    prevs[k] = heads[h];
+                    heads[h] = k as i64;
+                }
+            }
+            i += best_len;
+        } else {
+            group.put_u8(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash(input[i], input[i + 1], input[i + 2]);
+                prevs[i] = heads[h];
+                heads[h] = i as i64;
+            }
+            i += 1;
+        }
+        nflags += 1;
+        if nflags == 8 {
+            flush_group(&mut out, &mut flags, &mut nflags, &mut group);
+        }
+    }
+    flush_group(&mut out, &mut flags, &mut nflags, &mut group);
+    out.to_vec()
+}
+
+/// Decompresses a [`compress`] stream.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut buf = Bytes::copy_from_slice(input);
+    let expected = get_varint(&mut buf)? as usize;
+    if expected > 1 << 32 {
+        return cerr("implausible decompressed size");
+    }
+    let mut out = Vec::with_capacity(expected);
+    while out.len() < expected {
+        if !buf.has_remaining() {
+            return cerr("truncated compressed stream");
+        }
+        let flags = buf.get_u8();
+        for bit in 0..8 {
+            if out.len() >= expected {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if buf.remaining() < 2 {
+                    return cerr("truncated back-reference");
+                }
+                let token = buf.get_u16();
+                let dist = (token >> 4) as usize + 1;
+                let len = (token & 0xf) as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return cerr("back-reference before start");
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                if !buf.has_remaining() {
+                    return cerr("truncated literal");
+                }
+                out.push(buf.get_u8());
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --- measurement ------------------------------------------------------------
+
+/// Log-size metrics for the paper's §5.1 study.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LogSizeReport {
+    pub raw_bytes: usize,
+    pub compressed_bytes: usize,
+    pub instructions: u64,
+}
+
+impl LogSizeReport {
+    /// Raw bits per executed instruction (paper: ≈0.8).
+    #[must_use]
+    pub fn bits_per_instr_raw(&self) -> f64 {
+        (self.raw_bytes as f64 * 8.0) / self.instructions.max(1) as f64
+    }
+
+    /// Compressed bits per executed instruction (paper: ≈0.3).
+    #[must_use]
+    pub fn bits_per_instr_compressed(&self) -> f64 {
+        (self.compressed_bytes as f64 * 8.0) / self.instructions.max(1) as f64
+    }
+
+    /// Megabytes needed to record one billion instructions (paper: ≈96 MB).
+    #[must_use]
+    pub fn mb_per_billion_instrs(&self) -> f64 {
+        self.bits_per_instr_raw() / 8.0 * 1e9 / 1e6
+    }
+}
+
+/// Measures a log's encoded and compressed sizes.
+#[must_use]
+pub fn measure(log: &ReplayLog) -> LogSizeReport {
+    let raw = encode_log(log);
+    let compressed = compress(&raw);
+    LogSizeReport {
+        raw_bytes: raw.len(),
+        compressed_bytes: compressed.len(),
+        instructions: log.total_instructions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ReplayLog {
+        let t = ThreadLog {
+            tid: 0,
+            name: "main".into(),
+            start_regs: [7; NUM_REGS],
+            start_pc: 3,
+            start_ts: 0,
+            events: vec![
+                ThreadEvent::Load { load_index: 2, value: 99 },
+                ThreadEvent::Sequencer { instr_index: 5, ts: 4 },
+                ThreadEvent::SyscallRet { sys_index: 0, value: 0x10_0000 },
+                ThreadEvent::Load { load_index: 9, value: u64::MAX },
+                ThreadEvent::Sequencer { instr_index: 11, ts: 9 },
+            ],
+            end_instr: 20,
+            end_ts: 12,
+            end_status: EndStatus::Faulted(Fault::UseAfterFree { addr: 0x10_0001 }),
+            footprint: vec![0, 1, 2, 5, 9],
+        };
+        ReplayLog { threads: vec![t], total_instructions: 20 }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let log = sample_log();
+        let bytes = encode_log(&log);
+        let decoded = decode_log(&bytes).unwrap();
+        assert_eq!(log, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_log(b"").is_err());
+        assert!(decode_log(b"NOPE\x01\x00").is_err());
+        let mut bytes = encode_log(&sample_log());
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode_log(&bytes).is_err());
+        let mut bytes = encode_log(&sample_log());
+        bytes.push(0);
+        assert!(decode_log(&bytes).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut bytes = encode_log(&sample_log());
+        bytes[4] = 99;
+        let err = decode_log(&bytes).unwrap_err();
+        assert!(err.message.contains("version"));
+    }
+
+    #[test]
+    fn compress_roundtrip_on_repetitive_data() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 7) as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 2, "repetitive data compresses well: {} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrip_on_incompressible_data() {
+        // Pseudo-random bytes.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrip_empty_and_tiny() {
+        for data in [&b""[..], &b"a"[..], &b"ab"[..], &b"aaa"[..], &b"aaaaaaaaaaaa"[..]] {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), data, "roundtrip for {data:?}");
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_bad_backref() {
+        // varint len 4, flag byte with bit0 set, bogus back-reference.
+        let bad = vec![4u8, 0x01, 0xff, 0xff];
+        assert!(decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn measure_reports_consistent_metrics() {
+        let log = sample_log();
+        let report = measure(&log);
+        assert_eq!(report.instructions, 20);
+        assert!(report.raw_bytes > 0);
+        let bpi = report.bits_per_instr_raw();
+        assert!((bpi - report.raw_bytes as f64 * 8.0 / 20.0).abs() < 1e-9);
+    }
+}

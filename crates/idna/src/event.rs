@@ -1,0 +1,148 @@
+//! Replay-log record types.
+//!
+//! iDNA's load-based checkpointing (paper §3.1) records, per thread:
+//!
+//! * a **start checkpoint** — the initial architectural state,
+//! * **load values**, but only the ones the replayer cannot reproduce from
+//!   the thread's own prior execution (first accesses and values changed by
+//!   another thread / the system between this thread's accesses),
+//! * **system-call results** (all of them — they are the VM's analogue of
+//!   "system interactions"),
+//! * **sequencers** — globally timestamped markers at every lock-prefixed
+//!   instruction and system call (§3.2),
+//! * an **end record** with the termination status.
+
+use serde::{Deserialize, Serialize};
+
+use tvm::isa::NUM_REGS;
+use tvm::machine::Fault;
+
+/// How a recorded thread's execution ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndStatus {
+    /// The thread executed `halt`.
+    Halted,
+    /// The thread faulted.
+    Faulted(Fault),
+    /// Recording stopped (step budget) while the thread was still runnable.
+    Truncated,
+}
+
+/// One per-thread log record. Indices are *per-thread dynamic counters*:
+/// `load_index` counts load operations (including the read halves of atomic
+/// instructions), `sys_index` counts system calls, `instr_index` counts
+/// executed instructions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadEvent {
+    /// The value observed by load number `load_index`, logged only when the
+    /// replayer could not have reproduced it locally.
+    Load { load_index: u64, value: u64 },
+    /// The result of system call number `sys_index`.
+    SyscallRet { sys_index: u64, value: u64 },
+    /// A sequencer: the instruction at `instr_index` is a synchronization
+    /// instruction or a system call; `ts` is the global timestamp.
+    Sequencer { instr_index: u64, ts: u64 },
+}
+
+/// The complete replay log of one thread.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadLog {
+    pub tid: usize,
+    /// Thread name from the program's [`ThreadSpec`].
+    ///
+    /// [`ThreadSpec`]: tvm::program::ThreadSpec
+    pub name: String,
+    /// Initial register file (the start checkpoint).
+    pub start_regs: [u64; NUM_REGS],
+    /// Initial program counter.
+    pub start_pc: usize,
+    /// Timestamp of the thread-start sequencer.
+    pub start_ts: u64,
+    /// The event stream, in execution order.
+    pub events: Vec<ThreadEvent>,
+    /// Total instructions executed by the thread.
+    pub end_instr: u64,
+    /// Timestamp of the thread-end sequencer.
+    pub end_ts: u64,
+    /// Why the thread stopped.
+    pub end_status: EndStatus,
+    /// Sorted static instruction indices the thread executed — the recorded
+    /// "code footprint", used to detect control flow escaping the recording
+    /// during alternative-order replay (§4.2.1).
+    pub footprint: Vec<usize>,
+}
+
+impl ThreadLog {
+    /// Whether `pc` was executed by this thread during recording.
+    #[must_use]
+    pub fn in_footprint(&self, pc: usize) -> bool {
+        self.footprint.binary_search(&pc).is_ok()
+    }
+}
+
+/// A complete multi-threaded replay log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayLog {
+    pub threads: Vec<ThreadLog>,
+    /// Total instructions executed across all threads (denominator of the
+    /// bits-per-instruction metric, §5.1).
+    pub total_instructions: u64,
+}
+
+impl ReplayLog {
+    /// Total number of logged events across all threads.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Number of sequencer records across all threads, including the
+    /// per-thread start/end sequencers.
+    #[must_use]
+    pub fn sequencer_count(&self) -> u64 {
+        let in_stream: u64 = self
+            .threads
+            .iter()
+            .map(|t| t.events.iter().filter(|e| matches!(e, ThreadEvent::Sequencer { .. })).count() as u64)
+            .sum();
+        in_stream + 2 * self.threads.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with_events(events: Vec<ThreadEvent>) -> ThreadLog {
+        ThreadLog {
+            tid: 0,
+            name: "t".into(),
+            start_regs: [0; NUM_REGS],
+            start_pc: 0,
+            start_ts: 0,
+            events,
+            end_instr: 5,
+            end_ts: 9,
+            end_status: EndStatus::Halted,
+            footprint: vec![0, 2, 4],
+        }
+    }
+
+    #[test]
+    fn footprint_lookup() {
+        let log = log_with_events(vec![]);
+        assert!(log.in_footprint(2));
+        assert!(!log.in_footprint(3));
+    }
+
+    #[test]
+    fn counts() {
+        let t = log_with_events(vec![
+            ThreadEvent::Load { load_index: 0, value: 1 },
+            ThreadEvent::Sequencer { instr_index: 2, ts: 3 },
+        ]);
+        let log = ReplayLog { threads: vec![t], total_instructions: 5 };
+        assert_eq!(log.event_count(), 2);
+        assert_eq!(log.sequencer_count(), 1 + 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sequencing regions and their overlap algebra (paper §3.2–3.4).
+//!
+//! A *sequencing region* is the run of instructions a thread executes
+//! between two consecutive sequencers. Because sequencer timestamps are
+//! globally unique and monotone, regions of different threads are either
+//! ordered (happens-before) or *overlapping*; two conflicting accesses in
+//! overlapping regions form a data race.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{ThreadEvent, ThreadLog};
+
+/// Identity of a sequencing region: thread id plus the region's position in
+/// that thread's region sequence.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId {
+    pub tid: usize,
+    pub index: usize,
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.r{}", self.tid, self.index)
+    }
+}
+
+/// One sequencing region.
+///
+/// `start_ts`/`end_ts` are the timestamps of the delimiting sequencers;
+/// `start_instr..end_instr` is the half-open range of the thread's dynamic
+/// instruction indices inside the region. A region beginning at a
+/// synchronization instruction *contains* that instruction (the sequencer is
+/// logged before the instruction executes).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    pub id: RegionId,
+    pub start_ts: u64,
+    pub end_ts: u64,
+    pub start_instr: u64,
+    pub end_instr: u64,
+}
+
+impl Region {
+    /// Number of instructions in the region.
+    #[must_use]
+    pub fn instr_count(&self) -> u64 {
+        self.end_instr - self.start_instr
+    }
+
+    /// Whether the region contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start_instr == self.end_instr
+    }
+
+    /// Paper §3.2: every memory operation before a sequencer with timestamp
+    /// `a` happens before every operation after a sequencer with timestamp
+    /// `b >= a`. So this region happens before `other` iff it ends no later
+    /// than `other` starts.
+    #[must_use]
+    pub fn happens_before(&self, other: &Region) -> bool {
+        self.end_ts <= other.start_ts
+    }
+
+    /// Two regions of *different threads* overlap when neither happens
+    /// before the other. Regions of the same thread never overlap.
+    #[must_use]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.id.tid != other.id.tid && !self.happens_before(other) && !other.happens_before(self)
+    }
+}
+
+/// Splits a thread log into its sequencing regions, in execution order.
+///
+/// The result always contains at least one region (the whole thread when no
+/// sequencer was logged). Empty regions (between back-to-back sequencers)
+/// are included so region indices are stable.
+#[must_use]
+pub fn regions_of(log: &ThreadLog) -> Vec<Region> {
+    let mut regions = Vec::new();
+    let mut start_ts = log.start_ts;
+    let mut start_instr = 0u64;
+    let mut index = 0usize;
+    for ev in &log.events {
+        if let ThreadEvent::Sequencer { instr_index, ts } = *ev {
+            regions.push(Region {
+                id: RegionId { tid: log.tid, index },
+                start_ts,
+                end_ts: ts,
+                start_instr,
+                end_instr: instr_index,
+            });
+            index += 1;
+            start_ts = ts;
+            start_instr = instr_index;
+        }
+    }
+    regions.push(Region {
+        id: RegionId { tid: log.tid, index },
+        start_ts,
+        end_ts: log.end_ts,
+        start_instr,
+        end_instr: log.end_instr,
+    });
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EndStatus;
+
+    fn region(tid: usize, index: usize, start_ts: u64, end_ts: u64) -> Region {
+        Region { id: RegionId { tid, index }, start_ts, end_ts, start_instr: 0, end_instr: 1 }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_irreflexive_across_threads() {
+        let a = region(0, 0, 0, 10);
+        let b = region(1, 0, 5, 15);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        let same_thread = region(0, 1, 5, 15);
+        assert!(!a.overlaps(&same_thread), "same-thread regions never overlap");
+    }
+
+    #[test]
+    fn ordered_regions_do_not_overlap() {
+        let a = region(0, 0, 0, 5);
+        let b = region(1, 0, 5, 9);
+        assert!(a.happens_before(&b));
+        assert!(!a.overlaps(&b));
+        // Touching timestamps (end == start) mean ordered, not overlapping:
+        // the paper's example orders S1 < S3 strictly by timestamp.
+        let c = region(1, 0, 4, 9);
+        assert!(!a.happens_before(&c));
+        assert!(a.overlaps(&c));
+    }
+
+    fn log_with_sequencers(seqs: &[(u64, u64)], start_ts: u64, end: (u64, u64)) -> ThreadLog {
+        ThreadLog {
+            tid: 3,
+            name: "x".into(),
+            start_regs: [0; 16],
+            start_pc: 0,
+            start_ts,
+            events: seqs
+                .iter()
+                .map(|&(instr_index, ts)| ThreadEvent::Sequencer { instr_index, ts })
+                .collect(),
+            end_instr: end.0,
+            end_ts: end.1,
+            end_status: EndStatus::Halted,
+            footprint: vec![],
+        }
+    }
+
+    #[test]
+    fn regions_partition_the_instruction_stream() {
+        // Sequencers at instructions 4 and 9; thread ran 12 instructions.
+        let log = log_with_sequencers(&[(4, 100), (9, 200)], 7, (12, 300));
+        let rs = regions_of(&log);
+        assert_eq!(rs.len(), 3);
+        assert_eq!((rs[0].start_instr, rs[0].end_instr, rs[0].start_ts, rs[0].end_ts), (0, 4, 7, 100));
+        assert_eq!((rs[1].start_instr, rs[1].end_instr), (4, 9));
+        assert_eq!((rs[2].start_instr, rs[2].end_instr, rs[2].end_ts), (9, 12, 300));
+        assert_eq!(rs[2].id, RegionId { tid: 3, index: 2 });
+        // Contiguous cover.
+        for w in rs.windows(2) {
+            assert_eq!(w[0].end_instr, w[1].start_instr);
+            assert_eq!(w[0].end_ts, w[1].start_ts);
+        }
+    }
+
+    #[test]
+    fn no_sequencers_yields_one_region() {
+        let log = log_with_sequencers(&[], 1, (6, 2));
+        let rs = regions_of(&log);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].instr_count(), 6);
+    }
+
+    #[test]
+    fn back_to_back_sequencers_yield_empty_region() {
+        // Atomic at instruction 0 then atomic at instruction 1:
+        // region [0,0) is empty, then [0,1), then [1, end).
+        let log = log_with_sequencers(&[(0, 10), (1, 11)], 5, (3, 20));
+        let rs = regions_of(&log);
+        assert_eq!(rs.len(), 3);
+        assert!(rs[0].is_empty());
+        assert_eq!((rs[1].start_instr, rs[1].end_instr), (0, 1));
+    }
+}

@@ -1,0 +1,783 @@
+//! The replayer (paper §3.3): re-executes a recorded run one sequencing
+//! region at a time, in global sequencer order, and produces a
+//! [`ReplayTrace`] — the complete, queryable history the race detector and
+//! the classification virtual processor operate on.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use tvm::exec::AccessKind;
+use tvm::isa::{Instr, Reg, SysCall, NUM_REGS};
+use tvm::machine::{Fault, MAX_CALL_DEPTH};
+use tvm::program::Program;
+
+use crate::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
+use crate::region::{regions_of, Region, RegionId};
+
+/// Architectural snapshot of one thread at a region boundary.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSnapshot {
+    pub regs: [u64; NUM_REGS],
+    pub pc: usize,
+    pub call_stack: Vec<usize>,
+}
+
+impl ThreadSnapshot {
+    /// Reads one register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+}
+
+/// One replayed dynamic memory access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceAccess {
+    /// The thread's dynamic instruction index.
+    pub instr_index: u64,
+    /// Static program counter of the instruction.
+    pub pc: usize,
+    pub addr: u64,
+    /// Value read (for reads) or stored (for writes).
+    pub value: u64,
+    pub kind: AccessKind,
+}
+
+/// One replayed system call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSyscall {
+    pub instr_index: u64,
+    pub call: SysCall,
+    /// The (logged) return value.
+    pub ret: u64,
+}
+
+/// A fully replayed sequencing region.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplayedRegion {
+    pub region: Region,
+    /// Position in the global replay order; region `p` sees the versioned
+    /// memory at version `p` and contributes writes at version `p + 1`.
+    pub version: u32,
+    /// Architectural state on region entry.
+    pub entry: ThreadSnapshot,
+    /// Architectural state on region exit (the recorded live-out the paper's
+    /// classifier compares against).
+    pub exit: ThreadSnapshot,
+    /// All memory accesses, in execution order.
+    pub accesses: Vec<TraceAccess>,
+    /// All system calls, in execution order.
+    pub syscalls: Vec<TraceSyscall>,
+    /// Values printed during the region.
+    pub outputs: Vec<u64>,
+}
+
+/// Memory history indexed by replay version, used to reconstruct the live-in
+/// image of any region (paper §4.2: "the virtual processor is initialized
+/// with the live-in memory values").
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VersionedMemory {
+    writes: HashMap<u64, Vec<(u32, u64)>>,
+}
+
+impl VersionedMemory {
+    /// Records a write at `version`.
+    pub fn record(&mut self, version: u32, addr: u64, value: u64) {
+        self.writes.entry(addr).or_default().push((version, value));
+    }
+
+    /// The last value written to `addr` at or before `version`, if any.
+    #[must_use]
+    pub fn value_at(&self, addr: u64, version: u32) -> Option<u64> {
+        let hist = self.writes.get(&addr)?;
+        let idx = hist.partition_point(|&(v, _)| v <= version);
+        (idx > 0).then(|| hist[idx - 1].1)
+    }
+
+    /// Number of addresses ever written.
+    #[must_use]
+    pub fn addresses(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+/// Heap liveness of one address at some replay version.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HeapState {
+    /// Never covered by a recorded allocation: the replayer knows nothing
+    /// about it (an *unknown address* in the paper's replay-failure sense).
+    Unknown,
+    /// Inside a live allocation with the given base.
+    Live { base: u64 },
+    /// Inside an allocation that has been freed.
+    Freed { base: u64 },
+}
+
+/// History of heap allocations and frees observed during replay.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct HeapHistory {
+    /// `(version, base, size)` for every `sys.alloc`.
+    pub allocs: Vec<(u32, u64, u64)>,
+    /// `(version, base)` for every `sys.free`.
+    pub frees: Vec<(u32, u64)>,
+}
+
+impl HeapHistory {
+    /// The size of the allocation with the given base, if one was recorded.
+    #[must_use]
+    pub fn size_of(&self, base: u64) -> Option<u64> {
+        self.allocs.iter().find(|&&(_, b, _)| b == base).map(|&(_, _, s)| s)
+    }
+
+    /// Heap state of `addr` considering only events at or before `version`.
+    #[must_use]
+    pub fn state_at(&self, addr: u64, version: u32) -> HeapState {
+        let mut best: Option<(u32, HeapState)> = None;
+        for &(v, base, size) in &self.allocs {
+            if v <= version && base <= addr && addr < base + size
+                && best.is_none_or(|(bv, _)| v >= bv) {
+                    best = Some((v, HeapState::Live { base }));
+                }
+        }
+        for &(v, base) in &self.frees {
+            if v <= version {
+                if let Some(size) = self.size_of(base) {
+                    if base <= addr && addr < base + size && best.is_none_or(|(bv, _)| v >= bv) {
+                        best = Some((v, HeapState::Freed { base }));
+                    }
+                }
+            }
+        }
+        best.map_or(HeapState::Unknown, |(_, s)| s)
+    }
+}
+
+/// The complete replayed history of one recorded execution.
+#[derive(Clone, Debug)]
+pub struct ReplayTrace {
+    program: Arc<Program>,
+    /// Regions in replay (version) order.
+    regions: Vec<ReplayedRegion>,
+    /// `region_pos[tid][index]` = position of that region in `regions`.
+    region_pos: Vec<Vec<usize>>,
+    /// Per-thread recorded code footprints (sorted pcs).
+    footprints: Vec<Vec<usize>>,
+    /// Per-thread names.
+    thread_names: Vec<String>,
+    /// Per-thread end statuses.
+    statuses: Vec<EndStatus>,
+    /// Versioned shared-memory history.
+    pub memory: VersionedMemory,
+    /// Heap allocation history.
+    pub heap: HeapHistory,
+    /// Total instructions in the recorded run.
+    pub total_instructions: u64,
+}
+
+impl ReplayTrace {
+    /// All regions in replay order.
+    #[must_use]
+    pub fn regions(&self) -> &[ReplayedRegion] {
+        &self.regions
+    }
+
+    /// Looks up a region by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this trace.
+    #[must_use]
+    pub fn region(&self, id: RegionId) -> &ReplayedRegion {
+        &self.regions[self.region_pos[id.tid][id.index]]
+    }
+
+    /// The program this trace replays.
+    #[must_use]
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// A thread's name.
+    #[must_use]
+    pub fn thread_name(&self, tid: usize) -> &str {
+        &self.thread_names[tid]
+    }
+
+    /// A thread's recorded end status.
+    #[must_use]
+    pub fn thread_status(&self, tid: usize) -> EndStatus {
+        self.statuses[tid]
+    }
+
+    /// Whether `pc` is in `tid`'s recorded code footprint.
+    #[must_use]
+    pub fn in_footprint(&self, tid: usize, pc: usize) -> bool {
+        self.footprints[tid].binary_search(&pc).is_ok()
+    }
+}
+
+/// Replay failed because the log is inconsistent with the program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A system call executed with no matching logged result (truncated or
+    /// corrupted log).
+    SyscallDesync { tid: usize, instr_index: u64 },
+    /// A logged event was never consumed, or was consumed out of order.
+    EventDesync { tid: usize },
+    /// The thread did not reach its recorded end state.
+    IncompleteReplay { tid: usize, expected_instrs: u64, replayed: u64 },
+    /// The log references a thread the program does not have.
+    ThreadMismatch { threads_in_log: usize, threads_in_program: usize },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::SyscallDesync { tid, instr_index } => {
+                write!(f, "thread {tid}: system call at instruction {instr_index} has no logged result")
+            }
+            ReplayError::EventDesync { tid } => write!(f, "thread {tid}: log events out of sync"),
+            ReplayError::IncompleteReplay { tid, expected_instrs, replayed } => write!(
+                f,
+                "thread {tid}: replayed {replayed} of {expected_instrs} recorded instructions"
+            ),
+            ReplayError::ThreadMismatch { threads_in_log, threads_in_program } => write!(
+                f,
+                "log has {threads_in_log} threads but program has {threads_in_program}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Per-thread replay cursor.
+struct RThread<'a> {
+    log: &'a ThreadLog,
+    snap: ThreadSnapshot,
+    image: HashMap<u64, u64>,
+    instr: u64,
+    loads: u64,
+    sys: u64,
+    load_events: Vec<(u64, u64)>,
+    load_cursor: usize,
+    sys_events: Vec<(u64, u64)>,
+    sys_cursor: usize,
+    regions: Vec<Region>,
+    next_region: usize,
+    finished: bool,
+}
+
+impl<'a> RThread<'a> {
+    fn new(log: &'a ThreadLog) -> Self {
+        let mut load_events = Vec::new();
+        let mut sys_events = Vec::new();
+        for ev in &log.events {
+            match *ev {
+                ThreadEvent::Load { load_index, value } => load_events.push((load_index, value)),
+                ThreadEvent::SyscallRet { sys_index, value } => sys_events.push((sys_index, value)),
+                ThreadEvent::Sequencer { .. } => {}
+            }
+        }
+        RThread {
+            log,
+            snap: ThreadSnapshot {
+                regs: log.start_regs,
+                pc: log.start_pc,
+                call_stack: Vec::new(),
+            },
+            image: HashMap::new(),
+            instr: 0,
+            loads: 0,
+            sys: 0,
+            load_events,
+            load_cursor: 0,
+            sys_events,
+            sys_cursor: 0,
+            regions: regions_of(log),
+            next_region: 0,
+            finished: false,
+        }
+    }
+
+    /// Load-value policy, mirroring the recorder exactly.
+    fn load_value(&mut self, addr: u64) -> u64 {
+        let idx = self.loads;
+        self.loads += 1;
+        let value = if self
+            .load_events
+            .get(self.load_cursor)
+            .is_some_and(|&(i, _)| i == idx)
+        {
+            let v = self.load_events[self.load_cursor].1;
+            self.load_cursor += 1;
+            v
+        } else {
+            self.image.get(&addr).copied().unwrap_or(0)
+        };
+        self.image.insert(addr, value);
+        value
+    }
+
+    fn reg(&self, r: Reg) -> u64 {
+        self.snap.regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        self.snap.regs[r.index()] = v;
+    }
+}
+
+/// Replays a recorded execution into a [`ReplayTrace`].
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] when the log cannot have been produced by
+/// `program` (corruption, truncation, mismatched binaries).
+pub fn replay(program: &Arc<Program>, log: &ReplayLog) -> Result<ReplayTrace, ReplayError> {
+    if log.threads.len() != program.threads().len() {
+        return Err(ReplayError::ThreadMismatch {
+            threads_in_log: log.threads.len(),
+            threads_in_program: program.threads().len(),
+        });
+    }
+    let mut threads: Vec<RThread> = log.threads.iter().map(RThread::new).collect();
+    let mut initial_memory = VersionedMemory::default();
+    // The program's global initializers are the version-0 memory image; the
+    // virtual processor's live-in lookups depend on them.
+    for (&addr, &value) in program.globals() {
+        initial_memory.record(0, addr, value);
+    }
+    let mut trace = ReplayTrace {
+        program: program.clone(),
+        regions: Vec::new(),
+        region_pos: threads.iter().map(|t| vec![usize::MAX; t.regions.len()]).collect(),
+        footprints: log.threads.iter().map(|t| t.footprint.clone()).collect(),
+        thread_names: log.threads.iter().map(|t| t.name.clone()).collect(),
+        statuses: log.threads.iter().map(|t| t.end_status).collect(),
+        memory: initial_memory,
+        heap: HeapHistory::default(),
+        total_instructions: log.total_instructions,
+    };
+
+    // Paper §3.3: replay one sequencing region at a time, always the pending
+    // region with the smallest starting sequencer.
+    loop {
+        let next = threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.next_region < t.regions.len())
+            .min_by_key(|(_, t)| t.regions[t.next_region].start_ts);
+        let Some((tid, _)) = next else { break };
+        let region = threads[tid].regions[threads[tid].next_region];
+        threads[tid].next_region += 1;
+        let version = trace.regions.len() as u32;
+        let replayed = replay_region(program, &mut threads[tid], region, version, &mut trace)?;
+        trace.region_pos[tid][region.id.index] = trace.regions.len();
+        trace.regions.push(replayed);
+    }
+
+    for (tid, t) in threads.iter().enumerate() {
+        if t.instr != t.log.end_instr {
+            return Err(ReplayError::IncompleteReplay {
+                tid,
+                expected_instrs: t.log.end_instr,
+                replayed: t.instr,
+            });
+        }
+        if t.load_cursor != t.load_events.len() || t.sys_cursor != t.sys_events.len() {
+            return Err(ReplayError::EventDesync { tid });
+        }
+    }
+    Ok(trace)
+}
+
+fn replay_region(
+    program: &Arc<Program>,
+    t: &mut RThread<'_>,
+    region: Region,
+    version: u32,
+    trace: &mut ReplayTrace,
+) -> Result<ReplayedRegion, ReplayError> {
+    let entry = t.snap.clone();
+    let mut accesses = Vec::new();
+    let mut syscalls = Vec::new();
+    let mut outputs = Vec::new();
+
+    while t.instr < region.end_instr && !t.finished {
+        let instr_index = t.instr;
+        t.instr += 1;
+        let pc = t.snap.pc;
+        let Some(instr) = program.instr(pc).cloned() else {
+            // Recorded run faulted with PcOutOfRange here.
+            t.finished = true;
+            break;
+        };
+        let mut push_access = |acc: TraceAccess| accesses.push(acc);
+        let next = pc + 1;
+        match instr {
+            Instr::MovImm { dst, imm } => {
+                t.set_reg(dst, imm);
+                t.snap.pc = next;
+            }
+            Instr::Mov { dst, src } => {
+                let v = t.reg(src);
+                t.set_reg(dst, v);
+                t.snap.pc = next;
+            }
+            Instr::Bin { op, dst, lhs, rhs } => match op.apply(t.reg(lhs), t.reg(rhs)) {
+                Some(v) => {
+                    t.set_reg(dst, v);
+                    t.snap.pc = next;
+                }
+                None => {
+                    t.finished = true; // recorded DivideByZero fault
+                }
+            },
+            Instr::BinImm { op, dst, lhs, imm } => match op.apply(t.reg(lhs), imm) {
+                Some(v) => {
+                    t.set_reg(dst, v);
+                    t.snap.pc = next;
+                }
+                None => {
+                    t.finished = true;
+                }
+            },
+            Instr::Load { dst, base, offset } => {
+                let addr = t.reg(base).wrapping_add(offset as u64);
+                if faulted_here(t, instr_index) {
+                    t.finished = true;
+                    break;
+                }
+                let v = t.load_value(addr);
+                push_access(TraceAccess { instr_index, pc, addr, value: v, kind: AccessKind::Read });
+                t.set_reg(dst, v);
+                t.snap.pc = next;
+            }
+            Instr::Store { src, base, offset } => {
+                let addr = t.reg(base).wrapping_add(offset as u64);
+                if faulted_here(t, instr_index) {
+                    t.finished = true;
+                    break;
+                }
+                let v = t.reg(src);
+                t.image.insert(addr, v);
+                push_access(TraceAccess { instr_index, pc, addr, value: v, kind: AccessKind::Write });
+                t.snap.pc = next;
+            }
+            Instr::AtomicRmw { op, dst, base, offset, src } => {
+                let addr = t.reg(base).wrapping_add(offset as u64);
+                if faulted_here(t, instr_index) {
+                    t.finished = true;
+                    break;
+                }
+                let old = t.load_value(addr);
+                push_access(TraceAccess { instr_index, pc, addr, value: old, kind: AccessKind::Read });
+                let new = op.apply(old, t.reg(src));
+                t.image.insert(addr, new);
+                push_access(TraceAccess { instr_index, pc, addr, value: new, kind: AccessKind::Write });
+                t.set_reg(dst, old);
+                t.snap.pc = next;
+            }
+            Instr::AtomicCas { dst, base, offset, expected, new } => {
+                let addr = t.reg(base).wrapping_add(offset as u64);
+                if faulted_here(t, instr_index) {
+                    t.finished = true;
+                    break;
+                }
+                let old = t.load_value(addr);
+                push_access(TraceAccess { instr_index, pc, addr, value: old, kind: AccessKind::Read });
+                let success = old == t.reg(expected);
+                if success {
+                    let nv = t.reg(new);
+                    t.image.insert(addr, nv);
+                    push_access(TraceAccess {
+                        instr_index,
+                        pc,
+                        addr,
+                        value: nv,
+                        kind: AccessKind::Write,
+                    });
+                }
+                t.set_reg(dst, u64::from(success));
+                t.snap.pc = next;
+            }
+            Instr::Fence => {
+                t.snap.pc = next;
+            }
+            Instr::Jump { target } => {
+                t.snap.pc = target;
+            }
+            Instr::Branch { cond, lhs, rhs, target } => {
+                t.snap.pc = if cond.eval(t.reg(lhs), t.reg(rhs)) { target } else { next };
+            }
+            Instr::Call { target } => {
+                if t.snap.call_stack.len() >= MAX_CALL_DEPTH {
+                    t.finished = true;
+                } else {
+                    t.snap.call_stack.push(next);
+                    t.snap.pc = target;
+                }
+            }
+            Instr::Ret => match t.snap.call_stack.pop() {
+                Some(ret) => t.snap.pc = ret,
+                None => t.finished = true,
+            },
+            Instr::Syscall { call } => {
+                if faulted_here(t, instr_index) {
+                    // The recorded run faulted in this system call (e.g. a
+                    // double free); no result was logged.
+                    t.finished = true;
+                    break;
+                }
+                let idx = t.sys;
+                t.sys += 1;
+                let logged = t
+                    .sys_events
+                    .get(t.sys_cursor)
+                    .filter(|&&(i, _)| i == idx)
+                    .map(|&(_, v)| v);
+                let Some(ret) = logged else {
+                    return Err(ReplayError::SyscallDesync { tid: t.log.tid, instr_index });
+                };
+                t.sys_cursor += 1;
+                match call {
+                    // Heap effects, like memory writes, become visible at
+                    // version + 1: a region's own effects are not part of
+                    // its live-in image (the virtual processor re-executes
+                    // them).
+                    SysCall::Alloc => {
+                        let size = t.reg(Reg::R0).max(1);
+                        trace.heap.allocs.push((version + 1, ret, size));
+                    }
+                    SysCall::Free => {
+                        let base = t.reg(Reg::R0);
+                        trace.heap.frees.push((version + 1, base));
+                    }
+                    SysCall::Print => outputs.push(t.reg(Reg::R0)),
+                    SysCall::Tid | SysCall::Yield | SysCall::Nop => {}
+                }
+                syscalls.push(TraceSyscall { instr_index, call, ret });
+                t.set_reg(Reg::R0, ret);
+                t.snap.pc = next;
+            }
+            Instr::Halt => {
+                t.finished = true;
+            }
+        }
+    }
+
+    let replayed = ReplayedRegion {
+        region,
+        version,
+        entry,
+        exit: t.snap.clone(),
+        accesses,
+        syscalls,
+        outputs,
+    };
+    // Publish this region's writes into the versioned global image.
+    for acc in &replayed.accesses {
+        if acc.kind.is_write() {
+            trace.memory.record(version + 1, acc.addr, acc.value);
+        }
+    }
+    Ok(replayed)
+}
+
+/// Whether the recorded run faulted at exactly this instruction: true when
+/// the thread's log says it ended here with a fault. Used to stop replay of
+/// memory instructions whose access faulted during recording (the access
+/// never completed, so no value was logged).
+fn faulted_here(t: &RThread<'_>, instr_index: u64) -> bool {
+    matches!(t.log.end_status, EndStatus::Faulted(f)
+        if matches!(f, Fault::InvalidAccess { .. } | Fault::UseAfterFree { .. } | Fault::InvalidFree { .. })
+    ) && instr_index + 1 == t.log.end_instr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::record;
+    use tvm::isa::Cond;
+    use tvm::scheduler::RunConfig;
+    use tvm::ProgramBuilder;
+
+    fn record_and_replay(b: ProgramBuilder, cfg: RunConfig) -> (Arc<Program>, ReplayTrace, crate::recorder::Recording) {
+        let program: Arc<Program> = Arc::new(b.build());
+        let rec = record(&program, &cfg);
+        let trace = replay(&program, &rec.log).expect("replay should succeed");
+        (program, trace, rec)
+    }
+
+    #[test]
+    fn single_thread_replay_matches_recording() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 5)
+            .store(Reg::R1, Reg::R15, 0x10)
+            .load(Reg::R2, Reg::R15, 0x10)
+            .fence()
+            .addi(Reg::R2, Reg::R2, 1)
+            .print(Reg::R2)
+            .halt();
+        let (_, trace, rec) = record_and_replay(b, RunConfig::round_robin(100));
+        // Two regions: before the fence, and after (print is also a seq point).
+        let final_region = trace.regions().last().unwrap();
+        let machine_thread = rec.machine.thread(0);
+        assert_eq!(&final_region.exit.regs, machine_thread.regs(), "replayed registers match recorded");
+        // The printed value appears in a region output.
+        let outputs: Vec<u64> = trace.regions().iter().flat_map(|r| r.outputs.clone()).collect();
+        assert_eq!(outputs, vec![6]);
+    }
+
+    #[test]
+    fn cross_thread_values_replay_correctly() {
+        let mut b = ProgramBuilder::new();
+        b.thread("waiter");
+        let spin = b.fresh_label("spin");
+        b.label(spin)
+            .load(Reg::R1, Reg::R15, 0x8)
+            .branch(Cond::Eq, Reg::R1, Reg::R15, spin)
+            .print(Reg::R1)
+            .halt();
+        b.thread("setter");
+        b.movi(Reg::R1, 7).store(Reg::R1, Reg::R15, 0x8).halt();
+        let (_, trace, rec) = record_and_replay(b, RunConfig::round_robin(3));
+        let outputs: Vec<u64> = trace.regions().iter().flat_map(|r| r.outputs.clone()).collect();
+        assert_eq!(outputs, vec![7], "waiter replays the published value");
+        // Final register state of both threads matches the machine.
+        for tid in 0..2 {
+            let last = trace
+                .regions()
+                .iter().rfind(|r| r.region.id.tid == tid)
+                .unwrap();
+            assert_eq!(&last.exit.regs, rec.machine.thread(tid).regs());
+        }
+    }
+
+    #[test]
+    fn regions_are_replayed_in_timestamp_order() {
+        let mut b = ProgramBuilder::new();
+        for name in ["a", "b"] {
+            b.thread(name);
+            b.fence().fence().halt();
+        }
+        let (_, trace, _) = record_and_replay(b, RunConfig::round_robin(1));
+        let starts: Vec<u64> = trace.regions().iter().map(|r| r.region.start_ts).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        // Versions are assigned in replay order.
+        for (i, r) in trace.regions().iter().enumerate() {
+            assert_eq!(r.version as usize, i);
+        }
+    }
+
+    #[test]
+    fn versioned_memory_reconstructs_snapshots() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 1)
+            .store(Reg::R1, Reg::R15, 0x8)
+            .fence()
+            .movi(Reg::R1, 2)
+            .store(Reg::R1, Reg::R15, 0x8)
+            .halt();
+        let (_, trace, _) = record_and_replay(b, RunConfig::round_robin(100));
+        // Region 0 wrote 1 (version 1), region 1 wrote 2 (version 2).
+        assert_eq!(trace.memory.value_at(0x8, 0), None);
+        assert_eq!(trace.memory.value_at(0x8, 1), Some(1));
+        assert_eq!(trace.memory.value_at(0x8, 2), Some(2));
+    }
+
+    #[test]
+    fn heap_history_tracks_alloc_and_free() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R0, 2)
+            .syscall(SysCall::Alloc)
+            .mov(Reg::R5, Reg::R0)
+            .movi(Reg::R1, 9)
+            .store(Reg::R1, Reg::R5, 0)
+            .mov(Reg::R0, Reg::R5)
+            .syscall(SysCall::Free)
+            .halt();
+        let (_, trace, _) = record_and_replay(b, RunConfig::round_robin(100));
+        assert_eq!(trace.heap.allocs.len(), 1);
+        assert_eq!(trace.heap.frees.len(), 1);
+        let (alloc_version, base, size) = trace.heap.allocs[0];
+        assert_eq!(size, 2);
+        assert_eq!(trace.heap.state_at(base, alloc_version), HeapState::Live { base });
+        let (free_version, _) = trace.heap.frees[0];
+        assert_eq!(trace.heap.state_at(base + 1, free_version), HeapState::Freed { base });
+        assert_eq!(trace.heap.state_at(base + 5, free_version), HeapState::Unknown);
+    }
+
+    #[test]
+    fn region_lookup_by_id() {
+        let mut b = ProgramBuilder::new();
+        b.thread("a");
+        b.fence().halt();
+        b.thread("b");
+        b.halt();
+        let (_, trace, _) = record_and_replay(b, RunConfig::round_robin(1));
+        let r = trace.region(RegionId { tid: 0, index: 1 });
+        assert_eq!(r.region.id, RegionId { tid: 0, index: 1 });
+        assert_eq!(trace.thread_name(1), "b");
+    }
+
+    #[test]
+    fn corrupted_log_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R0, 1).syscall(SysCall::Alloc).halt();
+        let program: Arc<Program> = Arc::new(b.build());
+        let mut rec = record(&program, &RunConfig::round_robin(100));
+        // Drop the syscall result from the log.
+        rec.log.threads[0].events.retain(|e| !matches!(e, ThreadEvent::SyscallRet { .. }));
+        let err = replay(&program, &rec.log).unwrap_err();
+        assert!(matches!(err, ReplayError::SyscallDesync { tid: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn thread_count_mismatch_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.halt();
+        let program: Arc<Program> = Arc::new(b.build());
+        let mut rec = record(&program, &RunConfig::round_robin(100));
+        rec.log.threads.push(rec.log.threads[0].clone());
+        assert!(matches!(
+            replay(&program, &rec.log),
+            Err(ReplayError::ThreadMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn faulting_recording_replays_to_fault_point() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R0, 1)
+            .syscall(SysCall::Alloc)
+            .mov(Reg::R5, Reg::R0)
+            .syscall(SysCall::Free)
+            .load(Reg::R1, Reg::R5, 0) // use after free: faults
+            .halt();
+        let program: Arc<Program> = Arc::new(b.build());
+        let rec = record(&program, &RunConfig::round_robin(100));
+        assert!(matches!(rec.log.threads[0].end_status, EndStatus::Faulted(_)));
+        let trace = replay(&program, &rec.log).expect("faulting runs still replay");
+        let total: u64 = trace.regions().iter().map(|r| r.region.instr_count()).sum();
+        assert_eq!(total, rec.log.threads[0].end_instr);
+    }
+}

@@ -1,0 +1,229 @@
+//! Time-travel debugging support (paper §1: "reverse execution using iDNA").
+//!
+//! Replayed regions are natural checkpoints: every [`ReplayedRegion`] stores
+//! its entry snapshot, and the recorded access values let us re-execute
+//! forward from the checkpoint without any memory image. That makes the
+//! architectural state *before any dynamic instruction* reconstructible, and
+//! stepping backwards is just reconstructing the state one instruction
+//! earlier — the facility the paper's race reports lean on when a developer
+//! replays the two orders of a harmful race.
+
+use tvm::exec::AccessKind;
+use tvm::isa::{Instr, Reg};
+
+use crate::replayer::{ReplayTrace, ReplayedRegion, ThreadSnapshot};
+
+/// Reverse-execution queries over a [`ReplayTrace`].
+#[derive(Debug)]
+pub struct TimeTraveler<'a> {
+    trace: &'a ReplayTrace,
+}
+
+impl<'a> TimeTraveler<'a> {
+    /// Creates a time traveler over a trace.
+    #[must_use]
+    pub fn new(trace: &'a ReplayTrace) -> Self {
+        TimeTraveler { trace }
+    }
+
+    /// The architectural state of thread `tid` immediately *before* it
+    /// executed dynamic instruction `instr_index`, or `None` when the thread
+    /// never reached that instruction.
+    #[must_use]
+    pub fn state_before(&self, tid: usize, instr_index: u64) -> Option<ThreadSnapshot> {
+        let region = self
+            .trace
+            .regions()
+            .iter()
+            .find(|r| {
+                r.region.id.tid == tid
+                    && r.region.start_instr <= instr_index
+                    && (instr_index < r.region.end_instr
+                        // The state before "one past the end" is the exit of
+                        // the last region.
+                        || (instr_index == r.region.end_instr
+                            && self.is_last_region_of_thread(r)))
+            })?;
+        if instr_index == region.region.end_instr {
+            return Some(region.exit.clone());
+        }
+        Some(replay_forward(self.trace, region, instr_index))
+    }
+
+    /// The state one dynamic instruction earlier than `instr_index` —
+    /// reverse single-step. Returns `None` at the beginning of the thread.
+    #[must_use]
+    pub fn step_back(&self, tid: usize, instr_index: u64) -> Option<ThreadSnapshot> {
+        instr_index.checked_sub(1).and_then(|i| self.state_before(tid, i))
+    }
+
+    fn is_last_region_of_thread(&self, region: &ReplayedRegion) -> bool {
+        !self
+            .trace
+            .regions()
+            .iter()
+            .any(|r| r.region.id.tid == region.region.id.tid && r.region.id.index > region.region.id.index)
+    }
+}
+
+/// Re-executes a region from its entry snapshot up to (not including)
+/// `target_instr`, sourcing loads and system-call results from the recorded
+/// trace. This cannot diverge: it is the same oracle replay the virtual
+/// processor's first phase performs.
+fn replay_forward(trace: &ReplayTrace, region: &ReplayedRegion, target_instr: u64) -> ThreadSnapshot {
+    let mut snap = region.entry.clone();
+    let mut instr_index = region.region.start_instr;
+    let mut access_cursor = 0usize;
+    let mut sys_cursor = 0usize;
+
+    while instr_index < target_instr {
+        let pc = snap.pc;
+        let instr = *trace
+            .program()
+            .instr(pc)
+            .unwrap_or_else(|| panic!("time travel left program text at pc {pc}"));
+        let next = pc + 1;
+        let mut read = || {
+            let acc = region.accesses[access_cursor];
+            debug_assert_eq!(acc.kind, AccessKind::Read);
+            access_cursor += 1;
+            acc.value
+        };
+        match instr {
+            Instr::MovImm { dst, imm } => {
+                snap.regs[dst.index()] = imm;
+                snap.pc = next;
+            }
+            Instr::Mov { dst, src } => {
+                snap.regs[dst.index()] = snap.regs[src.index()];
+                snap.pc = next;
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                snap.regs[dst.index()] = op
+                    .apply(snap.regs[lhs.index()], snap.regs[rhs.index()])
+                    .expect("recorded execution re-faulted");
+                snap.pc = next;
+            }
+            Instr::BinImm { op, dst, lhs, imm } => {
+                snap.regs[dst.index()] =
+                    op.apply(snap.regs[lhs.index()], imm).expect("recorded execution re-faulted");
+                snap.pc = next;
+            }
+            Instr::Load { dst, .. } => {
+                let v = read();
+                snap.regs[dst.index()] = v;
+                snap.pc = next;
+            }
+            Instr::Store { .. } => {
+                access_cursor += 1;
+                snap.pc = next;
+            }
+            Instr::AtomicRmw { dst, .. } => {
+                let old = read();
+                access_cursor += 1; // write half
+                snap.regs[dst.index()] = old;
+                snap.pc = next;
+            }
+            Instr::AtomicCas { dst, expected, .. } => {
+                let old = read();
+                let success = old == snap.regs[expected.index()];
+                if success {
+                    access_cursor += 1;
+                }
+                snap.regs[dst.index()] = u64::from(success);
+                snap.pc = next;
+            }
+            Instr::Fence => snap.pc = next,
+            Instr::Jump { target } => snap.pc = target,
+            Instr::Branch { cond, lhs, rhs, target } => {
+                snap.pc = if cond.eval(snap.regs[lhs.index()], snap.regs[rhs.index()]) {
+                    target
+                } else {
+                    next
+                };
+            }
+            Instr::Call { target } => {
+                snap.call_stack.push(next);
+                snap.pc = target;
+            }
+            Instr::Ret => {
+                snap.pc = snap.call_stack.pop().expect("recorded execution re-faulted on ret");
+            }
+            Instr::Syscall { .. } => {
+                let sys = region.syscalls[sys_cursor];
+                sys_cursor += 1;
+                snap.regs[Reg::R0.index()] = sys.ret;
+                snap.pc = next;
+            }
+            Instr::Halt => break,
+        }
+        instr_index += 1;
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::record;
+    use crate::replayer::replay;
+    use std::sync::Arc;
+    use tvm::scheduler::RunConfig;
+    use tvm::ProgramBuilder;
+
+    #[test]
+    fn state_before_reconstructs_register_history() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 10) // instr 0
+            .addi(Reg::R1, Reg::R1, 5) // instr 1
+            .store(Reg::R1, Reg::R15, 0x8) // instr 2
+            .fence() // instr 3 (sequencer)
+            .load(Reg::R2, Reg::R15, 0x8) // instr 4
+            .halt(); // instr 5
+        let program = Arc::new(b.build());
+        let rec = record(&program, &RunConfig::round_robin(100));
+        let trace = replay(&program, &rec.log).unwrap();
+        let tt = TimeTraveler::new(&trace);
+
+        assert_eq!(tt.state_before(0, 0).unwrap().regs[1], 0);
+        assert_eq!(tt.state_before(0, 1).unwrap().regs[1], 10);
+        assert_eq!(tt.state_before(0, 2).unwrap().regs[1], 15);
+        assert_eq!(tt.state_before(0, 5).unwrap().regs[2], 15, "load value recovered");
+        assert!(tt.state_before(0, 100).is_none());
+    }
+
+    #[test]
+    fn step_back_walks_one_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 1).movi(Reg::R1, 2).movi(Reg::R1, 3).halt();
+        let program = Arc::new(b.build());
+        let rec = record(&program, &RunConfig::round_robin(100));
+        let trace = replay(&program, &rec.log).unwrap();
+        let tt = TimeTraveler::new(&trace);
+        assert_eq!(tt.step_back(0, 3).unwrap().regs[1], 2);
+        assert_eq!(tt.step_back(0, 2).unwrap().regs[1], 1);
+        assert!(tt.step_back(0, 0).is_none());
+    }
+
+    #[test]
+    fn cross_thread_values_are_visible_backwards() {
+        let mut b = ProgramBuilder::new();
+        b.thread("waiter");
+        let spin = b.fresh_label("spin");
+        b.label(spin)
+            .load(Reg::R1, Reg::R15, 0x8)
+            .branch(tvm::isa::Cond::Eq, Reg::R1, Reg::R15, spin)
+            .halt();
+        b.thread("setter");
+        b.movi(Reg::R1, 42).store(Reg::R1, Reg::R15, 0x8).halt();
+        let program = Arc::new(b.build());
+        let rec = record(&program, &RunConfig::round_robin(2));
+        let trace = replay(&program, &rec.log).unwrap();
+        let tt = TimeTraveler::new(&trace);
+        // At the waiter's last instruction (halt), r1 holds the published 42.
+        let end = rec.log.threads[0].end_instr;
+        assert_eq!(tt.state_before(0, end - 1).unwrap().regs[1], 42);
+    }
+}

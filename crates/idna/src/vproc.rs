@@ -1,0 +1,809 @@
+//! The virtual processor (paper §4.2): replays the two sequencing regions
+//! involved in a data race under **both** orders of the racing memory
+//! operations, producing comparable live-outs.
+//!
+//! Execution proceeds in three phases:
+//!
+//! 1. **Oracle phase** — each thread is replayed *from the log* (via the
+//!    recorded access values) up to, but not including, its racing
+//!    instruction ("we replay both threads for the region up until we get to
+//!    the data race instruction in each thread").
+//! 2. **Order phase** — the two racing instructions execute *live*, in the
+//!    prescribed order.
+//! 3. **Completion phase** — both threads run live, round-robin, until each
+//!    reaches the end of its sequencing region (the next synchronization
+//!    instruction or system call), halts, or faults.
+//!
+//! Live execution reads memory copy-on-first-use from the live-in image
+//! (the versioned memory at the earlier region's entry). Reads of addresses
+//! the recording never saw, or control flow leaving the recorded code
+//! footprint, are **replay failures** (§4.2.1).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use tvm::exec::AccessKind;
+use tvm::isa::{Instr, Reg, SysCall};
+use tvm::machine::{Fault, MAX_CALL_DEPTH};
+use tvm::memory::{GLOBAL_LIMIT, HEAP_BASE};
+
+use crate::region::RegionId;
+use crate::replayer::{HeapState, ReplayTrace, ReplayedRegion, ThreadSnapshot};
+
+/// Synthetic heap range for allocations performed during divergent live
+/// execution (far above anything the recorded run could have produced).
+const VPROC_FRESH_BASE: u64 = 1 << 40;
+
+/// One side of a data race: a dynamic memory access in a replayed region.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessSite {
+    /// The sequencing region containing the access.
+    pub region: RegionId,
+    /// The thread-local dynamic instruction index of the access.
+    pub instr_index: u64,
+    /// Static pc of the racing instruction.
+    pub pc: usize,
+    /// Address the race is on.
+    pub addr: u64,
+    /// Whether this side reads or writes.
+    pub kind: AccessKind,
+}
+
+impl AccessSite {
+    /// The thread this access belongs to.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.region.tid
+    }
+}
+
+/// Which racing access executes first.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairOrder {
+    /// Site `a`'s instruction executes before site `b`'s.
+    AThenB,
+    /// Site `b`'s instruction executes before site `a`'s.
+    BThenA,
+}
+
+impl PairOrder {
+    /// Both orders, in canonical order.
+    pub const BOTH: [PairOrder; 2] = [PairOrder::AThenB, PairOrder::BThenA];
+
+    /// The opposite order.
+    #[must_use]
+    pub fn flipped(self) -> PairOrder {
+        match self {
+            PairOrder::AThenB => PairOrder::BThenA,
+            PairOrder::BThenA => PairOrder::AThenB,
+        }
+    }
+}
+
+/// Why an alternative replay could not be completed (paper §4.2.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplayFailure {
+    /// A load touched an address never seen when the log was taken.
+    UnknownLoad { addr: u64 },
+    /// A store touched an address never seen when the log was taken.
+    UnknownStore { addr: u64 },
+    /// A free of an allocation the recording knows nothing about.
+    UnknownFree { addr: u64 },
+    /// Control flow reached code outside the thread's recorded footprint.
+    UnrecordedControlFlow { tid: usize, pc: usize },
+    /// The replay did not converge within the step budget (e.g. a spin loop
+    /// whose exit condition never arrives in this ordering).
+    BudgetExhausted,
+}
+
+impl fmt::Display for ReplayFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayFailure::UnknownLoad { addr } => write!(f, "load of unrecorded address {addr:#x}"),
+            ReplayFailure::UnknownStore { addr } => write!(f, "store to unrecorded address {addr:#x}"),
+            ReplayFailure::UnknownFree { addr } => write!(f, "free of unrecorded address {addr:#x}"),
+            ReplayFailure::UnrecordedControlFlow { tid, pc } => {
+                write!(f, "thread {tid} reached unrecorded code at pc {pc}")
+            }
+            ReplayFailure::BudgetExhausted => write!(f, "replay step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayFailure {}
+
+/// Virtual-processor options.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct VprocConfig {
+    /// Total instruction budget per replay (both threads, all phases).
+    pub step_budget: u64,
+    /// Paper §4.2.1 extension: instead of failing on loads of unrecorded
+    /// addresses, return the zero-fill value and keep replaying. Used by the
+    /// `ablation_permissive` experiment.
+    pub permissive_unknown_loads: bool,
+    /// Paper §4.2.1 extension: allow the alternative replay to execute code
+    /// outside the thread's recorded footprint ("execute down unseen control
+    /// paths"). iDNA could not do this without logging more code; our
+    /// substrate has the whole program, so the ablation can quantify the
+    /// paper's prediction that the six replayer-limitation races become
+    /// No-State-Change — and what it costs in missed harmful races.
+    pub permissive_control_flow: bool,
+}
+
+impl Default for VprocConfig {
+    fn default() -> Self {
+        VprocConfig {
+            step_budget: 100_000,
+            permissive_unknown_loads: false,
+            permissive_control_flow: false,
+        }
+    }
+}
+
+impl VprocConfig {
+    /// The fully permissive configuration (both §4.2.1 extensions on).
+    #[must_use]
+    pub fn permissive() -> Self {
+        VprocConfig {
+            permissive_unknown_loads: true,
+            permissive_control_flow: true,
+            ..VprocConfig::default()
+        }
+    }
+}
+
+/// The live-out of one thread after its region finished in the virtual
+/// processor.
+///
+/// Equality deliberately covers architectural state (registers, pc, call
+/// stack), faults, and output — but **not** `instrs_executed`: two
+/// interleavings that converge to the same state after different spin
+/// counts are the *same result* in the paper's sense.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThreadLiveOut {
+    pub tid: usize,
+    pub regs: [u64; tvm::isa::NUM_REGS],
+    pub pc: usize,
+    pub call_stack: Vec<usize>,
+    pub fault: Option<Fault>,
+    pub outputs: Vec<u64>,
+    /// Instructions executed in the virtual processor (metadata, excluded
+    /// from equality).
+    pub instrs_executed: u64,
+}
+
+impl PartialEq for ThreadLiveOut {
+    fn eq(&self, other: &Self) -> bool {
+        self.tid == other.tid
+            && self.regs == other.regs
+            && self.pc == other.pc
+            && self.call_stack == other.call_stack
+            && self.fault == other.fault
+            && self.outputs == other.outputs
+    }
+}
+
+impl Eq for ThreadLiveOut {}
+
+/// The complete live-out of a dual-region replay: both threads'
+/// architectural state plus the memory and heap effects.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairLiveOut {
+    /// Live-out of site `a`'s thread.
+    pub a: ThreadLiveOut,
+    /// Live-out of site `b`'s thread.
+    pub b: ThreadLiveOut,
+    /// Final value of every address written during the replay.
+    pub writes: BTreeMap<u64, u64>,
+    /// Heap bases freed during the replay.
+    pub freed: BTreeSet<u64>,
+    /// Heap bases allocated during the replay.
+    pub allocated: BTreeSet<u64>,
+}
+
+impl PairLiveOut {
+    /// Whether either thread faulted during the replay.
+    #[must_use]
+    pub fn any_fault(&self) -> bool {
+        self.a.fault.is_some() || self.b.fault.is_some()
+    }
+
+    /// Whether this live-out reproduces the *recorded* exits of both
+    /// regions — used to label which of the two orders is the original one
+    /// in race reports.
+    #[must_use]
+    pub fn matches_recorded(&self, trace: &ReplayTrace, a: &AccessSite, b: &AccessSite) -> bool {
+        let ra = trace.region(a.region);
+        let rb = trace.region(b.region);
+        thread_matches(&self.a, ra) && thread_matches(&self.b, rb)
+    }
+}
+
+fn thread_matches(out: &ThreadLiveOut, region: &ReplayedRegion) -> bool {
+    out.fault.is_none()
+        && out.regs == region.exit.regs
+        && out.pc == region.exit.pc
+        && out.call_stack == region.exit.call_stack
+        && out.outputs == region.outputs
+}
+
+/// Memory as seen by the virtual processor: local writes over the live-in
+/// image, with unknown-address detection.
+struct VMem<'a> {
+    trace: &'a ReplayTrace,
+    base_version: u32,
+    writes: HashMap<u64, u64>,
+    /// Allocations made during this replay: base -> size.
+    vallocs: HashMap<u64, u64>,
+    /// Bases freed during this replay.
+    vfreed: BTreeSet<u64>,
+    fresh: u64,
+    permissive: bool,
+}
+
+enum Mem {
+    Value(u64),
+    Fault(Fault),
+    Fail(ReplayFailure),
+}
+
+impl<'a> VMem<'a> {
+    fn new(trace: &'a ReplayTrace, base_version: u32, permissive: bool) -> Self {
+        VMem {
+            trace,
+            base_version,
+            writes: HashMap::new(),
+            vallocs: HashMap::new(),
+            vfreed: BTreeSet::new(),
+            fresh: VPROC_FRESH_BASE,
+            permissive,
+        }
+    }
+
+    fn size_of(&self, base: u64) -> Option<u64> {
+        self.vallocs.get(&base).copied().or_else(|| self.trace.heap.size_of(base))
+    }
+
+    /// Whether `addr` lies inside a range freed during this replay.
+    fn in_vfreed(&self, addr: u64) -> Option<u64> {
+        self.vfreed
+            .iter()
+            .copied()
+            .find(|&base| base <= addr && self.size_of(base).is_some_and(|s| addr < base + s))
+    }
+
+    /// Whether `addr` lies inside a range allocated during this replay.
+    fn in_valloc(&self, addr: u64) -> bool {
+        self.vallocs.iter().any(|(&base, &size)| base <= addr && addr < base + size)
+    }
+
+    fn load(&mut self, addr: u64) -> Mem {
+        if let Some(&v) = self.writes.get(&addr) {
+            return Mem::Value(v);
+        }
+        if addr < GLOBAL_LIMIT {
+            return Mem::Value(self.trace.memory.value_at(addr, self.base_version).unwrap_or(0));
+        }
+        if addr < HEAP_BASE {
+            return Mem::Fault(Fault::InvalidAccess { addr });
+        }
+        if self.in_vfreed(addr).is_some() {
+            return Mem::Fault(Fault::UseAfterFree { addr });
+        }
+        if self.in_valloc(addr) {
+            return Mem::Value(0);
+        }
+        match self.trace.heap.state_at(addr, self.base_version) {
+            HeapState::Live { .. } => {
+                Mem::Value(self.trace.memory.value_at(addr, self.base_version).unwrap_or(0))
+            }
+            HeapState::Freed { .. } => Mem::Fault(Fault::UseAfterFree { addr }),
+            HeapState::Unknown => {
+                if self.permissive {
+                    Mem::Value(0)
+                } else {
+                    Mem::Fail(ReplayFailure::UnknownLoad { addr })
+                }
+            }
+        }
+    }
+
+    fn store(&mut self, addr: u64, value: u64) -> Mem {
+        if addr >= GLOBAL_LIMIT {
+            if addr < HEAP_BASE {
+                return Mem::Fault(Fault::InvalidAccess { addr });
+            }
+            if self.in_vfreed(addr).is_some() {
+                return Mem::Fault(Fault::UseAfterFree { addr });
+            }
+            if !self.in_valloc(addr) {
+                match self.trace.heap.state_at(addr, self.base_version) {
+                    HeapState::Live { .. } => {}
+                    HeapState::Freed { .. } => return Mem::Fault(Fault::UseAfterFree { addr }),
+                    HeapState::Unknown => {
+                        if !self.permissive {
+                            return Mem::Fail(ReplayFailure::UnknownStore { addr });
+                        }
+                    }
+                }
+            }
+        }
+        self.writes.insert(addr, value);
+        Mem::Value(value)
+    }
+
+    fn alloc(&mut self, recorded_base: Option<u64>, size: u64) -> u64 {
+        let size = size.max(1);
+        let base = recorded_base.unwrap_or_else(|| {
+            let b = self.fresh;
+            self.fresh += size + 1;
+            b
+        });
+        self.vallocs.insert(base, size);
+        self.vfreed.remove(&base);
+        base
+    }
+
+    fn free(&mut self, base: u64) -> Mem {
+        if self.vfreed.contains(&base) {
+            // Double free: the paper's Figure 2 bug, observed.
+            return Mem::Fault(Fault::InvalidFree { addr: base });
+        }
+        if self.vallocs.contains_key(&base) {
+            self.vfreed.insert(base);
+            return Mem::Value(0);
+        }
+        match self.trace.heap.state_at(base, self.base_version) {
+            HeapState::Live { base: b } if b == base => {
+                self.vfreed.insert(base);
+                Mem::Value(0)
+            }
+            HeapState::Live { .. } => Mem::Fault(Fault::InvalidFree { addr: base }),
+            HeapState::Freed { .. } => Mem::Fault(Fault::InvalidFree { addr: base }),
+            HeapState::Unknown => Mem::Fail(ReplayFailure::UnknownFree { addr: base }),
+        }
+    }
+}
+
+/// Per-thread virtual-processor state.
+struct VThread<'a> {
+    tid: usize,
+    region: &'a ReplayedRegion,
+    snap: ThreadSnapshot,
+    /// Absolute thread-local instruction index about to execute.
+    instr: u64,
+    access_cursor: usize,
+    sys_cursor: usize,
+    racing_index: u64,
+    outputs: Vec<u64>,
+    fault: Option<Fault>,
+    done: bool,
+    executed: u64,
+}
+
+impl<'a> VThread<'a> {
+    fn new(region: &'a ReplayedRegion, racing_index: u64) -> Self {
+        VThread {
+            tid: region.region.id.tid,
+            region,
+            snap: region.entry.clone(),
+            instr: region.region.start_instr,
+            access_cursor: 0,
+            sys_cursor: 0,
+            racing_index,
+            outputs: Vec::new(),
+            fault: None,
+            done: false,
+            executed: 0,
+        }
+    }
+
+    fn reg(&self, r: Reg) -> u64 {
+        self.snap.regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        self.snap.regs[r.index()] = v;
+    }
+
+    fn live_out(&self) -> ThreadLiveOut {
+        ThreadLiveOut {
+            tid: self.tid,
+            regs: self.snap.regs,
+            pc: self.snap.pc,
+            call_stack: self.snap.call_stack.clone(),
+            fault: self.fault,
+            outputs: self.outputs.clone(),
+            instrs_executed: self.executed,
+        }
+    }
+}
+
+/// The virtual processor: replays racing region pairs under chosen orders.
+///
+/// # Examples
+///
+/// See the crate-level documentation and the `replay-race` crate's
+/// classification pipeline, which drives this type for every race instance.
+#[derive(Debug)]
+pub struct Vproc<'a> {
+    trace: &'a ReplayTrace,
+    config: VprocConfig,
+}
+
+impl<'a> Vproc<'a> {
+    /// Creates a virtual processor over a replayed trace.
+    #[must_use]
+    pub fn new(trace: &'a ReplayTrace, config: VprocConfig) -> Self {
+        Vproc { trace, config }
+    }
+
+    /// The trace this virtual processor replays.
+    #[must_use]
+    pub fn trace(&self) -> &ReplayTrace {
+        self.trace
+    }
+
+    /// Replays the regions of `a` and `b` with the racing instructions in
+    /// the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayFailure`] when the replay leaves recorded ground
+    /// (unknown addresses, unrecorded control flow) or exceeds the step
+    /// budget. Machine *faults* are not errors: they complete the replay and
+    /// appear in the live-out (a fault difference between the two orders is
+    /// a state change — the paper's Figure 2 scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sites are in the same thread (not a data race).
+    pub fn run_pair(
+        &self,
+        a: &AccessSite,
+        b: &AccessSite,
+        order: PairOrder,
+    ) -> Result<PairLiveOut, ReplayFailure> {
+        assert_ne!(a.tid(), b.tid(), "racing accesses must be in different threads");
+        let ra = self.trace.region(a.region);
+        let rb = self.trace.region(b.region);
+        let base_version = ra.version.min(rb.version);
+        let mut vmem = VMem::new(self.trace, base_version, self.config.permissive_unknown_loads);
+        let mut threads = [VThread::new(ra, a.instr_index), VThread::new(rb, b.instr_index)];
+        let mut budget = self.config.step_budget;
+
+        // Phase 1: oracle-replay each thread up to its racing instruction,
+        // earlier-replayed region first so its writes are applied first.
+        let phase_a_order: [usize; 2] = if ra.version <= rb.version { [0, 1] } else { [1, 0] };
+        for idx in phase_a_order {
+            let t = &mut threads[idx];
+            while t.instr < t.racing_index {
+                if budget == 0 {
+                    return Err(ReplayFailure::BudgetExhausted);
+                }
+                budget -= 1;
+                step_oracle(self.trace, t, &mut vmem);
+            }
+        }
+
+        // Phase 2: the racing instructions, live, in the prescribed order.
+        let exec_order: [usize; 2] = match order {
+            PairOrder::AThenB => [0, 1],
+            PairOrder::BThenA => [1, 0],
+        };
+        for idx in exec_order {
+            if budget == 0 {
+                return Err(ReplayFailure::BudgetExhausted);
+            }
+            budget -= 1;
+            if !threads[idx].done {
+                step_live(self.trace, &mut threads[idx], &mut vmem, self.config.permissive_control_flow)?;
+            }
+        }
+
+        // Phase 3: run both threads round-robin to their region ends.
+        while threads.iter().any(|t| !t.done) {
+            #[allow(clippy::needless_range_loop)] // vmem is borrowed inside the body
+            for idx in 0..2 {
+                let done_check = {
+                    let t = &mut threads[idx];
+                    if t.done {
+                        continue;
+                    }
+                    // Region end: the next instruction would log a sequencer.
+                    self.trace
+                        .program()
+                        .instr(t.snap.pc)
+                        .is_some_and(Instr::is_sequencer_point)
+                };
+                if done_check {
+                    threads[idx].done = true;
+                    continue;
+                }
+                if budget == 0 {
+                    return Err(ReplayFailure::BudgetExhausted);
+                }
+                budget -= 1;
+                step_live(self.trace, &mut threads[idx], &mut vmem, self.config.permissive_control_flow)?;
+            }
+        }
+
+        let [ta, tb] = threads;
+        Ok(PairLiveOut {
+            a: ta.live_out(),
+            b: tb.live_out(),
+            writes: vmem.writes.into_iter().collect(),
+            freed: vmem.vfreed,
+            allocated: vmem.vallocs.into_keys().collect(),
+        })
+    }
+}
+
+/// Oracle step: re-execute one instruction using the *recorded* access
+/// values, mirroring the main replay exactly (this cannot diverge).
+fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_>, vmem: &mut VMem<'_>) {
+    let pc = t.snap.pc;
+    t.instr += 1;
+    t.executed += 1;
+    let instr = *trace
+        .program()
+        .instr(pc)
+        .unwrap_or_else(|| panic!("oracle replay left program text at pc {pc}"));
+    let next = pc + 1;
+
+    // Pull the next recorded access value for this instruction.
+    let oracle_read = |t: &mut VThread<'_>| -> u64 {
+        let acc = t.region.accesses[t.access_cursor];
+        debug_assert_eq!(acc.kind, AccessKind::Read);
+        t.access_cursor += 1;
+        acc.value
+    };
+
+    match instr {
+        Instr::MovImm { dst, imm } => {
+            t.set_reg(dst, imm);
+            t.snap.pc = next;
+        }
+        Instr::Mov { dst, src } => {
+            let v = t.reg(src);
+            t.set_reg(dst, v);
+            t.snap.pc = next;
+        }
+        Instr::Bin { op, dst, lhs, rhs } => {
+            let v = op.apply(t.reg(lhs), t.reg(rhs)).expect("oracle replay re-faulted");
+            t.set_reg(dst, v);
+            t.snap.pc = next;
+        }
+        Instr::BinImm { op, dst, lhs, imm } => {
+            let v = op.apply(t.reg(lhs), imm).expect("oracle replay re-faulted");
+            t.set_reg(dst, v);
+            t.snap.pc = next;
+        }
+        Instr::Load { dst, base, offset } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let v = oracle_read(t);
+            vmem.writes.entry(addr).or_insert(v); // first-use copy-in
+            t.set_reg(dst, v);
+            t.snap.pc = next;
+        }
+        Instr::Store { src, base, offset } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let v = t.reg(src);
+            t.access_cursor += 1;
+            vmem.writes.insert(addr, v);
+            t.snap.pc = next;
+        }
+        Instr::AtomicRmw { op, dst, base, offset, src } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let old = oracle_read(t);
+            let new = op.apply(old, t.reg(src));
+            t.access_cursor += 1; // the write half
+            vmem.writes.insert(addr, new);
+            t.set_reg(dst, old);
+            t.snap.pc = next;
+        }
+        Instr::AtomicCas { dst, base, offset, expected, new } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let old = oracle_read(t);
+            let success = old == t.reg(expected);
+            if success {
+                let nv = t.reg(new);
+                t.access_cursor += 1;
+                vmem.writes.insert(addr, nv);
+            } else {
+                vmem.writes.entry(addr).or_insert(old);
+            }
+            t.set_reg(dst, u64::from(success));
+            t.snap.pc = next;
+        }
+        Instr::Fence => t.snap.pc = next,
+        Instr::Jump { target } => t.snap.pc = target,
+        Instr::Branch { cond, lhs, rhs, target } => {
+            t.snap.pc = if cond.eval(t.reg(lhs), t.reg(rhs)) { target } else { next };
+        }
+        Instr::Call { target } => {
+            t.snap.call_stack.push(next);
+            t.snap.pc = target;
+        }
+        Instr::Ret => {
+            let ret = t.snap.call_stack.pop().expect("oracle replay re-faulted on ret");
+            t.snap.pc = ret;
+        }
+        Instr::Syscall { call } => {
+            let sys = t.region.syscalls[t.sys_cursor];
+            t.sys_cursor += 1;
+            debug_assert_eq!(sys.call, call);
+            match call {
+                SysCall::Alloc => {
+                    let size = t.reg(Reg::R0).max(1);
+                    vmem.alloc(Some(sys.ret), size);
+                }
+                SysCall::Free => {
+                    let base = t.reg(Reg::R0);
+                    // The recorded free succeeded; mirror it.
+                    vmem.vfreed.insert(base);
+                }
+                SysCall::Print => t.outputs.push(t.reg(Reg::R0)),
+                SysCall::Tid | SysCall::Yield | SysCall::Nop => {}
+            }
+            t.set_reg(Reg::R0, sys.ret);
+            t.snap.pc = next;
+        }
+        Instr::Halt => {
+            t.done = true;
+        }
+    }
+}
+
+/// Live step: execute one instruction against the virtual-processor memory.
+fn step_live(
+    trace: &ReplayTrace,
+    t: &mut VThread<'_>,
+    vmem: &mut VMem<'_>,
+    allow_unrecorded_cf: bool,
+) -> Result<(), ReplayFailure> {
+    let pc = t.snap.pc;
+    if !allow_unrecorded_cf && !trace.in_footprint(t.tid, pc) {
+        return Err(ReplayFailure::UnrecordedControlFlow { tid: t.tid, pc });
+    }
+    let Some(instr) = trace.program().instr(pc).cloned() else {
+        t.fault = Some(Fault::PcOutOfRange { pc });
+        t.done = true;
+        return Ok(());
+    };
+    t.instr += 1;
+    t.executed += 1;
+    let next = pc + 1;
+
+    let fault = |t: &mut VThread<'_>, f: Fault| {
+        t.fault = Some(f);
+        t.done = true;
+    };
+
+    macro_rules! mem_value {
+        ($t:ident, $e:expr) => {
+            match $e {
+                Mem::Value(v) => v,
+                Mem::Fault(f) => {
+                    fault($t, f);
+                    return Ok(());
+                }
+                Mem::Fail(failure) => return Err(failure),
+            }
+        };
+    }
+
+    match instr {
+        Instr::MovImm { dst, imm } => {
+            t.set_reg(dst, imm);
+            t.snap.pc = next;
+        }
+        Instr::Mov { dst, src } => {
+            let v = t.reg(src);
+            t.set_reg(dst, v);
+            t.snap.pc = next;
+        }
+        Instr::Bin { op, dst, lhs, rhs } => match op.apply(t.reg(lhs), t.reg(rhs)) {
+            Some(v) => {
+                t.set_reg(dst, v);
+                t.snap.pc = next;
+            }
+            None => fault(t, Fault::DivideByZero),
+        },
+        Instr::BinImm { op, dst, lhs, imm } => match op.apply(t.reg(lhs), imm) {
+            Some(v) => {
+                t.set_reg(dst, v);
+                t.snap.pc = next;
+            }
+            None => fault(t, Fault::DivideByZero),
+        },
+        Instr::Load { dst, base, offset } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let v = mem_value!(t, vmem.load(addr));
+            t.set_reg(dst, v);
+            t.snap.pc = next;
+        }
+        Instr::Store { src, base, offset } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let v = t.reg(src);
+            mem_value!(t, vmem.store(addr, v));
+            t.snap.pc = next;
+        }
+        Instr::AtomicRmw { op, dst, base, offset, src } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let old = mem_value!(t, vmem.load(addr));
+            let new = op.apply(old, t.reg(src));
+            mem_value!(t, vmem.store(addr, new));
+            t.set_reg(dst, old);
+            t.snap.pc = next;
+        }
+        Instr::AtomicCas { dst, base, offset, expected, new } => {
+            let addr = t.reg(base).wrapping_add(offset as u64);
+            let old = mem_value!(t, vmem.load(addr));
+            let success = old == t.reg(expected);
+            if success {
+                let nv = t.reg(new);
+                mem_value!(t, vmem.store(addr, nv));
+            }
+            t.set_reg(dst, u64::from(success));
+            t.snap.pc = next;
+        }
+        Instr::Fence => t.snap.pc = next,
+        Instr::Jump { target } => t.snap.pc = target,
+        Instr::Branch { cond, lhs, rhs, target } => {
+            t.snap.pc = if cond.eval(t.reg(lhs), t.reg(rhs)) { target } else { next };
+        }
+        Instr::Call { target } => {
+            if t.snap.call_stack.len() >= MAX_CALL_DEPTH {
+                fault(t, Fault::CallStackOverflow);
+            } else {
+                t.snap.call_stack.push(next);
+                t.snap.pc = target;
+            }
+        }
+        Instr::Ret => match t.snap.call_stack.pop() {
+            Some(ret) => t.snap.pc = ret,
+            None => fault(t, Fault::CallStackUnderflow),
+        },
+        Instr::Syscall { call } => {
+            // Re-use the recorded result when the recorded syscall stream is
+            // still aligned (same call kind at the cursor); otherwise the
+            // execution has diverged and results are synthesized.
+            let recorded = t
+                .region
+                .syscalls
+                .get(t.sys_cursor)
+                .filter(|s| s.call == call)
+                .map(|s| s.ret);
+            if recorded.is_some() {
+                t.sys_cursor += 1;
+            }
+            let ret = match call {
+                SysCall::Alloc => {
+                    let size = t.reg(Reg::R0).max(1);
+                    vmem.alloc(recorded, size)
+                }
+                SysCall::Free => {
+                    let base = t.reg(Reg::R0);
+                    mem_value!(t, vmem.free(base));
+                    0
+                }
+                SysCall::Print => {
+                    let v = t.reg(Reg::R0);
+                    t.outputs.push(v);
+                    v
+                }
+                SysCall::Tid => t.tid as u64,
+                SysCall::Yield | SysCall::Nop => 0,
+            };
+            t.set_reg(Reg::R0, ret);
+            t.snap.pc = next;
+        }
+        Instr::Halt => {
+            t.done = true;
+        }
+    }
+    Ok(())
+}

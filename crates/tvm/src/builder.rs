@@ -1,0 +1,347 @@
+//! Typed, chainable construction of [`Program`]s.
+//!
+//! The builder is how workload generators write VM code. Labels are created
+//! with [`ProgramBuilder::fresh_label`], bound with [`ProgramBuilder::label`],
+//! and may be referenced before they are bound (forward branches). *Marks*
+//! name specific instructions so that ground-truth race manifests can refer
+//! to them symbolically.
+//!
+//! # Examples
+//!
+//! ```
+//! use tvm::builder::ProgramBuilder;
+//! use tvm::isa::{Cond, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.thread("worker");
+//! let loop_top = b.fresh_label("loop");
+//! b.movi(Reg::R1, 3)
+//!     .label(loop_top)
+//!     .subi(Reg::R1, Reg::R1, 1)
+//!     .branch(Cond::Ne, Reg::R1, Reg::R15, loop_top)
+//!     .halt();
+//! let program = b.build();
+//! assert_eq!(program.threads().len(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::isa::{BinOp, Cond, Instr, Reg, RmwOp, SysCall};
+use crate::program::{Program, ThreadSpec};
+
+/// An unresolved branch target. Create with
+/// [`ProgramBuilder::fresh_label`], bind with [`ProgramBuilder::label`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builder for [`Program`]; see the [module documentation](self).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    threads: Vec<ThreadSpec>,
+    marks: HashMap<String, usize>,
+    globals: HashMap<u64, u64>,
+    label_names: Vec<String>,
+    label_targets: Vec<Option<usize>>,
+    /// (instruction index, label) pairs to patch at build time.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a thread whose entry point is the next emitted instruction.
+    pub fn thread(&mut self, name: &str) -> &mut Self {
+        self.thread_with_args(name, &[])
+    }
+
+    /// Declares a thread with initial argument registers `r0..`.
+    pub fn thread_with_args(&mut self, name: &str, args: &[u64]) -> &mut Self {
+        self.threads.push(ThreadSpec {
+            name: name.to_string(),
+            entry: self.instrs.len(),
+            args: args.to_vec(),
+        });
+        self
+    }
+
+    /// Sets the initial value of a global memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the globals region.
+    pub fn global(&mut self, addr: u64, value: u64) -> &mut Self {
+        assert!(addr < crate::memory::GLOBAL_LIMIT, "global outside globals region");
+        self.globals.insert(addr, value);
+        self
+    }
+
+    /// Creates a new, unbound label. `name` is only used in panic messages.
+    pub fn fresh_label(&mut self, name: &str) -> Label {
+        self.label_names.push(name.to_string());
+        self.label_targets.push(None);
+        Label(self.label_names.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn label(&mut self, label: Label) -> &mut Self {
+        assert!(
+            self.label_targets[label.0].is_none(),
+            "label {:?} bound twice",
+            self.label_names[label.0]
+        );
+        self.label_targets[label.0] = Some(self.instrs.len());
+        self
+    }
+
+    /// Names the next emitted instruction so ground-truth manifests can refer
+    /// to it via [`Program::mark`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate mark names.
+    pub fn mark(&mut self, name: &str) -> &mut Self {
+        let prev = self.marks.insert(name.to_string(), self.instrs.len());
+        assert!(prev.is_none(), "duplicate mark {name:?}");
+        self
+    }
+
+    /// Index of the next emitted instruction.
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn push_labelled(&mut self, label: Label, make: impl FnOnce(usize) -> Instr) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, label));
+        // Emit with a placeholder target; patched at build time.
+        self.instrs.push(make(usize::MAX));
+        self
+    }
+
+    // --- instruction emitters -------------------------------------------
+
+    /// `dst <- imm`
+    pub fn movi(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::MovImm { dst, imm })
+    }
+
+    /// `dst <- src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::Mov { dst, src })
+    }
+
+    /// `dst <- lhs op rhs`
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: Reg) -> &mut Self {
+        self.push(Instr::Bin { op, dst, lhs, rhs })
+    }
+
+    /// `dst <- lhs op imm`
+    pub fn bini(&mut self, op: BinOp, dst: Reg, lhs: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::BinImm { op, dst, lhs, imm })
+    }
+
+    /// `dst <- lhs + rhs`
+    pub fn add(&mut self, dst: Reg, lhs: Reg, rhs: Reg) -> &mut Self {
+        self.bin(BinOp::Add, dst, lhs, rhs)
+    }
+
+    /// `dst <- lhs + imm`
+    pub fn addi(&mut self, dst: Reg, lhs: Reg, imm: u64) -> &mut Self {
+        self.bini(BinOp::Add, dst, lhs, imm)
+    }
+
+    /// `dst <- lhs - imm`
+    pub fn subi(&mut self, dst: Reg, lhs: Reg, imm: u64) -> &mut Self {
+        self.bini(BinOp::Sub, dst, lhs, imm)
+    }
+
+    /// `dst <- lhs & imm`
+    pub fn andi(&mut self, dst: Reg, lhs: Reg, imm: u64) -> &mut Self {
+        self.bini(BinOp::And, dst, lhs, imm)
+    }
+
+    /// `dst <- lhs | imm`
+    pub fn ori(&mut self, dst: Reg, lhs: Reg, imm: u64) -> &mut Self {
+        self.bini(BinOp::Or, dst, lhs, imm)
+    }
+
+    /// `dst <- mem[base + offset]`
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Load { dst, base, offset })
+    }
+
+    /// `mem[base + offset] <- src`
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Store { src, base, offset })
+    }
+
+    /// Atomic read-modify-write (a sequencer point).
+    pub fn atomic_rmw(&mut self, op: RmwOp, dst: Reg, base: Reg, offset: i64, src: Reg) -> &mut Self {
+        self.push(Instr::AtomicRmw { op, dst, base, offset, src })
+    }
+
+    /// Atomic compare-and-swap (a sequencer point).
+    pub fn cas(&mut self, dst: Reg, base: Reg, offset: i64, expected: Reg, new: Reg) -> &mut Self {
+        self.push(Instr::AtomicCas { dst, base, offset, expected, new })
+    }
+
+    /// Memory fence (a sequencer point).
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Instr::Fence)
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        self.push_labelled(target, |t| Instr::Jump { target: t })
+    }
+
+    /// Conditional branch.
+    pub fn branch(&mut self, cond: Cond, lhs: Reg, rhs: Reg, target: Label) -> &mut Self {
+        self.push_labelled(target, move |t| Instr::Branch { cond, lhs, rhs, target: t })
+    }
+
+    /// Call a labelled function.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.push_labelled(target, |t| Instr::Call { target: t })
+    }
+
+    /// Return from a call.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instr::Ret)
+    }
+
+    /// Raw system call; arguments must already be in `r0`/`r1`.
+    pub fn syscall(&mut self, call: SysCall) -> &mut Self {
+        self.push(Instr::Syscall { call })
+    }
+
+    /// Prints `src` (emits a `mov r0, src` first when needed).
+    pub fn print(&mut self, src: Reg) -> &mut Self {
+        if src != Reg::R0 {
+            self.mov(Reg::R0, src);
+        }
+        self.syscall(SysCall::Print)
+    }
+
+    /// Terminates the thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Resolves all labels and produces the immutable [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn build(mut self) -> Program {
+        for &(at, label) in &self.fixups {
+            let target = self.label_targets[label.0].unwrap_or_else(|| {
+                panic!("label {:?} referenced but never bound", self.label_names[label.0])
+            });
+            match &mut self.instrs[at] {
+                Instr::Jump { target: t }
+                | Instr::Branch { target: t, .. }
+                | Instr::Call { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch instruction {other:?}"),
+            }
+        }
+        Program::from_parts(self.instrs, self.threads, self.marks, self.globals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.thread("t");
+        let skip = b.fresh_label("skip");
+        b.jump(skip).movi(Reg::R0, 1).label(skip).halt();
+        let p = b.build();
+        assert_eq!(p.instr(0), Some(&Instr::Jump { target: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        b.thread("t");
+        let l = b.fresh_label("nowhere");
+        b.jump(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label("l");
+        b.label(l);
+        b.label(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate mark")]
+    fn duplicate_mark_panics() {
+        let mut b = ProgramBuilder::new();
+        b.mark("x").halt().mark("x");
+    }
+
+    #[test]
+    fn marks_name_the_next_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.thread("t");
+        b.movi(Reg::R0, 1).mark("the_store").store(Reg::R0, Reg::R1, 0).halt();
+        let p = b.build();
+        assert_eq!(p.mark("the_store"), Some(1));
+        assert!(matches!(p.instr(1), Some(Instr::Store { .. })));
+    }
+
+    #[test]
+    fn print_moves_into_r0_only_when_needed() {
+        let mut b = ProgramBuilder::new();
+        b.thread("t");
+        b.print(Reg::R0).print(Reg::R3).halt();
+        let p = b.build();
+        // print(r0): 1 instr; print(r3): 2 instrs; halt: 1.
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn threads_get_entry_at_declaration_point() {
+        let mut b = ProgramBuilder::new();
+        b.thread("a");
+        b.halt();
+        b.thread_with_args("b", &[9]);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.threads()[0].entry, 0);
+        assert_eq!(p.threads()[1].entry, 1);
+        assert_eq!(p.threads()[1].args, vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "global outside globals region")]
+    fn global_outside_region_panics() {
+        let mut b = ProgramBuilder::new();
+        b.global(crate::memory::GLOBAL_LIMIT, 1);
+    }
+}

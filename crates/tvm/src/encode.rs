@@ -1,0 +1,334 @@
+//! Binary instruction encoding — the VM's "machine code".
+//!
+//! Instructions encode to one or two 64-bit words: a header word holding
+//! the opcode and register fields, plus an operand word for instructions
+//! carrying an immediate, memory offset, or branch target. The encoding
+//! exists so programs can be stored compactly alongside replay logs (iDNA
+//! records code as well as data) and round-trips exactly.
+//!
+//! Header word layout (low to high):
+//!
+//! ```text
+//! bits  0..8   opcode
+//! bits  8..12  register field A
+//! bits 12..16  register field B
+//! bits 16..20  register field C
+//! bits 20..24  register field D
+//! bits 24..32  sub-operation (BinOp / Cond / RmwOp / SysCall index)
+//! ```
+
+use std::fmt;
+
+use crate::isa::{BinOp, Cond, Instr, Reg, RmwOp, SysCall};
+
+/// Decoding failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Index of the offending word.
+    pub at: usize,
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at word {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcodes.
+const OP_MOVI: u64 = 0x01;
+const OP_MOV: u64 = 0x02;
+const OP_BIN: u64 = 0x03;
+const OP_BINI: u64 = 0x04;
+const OP_LOAD: u64 = 0x05;
+const OP_STORE: u64 = 0x06;
+const OP_RMW: u64 = 0x07;
+const OP_CAS: u64 = 0x08;
+const OP_FENCE: u64 = 0x09;
+const OP_JUMP: u64 = 0x0A;
+const OP_BRANCH: u64 = 0x0B;
+const OP_CALL: u64 = 0x0C;
+const OP_RET: u64 = 0x0D;
+const OP_SYSCALL: u64 = 0x0E;
+const OP_HALT: u64 = 0x0F;
+
+fn header(op: u64, a: u8, b: u8, c: u8, d: u8, sub: u64) -> u64 {
+    op | (u64::from(a) << 8)
+        | (u64::from(b) << 12)
+        | (u64::from(c) << 16)
+        | (u64::from(d) << 20)
+        | (sub << 24)
+}
+
+fn reg_field(word: u64, shift: u32, at: usize) -> Result<Reg, DecodeError> {
+    let idx = ((word >> shift) & 0xf) as u8;
+    Reg::try_new(idx).ok_or_else(|| DecodeError { at, message: format!("bad register {idx}") })
+}
+
+fn sub_field<T: Copy>(word: u64, all: &[T], at: usize, what: &str) -> Result<T, DecodeError> {
+    let idx = ((word >> 24) & 0xff) as usize;
+    all.get(idx)
+        .copied()
+        .ok_or_else(|| DecodeError { at, message: format!("bad {what} index {idx}") })
+}
+
+fn sub_index<T: PartialEq>(value: T, all: &[T]) -> u64 {
+    all.iter().position(|x| *x == value).expect("sub-op is in its ALL table") as u64
+}
+
+/// Encodes one instruction, appending 1–2 words to `out`.
+pub fn encode_into(instr: &Instr, out: &mut Vec<u64>) {
+    let r = |reg: Reg| reg.index() as u8;
+    match *instr {
+        Instr::MovImm { dst, imm } => {
+            out.push(header(OP_MOVI, r(dst), 0, 0, 0, 0));
+            out.push(imm);
+        }
+        Instr::Mov { dst, src } => out.push(header(OP_MOV, r(dst), r(src), 0, 0, 0)),
+        Instr::Bin { op, dst, lhs, rhs } => {
+            out.push(header(OP_BIN, r(dst), r(lhs), r(rhs), 0, sub_index(op, &BinOp::ALL)));
+        }
+        Instr::BinImm { op, dst, lhs, imm } => {
+            out.push(header(OP_BINI, r(dst), r(lhs), 0, 0, sub_index(op, &BinOp::ALL)));
+            out.push(imm);
+        }
+        Instr::Load { dst, base, offset } => {
+            out.push(header(OP_LOAD, r(dst), r(base), 0, 0, 0));
+            out.push(offset as u64);
+        }
+        Instr::Store { src, base, offset } => {
+            out.push(header(OP_STORE, r(src), r(base), 0, 0, 0));
+            out.push(offset as u64);
+        }
+        Instr::AtomicRmw { op, dst, base, offset, src } => {
+            out.push(header(OP_RMW, r(dst), r(base), r(src), 0, sub_index(op, &RmwOp::ALL)));
+            out.push(offset as u64);
+        }
+        Instr::AtomicCas { dst, base, offset, expected, new } => {
+            out.push(header(OP_CAS, r(dst), r(base), r(expected), r(new), 0));
+            out.push(offset as u64);
+        }
+        Instr::Fence => out.push(header(OP_FENCE, 0, 0, 0, 0, 0)),
+        Instr::Jump { target } => {
+            out.push(header(OP_JUMP, 0, 0, 0, 0, 0));
+            out.push(target as u64);
+        }
+        Instr::Branch { cond, lhs, rhs, target } => {
+            out.push(header(OP_BRANCH, r(lhs), r(rhs), 0, 0, sub_index(cond, &Cond::ALL)));
+            out.push(target as u64);
+        }
+        Instr::Call { target } => {
+            out.push(header(OP_CALL, 0, 0, 0, 0, 0));
+            out.push(target as u64);
+        }
+        Instr::Ret => out.push(header(OP_RET, 0, 0, 0, 0, 0)),
+        Instr::Syscall { call } => {
+            out.push(header(OP_SYSCALL, 0, 0, 0, 0, sub_index(call, &SysCall::ALL)));
+        }
+        Instr::Halt => out.push(header(OP_HALT, 0, 0, 0, 0, 0)),
+    }
+}
+
+/// Decodes one instruction starting at `words[at]`, returning the
+/// instruction and the number of words consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on unknown opcodes, bad fields, or truncation.
+pub fn decode_at(words: &[u64], at: usize) -> Result<(Instr, usize), DecodeError> {
+    let word =
+        *words.get(at).ok_or_else(|| DecodeError { at, message: "out of bounds".into() })?;
+    let op = word & 0xff;
+    let operand = |n: usize| -> Result<u64, DecodeError> {
+        words
+            .get(at + n)
+            .copied()
+            .ok_or_else(|| DecodeError { at, message: "missing operand word".into() })
+    };
+    let instr = match op {
+        OP_MOVI => (Instr::MovImm { dst: reg_field(word, 8, at)?, imm: operand(1)? }, 2),
+        OP_MOV => {
+            (Instr::Mov { dst: reg_field(word, 8, at)?, src: reg_field(word, 12, at)? }, 1)
+        }
+        OP_BIN => (
+            Instr::Bin {
+                op: sub_field(word, &BinOp::ALL, at, "binop")?,
+                dst: reg_field(word, 8, at)?,
+                lhs: reg_field(word, 12, at)?,
+                rhs: reg_field(word, 16, at)?,
+            },
+            1,
+        ),
+        OP_BINI => (
+            Instr::BinImm {
+                op: sub_field(word, &BinOp::ALL, at, "binop")?,
+                dst: reg_field(word, 8, at)?,
+                lhs: reg_field(word, 12, at)?,
+                imm: operand(1)?,
+            },
+            2,
+        ),
+        OP_LOAD => (
+            Instr::Load {
+                dst: reg_field(word, 8, at)?,
+                base: reg_field(word, 12, at)?,
+                offset: operand(1)? as i64,
+            },
+            2,
+        ),
+        OP_STORE => (
+            Instr::Store {
+                src: reg_field(word, 8, at)?,
+                base: reg_field(word, 12, at)?,
+                offset: operand(1)? as i64,
+            },
+            2,
+        ),
+        OP_RMW => (
+            Instr::AtomicRmw {
+                op: sub_field(word, &RmwOp::ALL, at, "rmw op")?,
+                dst: reg_field(word, 8, at)?,
+                base: reg_field(word, 12, at)?,
+                src: reg_field(word, 16, at)?,
+                offset: operand(1)? as i64,
+            },
+            2,
+        ),
+        OP_CAS => (
+            Instr::AtomicCas {
+                dst: reg_field(word, 8, at)?,
+                base: reg_field(word, 12, at)?,
+                expected: reg_field(word, 16, at)?,
+                new: reg_field(word, 20, at)?,
+                offset: operand(1)? as i64,
+            },
+            2,
+        ),
+        OP_FENCE => (Instr::Fence, 1),
+        OP_JUMP => (Instr::Jump { target: operand(1)? as usize }, 2),
+        OP_BRANCH => (
+            Instr::Branch {
+                cond: sub_field(word, &Cond::ALL, at, "condition")?,
+                lhs: reg_field(word, 8, at)?,
+                rhs: reg_field(word, 12, at)?,
+                target: operand(1)? as usize,
+            },
+            2,
+        ),
+        OP_CALL => (Instr::Call { target: operand(1)? as usize }, 2),
+        OP_RET => (Instr::Ret, 1),
+        OP_SYSCALL => (Instr::Syscall { call: sub_field(word, &SysCall::ALL, at, "syscall")? }, 1),
+        OP_HALT => (Instr::Halt, 1),
+        other => return Err(DecodeError { at, message: format!("unknown opcode {other:#x}") }),
+    };
+    Ok(instr)
+}
+
+/// Encodes an instruction stream.
+#[must_use]
+pub fn encode_program(instrs: &[Instr]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(instrs.len() * 2);
+    for i in instrs {
+        encode_into(i, &mut out);
+    }
+    out
+}
+
+/// Decodes an instruction stream previously produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn decode_program(words: &[u64]) -> Result<Vec<Instr>, DecodeError> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < words.len() {
+        let (instr, used) = decode_at(words, at)?;
+        out.push(instr);
+        at += used;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::MovImm { dst: Reg::R3, imm: u64::MAX },
+            Instr::Mov { dst: Reg::R0, src: Reg::R15 },
+            Instr::Fence,
+            Instr::Jump { target: 12345 },
+            Instr::Call { target: 7 },
+            Instr::Ret,
+            Instr::Halt,
+            Instr::Load { dst: Reg::R1, base: Reg::R2, offset: -9 },
+            Instr::Store { src: Reg::R4, base: Reg::R5, offset: i64::MAX },
+            Instr::AtomicCas {
+                dst: Reg::R6,
+                base: Reg::R7,
+                offset: 0x1000,
+                expected: Reg::R8,
+                new: Reg::R9,
+            },
+        ];
+        for op in BinOp::ALL {
+            v.push(Instr::Bin { op, dst: Reg::R1, lhs: Reg::R2, rhs: Reg::R3 });
+            v.push(Instr::BinImm { op, dst: Reg::R4, lhs: Reg::R5, imm: 42 });
+        }
+        for op in RmwOp::ALL {
+            v.push(Instr::AtomicRmw { op, dst: Reg::R1, base: Reg::R2, offset: 8, src: Reg::R3 });
+        }
+        for cond in Cond::ALL {
+            v.push(Instr::Branch { cond, lhs: Reg::R10, rhs: Reg::R11, target: 99 });
+        }
+        for call in SysCall::ALL {
+            v.push(Instr::Syscall { call });
+        }
+        v
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for instr in samples() {
+            let mut words = Vec::new();
+            encode_into(&instr, &mut words);
+            let (back, used) = decode_at(&words, 0).unwrap_or_else(|e| panic!("{instr:?}: {e}"));
+            assert_eq!(back, instr);
+            assert_eq!(used, words.len(), "{instr:?} consumed the right word count");
+        }
+    }
+
+    #[test]
+    fn program_stream_roundtrips() {
+        let instrs = samples();
+        let words = encode_program(&instrs);
+        let back = decode_program(&words).unwrap();
+        assert_eq!(back, instrs);
+        // Density: between 1 and 2 words per instruction.
+        assert!(words.len() >= instrs.len());
+        assert!(words.len() <= instrs.len() * 2);
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(decode_program(&[0xFF]).is_err(), "unknown opcode");
+        assert!(decode_program(&[super::OP_MOVI]).is_err(), "missing operand");
+        // Bad sub-op index.
+        let bad_sub = super::header(super::OP_BIN, 1, 2, 3, 0, 200);
+        assert!(decode_program(&[bad_sub]).is_err());
+        let err = decode_program(&[0xFF]).unwrap_err();
+        assert!(err.to_string().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn decode_mid_stream_offsets_are_reported() {
+        let mut words = encode_program(&[Instr::Fence, Instr::Ret]);
+        words.push(0xEE); // junk after two valid instructions
+        let err = decode_program(&words).unwrap_err();
+        assert_eq!(err.at, 2);
+    }
+}

@@ -1,0 +1,514 @@
+//! The interpreter: single-instruction stepping with full observability.
+//!
+//! Every executed instruction produces a [`StepInfo`] describing its memory
+//! accesses, sequencer assignment, system-call result, fault, and output.
+//! Recording (crate `idna-replay`) and the online race-detector baselines
+//! hang off the [`Observer`] trait.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{Instr, Reg, SysCall};
+use crate::machine::{Fault, Machine, OutputRecord, ThreadStatus, MAX_CALL_DEPTH};
+
+/// Kind of a memory access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this access is a write.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One dynamic memory access.
+///
+/// For a read, `value` is the value observed; for a write, the value stored.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemAccessEvent {
+    pub addr: u64,
+    pub value: u64,
+    pub kind: AccessKind,
+}
+
+/// Result of a system call, as observed by a recorder.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SyscallEvent {
+    pub call: SysCall,
+    /// The value returned in `r0`.
+    pub ret: u64,
+}
+
+/// Everything that happened while executing one instruction.
+#[derive(Clone, Debug)]
+pub struct StepInfo {
+    /// Thread that executed.
+    pub tid: usize,
+    /// Machine-wide instruction count before this step (a global timestamp).
+    pub global_step: u64,
+    /// Thread-local instruction count before this step.
+    pub thread_step: u64,
+    /// Static program counter of the executed instruction.
+    pub pc: usize,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Memory accesses performed, in execution order.
+    pub accesses: Vec<MemAccessEvent>,
+    /// Sequencer timestamp, when the instruction is a sequencer point.
+    pub sequencer: Option<u64>,
+    /// System-call result, when the instruction is a system call.
+    pub syscall: Option<SyscallEvent>,
+    /// Value appended to the output stream, for `sys.print`.
+    pub output: Option<u64>,
+    /// Fault raised by this instruction, if any. The thread is terminated.
+    pub fault: Option<Fault>,
+    /// Whether this instruction halted the thread.
+    pub halted: bool,
+    /// Sequencer timestamp logged at thread termination (halt or fault).
+    pub end_sequencer: Option<u64>,
+    /// Whether the instruction was a `sys.yield` scheduling hint.
+    pub yielded: bool,
+}
+
+/// Observer of machine execution, called after every instruction.
+///
+/// The machine reference passed to [`Observer::on_step`] reflects the state
+/// *after* the instruction executed.
+pub trait Observer {
+    /// Called once before execution starts.
+    fn on_start(&mut self, _machine: &Machine) {}
+    /// Called after every executed instruction.
+    fn on_step(&mut self, _machine: &Machine, _info: &StepInfo) {}
+}
+
+/// The do-nothing observer. `()` can be used wherever an [`Observer`] is
+/// required but no observation is wanted.
+impl Observer for () {}
+
+impl StepInfo {
+    /// A placeholder value for use with [`Machine::step_into`], which
+    /// overwrites every field. Reusing one `StepInfo` across steps avoids
+    /// re-allocating the access buffer on every instruction.
+    #[must_use]
+    pub fn placeholder() -> Self {
+        StepInfo {
+            tid: 0,
+            global_step: 0,
+            thread_step: 0,
+            pc: 0,
+            instr: Instr::Halt,
+            accesses: Vec::new(),
+            sequencer: None,
+            syscall: None,
+            output: None,
+            fault: None,
+            halted: false,
+            end_sequencer: None,
+            yielded: false,
+        }
+    }
+}
+
+impl Machine {
+    /// Executes one instruction on thread `tid` and reports what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not [`ThreadStatus::Ready`].
+    pub fn step(&mut self, tid: usize) -> StepInfo {
+        let mut info = StepInfo::placeholder();
+        self.step_into(tid, &mut info);
+        info
+    }
+
+    /// Like [`Machine::step`], but reuses `info`'s buffers instead of
+    /// allocating. Every field of `info` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not [`ThreadStatus::Ready`].
+    pub fn step_into(&mut self, tid: usize, info: &mut StepInfo) {
+        assert!(
+            self.thread(tid).status().is_ready(),
+            "stepping a thread that is not ready: {tid}"
+        );
+        let pc = self.thread(tid).pc();
+        info.tid = tid;
+        info.global_step = self.bump_global_step();
+        info.thread_step = self.thread_mut(tid).bump_steps();
+        info.pc = pc;
+        info.accesses.clear();
+        info.sequencer = None;
+        info.syscall = None;
+        info.output = None;
+        info.fault = None;
+        info.halted = false;
+        info.end_sequencer = None;
+        info.yielded = false;
+
+        let Some(&instr) = self.program().instr(pc) else {
+            let fault = Fault::PcOutOfRange { pc };
+            let end = self.terminate(tid, ThreadStatus::Faulted(fault));
+            info.instr = Instr::Halt;
+            info.fault = Some(fault);
+            info.end_sequencer = Some(end);
+            return;
+        };
+        info.instr = instr;
+
+        // Sequencers are logged when the synchronization instruction or
+        // system call executes (paper §3.2); we assign the timestamp before
+        // the instruction's effects so the instruction begins a new
+        // sequencing region.
+        info.sequencer = instr.is_sequencer_point().then(|| self.take_seq());
+
+        let next_pc = match self.execute(tid, pc, &instr, info) {
+            Ok(next) => next,
+            Err(fault) => {
+                info.fault = Some(fault);
+                let end = self.terminate(tid, ThreadStatus::Faulted(fault));
+                info.end_sequencer = Some(end);
+                return;
+            }
+        };
+
+        match next_pc {
+            Some(next) => self.thread_mut(tid).set_pc(next),
+            None => {
+                info.halted = true;
+                let end = self.terminate(tid, ThreadStatus::Halted);
+                info.end_sequencer = Some(end);
+            }
+        }
+    }
+
+    fn terminate(&mut self, tid: usize, status: ThreadStatus) -> u64 {
+        let ts = self.take_seq();
+        let t = self.thread_mut(tid);
+        t.set_status(status);
+        t.set_end_seq(ts);
+        ts
+    }
+
+    /// Executes the instruction body. Returns the next pc, or `None` to halt.
+    fn execute(
+        &mut self,
+        tid: usize,
+        pc: usize,
+        instr: &Instr,
+        info: &mut StepInfo,
+    ) -> Result<Option<usize>, Fault> {
+        let next = pc + 1;
+        match *instr {
+            Instr::MovImm { dst, imm } => {
+                self.thread_mut(tid).set_reg(dst, imm);
+                Ok(Some(next))
+            }
+            Instr::Mov { dst, src } => {
+                let v = self.thread(tid).reg(src);
+                self.thread_mut(tid).set_reg(dst, v);
+                Ok(Some(next))
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                let l = self.thread(tid).reg(lhs);
+                let r = self.thread(tid).reg(rhs);
+                let v = op.apply(l, r).ok_or(Fault::DivideByZero)?;
+                self.thread_mut(tid).set_reg(dst, v);
+                Ok(Some(next))
+            }
+            Instr::BinImm { op, dst, lhs, imm } => {
+                let l = self.thread(tid).reg(lhs);
+                let v = op.apply(l, imm).ok_or(Fault::DivideByZero)?;
+                self.thread_mut(tid).set_reg(dst, v);
+                Ok(Some(next))
+            }
+            Instr::Load { dst, base, offset } => {
+                let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
+                let v = self.memory().read(addr)?;
+                info.accesses.push(MemAccessEvent { addr, value: v, kind: AccessKind::Read });
+                self.thread_mut(tid).set_reg(dst, v);
+                Ok(Some(next))
+            }
+            Instr::Store { src, base, offset } => {
+                let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
+                let v = self.thread(tid).reg(src);
+                self.memory_mut().write(addr, v)?;
+                info.accesses.push(MemAccessEvent { addr, value: v, kind: AccessKind::Write });
+                Ok(Some(next))
+            }
+            Instr::AtomicRmw { op, dst, base, offset, src } => {
+                let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
+                let old = self.memory().read(addr)?;
+                info.accesses.push(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
+                let operand = self.thread(tid).reg(src);
+                let new = op.apply(old, operand);
+                self.memory_mut().write(addr, new)?;
+                info.accesses.push(MemAccessEvent { addr, value: new, kind: AccessKind::Write });
+                self.thread_mut(tid).set_reg(dst, old);
+                Ok(Some(next))
+            }
+            Instr::AtomicCas { dst, base, offset, expected, new } => {
+                let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
+                let old = self.memory().read(addr)?;
+                info.accesses.push(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
+                let exp = self.thread(tid).reg(expected);
+                let success = old == exp;
+                if success {
+                    let nv = self.thread(tid).reg(new);
+                    self.memory_mut().write(addr, nv)?;
+                    info.accesses.push(MemAccessEvent { addr, value: nv, kind: AccessKind::Write });
+                }
+                self.thread_mut(tid).set_reg(dst, u64::from(success));
+                Ok(Some(next))
+            }
+            Instr::Fence => Ok(Some(next)),
+            Instr::Jump { target } => Ok(Some(target)),
+            Instr::Branch { cond, lhs, rhs, target } => {
+                let l = self.thread(tid).reg(lhs);
+                let r = self.thread(tid).reg(rhs);
+                Ok(Some(if cond.eval(l, r) { target } else { next }))
+            }
+            Instr::Call { target } => {
+                let t = self.thread_mut(tid);
+                if t.call_stack().len() >= MAX_CALL_DEPTH {
+                    return Err(Fault::CallStackOverflow);
+                }
+                t.call_stack_mut().push(next);
+                Ok(Some(target))
+            }
+            Instr::Ret => {
+                let t = self.thread_mut(tid);
+                let ret = t.call_stack_mut().pop().ok_or(Fault::CallStackUnderflow)?;
+                Ok(Some(ret))
+            }
+            Instr::Syscall { call } => {
+                let ret = self.do_syscall(tid, call, info)?;
+                self.thread_mut(tid).set_reg(Reg::R0, ret);
+                info.syscall = Some(SyscallEvent { call, ret });
+                Ok(Some(next))
+            }
+            Instr::Halt => Ok(None),
+        }
+    }
+
+    fn do_syscall(&mut self, tid: usize, call: SysCall, info: &mut StepInfo) -> Result<u64, Fault> {
+        match call {
+            SysCall::Alloc => {
+                let size = self.thread(tid).reg(Reg::R0);
+                Ok(self.memory_mut().alloc(size))
+            }
+            SysCall::Free => {
+                let base = self.thread(tid).reg(Reg::R0);
+                self.memory_mut().free(base)?;
+                Ok(0)
+            }
+            SysCall::Print => {
+                let value = self.thread(tid).reg(Reg::R0);
+                self.push_output(OutputRecord { tid, value });
+                info.output = Some(value);
+                Ok(value)
+            }
+            SysCall::Tid => Ok(tid as u64),
+            SysCall::Yield => {
+                info.yielded = true;
+                Ok(0)
+            }
+            SysCall::Nop => Ok(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::isa::{BinOp, Cond, RmwOp};
+    use std::sync::Arc;
+
+    fn run_single(b: ProgramBuilder) -> Machine {
+        let mut m = Machine::new(Arc::new(b.build()));
+        while !m.finished() {
+            let runnable = m.runnable();
+            m.step(runnable[0]);
+        }
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 6).movi(Reg::R2, 7).bin(BinOp::Mul, Reg::R0, Reg::R1, Reg::R2).halt();
+        let m = run_single(b);
+        assert_eq!(m.thread(0).reg(Reg::R0), 42);
+        assert_eq!(m.thread(0).status(), ThreadStatus::Halted);
+        assert!(m.thread(0).end_seq().is_some());
+    }
+
+    #[test]
+    fn load_store_roundtrip_produces_events() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 0x20).movi(Reg::R2, 5).store(Reg::R2, Reg::R1, 0).load(Reg::R3, Reg::R1, 0).halt();
+        let mut m = Machine::new(Arc::new(b.build()));
+        m.step(0); // movi
+        m.step(0); // movi
+        let st = m.step(0);
+        assert_eq!(
+            st.accesses,
+            vec![MemAccessEvent { addr: 0x20, value: 5, kind: AccessKind::Write }]
+        );
+        let ld = m.step(0);
+        assert_eq!(
+            ld.accesses,
+            vec![MemAccessEvent { addr: 0x20, value: 5, kind: AccessKind::Read }]
+        );
+        assert_eq!(m.thread(0).reg(Reg::R3), 5);
+    }
+
+    #[test]
+    fn atomic_rmw_emits_sequencer_and_both_accesses() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 0x30).movi(Reg::R2, 3).atomic_rmw(RmwOp::Add, Reg::R0, Reg::R1, 0, Reg::R2).halt();
+        let mut m = Machine::new(Arc::new(b.build()));
+        m.step(0);
+        m.step(0);
+        let info = m.step(0);
+        assert!(info.sequencer.is_some());
+        assert_eq!(info.accesses.len(), 2);
+        assert_eq!(info.accesses[0].kind, AccessKind::Read);
+        assert_eq!(info.accesses[0].value, 0);
+        assert_eq!(info.accesses[1].kind, AccessKind::Write);
+        assert_eq!(info.accesses[1].value, 3);
+        assert_eq!(m.thread(0).reg(Reg::R0), 0); // old value
+        assert_eq!(m.memory().peek(0x30), 3);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 0x40)
+            .movi(Reg::R2, 0) // expected
+            .movi(Reg::R3, 9) // new
+            .cas(Reg::R4, Reg::R1, 0, Reg::R2, Reg::R3)
+            .cas(Reg::R5, Reg::R1, 0, Reg::R2, Reg::R3)
+            .halt();
+        let m = run_single(b);
+        assert_eq!(m.thread(0).reg(Reg::R4), 1, "first CAS succeeds");
+        assert_eq!(m.thread(0).reg(Reg::R5), 0, "second CAS fails, value changed");
+        assert_eq!(m.memory().peek(0x40), 9);
+    }
+
+    #[test]
+    fn branch_and_jump_control_flow() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        let done = b.fresh_label("done");
+        b.movi(Reg::R0, 1)
+            .movi(Reg::R1, 1)
+            .branch(Cond::Eq, Reg::R0, Reg::R1, done)
+            .movi(Reg::R2, 99) // skipped
+            .label(done)
+            .movi(Reg::R3, 7)
+            .halt();
+        let m = run_single(b);
+        assert_eq!(m.thread(0).reg(Reg::R2), 0);
+        assert_eq!(m.thread(0).reg(Reg::R3), 7);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        let func = b.fresh_label("func");
+        b.call(func).print(Reg::R0).halt();
+        b.label(func).movi(Reg::R0, 123).ret();
+        let m = run_single(b);
+        assert_eq!(m.output(), &[OutputRecord { tid: 0, value: 123 }]);
+    }
+
+    #[test]
+    fn ret_on_empty_stack_faults() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.ret();
+        let m = run_single(b);
+        assert_eq!(m.thread(0).status(), ThreadStatus::Faulted(Fault::CallStackUnderflow));
+    }
+
+    #[test]
+    fn div_by_zero_faults() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R1, 4).movi(Reg::R2, 0).bin(BinOp::Div, Reg::R0, Reg::R1, Reg::R2).halt();
+        let m = run_single(b);
+        assert_eq!(m.thread(0).status(), ThreadStatus::Faulted(Fault::DivideByZero));
+    }
+
+    #[test]
+    fn syscalls_allocate_print_tid() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R0, 2)
+            .syscall(SysCall::Alloc)
+            .mov(Reg::R5, Reg::R0)
+            .movi(Reg::R1, 11)
+            .store(Reg::R1, Reg::R5, 0)
+            .load(Reg::R0, Reg::R5, 0)
+            .syscall(SysCall::Print)
+            .mov(Reg::R0, Reg::R5)
+            .syscall(SysCall::Free)
+            .syscall(SysCall::Tid)
+            .halt();
+        let m = run_single(b);
+        assert_eq!(m.output()[0].value, 11);
+        assert_eq!(m.thread(0).reg(Reg::R0), 0); // tid 0
+        assert_eq!(m.memory().live_allocations(), 0);
+    }
+
+    #[test]
+    fn use_after_free_faults() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R0, 1)
+            .syscall(SysCall::Alloc)
+            .mov(Reg::R5, Reg::R0)
+            .syscall(SysCall::Free)
+            .load(Reg::R1, Reg::R5, 0)
+            .halt();
+        let m = run_single(b);
+        assert!(matches!(m.thread(0).status(), ThreadStatus::Faulted(Fault::UseAfterFree { .. })));
+    }
+
+    #[test]
+    fn pc_out_of_range_faults() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.movi(Reg::R0, 1); // no halt: falls off the end
+        let m = run_single(b);
+        assert!(matches!(
+            m.thread(0).status(),
+            ThreadStatus::Faulted(Fault::PcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sequencer_timestamps_are_unique_and_monotonic() {
+        let mut b = ProgramBuilder::new();
+        b.thread("main");
+        b.fence().fence().syscall(SysCall::Nop).halt();
+        let mut m = Machine::new(Arc::new(b.build()));
+        let a = m.step(0).sequencer.unwrap();
+        let b2 = m.step(0).sequencer.unwrap();
+        let c = m.step(0).sequencer.unwrap();
+        assert!(a < b2 && b2 < c);
+        let end = m.step(0).end_sequencer.unwrap();
+        assert!(c < end);
+    }
+}

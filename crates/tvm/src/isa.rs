@@ -1,0 +1,484 @@
+//! The instruction set of the tiny virtual machine.
+//!
+//! The ISA is deliberately small but covers everything the replay-analysis
+//! pipeline needs from a "real" machine:
+//!
+//! * plain loads and stores over a flat word-addressed memory,
+//! * *lock-prefixed* atomic read-modify-write instructions (the operations
+//!   iDNA recognizes as synchronization and marks with a sequencer),
+//! * system calls (the other sequencer source),
+//! * arithmetic, conditional branches, calls, and faults.
+//!
+//! Addresses and register values are `u64` words. A memory operand is always
+//! `base register + immediate offset`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of general-purpose registers per thread.
+pub const NUM_REGS: usize = 16;
+
+/// A general-purpose register, `r0` through `r15`.
+///
+/// # Examples
+///
+/// ```
+/// use tvm::isa::Reg;
+/// let r = Reg::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_REGS, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub const fn try_new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index, `0..NUM_REGS`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Binary arithmetic/logical operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Unsigned division. Dividing by zero raises [`Fault::DivideByZero`].
+    ///
+    /// [`Fault::DivideByZero`]: crate::machine::Fault::DivideByZero
+    Div,
+    /// Unsigned remainder. A zero divisor raises a fault like [`BinOp::Div`].
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+}
+
+impl BinOp {
+    /// All binary operations, useful for exhaustive testing.
+    pub const ALL: [BinOp; 10] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+    ];
+
+    /// The mnemonic used by the assembler.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+
+    /// Applies the operation to two word values.
+    ///
+    /// Division and remainder by zero return `None` (the interpreter turns
+    /// this into a machine fault). All arithmetic wraps.
+    #[must_use]
+    pub fn apply(self, lhs: u64, rhs: u64) -> Option<u64> {
+        Some(match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => lhs.checked_div(rhs)?,
+            BinOp::Rem => lhs.checked_rem(rhs)?,
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl((rhs % 64) as u32),
+            BinOp::Shr => lhs.wrapping_shr((rhs % 64) as u32),
+        })
+    }
+}
+
+/// Branch conditions, comparing two registers as unsigned words.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cond {
+    /// All conditions, useful for exhaustive testing.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// The mnemonic used by the assembler (`beq`, `bne`, ...).
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Le => "ble",
+            Cond::Gt => "bgt",
+            Cond::Ge => "bge",
+        }
+    }
+
+    /// Evaluates the condition on two unsigned words.
+    #[must_use]
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Le => lhs <= rhs,
+            Cond::Gt => lhs > rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// Atomic read-modify-write operations (the "lock-prefixed" instructions).
+///
+/// Executing one of these logs an iDNA *sequencer*, exactly like a
+/// lock-prefixed x86 instruction does in the paper.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RmwOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Atomic exchange: the memory word is replaced by the operand and the
+    /// old word is returned.
+    Xchg,
+}
+
+impl RmwOp {
+    /// All RMW operations, useful for exhaustive testing.
+    pub const ALL: [RmwOp; 6] = [
+        RmwOp::Add,
+        RmwOp::Sub,
+        RmwOp::And,
+        RmwOp::Or,
+        RmwOp::Xor,
+        RmwOp::Xchg,
+    ];
+
+    /// The mnemonic used by the assembler (evoking the x86 `lock` prefix).
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            RmwOp::Add => "lock.add",
+            RmwOp::Sub => "lock.sub",
+            RmwOp::And => "lock.and",
+            RmwOp::Or => "lock.or",
+            RmwOp::Xor => "lock.xor",
+            RmwOp::Xchg => "xchg",
+        }
+    }
+
+    /// Computes the new memory value from the old value and the operand.
+    #[must_use]
+    pub fn apply(self, old: u64, operand: u64) -> u64 {
+        match self {
+            RmwOp::Add => old.wrapping_add(operand),
+            RmwOp::Sub => old.wrapping_sub(operand),
+            RmwOp::And => old & operand,
+            RmwOp::Or => old | operand,
+            RmwOp::Xor => old ^ operand,
+            RmwOp::Xchg => operand,
+        }
+    }
+}
+
+/// System calls.
+///
+/// Every system call logs a sequencer (matching iDNA's behaviour for system
+/// interactions) and returns a result in `r0`. Arguments are taken from `r0`
+/// and `r1`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SysCall {
+    /// Allocate `r0` words of heap memory; returns the base address in `r0`.
+    Alloc,
+    /// Free the allocation whose base address is in `r0`. Freeing an address
+    /// that is not a live allocation raises [`Fault::InvalidFree`].
+    ///
+    /// [`Fault::InvalidFree`]: crate::machine::Fault::InvalidFree
+    Free,
+    /// Append the value in `r0` to the machine's output stream.
+    Print,
+    /// Return the calling thread's id in `r0`.
+    Tid,
+    /// Scheduling hint; also a sequencer point. Returns 0.
+    Yield,
+    /// A no-op system call, used purely to create a sequencing point.
+    Nop,
+}
+
+impl SysCall {
+    /// All system calls, useful for exhaustive testing.
+    pub const ALL: [SysCall; 6] = [
+        SysCall::Alloc,
+        SysCall::Free,
+        SysCall::Print,
+        SysCall::Tid,
+        SysCall::Yield,
+        SysCall::Nop,
+    ];
+
+    /// The name used by the assembler, e.g. `sys.alloc`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            SysCall::Alloc => "alloc",
+            SysCall::Free => "free",
+            SysCall::Print => "print",
+            SysCall::Tid => "tid",
+            SysCall::Yield => "yield",
+            SysCall::Nop => "nop",
+        }
+    }
+}
+
+/// A single machine instruction with branch targets already resolved to
+/// absolute instruction indices.
+///
+/// Programs are built through [`ProgramBuilder`] or assembled from text with
+/// [`asm::assemble`]; both resolve symbolic labels to `usize` targets.
+///
+/// [`ProgramBuilder`]: crate::builder::ProgramBuilder
+/// [`asm::assemble`]: crate::asm::assemble
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst <- imm`
+    MovImm { dst: Reg, imm: u64 },
+    /// `dst <- src`
+    Mov { dst: Reg, src: Reg },
+    /// `dst <- lhs op rhs`
+    Bin { op: BinOp, dst: Reg, lhs: Reg, rhs: Reg },
+    /// `dst <- lhs op imm`
+    BinImm { op: BinOp, dst: Reg, lhs: Reg, imm: u64 },
+    /// `dst <- mem[base + offset]`
+    Load { dst: Reg, base: Reg, offset: i64 },
+    /// `mem[base + offset] <- src`
+    Store { src: Reg, base: Reg, offset: i64 },
+    /// Atomic `dst <- mem[base+offset]; mem[base+offset] <- op(old, src)`.
+    /// Logs a sequencer.
+    AtomicRmw { op: RmwOp, dst: Reg, base: Reg, offset: i64, src: Reg },
+    /// Atomic compare-and-swap: if `mem[base+offset] == expected` then the
+    /// word becomes `new` and `dst <- 1`, else `dst <- 0`. The old memory
+    /// word is left in `expected`'s role only conceptually; `dst` receives
+    /// the success flag. Logs a sequencer.
+    AtomicCas { dst: Reg, base: Reg, offset: i64, expected: Reg, new: Reg },
+    /// Memory fence. Logs a sequencer (it is a synchronization instruction).
+    Fence,
+    /// Unconditional jump to an absolute instruction index.
+    Jump { target: usize },
+    /// Conditional branch comparing two registers.
+    Branch { cond: Cond, lhs: Reg, rhs: Reg, target: usize },
+    /// Call: pushes the return address on the thread-private call stack.
+    Call { target: usize },
+    /// Return to the most recent call site. An empty call stack faults.
+    Ret,
+    /// System call; see [`SysCall`]. Logs a sequencer.
+    Syscall { call: SysCall },
+    /// Terminate the thread.
+    Halt,
+}
+
+impl Instr {
+    /// Whether executing this instruction logs an iDNA sequencer
+    /// (synchronization instructions and system calls; see §3.2 of the
+    /// paper).
+    #[must_use]
+    pub fn is_sequencer_point(&self) -> bool {
+        matches!(
+            self,
+            Instr::AtomicRmw { .. } | Instr::AtomicCas { .. } | Instr::Fence | Instr::Syscall { .. }
+        )
+    }
+
+    /// Whether this instruction reads or writes data memory.
+    #[must_use]
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::AtomicRmw { .. } | Instr::AtomicCas { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::MovImm { dst, imm } => write!(f, "movi {dst}, {imm}"),
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Bin { op, dst, lhs, rhs } => {
+                write!(f, "{} {dst}, {lhs}, {rhs}", op.mnemonic())
+            }
+            Instr::BinImm { op, dst, lhs, imm } => {
+                write!(f, "{}i {dst}, {lhs}, {imm}", op.mnemonic())
+            }
+            Instr::Load { dst, base, offset } => write!(f, "ld {dst}, [{base}{offset:+}]"),
+            Instr::Store { src, base, offset } => write!(f, "st [{base}{offset:+}], {src}"),
+            Instr::AtomicRmw { op, dst, base, offset, src } => {
+                write!(f, "{} {dst}, [{base}{offset:+}], {src}", op.mnemonic())
+            }
+            Instr::AtomicCas { dst, base, offset, expected, new } => {
+                write!(f, "cas {dst}, [{base}{offset:+}], {expected}, {new}")
+            }
+            Instr::Fence => write!(f, "fence"),
+            Instr::Jump { target } => write!(f, "jmp @{target}"),
+            Instr::Branch { cond, lhs, rhs, target } => {
+                write!(f, "{} {lhs}, {rhs}, @{target}", cond.mnemonic())
+            }
+            Instr::Call { target } => write!(f, "call @{target}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Syscall { call } => write!(f, "sys.{}", call.name()),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_display() {
+        for i in 0..NUM_REGS as u8 {
+            let r = Reg::new(i);
+            assert_eq!(r.index(), i as usize);
+            assert_eq!(r.to_string(), format!("r{i}"));
+        }
+        assert!(Reg::try_new(16).is_none());
+        assert_eq!(Reg::try_new(15), Some(Reg::R15));
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_new_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn binop_apply_basics() {
+        assert_eq!(BinOp::Add.apply(2, 3), Some(5));
+        assert_eq!(BinOp::Sub.apply(2, 3), Some(u64::MAX));
+        assert_eq!(BinOp::Mul.apply(1 << 32, 1 << 32), Some(0));
+        assert_eq!(BinOp::Div.apply(7, 2), Some(3));
+        assert_eq!(BinOp::Div.apply(7, 0), None);
+        assert_eq!(BinOp::Rem.apply(7, 0), None);
+        assert_eq!(BinOp::Shl.apply(1, 65), Some(2));
+        assert_eq!(BinOp::Shr.apply(4, 1), Some(2));
+        assert_eq!(BinOp::Xor.apply(0b1100, 0b1010), Some(0b0110));
+    }
+
+    #[test]
+    fn cond_eval_matches_semantics() {
+        assert!(Cond::Eq.eval(4, 4));
+        assert!(Cond::Ne.eval(4, 5));
+        assert!(Cond::Lt.eval(4, 5));
+        assert!(Cond::Le.eval(4, 4));
+        assert!(Cond::Gt.eval(5, 4));
+        assert!(Cond::Ge.eval(5, 5));
+        assert!(!Cond::Lt.eval(5, 4));
+    }
+
+    #[test]
+    fn rmw_apply_matches_semantics() {
+        assert_eq!(RmwOp::Add.apply(10, 5), 15);
+        assert_eq!(RmwOp::Sub.apply(10, 5), 5);
+        assert_eq!(RmwOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(RmwOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(RmwOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(RmwOp::Xchg.apply(10, 5), 5);
+    }
+
+    #[test]
+    fn sequencer_points_are_sync_and_syscalls() {
+        assert!(Instr::Fence.is_sequencer_point());
+        assert!(Instr::Syscall { call: SysCall::Print }.is_sequencer_point());
+        assert!(Instr::AtomicRmw {
+            op: RmwOp::Add,
+            dst: Reg::R0,
+            base: Reg::R1,
+            offset: 0,
+            src: Reg::R2
+        }
+        .is_sequencer_point());
+        assert!(!Instr::Load { dst: Reg::R0, base: Reg::R1, offset: 0 }.is_sequencer_point());
+        assert!(!Instr::Halt.is_sequencer_point());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let i = Instr::Load { dst: Reg::R1, base: Reg::R2, offset: -8 };
+        assert_eq!(i.to_string(), "ld r1, [r2-8]");
+        let i = Instr::Branch { cond: Cond::Ne, lhs: Reg::R0, rhs: Reg::R3, target: 17 };
+        assert_eq!(i.to_string(), "bne r0, r3, @17");
+    }
+}

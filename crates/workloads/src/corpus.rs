@@ -1,0 +1,278 @@
+//! The evaluation corpus: one multi-service program, 18 recorded
+//! executions (paper §5.1).
+//!
+//! The paper records 18 executions of various Vista/IE services. Here, the
+//! "binary" is a single program composed of every pattern instance, each
+//! gated by an enable word; an *execution* selects a subset of services
+//! (instances) and a scheduler seed. Because only the initial globals
+//! differ, static pcs are identical across executions and race identities
+//! merge across the whole corpus — exactly like re-running the same binary
+//! under different scenarios.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use tvm::scheduler::RunConfig;
+use tvm::{Program, ProgramBuilder};
+
+use crate::patterns::{approx_stats, both_values, disjoint_bits, double_check, harmful, redundant_write, user_sync};
+use crate::patterns::{Ctx, Emitted, GlobalAlloc};
+use crate::truth::GroundTruthRace;
+
+/// One pattern instance of the corpus.
+struct InstanceDef {
+    id: &'static str,
+    emit: fn(&mut Ctx<'_>) -> Emitted,
+}
+
+fn rw_small(ctx: &mut Ctx<'_>) -> Emitted {
+    redundant_write::emit(
+        ctx,
+        &redundant_write::RedundantWriteConfig { writers: 2, readers: 1, value: 0x1D },
+    )
+}
+
+fn rw_medium(ctx: &mut Ctx<'_>) -> Emitted {
+    redundant_write::emit(
+        ctx,
+        &redundant_write::RedundantWriteConfig { writers: 2, readers: 2, value: 0x2E },
+    )
+}
+
+fn rw_wide(ctx: &mut Ctx<'_>) -> Emitted {
+    redundant_write::emit(
+        ctx,
+        &redundant_write::RedundantWriteConfig { writers: 2, readers: 2, value: 0x3F },
+    )
+}
+
+fn bv_watermark(ctx: &mut Ctx<'_>) -> Emitted {
+    both_values::emit_watermark(ctx, 4)
+}
+
+fn bv_version_warm(ctx: &mut Ctx<'_>) -> Emitted {
+    both_values::emit_version_switch(ctx, false)
+}
+
+fn bv_version_cold(ctx: &mut Ctx<'_>) -> Emitted {
+    both_values::emit_version_switch(ctx, true)
+}
+
+fn db_three(ctx: &mut Ctx<'_>) -> Emitted {
+    disjoint_bits::emit(ctx, 3, 4)
+}
+
+fn db_two(ctx: &mut Ctx<'_>) -> Emitted {
+    disjoint_bits::emit(ctx, 2, 3)
+}
+
+fn db_cold(ctx: &mut Ctx<'_>) -> Emitted {
+    disjoint_bits::emit_cold_bit(ctx, 6)
+}
+
+fn ax_counter_short(ctx: &mut Ctx<'_>) -> Emitted {
+    approx_stats::emit_counter(ctx, 3)
+}
+
+fn ax_counter_mid(ctx: &mut Ctx<'_>) -> Emitted {
+    approx_stats::emit_counter(ctx, 5)
+}
+
+fn ax_counter_long(ctx: &mut Ctx<'_>) -> Emitted {
+    approx_stats::emit_counter(ctx, 8)
+}
+
+fn ax_sampler(ctx: &mut Ctx<'_>) -> Emitted {
+    approx_stats::emit_sampler(ctx, 3)
+}
+
+fn refcount(ctx: &mut Ctx<'_>) -> Emitted {
+    harmful::emit_refcount(ctx, 4)
+}
+
+fn pub_cold2(ctx: &mut Ctx<'_>) -> Emitted {
+    harmful::emit_publication(ctx, true)
+}
+
+fn pub_cold3(ctx: &mut Ctx<'_>) -> Emitted {
+    harmful::emit_publication(ctx, true)
+}
+
+fn status_beacon(ctx: &mut Ctx<'_>) -> Emitted {
+    harmful::emit_status_beacon(ctx, 10)
+}
+
+/// Instance registry, in emission order. Never reorder entries: static pcs
+/// (and therefore race identities recorded in EXPERIMENTS.md) depend on it.
+const INSTANCES: &[InstanceDef] = &[
+    // User-constructed synchronization: 6 spin handoffs + 2 checked.
+    InstanceDef { id: "us_h1", emit: user_sync::emit_handoff },
+    InstanceDef { id: "us_h2", emit: user_sync::emit_handoff },
+    InstanceDef { id: "us_h3", emit: user_sync::emit_handoff },
+    InstanceDef { id: "us_h4", emit: user_sync::emit_handoff },
+    InstanceDef { id: "us_h5", emit: user_sync::emit_handoff },
+    InstanceDef { id: "us_h6", emit: user_sync::emit_handoff },
+    InstanceDef { id: "us_c1", emit: user_sync::emit_checked_handoff },
+    InstanceDef { id: "us_c2", emit: user_sync::emit_checked_handoff },
+    // Double checks.
+    InstanceDef { id: "dc_s1", emit: double_check::emit_shared },
+    InstanceDef { id: "dc_c1", emit: double_check::emit_cold },
+    // Both values valid.
+    InstanceDef { id: "bv_w1", emit: bv_watermark },
+    InstanceDef { id: "bv_v1", emit: bv_version_warm },
+    InstanceDef { id: "bv_c1", emit: bv_version_cold },
+    InstanceDef { id: "bv_c2", emit: bv_version_cold },
+    // Redundant writes: 3 + 5 + 5 = 13 races.
+    InstanceDef { id: "rw1", emit: rw_small },
+    InstanceDef { id: "rw2", emit: rw_medium },
+    InstanceDef { id: "rw3", emit: rw_wide },
+    // Disjoint bit manipulation: 3 + 2 + 2 + (1 + 1 cold) = 9 races.
+    InstanceDef { id: "db1", emit: db_three },
+    InstanceDef { id: "db2", emit: db_two },
+    InstanceDef { id: "db3", emit: db_two },
+    InstanceDef { id: "db_c1", emit: db_cold },
+    // Approximate computation: 5 counters (15 races) + 8 samplers (8).
+    InstanceDef { id: "ax1", emit: ax_counter_short },
+    InstanceDef { id: "ax2", emit: ax_counter_mid },
+    InstanceDef { id: "ax3", emit: ax_counter_long },
+    InstanceDef { id: "ax4", emit: ax_counter_short },
+    InstanceDef { id: "ax5", emit: ax_counter_mid },
+    InstanceDef { id: "ax_s1", emit: ax_sampler },
+    InstanceDef { id: "ax_s2", emit: ax_sampler },
+    InstanceDef { id: "ax_s3", emit: ax_sampler },
+    InstanceDef { id: "ax_s4", emit: ax_sampler },
+    InstanceDef { id: "ax_s5", emit: ax_sampler },
+    InstanceDef { id: "ax_s6", emit: ax_sampler },
+    InstanceDef { id: "ax_s7", emit: ax_sampler },
+    InstanceDef { id: "ax_s8", emit: ax_sampler },
+    // Harmful: refcount (2) + beacon (1) + publications (2) + dangling (2) = 7.
+    InstanceDef { id: "hf_rc", emit: refcount },
+    InstanceDef { id: "hf_sb", emit: status_beacon },
+    InstanceDef { id: "hf_p2", emit: pub_cold2 },
+    InstanceDef { id: "hf_p3", emit: pub_cold3 },
+    InstanceDef { id: "hf_d1", emit: harmful::emit_dangling },
+];
+
+/// One recorded execution: a service mix and a schedule.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    pub name: &'static str,
+    /// Instance ids enabled in this run.
+    pub enabled: Vec<&'static str>,
+    pub schedule: RunConfig,
+}
+
+/// The paper's 18 executions. Seeds were chosen once and pinned; they
+/// determine which race instances each execution contributes.
+#[must_use]
+pub fn corpus_executions() -> Vec<Execution> {
+    let chunked = |seed| RunConfig::chunked(seed, 1, 6).with_max_steps(400_000);
+    let rr = |q| RunConfig::round_robin(q).with_max_steps(400_000);
+    vec![
+        Execution { name: "e01_shell_startup", enabled: vec!["us_h1", "rw1", "ax1"], schedule: rr(2) },
+        Execution { name: "e02_settings_service", enabled: vec!["us_h2", "dc_s1", "rw2"], schedule: rr(1) },
+        Execution { name: "e03_page_load", enabled: vec!["us_h3", "bv_w1", "ax2"], schedule: rr(3) },
+        Execution { name: "e04_media_scan", enabled: vec!["us_h4", "db1", "ax_s1"], schedule: rr(2) },
+        Execution { name: "e05_session_teardown", enabled: vec!["us_h5", "rw3", "hf_rc"], schedule: chunked(15, ) },
+        Execution { name: "e06_theme_switch", enabled: vec!["us_h6", "bv_v1", "ax3"], schedule: rr(2) },
+        Execution { name: "e07_indexer", enabled: vec!["us_c1", "db2", "ax_s2"], schedule: rr(2) },
+        Execution { name: "e08_download_manager", enabled: vec!["us_c2", "ax4", "hf_sb"], schedule: rr(2) },
+        Execution { name: "e09_font_cache", enabled: vec!["dc_c1", "ax_s3", "db3"], schedule: rr(2) },
+        Execution { name: "e10_history_flush", enabled: vec!["bv_c1", "ax5", "rw1"], schedule: rr(2) },
+        Execution { name: "e11_favicon_fetch", enabled: vec!["bv_c2", "ax_s4", "us_h1"], schedule: rr(2) },
+        Execution { name: "e12_print_spooler", enabled: vec!["db_c1", "ax_s5", "hf_p2"], schedule: rr(2) },
+        Execution { name: "e13_tab_close", enabled: vec!["hf_rc", "ax1", "us_h2"], schedule: chunked(23) },
+        Execution { name: "e14_cache_eviction", enabled: vec!["hf_d1", "ax_s6", "rw2"], schedule: rr(2) },
+        Execution { name: "e15_form_autofill", enabled: vec!["ax_s7", "bv_w1", "us_h3"], schedule: rr(3) },
+        Execution { name: "e16_update_check", enabled: vec!["ax_s8", "dc_s1", "db1"], schedule: chunked(26) },
+        Execution { name: "e17_gc_pass", enabled: vec!["hf_rc", "ax2", "bv_v1", "hf_p3"], schedule: chunked(27) },
+        Execution {
+            name: "e18_stress_mix",
+            enabled: vec!["us_h4", "us_h5", "us_h6", "ax3", "hf_rc", "rw3"],
+            schedule: chunked(28),
+        },
+    ]
+}
+
+/// Builds the corpus program with the given instances enabled. The
+/// instruction stream is identical for every enable set; only the initial
+/// globals differ.
+#[must_use]
+pub fn corpus_program(enabled: &BTreeSet<&str>) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let mut alloc = GlobalAlloc::new();
+    // Reserve one enable word per instance, in registry order.
+    let mut gates: HashMap<&'static str, u64> = HashMap::new();
+    for inst in INSTANCES {
+        gates.insert(inst.id, alloc.word());
+    }
+    for inst in INSTANCES {
+        let gate = gates[inst.id];
+        b.global(gate, u64::from(enabled.contains(inst.id)));
+        let mut ctx = Ctx::new(&mut b, &mut alloc, inst.id, Some(gate));
+        let _ = (inst.emit)(&mut ctx);
+    }
+    Arc::new(b.build())
+}
+
+/// The complete ground-truth manifest of the corpus (every planted race of
+/// every instance).
+#[must_use]
+pub fn corpus_manifest() -> Vec<GroundTruthRace> {
+    // Emit into a scratch builder to collect manifests; mark names only
+    // depend on the namespace, not on where instructions land.
+    let mut b = ProgramBuilder::new();
+    let mut alloc = GlobalAlloc::new();
+    let mut races = Vec::new();
+    for inst in INSTANCES {
+        let mut ctx = Ctx::new(&mut b, &mut alloc, inst.id, None);
+        races.extend((inst.emit)(&mut ctx).races);
+    }
+    races
+}
+
+/// Number of registered instances (for tests).
+#[must_use]
+pub fn instance_count() -> usize {
+    INSTANCES.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_shape_is_stable_across_enable_sets() {
+        let all: BTreeSet<&str> = INSTANCES.iter().map(|i| i.id).collect();
+        let none = BTreeSet::new();
+        let p_all = corpus_program(&all);
+        let p_none = corpus_program(&none);
+        assert_eq!(p_all.instrs(), p_none.instrs(), "instructions must not depend on gating");
+        assert_eq!(p_all.marks(), p_none.marks());
+        assert_ne!(p_all.globals(), p_none.globals());
+    }
+
+    #[test]
+    fn manifest_resolves_against_the_program() {
+        let all: BTreeSet<&str> = INSTANCES.iter().map(|i| i.id).collect();
+        let program = corpus_program(&all);
+        let manifest = corpus_manifest();
+        let truth = crate::truth::TruthTable::resolve(&program, &manifest);
+        assert!(truth.len() >= 60, "corpus plants ~68 unique races, got {}", truth.len());
+    }
+
+    #[test]
+    fn executions_reference_known_instances() {
+        let known: BTreeSet<&str> = INSTANCES.iter().map(|i| i.id).collect();
+        let execs = corpus_executions();
+        assert_eq!(execs.len(), 18, "the paper records 18 executions");
+        let mut used = BTreeSet::new();
+        for e in &execs {
+            for id in &e.enabled {
+                assert!(known.contains(id), "{} references unknown instance {id}", e.name);
+                used.insert(*id);
+            }
+        }
+        assert_eq!(used, known, "every instance must be exercised by some execution");
+    }
+}

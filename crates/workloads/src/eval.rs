@@ -1,0 +1,332 @@
+//! Corpus evaluation: regenerates the paper's Table 1, Table 2, and
+//! Figures 3–5 by running the full pipeline over the 18 executions and
+//! joining the merged classification with the ground-truth manifests.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use replay_race::classify::{
+    merge_classifications, ClassificationResult, ClassifierConfig, OutcomeGroup, Verdict,
+};
+use replay_race::detect::{DetectorConfig, StaticRaceId};
+use replay_race::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+
+use crate::corpus::{corpus_executions, corpus_manifest, corpus_program};
+use crate::truth::{BenignCategory, TrueVerdict, TruthTable};
+
+/// Per-execution summary kept for reporting.
+#[derive(Debug)]
+pub struct ExecutionOutcome {
+    pub name: &'static str,
+    pub instructions: u64,
+    pub unique_races: usize,
+    pub race_instances: usize,
+    pub raw_log_bytes: usize,
+    pub compressed_log_bytes: usize,
+}
+
+/// Everything the corpus run produces.
+#[derive(Debug)]
+pub struct CorpusReport {
+    /// Classification merged across all executions (paper §4.3: instance
+    /// evidence accumulates across test scenarios).
+    pub merged: ClassificationResult,
+    /// Ground truth resolved against the corpus program.
+    pub truth: TruthTable,
+    pub executions: Vec<ExecutionOutcome>,
+    /// Races detected that the manifests do not cover (should be empty).
+    pub unexpected: Vec<StaticRaceId>,
+    /// Total instructions across all executions.
+    pub total_instructions: u64,
+}
+
+impl CorpusReport {
+    /// Races detected across the corpus.
+    #[must_use]
+    pub fn detected_races(&self) -> usize {
+        self.merged.races.len()
+    }
+
+    /// Planted races that no execution detected (dynamic coverage gaps).
+    #[must_use]
+    pub fn missing_races(&self) -> Vec<(StaticRaceId, TrueVerdict)> {
+        self.truth
+            .iter()
+            .filter(|(id, _)| !self.merged.races.contains_key(id))
+            .collect()
+    }
+
+    /// Total dynamic race instances detected.
+    #[must_use]
+    pub fn total_instances(&self) -> usize {
+        self.merged.races.values().map(|r| r.counts.detected).sum()
+    }
+}
+
+/// Runs the full corpus (18 executions), classifies, merges, and joins with
+/// ground truth.
+///
+/// # Panics
+///
+/// Panics if a freshly recorded log fails to replay (a pipeline bug).
+#[must_use]
+pub fn run_corpus() -> CorpusReport {
+    let executions = corpus_executions();
+    let mut results = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut total_instructions = 0;
+    let mut program_for_truth = None;
+    for exec in &executions {
+        let enabled: BTreeSet<&str> = exec.enabled.iter().copied().collect();
+        let program = corpus_program(&enabled);
+        let config = PipelineConfig {
+            run: exec.schedule,
+            detector: DetectorConfig::default(),
+            classifier: ClassifierConfig::default(),
+            measure_native: false,
+        };
+        let PipelineResult { detected, classification, log_size, instructions, .. } =
+            run_pipeline(&program, &config).expect("corpus recording must replay");
+        total_instructions += instructions;
+        outcomes.push(ExecutionOutcome {
+            name: exec.name,
+            instructions,
+            unique_races: detected.unique_races(),
+            race_instances: detected.instance_count(),
+            raw_log_bytes: log_size.raw_bytes,
+            compressed_log_bytes: log_size.compressed_bytes,
+        });
+        results.push(classification);
+        program_for_truth.get_or_insert(program);
+    }
+    let merged = merge_classifications(&results);
+    let truth = TruthTable::resolve(
+        program_for_truth.as_ref().expect("at least one execution"),
+        &corpus_manifest(),
+    );
+    let unexpected =
+        merged.races.keys().filter(|id| truth.verdict(**id).is_none()).copied().collect();
+    CorpusReport { merged, truth, executions: outcomes, unexpected, total_instructions }
+}
+
+/// Table 1: outcome groups × (tool verdict, manual verdict).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table1 {
+    /// `[group][real]`: group 0=NoStateChange, 1=StateChange,
+    /// 2=ReplayFailure; real 0=benign, 1=harmful.
+    pub cells: [[usize; 2]; 3],
+}
+
+impl Table1 {
+    /// Computes Table 1 from a corpus run.
+    #[must_use]
+    pub fn compute(report: &CorpusReport) -> Self {
+        let mut cells = [[0usize; 2]; 3];
+        for race in report.merged.races.values() {
+            let Some(verdict) = report.truth.verdict(race.id) else { continue };
+            let g = match race.group {
+                OutcomeGroup::NoStateChange => 0,
+                OutcomeGroup::StateChange => 1,
+                OutcomeGroup::ReplayFailure => 2,
+            };
+            let r = usize::from(verdict.is_harmful());
+            cells[g][r] += 1;
+        }
+        Table1 { cells }
+    }
+
+    /// Total races in the table.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.cells.iter().flatten().sum()
+    }
+
+    /// Races the tool classifies potentially benign (the No-State-Change
+    /// row).
+    #[must_use]
+    pub fn potentially_benign(&self) -> usize {
+        self.cells[0][0] + self.cells[0][1]
+    }
+
+    /// Races the tool classifies potentially harmful.
+    #[must_use]
+    pub fn potentially_harmful(&self) -> usize {
+        self.total() - self.potentially_benign()
+    }
+
+    /// Harmful races misclassified as potentially benign — the paper
+    /// reports **zero** and so must we for the corpus.
+    #[must_use]
+    pub fn missed_harmful(&self) -> usize {
+        self.cells[0][1]
+    }
+
+    /// Really-benign races classified potentially harmful (triage waste).
+    #[must_use]
+    pub fn benign_flagged_harmful(&self) -> usize {
+        self.cells[1][0] + self.cells[2][0]
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1: Data Race Classification")?;
+        writeln!(
+            f,
+            "{:<16} {:>18} {:>18} {:>7}",
+            "", "Potentially Benign", "Potentially Harmful", "Total"
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>9} {:>8} {:>9} {:>8} {:>7}",
+            "", "RealBen", "RealHarm", "RealBen", "RealHarm", ""
+        )?;
+        let rows = [("No State Change", 0), ("State Change", 1), ("Replay Failure", 2)];
+        for (label, g) in rows {
+            let (ben, harm) = (self.cells[g][0], self.cells[g][1]);
+            if g == 0 {
+                writeln!(f, "{label:<16} {ben:>9} {harm:>8} {:>9} {:>8} {:>7}", "-", "-", ben + harm)?;
+            } else {
+                writeln!(f, "{label:<16} {:>9} {:>8} {ben:>9} {harm:>8} {:>7}", "-", "-", ben + harm)?;
+            }
+        }
+        let pb = self.potentially_benign();
+        let ph = self.potentially_harmful();
+        let benign_ph = self.benign_flagged_harmful();
+        let harm_ph = ph - benign_ph;
+        writeln!(
+            f,
+            "{:<16} {:>9} {:>8} {:>9} {:>8} {:>7}",
+            "Total",
+            self.cells[0][0],
+            self.cells[0][1],
+            benign_ph,
+            harm_ph,
+            self.total()
+        )?;
+        writeln!(f, "(tool: {pb} potentially benign, {ph} potentially harmful)")
+    }
+}
+
+/// Table 2: real-benign races by category.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table2 {
+    pub counts: std::collections::BTreeMap<BenignCategory, usize>,
+}
+
+impl Table2 {
+    /// Computes Table 2 over the detected, really-benign races.
+    #[must_use]
+    pub fn compute(report: &CorpusReport) -> Self {
+        let mut counts = std::collections::BTreeMap::new();
+        for race in report.merged.races.values() {
+            if let Some(TrueVerdict::Benign(cat)) = report.truth.verdict(race.id) {
+                *counts.entry(cat).or_insert(0) += 1;
+            }
+        }
+        Table2 { counts }
+    }
+
+    /// Total benign races.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: Benign Data Races")?;
+        for cat in BenignCategory::ALL {
+            writeln!(f, "{:<36} {:>4}", cat.label(), self.counts.get(&cat).copied().unwrap_or(0))?;
+        }
+        writeln!(f, "{:<36} {:>4}", "Total", self.total())
+    }
+}
+
+/// One bar of Figures 3–5: a race with its instance statistics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FigureBar {
+    pub race: StaticRaceId,
+    /// Instances analyzed across all executions.
+    pub instances: usize,
+    /// Instances that exposed the race (state change or replay failure).
+    pub exposing: usize,
+}
+
+/// A figure: per-race instance statistics for one subset of races.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    pub title: &'static str,
+    pub bars: Vec<FigureBar>,
+}
+
+impl Figure {
+    /// Figure 3: races classified potentially benign (all instances are
+    /// No-State-Change).
+    #[must_use]
+    pub fn figure3(report: &CorpusReport) -> Self {
+        Self::collect(report, "Figure 3: instances of potentially-benign races", |v, verdict| {
+            v == Verdict::PotentiallyBenign && !verdict.is_harmful()
+        })
+    }
+
+    /// Figure 4: potentially harmful and really harmful.
+    #[must_use]
+    pub fn figure4(report: &CorpusReport) -> Self {
+        Self::collect(report, "Figure 4: instances of real-harmful races", |v, verdict| {
+            v == Verdict::PotentiallyHarmful && verdict.is_harmful()
+        })
+    }
+
+    /// Figure 5: potentially harmful but really benign (the
+    /// misclassifications).
+    #[must_use]
+    pub fn figure5(report: &CorpusReport) -> Self {
+        Self::collect(report, "Figure 5: instances of misclassified benign races", |v, verdict| {
+            v == Verdict::PotentiallyHarmful && !verdict.is_harmful()
+        })
+    }
+
+    fn collect(
+        report: &CorpusReport,
+        title: &'static str,
+        keep: impl Fn(Verdict, TrueVerdict) -> bool,
+    ) -> Self {
+        let mut bars: Vec<FigureBar> = report
+            .merged
+            .races
+            .values()
+            .filter_map(|race| {
+                let verdict = report.truth.verdict(race.id)?;
+                keep(race.verdict, verdict).then_some(FigureBar {
+                    race: race.id,
+                    instances: race.counts.analyzed,
+                    exposing: race.counts.exposing(),
+                })
+            })
+            .collect();
+        bars.sort_by(|a, b| b.instances.cmp(&a.instances).then(a.race.cmp(&b.race)));
+        Figure { title, bars }
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for bar in &self.bars {
+            writeln!(
+                f,
+                "  {:<16} instances={:<6} exposing={:<6} {}",
+                bar.race.to_string(),
+                bar.instances,
+                bar.exposing,
+                "#".repeat(bar.instances.min(60))
+            )?;
+        }
+        if self.bars.is_empty() {
+            writeln!(f, "  (none)")?;
+        }
+        Ok(())
+    }
+}

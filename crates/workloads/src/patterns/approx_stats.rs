@@ -1,0 +1,134 @@
+//! §5.2.4 *Approximate Computation*: statistics updated without
+//! synchronization because the developers chose to tolerate lost updates
+//! rather than pay for locks. These races are **really benign** (the
+//! imprecision is intended) but they *do* change program state, so the
+//! replay classifier marks them potentially harmful — the paper's dominant
+//! misclassification (23 of 29).
+//!
+//! * [`emit_counter`] — two workers run the same unsynchronized
+//!   load-increment-store on a shared counter, and a reporter prints the
+//!   (approximate) total. Plants 3 races, expected **State-Change**.
+//! * [`emit_sampler`] — a sampler reads the counter once, late, and
+//!   branches to a cold "nothing happened yet" path only when it reads
+//!   zero. The alternative order of the (first-store, sample) instance
+//!   reads zero and lands in unrecorded code: **Replay-Failure**. Plants 1
+//!   race.
+
+use tvm::isa::{Cond, Reg};
+
+use super::{Ctx, Emitted};
+use crate::truth::{BenignCategory, TrueVerdict};
+
+/// Emits the racy statistics counter with a printing reporter (3 races, all
+/// expected State-Change).
+pub fn emit_counter(ctx: &mut Ctx<'_>, iters: u64) -> Emitted {
+    assert!(iters >= 1);
+    let counter = ctx.alloc.word();
+    let mut emitted = Emitted::default();
+
+    // Shared increment function so both workers have identical racing pcs.
+    let inc_fn = ctx.label("inc_fn");
+    for w in 0..2 {
+        ctx.thread(&format!("stat_worker{w}"));
+        let top = ctx.label(&format!("w{w}_top"));
+        ctx.b.movi(Reg::R7, iters).label(top).call(inc_fn).subi(Reg::R7, Reg::R7, 1).branch(
+            Cond::Ne,
+            Reg::R7,
+            Reg::R15,
+            top,
+        );
+        ctx.clobber_scratch();
+        ctx.b.halt();
+    }
+
+    ctx.thread("stat_reporter");
+    // Sample mid-flight.
+    ctx.busywork(8);
+    let report = ctx.mark("report_total");
+    ctx.b.load(Reg::R1, Reg::R15, counter as i64);
+    ctx.b.print(Reg::R1);
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    ctx.b.label(inc_fn);
+    let load = ctx.mark("stat_load");
+    ctx.b.load(Reg::R1, Reg::R15, counter as i64).addi(Reg::R1, Reg::R1, 1);
+    let store = ctx.mark("stat_store");
+    ctx.b.store(Reg::R1, Reg::R15, counter as i64).movi(Reg::R1, 0).ret();
+
+    let benign = TrueVerdict::Benign(BenignCategory::ApproximateComputation);
+    emitted.push(load.clone(), store.clone(), benign);
+    emitted.push(store.clone(), store.clone(), benign);
+    emitted.push(store, report, benign);
+    emitted
+}
+
+/// Emits the zero-check sampler over its own counter with one incrementing
+/// worker (1 race, expected Replay-Failure).
+pub fn emit_sampler(ctx: &mut Ctx<'_>, iters: u64) -> Emitted {
+    let counter = ctx.alloc.word();
+    let mut emitted = Emitted::default();
+
+    ctx.thread("sampled_worker");
+    let top = ctx.label("top");
+    ctx.b.movi(Reg::R7, iters).label(top);
+    ctx.b.load(Reg::R1, Reg::R15, counter as i64).addi(Reg::R1, Reg::R1, 1);
+    let store = ctx.mark("sampled_store");
+    ctx.b
+        .store(Reg::R1, Reg::R15, counter as i64)
+        .subi(Reg::R7, Reg::R7, 1)
+        .branch(Cond::Ne, Reg::R7, Reg::R15, top);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("sampler");
+    // Sample after the worker has certainly started: the recorded value is
+    // non-zero, keeping the zero path cold.
+    ctx.busywork(24);
+    let sample = ctx.mark("sample_total");
+    let cold = ctx.label("cold_zero");
+    let join = ctx.label("join");
+    ctx.b
+        .load(Reg::R1, Reg::R15, counter as i64)
+        .branch(Cond::Eq, Reg::R1, Reg::R15, cold)
+        .jump(join);
+    ctx.b.label(cold);
+    // "No activity yet" handling — benign, but never recorded.
+    ctx.b.movi(Reg::R4, 1).movi(Reg::R4, 0).jump(join);
+    ctx.b.label(join);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    emitted.push(store, sample, TrueVerdict::Benign(BenignCategory::ApproximateComputation));
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::{assert_groups, run_pattern};
+    use replay_race::classify::OutcomeGroup;
+    use tvm::scheduler::RunConfig;
+
+    #[test]
+    fn counter_races_are_state_change() {
+        // A fine-grained schedule interleaves the increments, so some
+        // instance exposes a lost update.
+        let run = run_pattern(|ctx| emit_counter(ctx, 4), RunConfig::round_robin(2));
+        assert!(run.unexpected.is_empty(), "{:?}", run.unexpected);
+        for (id, group) in &run.groups {
+            if let Some(g) = group {
+                assert_eq!(*g, OutcomeGroup::StateChange, "race {id}");
+            }
+        }
+        // At least the increment pair must be detected and state-changing.
+        let detected = run.groups.values().flatten().count();
+        assert!(detected >= 2, "expected >= 2 detected races, got {detected}");
+    }
+
+    #[test]
+    fn sampler_is_replay_failure() {
+        let run = run_pattern(|ctx| emit_sampler(ctx, 3), RunConfig::round_robin(1));
+        assert_groups(&run, &[("sampled_store", "sample_total", OutcomeGroup::ReplayFailure)]);
+    }
+}

@@ -1,0 +1,190 @@
+//! §5.4(3) *Both Values Valid*: the racing read may correctly observe
+//! either the old or the new value.
+//!
+//! Three emitters, modeled on the paper's own examples:
+//!
+//! * [`emit_watermark`] — the producer/consumer buffer: the consumer reads
+//!   the producer's write-count without synchronization; a stale count just
+//!   makes it wait longer. Re-checking loops make both replay orders
+//!   converge: **No-State-Change**. Plants 2 races (count and entry).
+//! * [`emit_version_switch`] with `cold = false` — a shared variable picks
+//!   between two implementations of the same computation; the reader saw
+//!   both versions during recording, and both produce the same value:
+//!   **No-State-Change**. 1 race.
+//! * [`emit_version_switch`] with `cold = true` — the recorded execution
+//!   only ever called one version; the alternative order dispatches into
+//!   the unrecorded one: **Replay-Failure**, a really-benign
+//!   misclassification (paper §5.2.4). 1 race.
+
+use tvm::isa::{BinOp, Cond, Reg};
+
+use super::{Ctx, Emitted};
+use crate::truth::{BenignCategory, TrueVerdict};
+
+/// Emits the producer/consumer watermark (2 races, both No-State-Change).
+pub fn emit_watermark(ctx: &mut Ctx<'_>, entries: u64) -> Emitted {
+    assert!(entries >= 1);
+    let count = ctx.alloc.word();
+    let buf = ctx.alloc.block(entries);
+    let mut emitted = Emitted::default();
+
+    // Producer: for i in 1..=entries { buf[i-1] = i; count = i; }
+    ctx.thread("producer");
+    let ptop = ctx.label("ptop");
+    ctx.b
+        .movi(Reg::R1, 1) // i
+        .movi(Reg::R2, buf) // &buf[i-1]
+        .label(ptop);
+    let produce = ctx.mark("produce_entry");
+    ctx.b.store(Reg::R1, Reg::R2, 0);
+    let bump = ctx.mark("bump_count");
+    ctx.b
+        .store(Reg::R1, Reg::R15, count as i64)
+        .addi(Reg::R1, Reg::R1, 1)
+        .addi(Reg::R2, Reg::R2, 1)
+        .bini(BinOp::Sub, Reg::R3, Reg::R1, entries + 1)
+        .branch(Cond::Ne, Reg::R3, Reg::R15, ptop);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    // Consumer: for j in 0..entries { wait until count > j; wait until
+    // buf[j] != 0; sum += buf[j]; } print sum.
+    ctx.thread("consumer");
+    let jtop = ctx.label("jtop");
+    let cspin = ctx.label("count_spin");
+    let espin = ctx.label("entry_spin");
+    ctx.b
+        .movi(Reg::R4, 0) // j
+        .movi(Reg::R5, buf) // &buf[j]
+        .movi(Reg::R6, 0) // sum
+        .label(jtop)
+        .label(cspin);
+    let read_count = ctx.mark("read_count");
+    ctx.b
+        .load(Reg::R1, Reg::R15, count as i64)
+        .branch(Cond::Le, Reg::R1, Reg::R4, cspin)
+        .movi(Reg::R1, 0) // the raced count value must not escape
+        .label(espin);
+    let read_entry = ctx.mark("read_entry");
+    ctx.b
+        .load(Reg::R2, Reg::R5, 0)
+        .branch(Cond::Eq, Reg::R2, Reg::R15, espin)
+        .add(Reg::R6, Reg::R6, Reg::R2)
+        .addi(Reg::R4, Reg::R4, 1)
+        .addi(Reg::R5, Reg::R5, 1)
+        .bini(BinOp::Sub, Reg::R3, Reg::R4, entries)
+        .branch(Cond::Ne, Reg::R3, Reg::R15, jtop);
+    // sum is deterministic: 1 + 2 + ... + entries.
+    ctx.b.print(Reg::R6);
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    let benign = TrueVerdict::Benign(BenignCategory::BothValuesValid);
+    emitted.push(bump, read_count, benign);
+    emitted.push(produce, read_entry, benign);
+    emitted
+}
+
+/// Emits the function-version switch (1 race).
+///
+/// With `cold = false` the reader polls the version variable in a loop that
+/// observes both versions during recording (No-State-Change). With
+/// `cold = true` the reader checks once, late — the recorded run only ever
+/// dispatched to version 1, so the alternative order's dispatch to version
+/// 0 is a Replay-Failure.
+pub fn emit_version_switch(ctx: &mut Ctx<'_>, cold: bool) -> Emitted {
+    let ver = ctx.alloc.word();
+    let input = 21u64;
+    let mut emitted = Emitted::default();
+
+    // Both versions compute r2 = 2 * r1, differently.
+    let f0 = ctx.label("f_v0");
+    let f1 = ctx.label("f_v1");
+    let dispatch_join = ctx.label("dispatch_join");
+
+    ctx.thread("switcher");
+    if !cold {
+        // Give the reader time to observe version 0 first.
+        ctx.busywork(16);
+    }
+    ctx.b.movi(Reg::R1, 1);
+    let set_ver = ctx.mark("set_version");
+    ctx.b.store(Reg::R1, Reg::R15, ver as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("caller");
+    let iterations: u64 = if cold { 1 } else { 6 };
+    if cold {
+        // Run late: the recorded read observes version 1 only.
+        ctx.busywork(24);
+    }
+    let loop_top = ctx.label("loop_top");
+    ctx.b.movi(Reg::R7, iterations).label(loop_top).movi(Reg::R1, input);
+    let read_ver = ctx.mark("read_version");
+    ctx.b
+        .load(Reg::R3, Reg::R15, ver as i64)
+        .branch(Cond::Eq, Reg::R3, Reg::R15, f0)
+        .jump(f1);
+    ctx.b.label(f0);
+    ctx.b.bin(BinOp::Add, Reg::R2, Reg::R1, Reg::R1).jump(dispatch_join);
+    ctx.b.label(f1);
+    ctx.b.bini(BinOp::Shl, Reg::R2, Reg::R1, 1).jump(dispatch_join);
+    ctx.b.label(dispatch_join);
+    // r2 == 42 either way; the raced version value must not escape.
+    ctx.b
+        .movi(Reg::R3, 0)
+        .subi(Reg::R7, Reg::R7, 1)
+        .branch(Cond::Ne, Reg::R7, Reg::R15, loop_top);
+    ctx.b.print(Reg::R2);
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    emitted.push(set_ver, read_ver, TrueVerdict::Benign(BenignCategory::BothValuesValid));
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::{assert_groups, run_pattern};
+    use replay_race::classify::OutcomeGroup;
+    use tvm::scheduler::RunConfig;
+
+    #[test]
+    fn watermark_converges() {
+        let run = run_pattern(|ctx| emit_watermark(ctx, 4), RunConfig::round_robin(3));
+        assert_groups(
+            &run,
+            &[
+                ("bump_count", "read_count", OutcomeGroup::NoStateChange),
+                ("produce_entry", "read_entry", OutcomeGroup::NoStateChange),
+            ],
+        );
+    }
+
+    #[test]
+    fn watermark_sum_is_deterministic_across_schedules() {
+        for seed in 0..8 {
+            let run = run_pattern(|ctx| emit_watermark(ctx, 3), RunConfig::chunked(seed, 1, 5));
+            assert!(run.unexpected.is_empty(), "seed {seed}: {:?}", run.unexpected);
+            for (id, group) in &run.groups {
+                if let Some(g) = group {
+                    assert_eq!(*g, OutcomeGroup::NoStateChange, "seed {seed} race {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_version_switch_is_no_state_change() {
+        let run = run_pattern(|ctx| emit_version_switch(ctx, false), RunConfig::round_robin(2));
+        assert_groups(&run, &[("set_version", "read_version", OutcomeGroup::NoStateChange)]);
+    }
+
+    #[test]
+    fn cold_version_switch_is_replay_failure() {
+        let run = run_pattern(|ctx| emit_version_switch(ctx, true), RunConfig::round_robin(2));
+        assert_groups(&run, &[("set_version", "read_version", OutcomeGroup::ReplayFailure)]);
+    }
+}

@@ -1,0 +1,158 @@
+//! §5.4(5) *Disjoint Bit Manipulation*: reader and writer use different
+//! bits of the same word, so the race on the word is benign once the
+//! irrelevant bits are masked off.
+//!
+//! * [`emit`] — one writer repeatedly rewrites the low byte of a packed
+//!   word whose high byte is constant; each reader masks out the low byte.
+//!   Every (write, read) race is **No-State-Change**. Plants one race per
+//!   reader.
+//! * [`emit_cold_bit`] — additionally, the writer's *final* store sets a
+//!   "shutdown" bit that a reader's recorded check never saw set; the
+//!   alternative order observes it and branches into cold code:
+//!   **Replay-Failure**, really benign. Plants 2 races (one NoStateChange,
+//!   one ReplayFailure).
+
+use tvm::isa::{BinOp, Cond, Reg};
+
+use super::{Ctx, Emitted};
+use crate::truth::{BenignCategory, TrueVerdict};
+
+/// High byte of the packed word (never modified).
+const HIGH_BYTE: u64 = 0xAB00;
+/// Bit 16: the cold-variant "shutdown" flag.
+const SHUTDOWN_BIT: u64 = 0x1_0000;
+
+fn emit_writer(ctx: &mut Ctx<'_>, word: u64, iters: u64, finish_with_bit: bool) -> (String, Option<String>) {
+    ctx.thread("bit_writer");
+    let top = ctx.label("wtop");
+    ctx.b.movi(Reg::R1, 1).label(top);
+    // r2 = (word & ~0xff) | r1  — update only the low byte.
+    ctx.b
+        .load(Reg::R2, Reg::R15, word as i64)
+        .bini(BinOp::And, Reg::R2, Reg::R2, !0xffu64)
+        .bin(BinOp::Or, Reg::R2, Reg::R2, Reg::R1);
+    let store = ctx.mark("write_low_byte");
+    ctx.b
+        .store(Reg::R2, Reg::R15, word as i64)
+        .addi(Reg::R1, Reg::R1, 1)
+        .bini(BinOp::Sub, Reg::R3, Reg::R1, iters + 1)
+        .branch(Cond::Ne, Reg::R3, Reg::R15, top);
+    let finish = if finish_with_bit {
+        ctx.b
+            .load(Reg::R2, Reg::R15, word as i64)
+            .bini(BinOp::Or, Reg::R2, Reg::R2, SHUTDOWN_BIT);
+        let finish = ctx.mark("write_shutdown_bit");
+        ctx.b.store(Reg::R2, Reg::R15, word as i64);
+        Some(finish)
+    } else {
+        None
+    };
+    ctx.clobber_scratch();
+    ctx.b.halt();
+    (store, finish)
+}
+
+/// Emits the plain variant with `readers` reader threads; plants `readers`
+/// No-State-Change races.
+pub fn emit(ctx: &mut Ctx<'_>, readers: usize, iters: u64) -> Emitted {
+    let word = ctx.alloc.word();
+    ctx.b.global(word, HIGH_BYTE);
+    let mut emitted = Emitted::default();
+    let (store, _) = emit_writer(ctx, word, iters, false);
+    for r in 0..readers {
+        ctx.thread(&format!("bit_reader{r}"));
+        let read = ctx.mark(&format!("read_high_byte{r}"));
+        ctx.b
+            .load(Reg::R1, Reg::R15, word as i64)
+            .bini(BinOp::And, Reg::R1, Reg::R1, 0xff00);
+        // The masked value is always the constant high byte.
+        ctx.b.print(Reg::R1);
+        ctx.clobber_scratch();
+        ctx.b.movi(Reg::R0, 0).halt();
+        emitted.push(
+            store.clone(),
+            read,
+            TrueVerdict::Benign(BenignCategory::DisjointBitManipulation),
+        );
+    }
+    emitted
+}
+
+/// Emits the cold-bit variant; plants 2 races.
+pub fn emit_cold_bit(ctx: &mut Ctx<'_>, iters: u64) -> Emitted {
+    let word = ctx.alloc.word();
+    ctx.b.global(word, HIGH_BYTE);
+    let mut emitted = Emitted::default();
+    let (store, finish) = emit_writer(ctx, word, iters, true);
+    let finish = finish.expect("cold variant always finishes with the bit");
+
+    ctx.thread("bit_checker");
+    let cold = ctx.label("cold_shutdown");
+    let join = ctx.label("join");
+    let read = ctx.mark("check_bits");
+    ctx.b
+        .load(Reg::R1, Reg::R15, word as i64)
+        .bini(BinOp::And, Reg::R2, Reg::R1, SHUTDOWN_BIT)
+        .movi(Reg::R1, 0)
+        .branch(Cond::Ne, Reg::R2, Reg::R15, cold)
+        .jump(join);
+    // Cold path: handle shutdown — never executed in the recording because
+    // the checker runs before the writer's final store.
+    ctx.b.label(cold);
+    ctx.b.movi(Reg::R4, 0xDEAD).movi(Reg::R4, 0).jump(join);
+    ctx.b.label(join);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    let benign = TrueVerdict::Benign(BenignCategory::DisjointBitManipulation);
+    emitted.push(store, read.clone(), benign);
+    emitted.push(finish, read, benign);
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::{assert_groups, run_pattern};
+    use replay_race::classify::OutcomeGroup;
+    use tvm::scheduler::RunConfig;
+
+    #[test]
+    fn masked_readers_are_no_state_change() {
+        let run = run_pattern(|ctx| emit(ctx, 2, 4), RunConfig::round_robin(2));
+        assert_groups(
+            &run,
+            &[
+                ("write_low_byte", "read_high_byte0", OutcomeGroup::NoStateChange),
+                ("write_low_byte", "read_high_byte1", OutcomeGroup::NoStateChange),
+            ],
+        );
+    }
+
+    #[test]
+    fn stable_across_schedules() {
+        for seed in 0..8 {
+            let run = run_pattern(|ctx| emit(ctx, 1, 3), RunConfig::chunked(seed, 1, 4));
+            assert!(run.unexpected.is_empty(), "seed {seed}: {:?}", run.unexpected);
+            for (id, group) in &run.groups {
+                if let Some(g) = group {
+                    assert_eq!(*g, OutcomeGroup::NoStateChange, "seed {seed} race {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_bit_checker_is_replay_failure() {
+        // Round-robin(1): the checker's single read happens well before the
+        // writer's final store, so the recorded check sees the bit clear.
+        let run = run_pattern(|ctx| emit_cold_bit(ctx, 6), RunConfig::round_robin(1));
+        assert_groups(
+            &run,
+            &[
+                ("write_low_byte", "check_bits", OutcomeGroup::NoStateChange),
+                ("write_shutdown_bit", "check_bits", OutcomeGroup::ReplayFailure),
+            ],
+        );
+    }
+}

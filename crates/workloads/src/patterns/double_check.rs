@@ -1,0 +1,146 @@
+//! §5.4(2) *Double Checks*: the unsynchronized fast-path check of
+//! double-checked (lazy) initialization. The racy outer read is benign: if
+//! it observes the "not yet initialized" value, the thread simply performs
+//! the (idempotent) initialization itself.
+//!
+//! Two variants:
+//!
+//! * [`emit_shared`] — both threads run the *same* checking function
+//!   (warmed on a private slot first, so the initialization path is in both
+//!   footprints). The alternative order routes the checker into the init
+//!   body, which stores the exact same values: **No-State-Change**.
+//! * [`emit_cold`] — a dedicated initializer plus a checker whose own init
+//!   path was never recorded: the alternative order lands in cold code, a
+//!   **Replay-Failure** misclassification of a really benign race (paper
+//!   §5.2.4).
+
+use tvm::isa::{Cond, Reg};
+
+use super::{Ctx, Emitted};
+use crate::truth::{BenignCategory, TrueVerdict};
+
+const INIT_VALUE: u64 = 0x1234;
+
+/// Emits the warm, shared-function variant. Plants 2 races: the
+/// always-present check/init-flag race, plus the flag write-write race
+/// (detected when both threads take the init path in the recorded
+/// schedule — use a fine-grained schedule to interleave them).
+pub fn emit_shared(ctx: &mut Ctx<'_>) -> Emitted {
+    let slot_a = ctx.alloc.word(); // thread a's private warm-up flag
+    let slot_b = ctx.alloc.word(); // thread b's private warm-up flag
+    let shared = ctx.alloc.word(); // the racy flag
+    let out_a = ctx.alloc.word(); // per-thread init output (not shared)
+    let out_b = ctx.alloc.word();
+    let mut emitted = Emitted::default();
+
+    // The checking function: r10 = flag address, r11 = private output
+    // address. The expensive initialization result goes to the caller's
+    // private word, so the only shared state is the flag itself.
+    //
+    //   if (*flag == 0) { *out = INIT_VALUE; *flag = 1; }
+    let func = ctx.label("dc_fn");
+    let join = ctx.label("dc_join");
+    for (name, private, out) in [("a", slot_a, out_a), ("b", slot_b, out_b)] {
+        ctx.thread(&format!("checker_{name}"));
+        // Warm-up call on the private flag executes the init path, putting
+        // it into this thread's footprint.
+        ctx.b.movi(Reg::R10, private).movi(Reg::R11, out).call(func);
+        // The racy call.
+        ctx.b.movi(Reg::R10, shared).movi(Reg::R11, out).call(func);
+        ctx.b.movi(Reg::R10, 0).movi(Reg::R11, 0);
+        ctx.clobber_scratch();
+        ctx.b.halt();
+    }
+
+    ctx.b.label(func);
+    let outer_check = ctx.mark("outer_check");
+    ctx.b.load(Reg::R1, Reg::R10, 0).branch(Cond::Ne, Reg::R1, Reg::R15, join);
+    ctx.b.movi(Reg::R2, INIT_VALUE).store(Reg::R2, Reg::R11, 0);
+    ctx.b.movi(Reg::R3, 1);
+    let init_flag = ctx.mark("init_flag");
+    ctx.b.store(Reg::R3, Reg::R10, 0);
+    ctx.b.label(join);
+    ctx.b.movi(Reg::R1, 0).movi(Reg::R2, 0).movi(Reg::R3, 0).ret();
+
+    let benign = TrueVerdict::Benign(BenignCategory::DoubleCheck);
+    emitted.push(outer_check, init_flag.clone(), benign);
+    // Detected when both threads entered the init path in the recording:
+    emitted.push(init_flag.clone(), init_flag, benign);
+    emitted
+}
+
+/// Emits the cold variant: one race, misclassified Replay-Failure.
+pub fn emit_cold(ctx: &mut Ctx<'_>) -> Emitted {
+    let slot = ctx.alloc.block(2); // [flag, value]
+    let mut emitted = Emitted::default();
+
+    ctx.thread("initializer");
+    ctx.b.movi(Reg::R2, INIT_VALUE).store(Reg::R2, Reg::R15, slot as i64 + 1);
+    ctx.b.movi(Reg::R3, 1);
+    let init_flag = ctx.mark("init_flag");
+    ctx.b.store(Reg::R3, Reg::R15, slot as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("checker");
+    // Run late so the recorded check observes flag == 1 and the fallback
+    // init body below stays cold.
+    ctx.busywork(24);
+    let outer_check = ctx.mark("outer_check");
+    let cold_init = ctx.label("cold_init");
+    let join = ctx.label("join");
+    ctx.b
+        .load(Reg::R1, Reg::R15, slot as i64)
+        .branch(Cond::Eq, Reg::R1, Reg::R15, cold_init)
+        .jump(join);
+    ctx.b.label(cold_init);
+    // Idempotent re-initialization; harmless — but never recorded.
+    ctx.b
+        .movi(Reg::R2, INIT_VALUE)
+        .store(Reg::R2, Reg::R15, slot as i64 + 1)
+        .movi(Reg::R3, 1)
+        .store(Reg::R3, Reg::R15, slot as i64)
+        .jump(join);
+    ctx.b.label(join);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    emitted.push(init_flag, outer_check, TrueVerdict::Benign(BenignCategory::DoubleCheck));
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::run_pattern;
+    use replay_race::classify::OutcomeGroup;
+    use tvm::scheduler::RunConfig;
+
+    #[test]
+    fn shared_variant_is_no_state_change() {
+        for seed in 0..10u64 {
+            let run = run_pattern(emit_shared, RunConfig::chunked(seed, 1, 4));
+            assert!(run.unexpected.is_empty(), "seed {seed}: {:?}", run.unexpected);
+            let mut detected = 0;
+            for (id, group) in &run.groups {
+                if let Some(g) = group {
+                    detected += 1;
+                    assert_eq!(
+                        *g,
+                        OutcomeGroup::NoStateChange,
+                        "seed {seed} race {id}: double check must converge"
+                    );
+                }
+            }
+            assert!(detected >= 1, "seed {seed}: the check/init race must be detected");
+        }
+    }
+
+    #[test]
+    fn cold_variant_is_replay_failure() {
+        let run = run_pattern(emit_cold, RunConfig::round_robin(2));
+        assert!(run.unexpected.is_empty(), "{:?}", run.unexpected);
+        let groups: Vec<_> = run.groups.values().flatten().collect();
+        assert_eq!(groups, vec![&OutcomeGroup::ReplayFailure]);
+    }
+}

@@ -1,0 +1,330 @@
+//! The really harmful races of the corpus — the bugs a developer must fix.
+//!
+//! * [`emit_refcount`] — the paper's Figure 2: two threads run an
+//!   unsynchronized `refCnt--; if (refCnt == 0) free(foo);`. Depending on
+//!   the interleaving the object is freed twice (a fault) or never freed.
+//!   Plants 2 races (the decrement's load/store conflict pairs).
+//! * [`emit_publication`] — a producer publishes a value a consumer reads
+//!   without synchronization. In the `cold_error` variant the consumer's
+//!   "value missing" error path was never recorded (Replay-Failure);
+//!   otherwise the consumer prints the stale value (State-Change). 1 race
+//!   each.
+//! * [`emit_dangling`] — a consumer loads a shared pointer while the
+//!   producer swings it from a stale address to a fresh allocation:
+//!   dereferencing the stale pointer is a crash, and the "object not yet
+//!   initialized" handling was never recorded. Plants 2 races (the pointer
+//!   swing and the pointee initialization), both Replay-Failure.
+
+use tvm::isa::{Cond, Reg, RmwOp, SysCall};
+use tvm::memory::HEAP_BASE;
+
+use super::{Ctx, Emitted};
+use crate::truth::{HarmfulKind, TrueVerdict};
+
+/// Emits the Figure 2 reference-counting bug (2 races, both harmful).
+///
+/// Each worker holds `iters` references and drops them all in a loop;
+/// the count starts at `2 * iters`. Most decrement instances commute (the
+/// count is far from zero), so — as the paper's Figure 4 shows — only a
+/// fraction of the instances exposes the bug, and the race must be observed
+/// many times to be caught.
+pub fn emit_refcount(ctx: &mut Ctx<'_>, iters: u64) -> Emitted {
+    assert!(iters >= 1);
+    let ready = ctx.alloc.word();
+    let rc = ctx.alloc.word();
+    let object_ptr = ctx.alloc.word();
+    let mut emitted = Emitted::default();
+
+    // Setup: allocate the object, set refCnt = 2 * iters, release the
+    // workers via a proper atomic handshake (so only the refcount races are
+    // unordered).
+    ctx.thread("setup");
+    ctx.b
+        .movi(Reg::R0, 4)
+        .syscall(SysCall::Alloc)
+        .store(Reg::R0, Reg::R15, object_ptr as i64)
+        .movi(Reg::R1, 2 * iters)
+        .store(Reg::R1, Reg::R15, rc as i64)
+        .movi(Reg::R2, 1)
+        .atomic_rmw(RmwOp::Xchg, Reg::R3, Reg::R15, ready as i64, Reg::R2);
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    // The shared decrement-and-maybe-free function.
+    let drop_fn = ctx.label("drop_ref");
+    for name in ["w1", "w2"] {
+        ctx.thread(&format!("dropper_{name}"));
+        let spin = ctx.label(&format!("{name}_spin"));
+        let top = ctx.label(&format!("{name}_drop_loop"));
+        ctx.b
+            .label(spin)
+            .movi(Reg::R2, 0)
+            .atomic_rmw(RmwOp::Or, Reg::R1, Reg::R15, ready as i64, Reg::R2)
+            .branch(Cond::Eq, Reg::R1, Reg::R15, spin)
+            .movi(Reg::R7, iters)
+            .label(top)
+            .call(drop_fn)
+            .subi(Reg::R7, Reg::R7, 1)
+            .branch(Cond::Ne, Reg::R7, Reg::R15, top);
+        ctx.clobber_scratch();
+        ctx.b.movi(Reg::R0, 0).halt();
+    }
+
+    let skip_free = ctx.label("skip_free");
+    ctx.b.label(drop_fn);
+    let load_rc = ctx.mark("load_refcnt");
+    ctx.b.load(Reg::R3, Reg::R15, rc as i64).subi(Reg::R3, Reg::R3, 1);
+    let store_rc = ctx.mark("store_refcnt");
+    ctx.b.store(Reg::R3, Reg::R15, rc as i64);
+    // "If the count I wrote is zero, free" — the classic (but, without an
+    // atomic decrement, broken) fetch_sub idiom.
+    ctx.b
+        .branch(Cond::Ne, Reg::R3, Reg::R15, skip_free)
+        .load(Reg::R0, Reg::R15, object_ptr as i64)
+        .syscall(SysCall::Free)
+        .label(skip_free)
+        .movi(Reg::R3, 0)
+        .ret();
+
+    let harmful = TrueVerdict::Harmful(HarmfulKind::RefCountFree);
+    emitted.push(load_rc, store_rc.clone(), harmful);
+    emitted.push(store_rc.clone(), store_rc.clone(), harmful);
+    emitted
+}
+
+/// Emits the racy publication (1 race, harmful).
+///
+/// With `cold_error = false` the consumer prints whatever it reads — a
+/// stale read shows up as different output (**State-Change**). With
+/// `cold_error = true` a stale read branches into an error path the
+/// recording never executed (**Replay-Failure**).
+pub fn emit_publication(ctx: &mut Ctx<'_>, cold_error: bool) -> Emitted {
+    let data = ctx.alloc.word();
+    let mut emitted = Emitted::default();
+
+    ctx.thread("publisher");
+    ctx.b.movi(Reg::R1, 42);
+    let publish = ctx.mark("publish");
+    ctx.b.store(Reg::R1, Reg::R15, data as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("subscriber");
+    if cold_error {
+        // Late read: the recording sees the published value; the
+        // "missing value" error path below stays cold.
+        ctx.busywork(24);
+    }
+    let consume = ctx.mark("consume");
+    ctx.b.load(Reg::R1, Reg::R15, data as i64);
+    if cold_error {
+        let cold = ctx.label("missing_value");
+        let join = ctx.label("join");
+        ctx.b.branch(Cond::Eq, Reg::R1, Reg::R15, cold).jump(join);
+        ctx.b.label(cold);
+        // Error handling that was never recorded.
+        ctx.b.movi(Reg::R5, 0xEE).print(Reg::R5).jump(join);
+        ctx.b.label(join);
+    } else {
+        // Acts on whatever it read — possibly the stale 0.
+        ctx.b.print(Reg::R1);
+    }
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    emitted.push(publish, consume, TrueVerdict::Harmful(HarmfulKind::RacyPublication));
+    emitted
+}
+
+/// Emits the status beacon (1 race, harmful, Replay-Failure group).
+///
+/// A writer re-publishes a "running" status word every iteration and
+/// finally transitions it to "shutting down"; a monitor polls the word and
+/// must react to the transition — but the shutdown handling is on a path
+/// the recording never took. Most race instances pair the monitor's reads
+/// with *heartbeat* stores that rewrite the value already present, so both
+/// orders converge; only the instances involving the transition store
+/// expose the race. This reproduces the paper's Figure 4 observation that
+/// only a small fraction of a harmful race's instances exposes it.
+pub fn emit_status_beacon(ctx: &mut Ctx<'_>, beats: u64) -> Emitted {
+    assert!(beats >= 2);
+    let status = ctx.alloc.word();
+    ctx.b.global(status, 1); // already "running" at startup
+    let mut emitted = Emitted::default();
+
+    ctx.thread("beacon");
+    let top = ctx.label("beat_loop");
+    // r2 = 1 while k < beats - 1, then 2 (the shutdown transition); the
+    // store below is the same static instruction for both.
+    let transition = ctx.label("transition");
+    let store_point = ctx.label("store_point");
+    ctx.b.movi(Reg::R1, 0).label(top).movi(Reg::R2, 1);
+    ctx.b
+        .bini(tvm::isa::BinOp::Sub, Reg::R3, Reg::R1, beats - 1)
+        .branch(Cond::Eq, Reg::R3, Reg::R15, transition)
+        .jump(store_point);
+    ctx.b.label(transition);
+    ctx.b.movi(Reg::R2, 2);
+    ctx.b.label(store_point);
+    let beat = ctx.mark("beat_store");
+    ctx.b
+        .store(Reg::R2, Reg::R15, status as i64)
+        .addi(Reg::R1, Reg::R1, 1)
+        .bini(tvm::isa::BinOp::Sub, Reg::R3, Reg::R1, beats)
+        .branch(Cond::Ne, Reg::R3, Reg::R15, top);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("monitor");
+    let poll = ctx.label("poll_loop");
+    let shutdown = ctx.label("cold_shutdown");
+    let next = ctx.label("next_poll");
+    // Poll a fixed number of times; the recorded run ends before the
+    // transition is observed, keeping the shutdown handler cold.
+    ctx.b.movi(Reg::R4, beats / 2).label(poll);
+    let read = ctx.mark("poll_status");
+    ctx.b
+        .load(Reg::R1, Reg::R15, status as i64)
+        .bini(tvm::isa::BinOp::Sub, Reg::R3, Reg::R1, 2)
+        .branch(Cond::Eq, Reg::R3, Reg::R15, shutdown)
+        .jump(next);
+    ctx.b.label(shutdown);
+    // Shutdown handling the recording never executed.
+    ctx.b.movi(Reg::R5, 0xD1E).movi(Reg::R5, 0).jump(next);
+    ctx.b.label(next);
+    ctx.b
+        .movi(Reg::R1, 0)
+        .movi(Reg::R3, 0)
+        .subi(Reg::R4, Reg::R4, 1)
+        .branch(Cond::Ne, Reg::R4, Reg::R15, poll);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    emitted.push(beat, read, TrueVerdict::Harmful(HarmfulKind::RacyPublication));
+    emitted
+}
+
+/// Emits the dangling-pointer consumer (2 races, both harmful).
+pub fn emit_dangling(ctx: &mut Ctx<'_>) -> Emitted {
+    let ptr = ctx.alloc.word();
+    // The pointer starts out stale: a heap address the recording never
+    // allocates. Dereferencing it is exactly the paper's replay-failure
+    // flavour of a harmful race.
+    ctx.b.global(ptr, HEAP_BASE + 0x5000);
+    let mut emitted = Emitted::default();
+
+    ctx.thread("swinger");
+    ctx.b
+        .movi(Reg::R0, 2)
+        .syscall(SysCall::Alloc)
+        .mov(Reg::R5, Reg::R0)
+        .movi(Reg::R1, 7);
+    let fill = ctx.mark("fill_object");
+    ctx.b.store(Reg::R1, Reg::R5, 0);
+    let swing = ctx.mark("swing_pointer");
+    ctx.b.store(Reg::R5, Reg::R15, ptr as i64);
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    ctx.thread("chaser");
+    // Run late so the recorded read observes the fresh pointer.
+    ctx.busywork(24);
+    let read_ptr = ctx.mark("read_pointer");
+    ctx.b.load(Reg::R6, Reg::R15, ptr as i64);
+    let deref = ctx.mark("deref_pointer");
+    ctx.b.load(Reg::R1, Reg::R6, 0);
+    // An uninitialized object is handled on a path the recording never
+    // took (the recorded read saw the filled object).
+    let cold = ctx.label("uninitialized_object");
+    let join = ctx.label("join");
+    ctx.b.branch(Cond::Eq, Reg::R1, Reg::R15, cold).jump(join);
+    ctx.b.label(cold);
+    ctx.b.movi(Reg::R5, 0xBAD).movi(Reg::R5, 0).jump(join);
+    ctx.b.label(join);
+    ctx.b.movi(Reg::R6, 0);
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    emitted.push(swing, read_ptr, TrueVerdict::Harmful(HarmfulKind::DanglingPointer));
+    emitted.push(fill, deref, TrueVerdict::Harmful(HarmfulKind::DanglingPointer));
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::{assert_groups, run_pattern};
+    use replay_race::classify::{OutcomeGroup, Verdict};
+    use tvm::scheduler::RunConfig;
+
+    /// A single lucky instance of the refcount bug can legitimately look
+    /// benign (both orders commute away from the zero boundary) — the paper
+    /// stresses that races must be observed across many instances (§4.3,
+    /// Figure 4). Accumulated over several recorded executions, every
+    /// planted refcount race must end up potentially harmful.
+    #[test]
+    fn refcount_races_are_harmful_when_merged_across_executions() {
+        let mut results = Vec::new();
+        let mut detected_any = false;
+        for seed in 0..24u64 {
+            let run = run_pattern(|ctx| emit_refcount(ctx, 3), RunConfig::chunked(seed, 1, 6));
+            assert!(run.unexpected.is_empty(), "seed {seed}: {:?}", run.unexpected);
+            detected_any |= !run.result.races.is_empty();
+            results.push(run.result);
+        }
+        assert!(detected_any, "no schedule detected the refcount races");
+        let merged = replay_race::classify::merge_classifications(&results);
+        assert!(!merged.races.is_empty());
+        for race in merged.races.values() {
+            assert_eq!(
+                race.verdict,
+                Verdict::PotentiallyHarmful,
+                "merged refcount race {} must be potentially harmful ({:?})",
+                race.id,
+                race.counts
+            );
+        }
+    }
+
+    #[test]
+    fn publication_is_state_change() {
+        let run = run_pattern(|ctx| emit_publication(ctx, false), RunConfig::round_robin(1));
+        assert_groups(&run, &[("publish", "consume", OutcomeGroup::StateChange)]);
+    }
+
+    #[test]
+    fn cold_publication_is_replay_failure() {
+        let run = run_pattern(|ctx| emit_publication(ctx, true), RunConfig::round_robin(2));
+        assert_groups(&run, &[("publish", "consume", OutcomeGroup::ReplayFailure)]);
+    }
+
+    #[test]
+    fn status_beacon_exposes_rarely_but_is_caught() {
+        let run = run_pattern(|ctx| emit_status_beacon(ctx, 10), RunConfig::round_robin(2));
+        assert_groups(&run, &[("beat_store", "poll_status", OutcomeGroup::ReplayFailure)]);
+        let race = run.result.races.values().next().unwrap();
+        assert!(
+            race.counts.analyzed >= 10,
+            "the beacon race must have many instances, got {:?}",
+            race.counts
+        );
+        let ratio = race.counts.exposing() as f64 / race.counts.analyzed as f64;
+        assert!(
+            ratio < 0.5,
+            "most instances must look benign (paper Figure 4): {:?}",
+            race.counts
+        );
+    }
+
+    #[test]
+    fn dangling_pointer_is_harmful() {
+        let run = run_pattern(emit_dangling, RunConfig::round_robin(2));
+        assert_groups(
+            &run,
+            &[
+                ("swing_pointer", "read_pointer", OutcomeGroup::ReplayFailure),
+                ("fill_object", "deref_pointer", OutcomeGroup::ReplayFailure),
+            ],
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! §5.4(4) *Redundant Writes*: a write stores the value the location
+//! already holds, so racing against it is invisible.
+//!
+//! The paper's real-world example: every worker thread writes the process
+//! id (the same value, returned by a system call) to a shared word other
+//! threads read. We model the word as pre-initialized to the value, making
+//! every write genuinely redundant: both orders of any conflicting pair
+//! leave identical state. All races here are real-benign and the classifier
+//! should mark every one No-State-Change.
+
+use tvm::isa::Reg;
+
+use super::{Ctx, Emitted};
+use crate::truth::{BenignCategory, TrueVerdict};
+
+/// Configuration: how many redundant writers and how many readers share the
+/// word.
+#[derive(Copy, Clone, Debug)]
+pub struct RedundantWriteConfig {
+    pub writers: usize,
+    pub readers: usize,
+    /// The "process id" every writer stores (and the word's initial value).
+    pub value: u64,
+}
+
+impl Default for RedundantWriteConfig {
+    fn default() -> Self {
+        RedundantWriteConfig { writers: 2, readers: 1, value: 0x1D }
+    }
+}
+
+/// Number of unique races this pattern plants:
+/// `C(writers, 2)` write-write pairs plus `writers × readers` write-read
+/// pairs.
+#[must_use]
+pub fn race_count(cfg: &RedundantWriteConfig) -> usize {
+    cfg.writers * (cfg.writers - 1) / 2 + cfg.writers * cfg.readers
+}
+
+/// Emits the pattern; see the module docs.
+pub fn emit(ctx: &mut Ctx<'_>, cfg: &RedundantWriteConfig) -> Emitted {
+    let word = ctx.alloc.word();
+    ctx.b.global(word, cfg.value);
+    let mut emitted = Emitted::default();
+
+    let mut write_marks = Vec::new();
+    for w in 0..cfg.writers {
+        ctx.thread(&format!("writer{w}"));
+        ctx.b.movi(Reg::R1, cfg.value);
+        let mark = ctx.mark(&format!("write{w}"));
+        ctx.b.store(Reg::R1, Reg::R15, word as i64);
+        ctx.clobber_scratch();
+        ctx.b.halt();
+        write_marks.push(mark);
+    }
+
+    let mut read_marks = Vec::new();
+    for r in 0..cfg.readers {
+        ctx.thread(&format!("reader{r}"));
+        let mark = ctx.mark(&format!("read{r}"));
+        ctx.b.load(Reg::R1, Reg::R15, word as i64);
+        // The read value is stable (always `value`), so it may even escape
+        // through the output stream.
+        ctx.b.print(Reg::R1);
+        ctx.clobber_scratch();
+        ctx.b.movi(Reg::R0, 0).halt();
+        read_marks.push(mark);
+    }
+
+    for (i, wa) in write_marks.iter().enumerate() {
+        for wb in &write_marks[i + 1..] {
+            emitted.push(wa.clone(), wb.clone(), TrueVerdict::Benign(BenignCategory::RedundantWrite));
+        }
+        for rd in &read_marks {
+            emitted.push(wa.clone(), rd.clone(), TrueVerdict::Benign(BenignCategory::RedundantWrite));
+        }
+    }
+    debug_assert_eq!(emitted.races.len(), race_count(cfg));
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::{assert_groups, run_pattern};
+    use replay_race::classify::OutcomeGroup;
+    use tvm::scheduler::RunConfig;
+
+    #[test]
+    fn all_races_are_no_state_change() {
+        let run = run_pattern(
+            |ctx| emit(ctx, &RedundantWriteConfig::default()),
+            RunConfig::round_robin(1),
+        );
+        assert_groups(
+            &run,
+            &[
+                ("write0", "write1", OutcomeGroup::NoStateChange),
+                ("write0", "read0", OutcomeGroup::NoStateChange),
+                ("write1", "read0", OutcomeGroup::NoStateChange),
+            ],
+        );
+    }
+
+    #[test]
+    fn counts_scale_with_config() {
+        let cfg = RedundantWriteConfig { writers: 3, readers: 2, value: 7 };
+        assert_eq!(race_count(&cfg), 3 + 6);
+        let run = run_pattern(|ctx| emit(ctx, &cfg), RunConfig::round_robin(1));
+        assert!(run.unexpected.is_empty(), "{:?}", run.unexpected);
+        // Every planted race is detected under the fine-grained schedule.
+        assert!(run.groups.values().all(|g| g == &Some(OutcomeGroup::NoStateChange)));
+        assert_eq!(run.groups.len(), 9);
+    }
+
+    #[test]
+    fn stable_under_many_schedules() {
+        for seed in 0..8 {
+            let run = run_pattern(
+                |ctx| emit(ctx, &RedundantWriteConfig::default()),
+                RunConfig::chunked(seed, 1, 4),
+            );
+            assert!(run.unexpected.is_empty());
+            for (id, group) in &run.groups {
+                if let Some(g) = group {
+                    assert_eq!(*g, OutcomeGroup::NoStateChange, "seed {seed} race {id}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! §5.4(1) *User Constructed Synchronization*: hand-rolled event handoff
+//! built from plain loads and stores. iDNA logs no sequencer for it, so the
+//! happens-before detector reports the flag accesses as a race — a benign
+//! one.
+//!
+//! Two variants:
+//!
+//! * [`emit_handoff`] — the waiter spins on the flag. Whatever order the
+//!   virtual processor imposes, the spin re-reads until the setter's store
+//!   lands, so both replays converge: **No-State-Change**, correctly
+//!   classified benign. This is robust because the spin loop's code is in
+//!   the recorded footprint even when the recorded run never iterated.
+//! * [`emit_checked_handoff`] — the waiter reads the flag *once* and only
+//!   falls into a (cold) spin loop when it is unset. The recorded run sees
+//!   the flag already set; the alternative order reads 0 and branches into
+//!   code the recording never touched — a **Replay-Failure**. This is one
+//!   of the paper's §5.2.4 "replayer limitation" misclassifications: the
+//!   race is really benign, but the tool flags it potentially harmful.
+
+use tvm::isa::{Cond, Reg};
+
+use super::{Ctx, Emitted};
+use crate::truth::{BenignCategory, TrueVerdict};
+
+/// Emits the spin-handoff variant (1 race, classified No-State-Change).
+pub fn emit_handoff(ctx: &mut Ctx<'_>) -> Emitted {
+    let flag = ctx.alloc.word();
+    let mut emitted = Emitted::default();
+
+    ctx.thread("setter");
+    // Delay so the recorded waiter actually spins (keeps the loop warm in
+    // the waiter's footprint — important for the alternative replay).
+    ctx.busywork(6);
+    ctx.b.movi(Reg::R1, 1);
+    let set = ctx.mark("set_flag");
+    ctx.b.store(Reg::R1, Reg::R15, flag as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("waiter");
+    let spin = ctx.label("spin");
+    ctx.b.label(spin);
+    let wait = ctx.mark("wait_flag");
+    ctx.b
+        .load(Reg::R1, Reg::R15, flag as i64)
+        .branch(Cond::Eq, Reg::R1, Reg::R15, spin);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    emitted.push(set, wait, TrueVerdict::Benign(BenignCategory::UserConstructedSync));
+    emitted
+}
+
+/// Emits the checked-handoff variant (1 race, misclassified
+/// Replay-Failure although really benign).
+pub fn emit_checked_handoff(ctx: &mut Ctx<'_>) -> Emitted {
+    let flag = ctx.alloc.word();
+    let mut emitted = Emitted::default();
+
+    ctx.thread("setter");
+    ctx.b.movi(Reg::R1, 1);
+    let set = ctx.mark("set_flag");
+    ctx.b.store(Reg::R1, Reg::R15, flag as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("waiter");
+    // Long enough that every reasonable schedule runs the setter first: the
+    // recorded read sees 1 and the cold path below is never recorded.
+    ctx.busywork(24);
+    let check = ctx.mark("check_flag");
+    let cold = ctx.label("cold_spin");
+    let join = ctx.label("join");
+    ctx.b
+        .load(Reg::R1, Reg::R15, flag as i64)
+        .branch(Cond::Eq, Reg::R1, Reg::R15, cold);
+    ctx.b.jump(join);
+    // Cold path: a perfectly good spin loop — but unrecorded, so the
+    // alternative replay fails here instead of converging.
+    ctx.b.label(cold);
+    ctx.b
+        .load(Reg::R1, Reg::R15, flag as i64)
+        .branch(Cond::Eq, Reg::R1, Reg::R15, cold)
+        .jump(join);
+    ctx.b.label(join);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    emitted.push(set, check, TrueVerdict::Benign(BenignCategory::UserConstructedSync));
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::{assert_groups, run_pattern};
+    use replay_race::classify::OutcomeGroup;
+    use tvm::scheduler::RunConfig;
+
+    #[test]
+    fn handoff_is_no_state_change() {
+        let run = run_pattern(emit_handoff, RunConfig::round_robin(2));
+        assert_groups(&run, &[("set_flag", "wait_flag", OutcomeGroup::NoStateChange)]);
+    }
+
+    #[test]
+    fn handoff_converges_under_many_schedules() {
+        for seed in 0..10 {
+            let run = run_pattern(emit_handoff, RunConfig::chunked(seed, 1, 4));
+            assert!(run.unexpected.is_empty());
+            for (id, group) in &run.groups {
+                if let Some(g) = group {
+                    assert_eq!(
+                        *g,
+                        OutcomeGroup::NoStateChange,
+                        "seed {seed} race {id}: user sync must converge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checked_handoff_hits_replay_failure() {
+        // Round-robin with a small quantum: the setter finishes long before
+        // the waiter's busywork ends, so the recorded check reads 1.
+        let run = run_pattern(emit_checked_handoff, RunConfig::round_robin(2));
+        assert_groups(&run, &[("set_flag", "check_flag", OutcomeGroup::ReplayFailure)]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Ground-truth types: what each race in the corpus *really* is.
+//!
+//! The paper's authors manually triaged all 68 races found in Windows
+//! Vista / Internet Explorer (§5.1). Our corpus is synthetic, so the
+//! workload author records the verdict at construction time: every pattern
+//! instance returns a manifest of the races it plants, keyed by instruction
+//! *marks*. Evaluation joins the pipeline's findings against these
+//! manifests to compute Table 1 / Table 2.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use replay_race::detect::StaticRaceId;
+use tvm::program::Program;
+
+/// The paper's benign-race taxonomy (Table 2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BenignCategory {
+    /// §5.4(1): hand-rolled synchronization built from plain loads/stores.
+    UserConstructedSync,
+    /// §5.4(2): double-checked initialization.
+    DoubleCheck,
+    /// §5.4(3): either the old or the new value is acceptable.
+    BothValuesValid,
+    /// §5.4(4): the write stores the value already present.
+    RedundantWrite,
+    /// §5.4(5): reader and writer use disjoint bits of one word.
+    DisjointBitManipulation,
+    /// §5.2.4: intentionally unsynchronized statistics/heuristics — these
+    /// *do* change program state and are expected to be misclassified as
+    /// potentially harmful.
+    ApproximateComputation,
+}
+
+impl BenignCategory {
+    /// All categories in Table 2 order.
+    pub const ALL: [BenignCategory; 6] = [
+        BenignCategory::UserConstructedSync,
+        BenignCategory::DoubleCheck,
+        BenignCategory::BothValuesValid,
+        BenignCategory::RedundantWrite,
+        BenignCategory::DisjointBitManipulation,
+        BenignCategory::ApproximateComputation,
+    ];
+
+    /// The label used in Table 2.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BenignCategory::UserConstructedSync => "User Constructed Synchronization",
+            BenignCategory::DoubleCheck => "Double Checks",
+            BenignCategory::BothValuesValid => "Both Values Valid",
+            BenignCategory::RedundantWrite => "Redundant Writes",
+            BenignCategory::DisjointBitManipulation => "Disjoint bit manipulation",
+            BenignCategory::ApproximateComputation => "Approximate Computation",
+        }
+    }
+}
+
+impl fmt::Display for BenignCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a harmful race is harmful.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HarmfulKind {
+    /// The paper's Figure 2: racy reference-count decrement with a
+    /// conditional free (double free / leak).
+    RefCountFree,
+    /// A read of correctness-critical state can observe a stale value.
+    RacyPublication,
+    /// A pointer read can observe a stale/dangling pointer.
+    DanglingPointer,
+}
+
+/// Manual-triage verdict of one race.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrueVerdict {
+    Benign(BenignCategory),
+    Harmful(HarmfulKind),
+}
+
+impl TrueVerdict {
+    /// Whether the race is really harmful.
+    #[must_use]
+    pub fn is_harmful(self) -> bool {
+        matches!(self, TrueVerdict::Harmful(_))
+    }
+}
+
+/// One planted race, identified by the marks of its two instructions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruthRace {
+    /// Mark of one racing instruction.
+    pub mark_a: String,
+    /// Mark of the other racing instruction.
+    pub mark_b: String,
+    pub verdict: TrueVerdict,
+}
+
+impl GroundTruthRace {
+    /// Creates a manifest entry.
+    #[must_use]
+    pub fn new(mark_a: impl Into<String>, mark_b: impl Into<String>, verdict: TrueVerdict) -> Self {
+        GroundTruthRace { mark_a: mark_a.into(), mark_b: mark_b.into(), verdict }
+    }
+
+    /// Resolves the marks to the static race identity within `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a mark is missing — a bug in the workload definition.
+    #[must_use]
+    pub fn static_id(&self, program: &Program) -> StaticRaceId {
+        let pc_a = program
+            .mark(&self.mark_a)
+            .unwrap_or_else(|| panic!("mark {:?} not in program", self.mark_a));
+        let pc_b = program
+            .mark(&self.mark_b)
+            .unwrap_or_else(|| panic!("mark {:?} not in program", self.mark_b));
+        StaticRaceId::new(pc_a, pc_b)
+    }
+}
+
+/// A resolved truth table for one program: static race id → verdict.
+#[derive(Clone, Debug, Default)]
+pub struct TruthTable {
+    entries: std::collections::BTreeMap<StaticRaceId, TrueVerdict>,
+}
+
+impl TruthTable {
+    /// Resolves a manifest against a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown marks or if two manifest entries resolve to the
+    /// same static race with different verdicts.
+    #[must_use]
+    pub fn resolve(program: &Program, manifest: &[GroundTruthRace]) -> Self {
+        let mut entries = std::collections::BTreeMap::new();
+        for race in manifest {
+            let id = race.static_id(program);
+            let prev = entries.insert(id, race.verdict);
+            assert!(
+                prev.is_none_or(|p| p == race.verdict),
+                "conflicting verdicts for {id}: {prev:?} vs {:?}",
+                race.verdict
+            );
+        }
+        TruthTable { entries }
+    }
+
+    /// The verdict for a race, when the manifest covers it.
+    #[must_use]
+    pub fn verdict(&self, id: StaticRaceId) -> Option<TrueVerdict> {
+        self.entries.get(&id).copied()
+    }
+
+    /// Number of distinct planted races.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(id, verdict)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StaticRaceId, TrueVerdict)> + '_ {
+        self.entries.iter().map(|(&id, &v)| (id, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::isa::Reg;
+    use tvm::ProgramBuilder;
+
+    #[test]
+    fn resolve_marks_to_static_ids() {
+        let mut b = ProgramBuilder::new();
+        b.thread("t");
+        b.mark("first").movi(Reg::R0, 1).mark("second").movi(Reg::R1, 2).halt();
+        let p = b.build();
+        let manifest = vec![GroundTruthRace::new(
+            "second",
+            "first",
+            TrueVerdict::Benign(BenignCategory::RedundantWrite),
+        )];
+        let truth = TruthTable::resolve(&p, &manifest);
+        assert_eq!(truth.len(), 1);
+        let id = StaticRaceId::new(0, 1);
+        assert_eq!(truth.verdict(id), Some(TrueVerdict::Benign(BenignCategory::RedundantWrite)));
+        assert_eq!(truth.verdict(StaticRaceId::new(0, 5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in program")]
+    fn unknown_mark_panics() {
+        let mut b = ProgramBuilder::new();
+        b.thread("t");
+        b.halt();
+        let p = b.build();
+        let manifest =
+            vec![GroundTruthRace::new("nope", "nope2", TrueVerdict::Harmful(HarmfulKind::RefCountFree))];
+        let _ = TruthTable::resolve(&p, &manifest);
+    }
+
+    #[test]
+    fn category_labels_are_table2_strings() {
+        assert_eq!(BenignCategory::DoubleCheck.label(), "Double Checks");
+        assert_eq!(BenignCategory::ALL.len(), 6);
+        assert!(TrueVerdict::Harmful(HarmfulKind::RefCountFree).is_harmful());
+        assert!(!TrueVerdict::Benign(BenignCategory::DoubleCheck).is_harmful());
+    }
+}

@@ -1,0 +1,50 @@
+//! Runs the full 18-execution evaluation corpus and prints the paper's
+//! Table 1, Table 2, and Figures 3–5 regenerated from scratch.
+//!
+//! ```sh
+//! cargo run --release -p workloads --example corpus_report
+//! ```
+
+use workloads::eval::{run_corpus, Figure, Table1, Table2};
+
+fn main() {
+    let report = run_corpus();
+
+    println!("corpus: {} executions, {} instructions total", report.executions.len(), report.total_instructions);
+    println!(
+        "detected {} unique races across {} dynamic instances\n",
+        report.detected_races(),
+        report.total_instances()
+    );
+    for exec in &report.executions {
+        println!(
+            "  {:<22} instrs={:<8} races={:<3} instances={:<6} log={}B ({}B compressed)",
+            exec.name,
+            exec.instructions,
+            exec.unique_races,
+            exec.race_instances,
+            exec.raw_log_bytes,
+            exec.compressed_log_bytes
+        );
+    }
+    println!();
+
+    let t1 = Table1::compute(&report);
+    println!("{t1}");
+    println!(
+        "missed harmful races (must be 0): {}\nbenign races flagged harmful (triage waste): {}\n",
+        t1.missed_harmful(),
+        t1.benign_flagged_harmful()
+    );
+
+    let t2 = Table2::compute(&report);
+    println!("{t2}");
+
+    println!("{}", Figure::figure3(&report));
+    println!("{}", Figure::figure4(&report));
+    println!("{}", Figure::figure5(&report));
+
+    if !report.unexpected.is_empty() {
+        println!("WARNING: races outside the ground-truth manifest: {:?}", report.unexpected);
+    }
+}

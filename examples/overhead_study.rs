@@ -1,0 +1,50 @@
+//! The paper's §5.1 overhead and log-size study, on the browser stand-in:
+//! native execution vs recording vs replay vs happens-before analysis vs
+//! dual-order classification, plus bits-per-instruction of the replay log.
+//!
+//! ```sh
+//! cargo run --release -p workloads --example overhead_study
+//! ```
+
+use replay_race::pipeline::{run_pipeline, PipelineConfig};
+use tvm::scheduler::RunConfig;
+use workloads::browser::{browser_program, BrowserConfig};
+
+fn main() {
+    let cfg = BrowserConfig::paper_scale();
+    println!(
+        "browser workload: {} threads, {} jobs (paper: 27 threads)",
+        cfg.threads(),
+        cfg.jobs
+    );
+    let program = browser_program(&cfg);
+    let run = RunConfig::chunked(7, 1, 8).with_max_steps(50_000_000);
+    let result = run_pipeline(&program, &PipelineConfig::new(run)).expect("pipeline");
+
+    let t = &result.timings;
+    println!("instructions executed : {}", result.instructions);
+    println!(
+        "dynamic race instances: {} ({} unique races; paper's IE run: 2,196 instances)",
+        result.detected.instance_count(),
+        result.detected.unique_races()
+    );
+    println!();
+    println!("phase           time        overhead vs native   (paper)");
+    println!("native          {:>9.3?}   1.0x", t.native);
+    println!("record          {:>9.3?}   {:>6.1}x              (~6x)", t.record, t.overhead(t.record));
+    println!("replay          {:>9.3?}   {:>6.1}x              (~10x)", t.replay, t.overhead(t.replay));
+    println!("hb detection    {:>9.3?}   {:>6.1}x              (~45x)", t.detect, t.overhead(t.detect));
+    println!("classification  {:>9.3?}   {:>6.1}x              (~280x)", t.classify, t.overhead(t.classify));
+    println!();
+    println!(
+        "log size: {} bytes raw = {:.3} bits/instr (paper ~0.8); compressed {} bytes = {:.3} bits/instr (paper ~0.3)",
+        result.log_size.raw_bytes,
+        result.log_size.bits_per_instr_raw(),
+        result.log_size.compressed_bytes,
+        result.log_size.bits_per_instr_compressed()
+    );
+    println!(
+        "projected: {:.1} MB per billion instructions (paper ~96 MB)",
+        result.log_size.mb_per_billion_instrs()
+    );
+}

@@ -1,0 +1,90 @@
+//! The headline regression test: the 18-execution corpus must reproduce
+//! the paper's Table 1 and Table 2 **exactly**, with the soundness property
+//! the paper emphasizes — no harmful race is ever filtered out as
+//! potentially benign.
+
+use workloads::eval::{run_corpus, Figure, Table1, Table2};
+use workloads::truth::BenignCategory;
+
+#[test]
+fn corpus_reproduces_the_paper() {
+    let report = run_corpus();
+
+    // Every detected race is covered by the ground-truth manifests and
+    // every planted race was dynamically detected.
+    assert!(report.unexpected.is_empty(), "unplanted races: {:?}", report.unexpected);
+    assert!(report.missing_races().is_empty(), "undetected planted races: {:?}", report.missing_races());
+
+    // Table 1 (paper §5.2.2): 68 unique races; 32 No-State-Change (all
+    // real-benign), 17 State-Change (15 benign + 2 harmful), 19
+    // Replay-Failure (14 benign + 5 harmful).
+    let t1 = Table1::compute(&report);
+    assert_eq!(t1.cells, [[32, 0], [15, 2], [14, 5]], "Table 1 mismatch:\n{t1}");
+    assert_eq!(t1.total(), 68);
+    assert_eq!(t1.potentially_benign(), 32);
+    assert_eq!(t1.potentially_harmful(), 36);
+
+    // The paper's headline soundness result: every harmful race was
+    // classified potentially harmful.
+    assert_eq!(t1.missed_harmful(), 0, "a harmful race was filtered as benign");
+
+    // And the headline productivity result: over half of the real benign
+    // races are filtered out.
+    let real_benign = 32 + t1.benign_flagged_harmful();
+    assert!(32 * 2 >= real_benign, "less than half of the benign races were filtered");
+
+    // Table 2 (paper §5.4).
+    let t2 = Table2::compute(&report);
+    let expect = [
+        (BenignCategory::UserConstructedSync, 8),
+        (BenignCategory::DoubleCheck, 3),
+        (BenignCategory::BothValuesValid, 5),
+        (BenignCategory::RedundantWrite, 13),
+        (BenignCategory::DisjointBitManipulation, 9),
+        (BenignCategory::ApproximateComputation, 23),
+    ];
+    for (cat, count) in expect {
+        assert_eq!(
+            t2.counts.get(&cat).copied().unwrap_or(0),
+            count,
+            "Table 2 mismatch for {cat}:\n{t2}"
+        );
+    }
+    assert_eq!(t2.total(), 61);
+
+    // Figures 3-5 partition the 68 races: 32 + 7 + 29.
+    let f3 = Figure::figure3(&report);
+    let f4 = Figure::figure4(&report);
+    let f5 = Figure::figure5(&report);
+    assert_eq!(f3.bars.len(), 32, "Figure 3 bar count");
+    assert_eq!(f4.bars.len(), 7, "Figure 4 bar count");
+    assert_eq!(f5.bars.len(), 29, "Figure 5 bar count");
+
+    // Figure 3: potentially-benign races never exposed anything.
+    assert!(f3.bars.iter().all(|b| b.exposing == 0));
+    // Figures 4/5: flagged races have at least one exposing instance.
+    assert!(f4.bars.iter().all(|b| b.exposing >= 1));
+    assert!(f5.bars.iter().all(|b| b.exposing >= 1));
+    // Figure 4's lesson: some harmful race has many instances of which only
+    // a fraction exposes it (the paper's "one in ten").
+    assert!(
+        f4.bars.iter().any(|b| b.instances >= 20 && b.exposing * 2 <= b.instances),
+        "expected a harmful race with mostly-benign instances: {f4}"
+    );
+}
+
+#[test]
+fn corpus_is_deterministic() {
+    // The whole evaluation is replay-based and seeded: two runs must agree
+    // bit for bit.
+    let a = run_corpus();
+    let b = run_corpus();
+    assert_eq!(Table1::compute(&a), Table1::compute(&b));
+    assert_eq!(Table2::compute(&a), Table2::compute(&b));
+    assert_eq!(a.total_instructions, b.total_instructions);
+    for (x, y) in a.merged.races.values().zip(b.merged.races.values()) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.group, y.group);
+        assert_eq!(x.counts, y.counts);
+    }
+}
