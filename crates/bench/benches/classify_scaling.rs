@@ -1,0 +1,65 @@
+//! Scaling study of the classification engine: classify wall-time at 1→N
+//! worker threads and per-cache-mode hit rates on the browser workload,
+//! with a built-in check that every configuration produces the same
+//! classification (the engine's determinism contract).
+
+use bench::timing::measure;
+
+use idna_replay::recorder::record;
+use idna_replay::replayer::replay;
+use replay_race::classify::{classify_races, CacheMode, ClassifierConfig};
+use replay_race::detect::{detect_races, DetectorConfig};
+use tvm::scheduler::RunConfig;
+use workloads::browser::{browser_program, BrowserConfig};
+
+fn main() {
+    let cfg = BrowserConfig { fetchers: 3, parsers: 2, jobs: 8, work: 24 };
+    let program = browser_program(&cfg);
+    let recording = record(&program, &RunConfig::chunked(7, 1, 8).with_max_steps(10_000_000));
+    let trace = replay(&program, &recording.log).expect("replay");
+    let detected = detect_races(&trace, &DetectorConfig::default());
+    let instances = detected.instance_count() as u64;
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "classify_scaling: {} races, {instances} instances, {available} hardware threads",
+        detected.unique_races()
+    );
+
+    let classify = |jobs: usize, cache: CacheMode| {
+        let config = ClassifierConfig { jobs, cache, ..ClassifierConfig::default() };
+        classify_races(&trace, &detected, &config)
+    };
+
+    let baseline_result = classify(1, CacheMode::Off);
+    let baseline = measure(2, 12, || classify(1, CacheMode::Off));
+
+    let mut job_counts = vec![1usize, 2, 4];
+    if !job_counts.contains(&available) {
+        job_counts.push(available);
+    }
+    for cache in [CacheMode::Off, CacheMode::Exact, CacheMode::Coarse] {
+        for &jobs in &job_counts {
+            let result = classify(jobs, cache);
+            let m = measure(2, 12, || classify(jobs, cache));
+            let speedup = baseline.seconds() / m.seconds();
+            let stats = result.cache_stats;
+            println!(
+                "classify/{cache:?}/jobs={jobs:<2} median {:>10?}  speedup {speedup:>5.2}x  \
+                 replays {:>6}  cache {:>5} hits / {:>6} misses ({:>5.1}% hit rate)",
+                m.median,
+                result.vproc_replays,
+                stats.hits,
+                stats.misses,
+                stats.hit_rate() * 100.0,
+            );
+            // Determinism contract: job count never changes the result, and
+            // the exact cache is transparent.
+            if cache != CacheMode::Coarse {
+                assert_eq!(
+                    result.races, baseline_result.races,
+                    "classification must be identical at jobs={jobs}, cache={cache:?}"
+                );
+            }
+        }
+    }
+}

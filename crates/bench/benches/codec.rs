@@ -1,28 +1,35 @@
-//! Criterion microbenchmarks of the log codec: binary encode/decode and
-//! LZSS compress/decompress throughput on a realistic browser log.
+//! Microbenchmarks of the log codec: binary encode/decode and LZSS
+//! compress/decompress throughput on a realistic browser log.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::timing::{measure, Measurement};
 
 use idna_replay::codec::{compress, decode_log, decompress, encode_log};
 use idna_replay::recorder::record;
 use tvm::scheduler::RunConfig;
 use workloads::browser::{browser_program, BrowserConfig};
 
-fn bench_codec(c: &mut Criterion) {
+fn report_bytes(name: &str, m: &Measurement, bytes: usize) {
+    #[allow(clippy::cast_precision_loss)]
+    let mib_per_sec = bytes as f64 / m.seconds() / (1024.0 * 1024.0);
+    println!(
+        "codec/{name:<32} median {:>12?}  (min {:?}, max {:?}, {} samples, {mib_per_sec:.1} MiB/s)",
+        m.median, m.min, m.max, m.samples
+    );
+}
+
+fn main() {
     let cfg = BrowserConfig { fetchers: 4, parsers: 3, jobs: 16, work: 48 };
     let program = browser_program(&cfg);
     let recording = record(&program, &RunConfig::chunked(3, 1, 8).with_max_steps(10_000_000));
     let encoded = encode_log(&recording.log);
     let compressed = compress(&encoded);
 
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode", |b| b.iter(|| encode_log(&recording.log)));
-    group.bench_function("decode", |b| b.iter(|| decode_log(&encoded).expect("decode")));
-    group.bench_function("compress", |b| b.iter(|| compress(&encoded)));
-    group.bench_function("decompress", |b| b.iter(|| decompress(&compressed).expect("decompress")));
-    group.finish();
+    let m = measure(3, 30, || encode_log(&recording.log));
+    report_bytes("encode", &m, encoded.len());
+    let m = measure(3, 30, || decode_log(&encoded).expect("decode"));
+    report_bytes("decode", &m, encoded.len());
+    let m = measure(3, 30, || compress(&encoded));
+    report_bytes("compress", &m, encoded.len());
+    let m = measure(3, 30, || decompress(&compressed).expect("decompress"));
+    report_bytes("decompress", &m, encoded.len());
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion microbenchmarks of each pipeline phase (the §5.1 overheads,
-//! measured precisely): native execution, recording, replay, detection,
+//! Microbenchmarks of each pipeline phase (the §5.1 overheads, measured
+//! precisely): native execution, recording, replay, detection,
 //! classification.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::timing::{measure, report};
 
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
@@ -12,7 +12,7 @@ use tvm::scheduler::{run, RunConfig};
 use tvm::Machine;
 use workloads::browser::{browser_program, BrowserConfig};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let cfg = BrowserConfig { fetchers: 3, parsers: 2, jobs: 8, work: 24 };
     let program = browser_program(&cfg);
     let schedule = RunConfig::chunked(7, 1, 8).with_max_steps(10_000_000);
@@ -23,39 +23,21 @@ fn bench_pipeline(c: &mut Criterion) {
     let trace = replay(&program, &recording.log).expect("replay");
     let detected = detect_races(&trace, &DetectorConfig::default());
 
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Elements(instructions));
-
-    group.bench_function("native", |b| {
-        b.iter_batched(
-            || Machine::new(program.clone()),
-            |mut m| run(&mut m, &schedule, &mut ()),
-            BatchSize::SmallInput,
-        );
+    let m = measure(2, 20, || {
+        let mut machine = Machine::new(program.clone());
+        run(&mut machine, &schedule, &mut ())
     });
+    report("pipeline", "native", &m, Some(instructions));
 
-    group.bench_function("record", |b| {
-        b.iter(|| record(&program, &schedule));
-    });
+    let m = measure(2, 20, || record(&program, &schedule));
+    report("pipeline", "record", &m, Some(instructions));
 
-    group.bench_function("replay", |b| {
-        b.iter(|| replay(&program, &recording.log).expect("replay"));
-    });
+    let m = measure(2, 20, || replay(&program, &recording.log).expect("replay"));
+    report("pipeline", "replay", &m, Some(instructions));
 
-    group.bench_function("detect", |b| {
-        b.iter(|| detect_races(&trace, &DetectorConfig::default()));
-    });
+    let m = measure(2, 20, || detect_races(&trace, &DetectorConfig::default()));
+    report("pipeline", "detect", &m, Some(instructions));
 
-    group.bench_function("classify", |b| {
-        b.iter(|| classify_races(&trace, &detected, &ClassifierConfig::default()));
-    });
-
-    group.finish();
+    let m = measure(2, 20, || classify_races(&trace, &detected, &ClassifierConfig::default()));
+    report("pipeline", "classify", &m, Some(instructions));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pipeline
-}
-criterion_main!(benches);

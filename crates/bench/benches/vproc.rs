@@ -1,8 +1,7 @@
-//! Criterion microbenchmark of the virtual processor: the cost of one
-//! dual-order replay (the unit of work behind the paper's 280× analysis
-//! overhead).
+//! Microbenchmark of the virtual processor: the cost of one dual-order
+//! replay (the unit of work behind the paper's 280× analysis overhead).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::{measure, report};
 
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
@@ -12,7 +11,7 @@ use replay_race::detect::{detect_races, DetectorConfig};
 use tvm::scheduler::RunConfig;
 use workloads::browser::{browser_program, BrowserConfig};
 
-fn bench_vproc(c: &mut Criterion) {
+fn main() {
     let cfg = BrowserConfig { fetchers: 3, parsers: 2, jobs: 8, work: 24 };
     let program = browser_program(&cfg);
     let recording = record(&program, &RunConfig::chunked(7, 1, 8).with_max_steps(10_000_000));
@@ -22,15 +21,8 @@ fn bench_vproc(c: &mut Criterion) {
     let instance = detected.instances[0];
     let vproc = Vproc::new(&trace, VprocConfig::default());
 
-    let mut group = c.benchmark_group("vproc");
-    group.bench_function("single_order_replay", |b| {
-        b.iter(|| vproc.run_pair(&instance.a, &instance.b, PairOrder::AThenB));
-    });
-    group.bench_function("classify_instance_both_orders", |b| {
-        b.iter(|| classify_instance(&vproc, &instance));
-    });
-    group.finish();
+    let m = measure(20, 200, || vproc.run_pair(&instance.a, &instance.b, PairOrder::AThenB));
+    report("vproc", "single_order_replay", &m, None);
+    let m = measure(20, 200, || classify_instance(&vproc, &instance));
+    report("vproc", "classify_instance_both_orders", &m, None);
 }
-
-criterion_group!(benches, bench_vproc);
-criterion_main!(benches);

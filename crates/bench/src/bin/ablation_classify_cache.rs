@@ -1,0 +1,46 @@
+//! Ablation: replay-cache modes over the full 18-execution corpus.
+//!
+//! Holds the corpus fixed and varies only the classifier's cache mode,
+//! reporting Table 1 under each mode together with the replay counts the
+//! cache saved. `exact` must reproduce `off` cell-for-cell (sound reuse);
+//! `coarse` shows what the paper-style region-pair approximation trades
+//! away.
+
+use replay_race::classify::{CacheMode, ClassifierConfig};
+use workloads::eval::{run_corpus_with, Table1};
+
+fn main() {
+    let mut baseline: Option<Table1> = None;
+    for cache in [CacheMode::Off, CacheMode::Exact, CacheMode::Coarse] {
+        let config = ClassifierConfig { cache, ..ClassifierConfig::default() };
+        let start = std::time::Instant::now();
+        let report = run_corpus_with(&config);
+        let elapsed = start.elapsed();
+        let table = Table1::compute(&report);
+        let stats = report.merged.cache_stats;
+        println!("=== cache mode {cache:?} ({elapsed:?}) ===");
+        println!("{table}");
+        println!(
+            "replays executed {}, cache {} hits / {} misses ({:.1}% hit rate), {} replays saved",
+            report.merged.vproc_replays,
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.saved_replays,
+        );
+        match &baseline {
+            None => baseline = Some(table),
+            Some(off) => {
+                if cache == CacheMode::Exact {
+                    assert_eq!(*off, table, "exact caching must reproduce the uncached Table 1");
+                    println!("exact == off: verified cell-for-cell");
+                } else if *off == table {
+                    println!("coarse matches off on this corpus");
+                } else {
+                    println!("coarse DIVERGES from off (expected: it approximates)");
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -67,10 +67,8 @@ fn main() {
 
     let coverage = |races: &BTreeSet<StaticRaceId>| {
         let known = races.iter().filter(|id| truth.verdict(**id).is_some()).count();
-        let harmful = races
-            .iter()
-            .filter(|id| truth.verdict(**id).is_some_and(|v| v.is_harmful()))
-            .count();
+        let harmful =
+            races.iter().filter(|id| truth.verdict(**id).is_some_and(|v| v.is_harmful())).count();
         (known, harmful)
     };
 
@@ -82,12 +80,18 @@ fn main() {
     let (hb_known, hb_harm) = coverage(&region_hb);
     println!(
         "  {:<26} {:>14} {:>16} {:>16}",
-        "region happens-before", region_hb.len(), hb_known, format!("{hb_harm}/7")
+        "region happens-before",
+        region_hb.len(),
+        hb_known,
+        format!("{hb_harm}/7")
     );
     let (vc_known, vc_harm) = coverage(&vector_clock);
     println!(
         "  {:<26} {:>14} {:>16} {:>16}",
-        "vector-clock (online)", vector_clock.len(), vc_known, format!("{vc_harm}/7")
+        "vector-clock (online)",
+        vector_clock.len(),
+        vc_known,
+        format!("{vc_harm}/7")
     );
     println!(
         "  {:<26} {:>14} {:>16} {:>16}",
@@ -109,10 +113,7 @@ fn main() {
     println!();
     let only_vc: Vec<_> = vector_clock.difference(&region_hb).collect();
     let only_hb: Vec<_> = region_hb.difference(&vector_clock).collect();
-    println!(
-        "races only the vector clock finds (region sequencers over-order): {}",
-        only_vc.len()
-    );
+    println!("races only the vector clock finds (region sequencers over-order): {}", only_vc.len());
     println!(
         "races only the region detector finds (e.g. plain vs atomic in overlapping regions): {}",
         only_hb.len()

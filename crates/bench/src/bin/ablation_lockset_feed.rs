@@ -57,10 +57,7 @@ fn main() {
 
     println!("lockset warnings across the corpus : {}", total.warnings);
     println!("materialized access pairs           : {}", total.candidate_pairs);
-    println!(
-        "  ordered by happens-before (lockset false positives): {}",
-        total.ordered_pairs
-    );
+    println!("  ordered by happens-before (lockset false positives): {}", total.ordered_pairs);
     println!("classifier filtered (both orders converge)          : {}", total.filtered);
     println!("classifier flagged potentially harmful              : {}", total.flagged);
     println!();

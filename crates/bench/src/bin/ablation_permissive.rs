@@ -70,8 +70,11 @@ fn main() {
         eprintln!("running corpus with {label} ...");
         let report = run_with(vproc);
         let t1 = Table1::compute(&report);
-        let (nsc, sc, rf) =
-            (t1.cells[0][0] + t1.cells[0][1], t1.cells[1][0] + t1.cells[1][1], t1.cells[2][0] + t1.cells[2][1]);
+        let (nsc, sc, rf) = (
+            t1.cells[0][0] + t1.cells[0][1],
+            t1.cells[1][0] + t1.cells[1][1],
+            t1.cells[2][0] + t1.cells[2][1],
+        );
         println!(
             "{label:<26} {nsc:>5} {sc:>5} {rf:>5} {:>22} {:>16}",
             t1.benign_flagged_harmful(),

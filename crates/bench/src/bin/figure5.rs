@@ -14,7 +14,10 @@ fn main() {
     let report = corpus();
     let fig = Figure::figure5(&report);
     println!("{fig}");
-    println!("races: {} (paper: 29 = 23 approximate computation + 6 replayer limitations)", fig.bars.len());
+    println!(
+        "races: {} (paper: 29 = 23 approximate computation + 6 replayer limitations)",
+        fig.bars.len()
+    );
     assert!(
         fig.bars.iter().all(|b| b.exposing > 0),
         "misclassified races are misclassified because instances exposed them"

@@ -42,7 +42,11 @@ fn main() {
     let last = last.expect("at least one scale");
     println!();
     println!("paper vs measured (largest scale):");
-    row("raw bits/instruction", PAPER_BITS_PER_INSTR_RAW, format!("{:.3}", last.bits_per_instr_raw()));
+    row(
+        "raw bits/instruction",
+        PAPER_BITS_PER_INSTR_RAW,
+        format!("{:.3}", last.bits_per_instr_raw()),
+    );
     row(
         "compressed bits/instruction",
         PAPER_BITS_PER_INSTR_COMPRESSED,

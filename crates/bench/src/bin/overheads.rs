@@ -44,12 +44,8 @@ fn main() {
     println!("native time: {:?}", t.native);
     println!();
     println!("phase overheads vs native:");
-    let measured = [
-        t.overhead(t.record),
-        t.overhead(t.replay),
-        t.overhead(t.detect),
-        t.overhead(t.classify),
-    ];
+    let measured =
+        [t.overhead(t.record), t.overhead(t.replay), t.overhead(t.detect), t.overhead(t.classify)];
     for ((label, paper), m) in PAPER_OVERHEADS.iter().zip(measured) {
         row(label, format!("~{paper}x"), format!("{m:.1}x"));
     }

@@ -1,0 +1,81 @@
+//! A minimal wall-clock measurement harness for the `[[bench]]` targets.
+//!
+//! The workspace builds offline, so the benches cannot pull Criterion;
+//! this module provides the two things they actually used: repeated timed
+//! runs with warmup, and human-readable throughput reporting. Measurements
+//! are medians over fixed iteration batches, which is stable enough to
+//! compare phases and job counts on one machine.
+
+use std::time::{Duration, Instant};
+
+/// Result of measuring one closure.
+#[derive(Copy, Clone, Debug)]
+pub struct Measurement {
+    /// Median wall-clock time of one call.
+    pub median: Duration,
+    /// Fastest observed call.
+    pub min: Duration,
+    /// Slowest observed call.
+    pub max: Duration,
+    /// Number of timed calls.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Median time in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.median.as_secs_f64()
+    }
+}
+
+/// Times `f` with `warmup` untimed and `samples` timed calls, returning
+/// summary statistics. The closure's result is returned through a black-box
+/// sink so the optimizer cannot delete the work.
+pub fn measure<R>(warmup: usize, samples: usize, mut f: impl FnMut() -> R) -> Measurement {
+    assert!(samples > 0);
+    for _ in 0..warmup {
+        sink(f());
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        sink(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    Measurement {
+        median: times[times.len() / 2],
+        min: times[0],
+        max: times[times.len() - 1],
+        samples,
+    }
+}
+
+/// Opaque sink: prevents the measured closure from being optimized away.
+pub fn sink<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Prints one benchmark line, optionally with throughput in items/s.
+pub fn report(group: &str, name: &str, m: &Measurement, throughput_items: Option<u64>) {
+    let median = m.median;
+    let line = match throughput_items {
+        #[allow(clippy::cast_precision_loss)]
+        Some(items) if median.as_nanos() > 0 => {
+            let per_sec = items as f64 / m.seconds();
+            format!(
+                "{group}/{name:<32} median {median:>12?}  (min {:?}, max {:?}, {} samples, {:.1} Melem/s)",
+                m.min,
+                m.max,
+                m.samples,
+                per_sec / 1e6
+            )
+        }
+        _ => format!(
+            "{group}/{name:<32} median {median:>12?}  (min {:?}, max {:?}, {} samples)",
+            m.min, m.max, m.samples
+        ),
+    };
+    println!("{line}");
+}

@@ -8,13 +8,18 @@
 //! racerep record    prog.tasm -o run.idna [--schedule S]
 //! racerep replay    prog.tasm run.idna
 //! racerep races     prog.tasm run.idna [--json] [--permissive] [--triage-db db.json]
-//! racerep classify  prog.tasm [--schedule S] [--json]
+//!                   [--jobs N] [--cache off|exact|coarse]
+//! racerep classify  prog.tasm [--schedule S] [--json] [--jobs N] [--cache MODE]
 //! racerep triage    db.json <benign|harmful> <pc_lo> <pc_hi> [note...]
 //! racerep loginfo   run.idna
 //! racerep disasm    prog.tasm
 //! ```
 //!
 //! Schedules: `rr:<quantum>`, `random:<seed>`, `chunked:<seed>:<min>:<max>`.
+//!
+//! `--jobs N` sets the classifier's worker-thread count (0 or omitted =
+//! available parallelism, 1 = single-threaded); `--cache` picks the replay
+//! memoization mode. Neither changes the classification, only its cost.
 //!
 //! The library half exists so the command implementations are unit-testable
 //! without spawning processes.
@@ -24,18 +29,20 @@ use std::fs;
 use std::path::Path;
 use std::sync::Arc;
 
+use minijson::Json;
+
 use idna_replay::codec::{compress, decode_log, decompress, encode_log, measure};
 use idna_replay::event::ReplayLog;
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
 use idna_replay::vproc::VprocConfig;
-use replay_race::classify::ClassifierConfig;
+use replay_race::classify::{CacheMode, ClassifierConfig};
 use replay_race::pipeline::{run_pipeline, PipelineConfig};
 use replay_race::triage::{ManualVerdict, TriageDb};
 use tvm::asm::{assemble, disassemble};
 use tvm::machine::Machine;
 use tvm::program::Program;
-use tvm::scheduler::{run as run_machine, RunConfig};
+use tvm::scheduler::{run as run_machine, RunConfig, SchedulePolicy};
 
 /// Log-file magic (followed by the LZSS-compressed encoded log).
 const FILE_MAGIC: &[u8; 8] = b"IDNAFIL2";
@@ -113,12 +120,49 @@ pub fn load_program(path: &Path) -> Result<Arc<Program>, CliError> {
 #[must_use]
 pub fn log_to_bytes(log: &ReplayLog, schedule: &RunConfig) -> Vec<u8> {
     let mut out = Vec::from(&FILE_MAGIC[..]);
-    let schedule_json =
-        serde_json::to_vec(schedule).expect("schedule serialization cannot fail");
+    let schedule_json = schedule_to_json(schedule).to_string_compact().into_bytes();
     out.extend(u32::try_from(schedule_json.len()).expect("tiny header").to_le_bytes());
     out.extend(schedule_json);
     out.extend(compress(&encode_log(log)));
     out
+}
+
+/// Renders a schedule as JSON for the log-file header.
+fn schedule_to_json(schedule: &RunConfig) -> Json {
+    let policy = match schedule.policy {
+        SchedulePolicy::RoundRobin { quantum } => {
+            Json::obj(vec![("kind", Json::str("RoundRobin")), ("quantum", Json::from(quantum))])
+        }
+        SchedulePolicy::Random { seed } => {
+            Json::obj(vec![("kind", Json::str("Random")), ("seed", Json::from(seed))])
+        }
+        SchedulePolicy::Chunked { seed, min_quantum, max_quantum } => Json::obj(vec![
+            ("kind", Json::str("Chunked")),
+            ("seed", Json::from(seed)),
+            ("min_quantum", Json::from(min_quantum)),
+            ("max_quantum", Json::from(max_quantum)),
+        ]),
+    };
+    Json::obj(vec![("policy", policy), ("max_steps", Json::from(schedule.max_steps))])
+}
+
+/// Parses the log-file header's schedule.
+fn schedule_from_json(doc: &Json) -> Result<RunConfig, String> {
+    let u64_field = |obj: &Json, key: &str| -> Result<u64, String> {
+        obj.field(key)?.as_u64().ok_or_else(|| format!("{key} must be an integer"))
+    };
+    let policy = doc.field("policy")?;
+    let policy = match policy.field("kind")?.as_str() {
+        Some("RoundRobin") => SchedulePolicy::RoundRobin { quantum: u64_field(policy, "quantum")? },
+        Some("Random") => SchedulePolicy::Random { seed: u64_field(policy, "seed")? },
+        Some("Chunked") => SchedulePolicy::Chunked {
+            seed: u64_field(policy, "seed")?,
+            min_quantum: u64_field(policy, "min_quantum")?,
+            max_quantum: u64_field(policy, "max_quantum")?,
+        },
+        other => return Err(format!("unknown schedule policy {other:?}")),
+    };
+    Ok(RunConfig { policy, max_steps: u64_field(doc, "max_steps")? })
 }
 
 /// Parses the on-disk container format.
@@ -137,7 +181,11 @@ pub fn log_from_bytes(bytes: &[u8]) -> Result<(ReplayLog, RunConfig), CliError> 
     if payload.len() < 4 + hlen {
         return err("truncated schedule header");
     }
-    let schedule: RunConfig = serde_json::from_slice(&payload[4..4 + hlen])
+    let header = std::str::from_utf8(&payload[4..4 + hlen])
+        .map_err(|e| CliError { message: format!("bad schedule header: {e}") })?;
+    let schedule = Json::parse(header)
+        .map_err(|e| e.to_string())
+        .and_then(|doc| schedule_from_json(&doc))
         .map_err(|e| CliError { message: format!("bad schedule header: {e}") })?;
     let raw = decompress(&payload[4 + hlen..]).map_err(|e| CliError { message: e.to_string() })?;
     let log = decode_log(&raw).map_err(|e| CliError { message: e.to_string() })?;
@@ -241,7 +289,7 @@ pub fn cmd_races(
     path: &Path,
     log_path: &Path,
     json: bool,
-    permissive: bool,
+    classifier: &ClassifierConfig,
     triage_db: Option<&Path>,
 ) -> Result<String, CliError> {
     let program = load_program(path)?;
@@ -249,12 +297,7 @@ pub fn cmd_races(
     let trace = replay(&program, &log).map_err(|e| CliError { message: e.to_string() })?;
     let detected =
         replay_race::detect::detect_races(&trace, &replay_race::detect::DetectorConfig::default());
-    let vproc = if permissive { VprocConfig::permissive() } else { VprocConfig::default() };
-    let classification = replay_race::classify::classify_races(
-        &trace,
-        &detected,
-        &ClassifierConfig { vproc, ..ClassifierConfig::default() },
-    );
+    let classification = replay_race::classify::classify_races(&trace, &detected, classifier);
     let report = replay_race::report::Report::build(&trace, &classification);
     let mut out = if json { report.to_json() } else { report.to_text() };
     if let Some(db_path) = triage_db {
@@ -296,10 +339,16 @@ pub fn cmd_triage(
 /// # Errors
 ///
 /// Propagates load failures; a fresh recording always replays.
-pub fn cmd_classify(path: &Path, schedule: RunConfig, json: bool) -> Result<String, CliError> {
+pub fn cmd_classify(
+    path: &Path,
+    schedule: RunConfig,
+    json: bool,
+    classifier: &ClassifierConfig,
+) -> Result<String, CliError> {
     let program = load_program(path)?;
-    let result = run_pipeline(&program, &PipelineConfig::new(schedule))
-        .map_err(|e| CliError { message: e.to_string() })?;
+    let config = PipelineConfig { classifier: *classifier, ..PipelineConfig::new(schedule) };
+    let result =
+        run_pipeline(&program, &config).map_err(|e| CliError { message: e.to_string() })?;
     Ok(if json {
         result.report.to_json()
     } else {
@@ -309,6 +358,15 @@ pub fn cmd_classify(path: &Path, schedule: RunConfig, json: bool) -> Result<Stri
             result.instructions,
             result.detected.instance_count(),
             result.log_size.bits_per_instr_raw(),
+        ));
+        let cache = result.timings.cache;
+        out.push_str(&format!(
+            "{} vproc replays, cache: {} hits / {} misses ({:.0}% hit rate), {} replays saved\n",
+            result.classification.vproc_replays,
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0,
+            cache.saved_replays,
         ));
         out
     })
@@ -372,6 +430,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let mut out_path: Option<String> = None;
     let mut triage_db: Option<String> = None;
     let mut max_steps: Option<u64> = None;
+    let mut jobs: usize = 0;
+    let mut cache = CacheMode::default();
     let mut positional: Vec<&String> = Vec::new();
 
     let mut i = 0;
@@ -379,13 +439,20 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         match args[i].as_str() {
             "--schedule" | "-s" => {
                 i += 1;
-                let spec = args.get(i).ok_or_else(|| CliError { message: "--schedule needs a value".into() })?;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--schedule needs a value".into() })?;
                 schedule = parse_schedule(spec)?;
             }
             "--max-steps" => {
                 i += 1;
-                let v = args.get(i).ok_or_else(|| CliError { message: "--max-steps needs a value".into() })?;
-                max_steps = Some(v.parse().map_err(|_| CliError { message: format!("bad --max-steps {v:?}") })?);
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--max-steps needs a value".into() })?;
+                max_steps = Some(
+                    v.parse()
+                        .map_err(|_| CliError { message: format!("bad --max-steps {v:?}") })?,
+                );
             }
             "-o" | "--output" => {
                 i += 1;
@@ -397,6 +464,20 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             }
             "--json" => json = true,
             "--permissive" => permissive = true,
+            "--jobs" | "-j" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--jobs needs a count".into() })?;
+                jobs = v.parse().map_err(|_| CliError { message: format!("bad --jobs {v:?}") })?;
+            }
+            "--cache" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--cache needs a mode".into() })?;
+                cache = CacheMode::parse(v).map_err(|message| CliError { message })?;
+            }
             "--triage-db" => {
                 i += 1;
                 triage_db = Some(
@@ -415,20 +496,23 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     if let Some(ms) = max_steps {
         schedule = schedule.with_max_steps(ms);
     }
+    let vproc = if permissive { VprocConfig::permissive() } else { VprocConfig::default() };
+    let classifier = ClassifierConfig { vproc, jobs, cache, ..ClassifierConfig::default() };
 
     let usage = "usage: racerep <run|record|replay|races|classify|triage|loginfo|disasm> ...";
     let Some((&cmd, rest)) = positional.split_first() else {
         return err(usage);
     };
     let arg = |n: usize, what: &str| -> Result<&Path, CliError> {
-        rest.get(n).map(|s| Path::new(s.as_str())).ok_or_else(|| CliError {
-            message: format!("{cmd}: missing {what}"),
-        })
+        rest.get(n)
+            .map(|s| Path::new(s.as_str()))
+            .ok_or_else(|| CliError { message: format!("{cmd}: missing {what}") })
     };
     match cmd.as_str() {
         "run" => cmd_run(arg(0, "program path")?, schedule),
         "record" => {
-            let out = out_path.ok_or_else(|| CliError { message: "record: missing -o <log>".into() })?;
+            let out =
+                out_path.ok_or_else(|| CliError { message: "record: missing -o <log>".into() })?;
             cmd_record(arg(0, "program path")?, Path::new(&out), schedule)
         }
         "replay" => cmd_replay(arg(0, "program path")?, arg(1, "log path")?),
@@ -436,17 +520,23 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             arg(0, "program path")?,
             arg(1, "log path")?,
             json,
-            permissive,
+            &classifier,
             triage_db.as_deref().map(Path::new),
         ),
-        "classify" => cmd_classify(arg(0, "program path")?, schedule, json),
+        "classify" => cmd_classify(arg(0, "program path")?, schedule, json, &classifier),
         "triage" => {
             let parse_pc = |n: usize, what: &str| -> Result<usize, CliError> {
                 rest.get(n)
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| CliError { message: format!("triage: bad or missing {what}") })
             };
-            let note: String = rest.get(4..).unwrap_or(&[]).iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ");
+            let note: String = rest
+                .get(4..)
+                .unwrap_or(&[])
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
             cmd_triage(
                 arg(0, "db path")?,
                 rest.get(1).map(|s| s.as_str()).unwrap_or(""),
@@ -505,9 +595,13 @@ mod tests {
         let prog = temp_file("racy.tasm", RACY);
         let out = cmd_run(&prog, RunConfig::round_robin(1)).unwrap();
         assert!(out.contains("completed"));
-        let report = cmd_classify(&prog, RunConfig::round_robin(1), false).unwrap();
+        let report =
+            cmd_classify(&prog, RunConfig::round_robin(1), false, &ClassifierConfig::default())
+                .unwrap();
         assert!(report.contains("POTENTIALLY HARMFUL"), "{report}");
-        let json = cmd_classify(&prog, RunConfig::round_robin(1), true).unwrap();
+        let json =
+            cmd_classify(&prog, RunConfig::round_robin(1), true, &ClassifierConfig::default())
+                .unwrap();
         assert!(json.contains("\"verdict\""));
         let _ = fs::remove_file(prog);
     }
@@ -523,12 +617,13 @@ mod tests {
         let rep = cmd_replay(&prog, &log).unwrap();
         assert!(rep.contains("sequencing regions"));
         assert!(rep.contains("fidelity verified"), "{rep}");
-        let races = cmd_races(&prog, &log, false, false, None).unwrap();
+        let races = cmd_races(&prog, &log, false, &ClassifierConfig::default(), None).unwrap();
         assert!(races.contains("data race report"));
         // With a triage database: first everything is new, then suppressed.
         let db = std::env::temp_dir().join(format!("racerep_db_{}.json", std::process::id()));
         let _ = fs::remove_file(&db);
-        let with_queue = cmd_races(&prog, &log, false, false, Some(&db)).unwrap();
+        let with_queue =
+            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db)).unwrap();
         assert!(with_queue.contains("triage queue: 1 new"), "{with_queue}");
         // Mark the race benign; resolve the pcs from the report is overkill
         // here — mark via the id printed in the queue line.
@@ -542,7 +637,7 @@ mod tests {
             .collect();
         let msg = cmd_triage(&db, "benign", nums[0], nums[1], "known ok").unwrap();
         assert!(msg.contains("1 races triaged"));
-        let after = cmd_races(&prog, &log, false, false, Some(&db)).unwrap();
+        let after = cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db)).unwrap();
         assert!(after.contains("triage queue: 0 new"), "{after}");
         assert!(after.contains("1 suppressed"), "{after}");
         let _ = fs::remove_file(db);

@@ -4,6 +4,7 @@
 use std::path::PathBuf;
 
 use racerep::{cmd_classify, cmd_disasm, cmd_run, parse_schedule};
+use replay_race::classify::ClassifierConfig;
 
 fn sample(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/asm").join(name)
@@ -27,10 +28,18 @@ fn refcount_sample_is_flagged_harmful_under_an_adversarial_schedule() {
     let path = sample("refcount.tasm");
     for seed in 0..32u64 {
         let spec = format!("chunked:{seed}:1:6");
-        let report = cmd_classify(&path, parse_schedule(&spec).unwrap(), false).unwrap();
+        let report = cmd_classify(
+            &path,
+            parse_schedule(&spec).unwrap(),
+            false,
+            &ClassifierConfig::default(),
+        )
+        .unwrap();
         if report.contains("POTENTIALLY HARMFUL") {
-            assert!(report.contains("w1_") || report.contains("w2_") || report.contains("st [r15+16]"),
-                "the refcount instructions appear in the report:\n{report}");
+            assert!(
+                report.contains("w1_") || report.contains("w2_") || report.contains("st [r15+16]"),
+                "the refcount instructions appear in the report:\n{report}"
+            );
             return;
         }
     }
@@ -40,7 +49,9 @@ fn refcount_sample_is_flagged_harmful_under_an_adversarial_schedule() {
 #[test]
 fn handoff_sample_is_filtered_benign() {
     let path = sample("handoff.tasm");
-    let report = cmd_classify(&path, parse_schedule("rr:2").unwrap(), false).unwrap();
+    let report =
+        cmd_classify(&path, parse_schedule("rr:2").unwrap(), false, &ClassifierConfig::default())
+            .unwrap();
     assert!(report.contains("potentially benign"), "{report}");
     assert!(!report.contains("POTENTIALLY HARMFUL"), "{report}");
 }
@@ -49,6 +60,8 @@ fn handoff_sample_is_filtered_benign() {
 fn stats_sample_is_flagged_like_the_paper() {
     // Approximate computation: really benign, flagged potentially harmful.
     let path = sample("stats.tasm");
-    let report = cmd_classify(&path, parse_schedule("rr:2").unwrap(), false).unwrap();
+    let report =
+        cmd_classify(&path, parse_schedule("rr:2").unwrap(), false, &ClassifierConfig::default())
+            .unwrap();
     assert!(report.contains("POTENTIALLY HARMFUL"), "{report}");
 }

@@ -18,14 +18,12 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
-
 use tvm::exec::{AccessKind, Observer, StepInfo};
 use tvm::isa::Instr;
 use tvm::machine::Machine;
 
 /// Eraser's per-location state machine.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum LocationState {
     /// Never accessed.
     Virgin,
@@ -39,7 +37,7 @@ pub enum LocationState {
 
 /// One lockset warning: a location accessed in shared-modified state with an
 /// empty candidate lockset.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct LocksetWarning {
     pub addr: u64,
     /// The access that emptied the lockset / fired the warning.
@@ -60,7 +58,12 @@ struct LocationInfo {
 
 impl Default for LocationInfo {
     fn default() -> Self {
-        LocationInfo { state: LocationState::Virgin, candidates: None, last_pc: None, warned: false }
+        LocationInfo {
+            state: LocationState::Virgin,
+            candidates: None,
+            last_pc: None,
+            warned: false,
+        }
     }
 }
 

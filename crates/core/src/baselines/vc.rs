@@ -15,8 +15,8 @@
 //!   instead of one global sequencer order), so it can find races the
 //!   region detector's over-synchronization hides.
 
-use std::collections::{BTreeSet, HashMap};
 use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
 
 use tvm::exec::{AccessKind, Observer, StepInfo};
 use tvm::isa::Instr;

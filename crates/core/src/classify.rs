@@ -14,18 +14,40 @@
 //! the remaining races with at least one failure form the Replay-Failure
 //! group. State-Change and Replay-Failure races are **potentially harmful**
 //! and are the ones handed to developers.
+//!
+//! # Execution engine
+//!
+//! Dual-order replays dominate the pipeline cost (the paper's 280×
+//! overhead), and every replay is independent: a [`Vproc`] is a read-only
+//! view of the trace. The engine therefore
+//!
+//! 1. **plans** the replays sequentially (a deterministic walk over
+//!    `detected.by_static` that also resolves cache reuse),
+//! 2. **executes** the planned replays on [`ClassifierConfig::jobs`] worker
+//!    threads pulling from a shared cursor, and
+//! 3. **assembles** the per-race outcomes sequentially, in the same order
+//!    the single-threaded classifier used.
+//!
+//! Because which replays run — and what each returns — is fixed during
+//! planning, the result is bit-for-bit identical at any job count.
+//!
+//! The plan step also consults a [`ReplayCache`]: replays whose canonical
+//! key was already planned reuse the earlier live-outs instead of running
+//! again. The populated cache is handed to `Report::build` through
+//! [`ClassificationResult::cache`], so the report's difference rendering
+//! reuses classification replays instead of re-running them.
 
-use std::collections::BTreeMap;
-
-use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use idna_replay::replayer::ReplayTrace;
-use idna_replay::vproc::{PairOrder, ReplayFailure, Vproc, VprocConfig};
+use idna_replay::vproc::{AccessSite, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig};
 
 use crate::detect::{DetectedRaces, RaceInstance, StaticRaceId};
 
 /// Outcome of replaying both orders of one race instance.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum InstanceOutcome {
     /// Both orders completed with identical live-outs.
     NoStateChange,
@@ -44,7 +66,7 @@ impl InstanceOutcome {
 }
 
 /// One classified race instance.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ClassifiedInstance {
     pub instance: RaceInstance,
     pub outcome: InstanceOutcome,
@@ -54,7 +76,7 @@ pub struct ClassifiedInstance {
 }
 
 /// Table 1 row: the aggregate outcome group of a static race (§5.2.1).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OutcomeGroup {
     /// Every instance was No-State-Change.
     NoStateChange,
@@ -65,7 +87,7 @@ pub enum OutcomeGroup {
 }
 
 /// Table 1 column: the tool's verdict.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Verdict {
     PotentiallyBenign,
     PotentiallyHarmful,
@@ -83,7 +105,7 @@ impl OutcomeGroup {
 }
 
 /// Instance statistics for one static race (the data behind Figures 3–5).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct InstanceCounts {
     /// Instances detected.
     pub detected: usize,
@@ -104,7 +126,7 @@ impl InstanceCounts {
 }
 
 /// A fully classified static race.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClassifiedRace {
     pub id: StaticRaceId,
     pub group: OutcomeGroup,
@@ -125,6 +147,206 @@ impl ClassifiedRace {
     }
 }
 
+/// Granularity of the replay cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No memoization; every replay runs.
+    Off,
+    /// Key on the exact replay identity: both [`AccessSite`]s (region,
+    /// racing instruction index, pc, address, kind) plus the order. Reuse is
+    /// sound — an identical key means an identical replay — so results are
+    /// byte-for-byte those of `Off`. Within one classification the keys are
+    /// unique; the payoff is the report phase, which re-renders each harmful
+    /// race's difference from cached live-outs instead of replaying again.
+    #[default]
+    Exact,
+    /// Key on the canonicalized (region pair, pc pair, address, access
+    /// kinds, order), dropping the dynamic instruction indices: repeated
+    /// instances of the same static race on the same region pair reuse the
+    /// first instance's live-outs. An approximation — instances at different
+    /// loop iterations can genuinely differ — offered for the ablation
+    /// study, not the default.
+    Coarse,
+}
+
+impl CacheMode {
+    /// Parses a CLI-style mode name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unrecognized input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(CacheMode::Off),
+            "exact" => Ok(CacheMode::Exact),
+            "coarse" => Ok(CacheMode::Coarse),
+            other => Err(format!("cache mode must be off, exact, or coarse, got {other:?}")),
+        }
+    }
+}
+
+/// Replay-cache counters. `saved_replays` is the number of virtual-processor
+/// replays that were *not* run because a cached live-out was reused; with
+/// the cache off all three stay zero.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub saved_replays: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups, or 0 when the cache saw none.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Sums two counters (used when merging classifications).
+    #[must_use]
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            saved_replays: self.saved_replays + other.saved_replays,
+        }
+    }
+}
+
+/// Cache key: the canonical identity of one dual-region replay. The `(a,
+/// b)` sides are kept as given — [`Vproc::run_pair`] is not symmetric under
+/// swapping them (its completion phase services `a`'s thread first), so
+/// swap-canonicalizing could alias replays with different results.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+struct ReplayKey {
+    a: AccessSite,
+    b: AccessSite,
+    order: PairOrder,
+}
+
+/// Memoization table for dual-order replays, shared between classification
+/// and report rendering.
+#[derive(Debug)]
+pub struct ReplayCache {
+    mode: CacheMode,
+    vproc: VprocConfig,
+    map: Mutex<HashMap<ReplayKey, Result<PairLiveOut, ReplayFailure>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    saved: AtomicU64,
+}
+
+impl ReplayCache {
+    /// Creates an empty cache for the given granularity and replay options.
+    #[must_use]
+    pub fn new(mode: CacheMode, vproc: VprocConfig) -> Self {
+        ReplayCache {
+            mode,
+            vproc,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            saved: AtomicU64::new(0),
+        }
+    }
+
+    /// The granularity this cache memoizes at.
+    #[must_use]
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The virtual-processor options the cached replays ran under. Consumers
+    /// replaying *around* the cache (the report) must use the same options,
+    /// or cached and fresh live-outs would disagree.
+    #[must_use]
+    pub fn vproc_config(&self) -> VprocConfig {
+        self.vproc
+    }
+
+    /// Cumulative counters: planning reuse plus any report-phase lookups.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            saved_replays: self.saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The cache key for a replay, or `None` when caching is off.
+    fn key(&self, a: &AccessSite, b: &AccessSite, order: PairOrder) -> Option<ReplayKey> {
+        match self.mode {
+            CacheMode::Off => None,
+            CacheMode::Exact => Some(ReplayKey { a: *a, b: *b, order }),
+            CacheMode::Coarse => {
+                // Same region pair + static race + address + kinds: drop the
+                // dynamic instruction indices so loop iterations alias.
+                let coarse = |s: &AccessSite| AccessSite { instr_index: 0, ..*s };
+                Some(ReplayKey { a: coarse(a), b: coarse(b), order })
+            }
+        }
+    }
+
+    /// Replays through the cache: returns the memoized live-out when the
+    /// key is present, otherwise runs the replay and memoizes it. Used by
+    /// the report phase; the classifier plans its reuse up front instead.
+    pub fn replay(
+        &self,
+        vproc: &Vproc<'_>,
+        a: &AccessSite,
+        b: &AccessSite,
+        order: PairOrder,
+    ) -> Result<PairLiveOut, ReplayFailure> {
+        let Some(key) = self.key(a, b, order) else {
+            return vproc.run_pair(a, b, order);
+        };
+        if let Some(found) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.saved.fetch_add(1, Ordering::Relaxed);
+            return found.clone();
+        }
+        let out = vproc.run_pair(a, b, order);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, out.clone());
+        out
+    }
+
+    /// Stores the executed plan results the report will look up again (the
+    /// `retain` job indices — each race's first exposing instance) and folds
+    /// the plan's deterministic counters into the cache. Keeping only the
+    /// report-relevant live-outs keeps the memoization overhead negligible:
+    /// cloning every live-out into the map measurably slowed exact mode
+    /// down without ever being read back.
+    fn absorb_plan(
+        &self,
+        jobs: &[ReplayJob],
+        outcomes: &[Result<PairLiveOut, ReplayFailure>],
+        planned_hits: u64,
+        retain: &std::collections::HashSet<usize>,
+    ) {
+        if self.mode != CacheMode::Off {
+            let mut map = self.map.lock().unwrap();
+            for &i in retain {
+                let job = &jobs[i];
+                if let Some(key) = self.key(&job.a, &job.b, job.order) {
+                    map.insert(key, outcomes[i].clone());
+                }
+            }
+        }
+        self.hits.fetch_add(planned_hits, Ordering::Relaxed);
+        self.saved.fetch_add(planned_hits, Ordering::Relaxed);
+        self.misses.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    }
+}
+
 /// Classifier options.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ClassifierConfig {
@@ -134,11 +356,36 @@ pub struct ClassifierConfig {
     /// counted but not replayed. The paper analyzed thousands of instances
     /// for some races (§5.3); this bound keeps large corpora tractable.
     pub max_instances_per_race: usize,
+    /// Worker threads replaying race instances. `0` (the default) uses the
+    /// machine's available parallelism; `1` runs the replays inline on the
+    /// calling thread, exactly as the original single-threaded classifier
+    /// did. Results are identical at every setting.
+    pub jobs: usize,
+    /// Replay memoization granularity (default [`CacheMode::Exact`]).
+    pub cache: CacheMode,
+}
+
+impl ClassifierConfig {
+    /// The worker count actually used: `jobs`, or the machine's available
+    /// parallelism when `jobs` is 0.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.jobs
+        }
+    }
 }
 
 impl Default for ClassifierConfig {
     fn default() -> Self {
-        ClassifierConfig { vproc: VprocConfig::default(), max_instances_per_race: 2_000 }
+        ClassifierConfig {
+            vproc: VprocConfig::default(),
+            max_instances_per_race: 2_000,
+            jobs: 0,
+            cache: CacheMode::default(),
+        }
     }
 }
 
@@ -147,9 +394,16 @@ impl Default for ClassifierConfig {
 pub struct ClassificationResult {
     /// Classified races, keyed by static identity.
     pub races: BTreeMap<StaticRaceId, ClassifiedRace>,
-    /// Total virtual-processor replays performed (two per analyzed
-    /// instance) — a cost metric for the overhead experiment.
+    /// Virtual-processor replays actually executed. Without a cache this is
+    /// two per analyzed instance; with one, planned reuse lowers it — a
+    /// cost metric for the overhead experiment.
     pub vproc_replays: u64,
+    /// Replay-cache counters for the classification phase.
+    pub cache_stats: CacheStats,
+    /// The populated replay cache, for downstream phases (the report) to
+    /// reuse live-outs from. `None` when caching was off or after merging
+    /// across traces (a cache is only meaningful for its own trace).
+    pub cache: Option<Arc<ReplayCache>>,
 }
 
 impl ClassificationResult {
@@ -174,42 +428,46 @@ impl ClassificationResult {
         }
         (nsc, sc, rf)
     }
+
+    /// Cache counters including any lookups made after classification
+    /// (i.e. by the report phase); falls back to the classification-phase
+    /// snapshot when no cache handle is attached.
+    #[must_use]
+    pub fn cache_stats_now(&self) -> CacheStats {
+        self.cache.as_ref().map_or(self.cache_stats, |c| c.stats())
+    }
 }
 
-/// Classifies one race instance by replaying both orders.
-#[must_use]
-pub fn classify_instance(
-    vproc: &Vproc<'_>,
+/// Combines the two ordered live-outs of one instance into its
+/// classification — the comparison half of [`classify_instance`], shared
+/// with the planned engine.
+fn combine_outcomes(
+    trace: &ReplayTrace,
     instance: &RaceInstance,
+    fwd: Result<PairLiveOut, ReplayFailure>,
+    rev: Result<PairLiveOut, ReplayFailure>,
 ) -> ClassifiedInstance {
-    let fwd = vproc.run_pair(&instance.a, &instance.b, PairOrder::AThenB);
-    let rev = vproc.run_pair(&instance.a, &instance.b, PairOrder::BThenA);
     let (outcome, original_order) = match (fwd, rev) {
         (Ok(x), Ok(y)) => {
-            let original = if x.matches_recorded(vproc.trace(), &instance.a, &instance.b) {
+            let original = if x.matches_recorded(trace, &instance.a, &instance.b) {
                 Some(PairOrder::AThenB)
-            } else if y.matches_recorded(vproc.trace(), &instance.a, &instance.b) {
+            } else if y.matches_recorded(trace, &instance.a, &instance.b) {
                 Some(PairOrder::BThenA)
             } else {
                 None
             };
-            let outcome = if x == y {
-                InstanceOutcome::NoStateChange
-            } else {
-                InstanceOutcome::StateChange
-            };
+            let outcome =
+                if x == y { InstanceOutcome::NoStateChange } else { InstanceOutcome::StateChange };
             (outcome, original)
         }
         (Ok(x), Err(f)) => {
-            let original = x
-                .matches_recorded(vproc.trace(), &instance.a, &instance.b)
-                .then_some(PairOrder::AThenB);
+            let original =
+                x.matches_recorded(trace, &instance.a, &instance.b).then_some(PairOrder::AThenB);
             (InstanceOutcome::ReplayFailure(f), original)
         }
         (Err(f), Ok(y)) => {
-            let original = y
-                .matches_recorded(vproc.trace(), &instance.a, &instance.b)
-                .then_some(PairOrder::BThenA);
+            let original =
+                y.matches_recorded(trace, &instance.a, &instance.b).then_some(PairOrder::BThenA);
             (InstanceOutcome::ReplayFailure(f), original)
         }
         (Err(f), Err(_)) => (InstanceOutcome::ReplayFailure(f), None),
@@ -217,28 +475,151 @@ pub fn classify_instance(
     ClassifiedInstance { instance: *instance, outcome, original_order }
 }
 
+/// Classifies one race instance by replaying both orders.
+#[must_use]
+pub fn classify_instance(vproc: &Vproc<'_>, instance: &RaceInstance) -> ClassifiedInstance {
+    let fwd = vproc.run_pair(&instance.a, &instance.b, PairOrder::AThenB);
+    let rev = vproc.run_pair(&instance.a, &instance.b, PairOrder::BThenA);
+    combine_outcomes(vproc.trace(), instance, fwd, rev)
+}
+
+/// One planned replay: the sites and order to feed [`Vproc::run_pair`].
+#[derive(Copy, Clone, Debug)]
+struct ReplayJob {
+    a: AccessSite,
+    b: AccessSite,
+    order: PairOrder,
+}
+
+/// One planned instance: which job slots hold its two ordered live-outs.
+struct PlannedInstance {
+    instance: RaceInstance,
+    fwd_job: usize,
+    rev_job: usize,
+}
+
+/// Executes the planned replays on `workers` threads (inline when 1). Each
+/// job lands in its own slot, so the output order — and therefore the
+/// classification — is independent of scheduling.
+fn run_jobs(
+    trace: &ReplayTrace,
+    vproc_config: VprocConfig,
+    jobs: &[ReplayJob],
+    workers: usize,
+) -> Vec<Result<PairLiveOut, ReplayFailure>> {
+    if workers <= 1 || jobs.len() <= 1 {
+        let vproc = Vproc::new(trace, vproc_config);
+        return jobs.iter().map(|j| vproc.run_pair(&j.a, &j.b, j.order)).collect();
+    }
+    let slots: Vec<OnceLock<Result<PairLiveOut, ReplayFailure>>> =
+        jobs.iter().map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs.len()) {
+            scope.spawn(|| {
+                let vproc = Vproc::new(trace, vproc_config);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let out = vproc.run_pair(&job.a, &job.b, job.order);
+                    slots[i].set(out).expect("each job index is claimed once");
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.into_inner().expect("scope joined all workers")).collect()
+}
+
 /// Classifies every detected race in `trace`.
+///
+/// The work fans out over [`ClassifierConfig::jobs`] threads and reuses
+/// replays through the configured [`CacheMode`]; both knobs change only the
+/// cost, never the classification (for `Coarse`, see its caveat).
 #[must_use]
 pub fn classify_races(
     trace: &ReplayTrace,
     detected: &DetectedRaces,
     config: &ClassifierConfig,
 ) -> ClassificationResult {
-    let vproc = Vproc::new(trace, config.vproc);
-    let mut result = ClassificationResult::default();
+    let cache = ReplayCache::new(config.cache, config.vproc);
+
+    // Phase 1: plan. A sequential walk fixes which replays run and which
+    // reuse an earlier job's live-outs, so the outcome cannot depend on
+    // worker scheduling.
+    let mut jobs: Vec<ReplayJob> = Vec::new();
+    let mut job_index: HashMap<ReplayKey, usize> = HashMap::new();
+    let mut planned_hits = 0u64;
+    let mut plan: Vec<(StaticRaceId, usize, Vec<PlannedInstance>)> = Vec::new();
     for (&id, indices) in &detected.by_static {
-        let mut counts = InstanceCounts { detected: indices.len(), ..InstanceCounts::default() };
-        let mut classified = Vec::new();
+        let mut planned = Vec::with_capacity(indices.len().min(config.max_instances_per_race));
         for &idx in indices.iter().take(config.max_instances_per_race) {
-            let ci = classify_instance(&vproc, &detected.instances[idx]);
-            result.vproc_replays += 2;
+            let instance = detected.instances[idx];
+            let mut slot = [0usize; 2];
+            for (side, order) in PairOrder::BOTH.into_iter().enumerate() {
+                let job = ReplayJob { a: instance.a, b: instance.b, order };
+                slot[side] = match cache.key(&instance.a, &instance.b, order) {
+                    Some(key) => match job_index.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(hit) => {
+                            planned_hits += 1;
+                            *hit.get()
+                        }
+                        std::collections::hash_map::Entry::Vacant(miss) => {
+                            jobs.push(job);
+                            *miss.insert(jobs.len() - 1)
+                        }
+                    },
+                    None => {
+                        jobs.push(job);
+                        jobs.len() - 1
+                    }
+                };
+            }
+            planned.push(PlannedInstance { instance, fwd_job: slot[0], rev_job: slot[1] });
+        }
+        plan.push((id, indices.len(), planned));
+    }
+
+    // Phase 2: execute every planned replay.
+    let outcomes = run_jobs(trace, config.vproc, &jobs, config.effective_jobs());
+
+    // Phase 3: assemble, sequentially and in static-id order; note which
+    // live-outs the report phase will want back (each race's first exposing
+    // instance) so the cache retains exactly those.
+    let mut retain = std::collections::HashSet::new();
+    let mut result = ClassificationResult {
+        vproc_replays: jobs.len() as u64,
+        cache_stats: CacheStats {
+            hits: planned_hits,
+            misses: jobs.len() as u64,
+            saved_replays: planned_hits,
+        },
+        ..ClassificationResult::default()
+    };
+    for (id, detected_count, planned) in plan {
+        let mut counts = InstanceCounts { detected: detected_count, ..InstanceCounts::default() };
+        let mut classified = Vec::with_capacity(planned.len());
+        let mut first_exposing_jobs = None;
+        for p in planned {
+            let ci = combine_outcomes(
+                trace,
+                &p.instance,
+                outcomes[p.fwd_job].clone(),
+                outcomes[p.rev_job].clone(),
+            );
             counts.analyzed += 1;
             match ci.outcome {
                 InstanceOutcome::NoStateChange => counts.no_state_change += 1,
                 InstanceOutcome::StateChange => counts.state_change += 1,
                 InstanceOutcome::ReplayFailure(_) => counts.replay_failure += 1,
             }
+            if first_exposing_jobs.is_none() && ci.outcome.is_harmful_signal() {
+                first_exposing_jobs = Some((p.fwd_job, p.rev_job));
+            }
             classified.push(ci);
+        }
+        if let Some((fwd, rev)) = first_exposing_jobs {
+            retain.insert(fwd);
+            retain.insert(rev);
         }
         let group = if counts.state_change > 0 {
             OutcomeGroup::StateChange
@@ -252,6 +633,10 @@ pub fn classify_races(
             ClassifiedRace { id, group, verdict: group.verdict(), counts, instances: classified },
         );
     }
+    cache.absorb_plan(&jobs, &outcomes, planned_hits, &retain);
+    if config.cache != CacheMode::Off {
+        result.cache = Some(Arc::new(cache));
+    }
     result
 }
 
@@ -260,13 +645,17 @@ pub fn classify_races(
 /// the same execution or across different test scenarios").
 ///
 /// A race is potentially benign only if every instance in every execution
-/// was No-State-Change.
+/// was No-State-Change. Replay and cache counters are summed; the per-trace
+/// cache handles are dropped (they index into their own traces and cannot
+/// serve a merged view).
 #[must_use]
 pub fn merge_classifications(results: &[ClassificationResult]) -> ClassificationResult {
     let mut merged: BTreeMap<StaticRaceId, ClassifiedRace> = BTreeMap::new();
     let mut vproc_replays = 0;
+    let mut cache_stats = CacheStats::default();
     for result in results {
         vproc_replays += result.vproc_replays;
+        cache_stats = cache_stats.merged(result.cache_stats);
         for (id, race) in &result.races {
             merged
                 .entry(*id)
@@ -289,7 +678,7 @@ pub fn merge_classifications(results: &[ClassificationResult]) -> Classification
                 .or_insert_with(|| race.clone());
         }
     }
-    ClassificationResult { races: merged, vproc_replays }
+    ClassificationResult { races: merged, vproc_replays, cache_stats, cache: None }
 }
 
 #[cfg(test)]
@@ -422,6 +811,24 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_replay_and_cache_accounting() {
+        let one = ClassificationResult {
+            vproc_replays: 10,
+            cache_stats: CacheStats { hits: 3, misses: 10, saved_replays: 3 },
+            ..ClassificationResult::default()
+        };
+        let two = ClassificationResult {
+            vproc_replays: 4,
+            cache_stats: CacheStats { hits: 1, misses: 4, saved_replays: 1 },
+            ..ClassificationResult::default()
+        };
+        let merged = merge_classifications(&[one, two]);
+        assert_eq!(merged.vproc_replays, 14);
+        assert_eq!(merged.cache_stats, CacheStats { hits: 4, misses: 14, saved_replays: 4 });
+        assert!(merged.cache.is_none(), "merged results span traces; no shared cache");
+    }
+
+    #[test]
     fn group_counts_partition_races() {
         let mut b = ProgramBuilder::new();
         // Benign redundant write on 0x20, harmful conflicting write on 0x28.
@@ -441,5 +848,13 @@ mod tests {
         let (nsc, sc, rf) = result.group_counts();
         assert_eq!(nsc + sc + rf, result.races.len());
         assert!(sc >= 1, "the conflicting write must be state-change");
+    }
+
+    #[test]
+    fn parse_cache_mode_names() {
+        assert_eq!(CacheMode::parse("off").unwrap(), CacheMode::Off);
+        assert_eq!(CacheMode::parse("exact").unwrap(), CacheMode::Exact);
+        assert_eq!(CacheMode::parse("coarse").unwrap(), CacheMode::Coarse);
+        assert!(CacheMode::parse("lru").is_err());
     }
 }

@@ -10,8 +10,6 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use idna_replay::replayer::{ReplayTrace, ReplayedRegion};
 use idna_replay::vproc::AccessSite;
 use tvm::exec::AccessKind;
@@ -19,7 +17,7 @@ use tvm::exec::AccessKind;
 /// Identity of a *static* data race: the unordered pair of static
 /// instructions involved (paper §5.1: "a data race between the same two
 /// static instructions").
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StaticRaceId {
     /// The smaller of the two pcs.
     pub pc_lo: usize,
@@ -43,7 +41,7 @@ impl fmt::Display for StaticRaceId {
 
 /// One dynamic instance of a data race: two conflicting accesses in
 /// overlapping regions.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RaceInstance {
     pub a: AccessSite,
     pub b: AccessSite,
@@ -130,10 +128,8 @@ impl<'a> RegionIndex<'a> {
                 AccessKind::Read => entry.0.push(i),
                 AccessKind::Write => entry.1.push(i),
             }
-            let is_sync = trace
-                .program()
-                .instr(acc.pc)
-                .is_some_and(tvm::isa::Instr::is_sequencer_point);
+            let is_sync =
+                trace.program().instr(acc.pc).is_some_and(tvm::isa::Instr::is_sequencer_point);
             // A sequencer-point instruction is the first instruction of its
             // region; its sequencer timestamp is the region's start.
             point_ts.push(is_sync.then_some(region.region.start_ts));
@@ -149,9 +145,7 @@ impl<'a> RegionIndex<'a> {
     fn unordered_with(&self, i: usize, other: &RegionIndex<'_>, j: usize) -> bool {
         match (self.point_ts[i], other.point_ts[j]) {
             (Some(_), Some(_)) => false,
-            (Some(x), None) => {
-                other.region.region.start_ts < x && x < other.region.region.end_ts
-            }
+            (Some(x), None) => other.region.region.start_ts < x && x < other.region.region.end_ts,
             (None, Some(y)) => self.region.region.start_ts < y && y < self.region.region.end_ts,
             (None, None) => true, // region overlap already established
         }
@@ -227,11 +221,8 @@ fn collect_pair(
     out: &mut DetectedRaces,
 ) {
     // Iterate the smaller address map.
-    let (small, large, small_is_a) = if ra.by_addr.len() <= rb.by_addr.len() {
-        (ra, rb, true)
-    } else {
-        (rb, ra, false)
-    };
+    let (small, large, small_is_a) =
+        if ra.by_addr.len() <= rb.by_addr.len() { (ra, rb, true) } else { (rb, ra, false) };
     for (addr, (s_reads, s_writes)) in &small.by_addr {
         let Some((l_reads, l_writes)) = large.by_addr.get(addr) else { continue };
         // Budget applies per static race, so one hot pc pair cannot starve

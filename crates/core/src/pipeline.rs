@@ -12,7 +12,7 @@ use tvm::machine::Machine;
 use tvm::program::Program;
 use tvm::scheduler::{run, RunConfig};
 
-use crate::classify::{classify_races, ClassificationResult, ClassifierConfig};
+use crate::classify::{classify_races, CacheStats, ClassificationResult, ClassifierConfig};
 use crate::detect::{detect_races, DetectedRaces, DetectorConfig};
 use crate::report::Report;
 
@@ -54,6 +54,9 @@ pub struct PhaseTimings {
     pub detect: Duration,
     /// Dual-order classification of every race instance.
     pub classify: Duration,
+    /// Replay-cache counters across classification *and* report building
+    /// (the report reuses classification replays through the cache).
+    pub cache: CacheStats,
 }
 
 impl PhaseTimings {
@@ -146,6 +149,7 @@ pub fn run_pipeline(
     timings.classify = start.elapsed();
 
     let report = Report::build(&trace, &classification);
+    timings.cache = classification.cache_stats_now();
 
     Ok(PipelineResult {
         trace,
@@ -178,10 +182,7 @@ mod tests {
                 .unwrap();
         assert!(result.run_completed);
         assert_eq!(result.detected.unique_races(), 1);
-        assert_eq!(
-            result.classification.with_verdict(Verdict::PotentiallyHarmful).count(),
-            1
-        );
+        assert_eq!(result.classification.with_verdict(Verdict::PotentiallyHarmful).count(), 1);
         assert_eq!(result.report.races.len(), 1);
         assert!(result.log_size.raw_bytes > 0);
         assert!(result.instructions > 0);

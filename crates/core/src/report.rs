@@ -10,19 +10,21 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
+use minijson::Json;
 
 use idna_replay::replayer::ReplayTrace;
 use idna_replay::timetravel::TimeTraveler;
-use idna_replay::vproc::{AccessSite, PairOrder, Vproc, VprocConfig};
+use idna_replay::vproc::{AccessSite, PairOrder, ReplayFailure, Vproc, VprocConfig};
 
-use crate::classify::{ClassificationResult, ClassifiedRace, InstanceOutcome, Verdict};
+use crate::classify::{
+    ClassificationResult, ClassifiedRace, InstanceOutcome, ReplayCache, Verdict,
+};
 use crate::detect::StaticRaceId;
 
 /// A short window of disassembled instructions around a racing access,
 /// with the racing instruction marked — the static context a developer
 /// reads first.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CodeContext {
     /// Lines of the form `  12: ld r1, [r15+8]`, racing line prefixed `>`.
     pub lines: Vec<String>,
@@ -34,7 +36,7 @@ pub struct CodeContext {
 
 /// A replay scenario for one harmful race instance: what the developer
 /// replays to see both outcomes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ReplayScenario {
     /// The racing instruction of side `a`, disassembled.
     pub instr_a: String,
@@ -63,7 +65,7 @@ pub struct ReplayScenario {
 }
 
 /// A report entry for one static race.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RaceReport {
     pub id: StaticRaceId,
     pub verdict: Verdict,
@@ -76,23 +78,25 @@ pub struct RaceReport {
 }
 
 /// The full report over one classification result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Potentially harmful races first (the triage queue), then benign.
     pub races: Vec<RaceReport>,
 }
 
 impl Report {
-    /// Builds the report, re-running the virtual processor for each harmful
-    /// race's first exposing instance to render the difference.
+    /// Builds the report. Each harmful race's first exposing instance needs
+    /// both ordered live-outs to render the difference; when the
+    /// classification carries a [`ReplayCache`] those replays are served
+    /// from it (under the same virtual-processor options the classifier
+    /// used), otherwise the virtual processor re-runs them.
     #[must_use]
     pub fn build(trace: &ReplayTrace, result: &ClassificationResult) -> Self {
-        let vproc = Vproc::new(trace, VprocConfig::default());
-        let mut races: Vec<RaceReport> = result
-            .races
-            .values()
-            .map(|race| build_entry(trace, &vproc, race))
-            .collect();
+        let cache = result.cache.as_deref();
+        let vproc_config = cache.map_or_else(VprocConfig::default, ReplayCache::vproc_config);
+        let vproc = Vproc::new(trace, vproc_config);
+        let mut races: Vec<RaceReport> =
+            result.races.values().map(|race| build_entry(trace, &vproc, cache, race)).collect();
         races.sort_by_key(|r| (r.verdict != Verdict::PotentiallyHarmful, r.id));
         Report { races }
     }
@@ -152,18 +156,212 @@ impl Report {
     }
 
     /// Serializes the report as JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics only if JSON serialization fails, which would be a bug in the
-    /// report types.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+        let races: Vec<Json> = self.races.iter().map(race_to_json).collect();
+        Json::obj(vec![("races", Json::Arr(races))]).to_string_pretty()
+    }
+
+    /// Parses a report previously produced by [`Report::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let races = doc
+            .field("races")?
+            .as_arr()
+            .ok_or("races must be an array")?
+            .iter()
+            .map(race_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Report { races })
     }
 }
 
-fn build_entry(trace: &ReplayTrace, vproc: &Vproc<'_>, race: &ClassifiedRace) -> RaceReport {
+// --- JSON conversion --------------------------------------------------------
+//
+// Hand-rolled (the workspace builds offline, without serde); the format is
+// a straightforward field-per-field mapping, with enums as strings and the
+// parameterized `ReplayFailure` outcome as a small object.
+
+fn race_to_json(race: &RaceReport) -> Json {
+    Json::obj(vec![
+        ("pc_lo", Json::from(race.id.pc_lo)),
+        ("pc_hi", Json::from(race.id.pc_hi)),
+        (
+            "verdict",
+            Json::str(match race.verdict {
+                Verdict::PotentiallyBenign => "PotentiallyBenign",
+                Verdict::PotentiallyHarmful => "PotentiallyHarmful",
+            }),
+        ),
+        (
+            "group",
+            Json::str(match race.group {
+                crate::classify::OutcomeGroup::NoStateChange => "NoStateChange",
+                crate::classify::OutcomeGroup::StateChange => "StateChange",
+                crate::classify::OutcomeGroup::ReplayFailure => "ReplayFailure",
+            }),
+        ),
+        ("instances_detected", Json::from(race.instances_detected)),
+        ("instances_analyzed", Json::from(race.instances_analyzed)),
+        ("instances_exposing", Json::from(race.instances_exposing)),
+        ("scenario", race.scenario.as_ref().map_or(Json::Null, scenario_to_json)),
+    ])
+}
+
+fn race_from_json(doc: &Json) -> Result<RaceReport, String> {
+    let usize_field = |key: &str| -> Result<usize, String> {
+        doc.field(key)?.as_usize().ok_or_else(|| format!("{key} must be an integer"))
+    };
+    let verdict = match doc.field("verdict")?.as_str() {
+        Some("PotentiallyBenign") => Verdict::PotentiallyBenign,
+        Some("PotentiallyHarmful") => Verdict::PotentiallyHarmful,
+        other => return Err(format!("bad verdict {other:?}")),
+    };
+    let group = match doc.field("group")?.as_str() {
+        Some("NoStateChange") => crate::classify::OutcomeGroup::NoStateChange,
+        Some("StateChange") => crate::classify::OutcomeGroup::StateChange,
+        Some("ReplayFailure") => crate::classify::OutcomeGroup::ReplayFailure,
+        other => return Err(format!("bad group {other:?}")),
+    };
+    let scenario = match doc.field("scenario")? {
+        Json::Null => None,
+        s => Some(scenario_from_json(s)?),
+    };
+    Ok(RaceReport {
+        id: StaticRaceId::new(usize_field("pc_lo")?, usize_field("pc_hi")?),
+        verdict,
+        group,
+        instances_detected: usize_field("instances_detected")?,
+        instances_analyzed: usize_field("instances_analyzed")?,
+        instances_exposing: usize_field("instances_exposing")?,
+        scenario,
+    })
+}
+
+fn scenario_to_json(s: &ReplayScenario) -> Json {
+    let outcome = match s.outcome {
+        InstanceOutcome::NoStateChange => Json::str("NoStateChange"),
+        InstanceOutcome::StateChange => Json::str("StateChange"),
+        InstanceOutcome::ReplayFailure(f) => {
+            let (kind, fields): (&str, Vec<(&str, Json)>) = match f {
+                ReplayFailure::UnknownLoad { addr } => ("UnknownLoad", vec![("addr", addr.into())]),
+                ReplayFailure::UnknownStore { addr } => {
+                    ("UnknownStore", vec![("addr", addr.into())])
+                }
+                ReplayFailure::UnknownFree { addr } => ("UnknownFree", vec![("addr", addr.into())]),
+                ReplayFailure::UnrecordedControlFlow { tid, pc } => {
+                    ("UnrecordedControlFlow", vec![("tid", tid.into()), ("pc", pc.into())])
+                }
+                ReplayFailure::BudgetExhausted => ("BudgetExhausted", Vec::new()),
+            };
+            let mut pairs = vec![("kind", Json::str(kind))];
+            pairs.extend(fields);
+            Json::obj(pairs)
+        }
+    };
+    let context = |c: &CodeContext| {
+        Json::obj(vec![
+            ("lines", Json::from(c.lines.clone())),
+            ("registers", Json::from(c.registers.clone())),
+        ])
+    };
+    Json::obj(vec![
+        ("instr_a", Json::str(s.instr_a.clone())),
+        ("instr_b", Json::str(s.instr_b.clone())),
+        ("mark_a", Json::from(s.mark_a.clone())),
+        ("mark_b", Json::from(s.mark_b.clone())),
+        ("thread_a", Json::str(s.thread_a.clone())),
+        ("thread_b", Json::str(s.thread_b.clone())),
+        ("addr", Json::from(s.addr)),
+        ("outcome", outcome),
+        (
+            "original_order",
+            match s.original_order {
+                Some(PairOrder::AThenB) => Json::str("AThenB"),
+                Some(PairOrder::BThenA) => Json::str("BThenA"),
+                None => Json::Null,
+            },
+        ),
+        ("difference", Json::str(s.difference.clone())),
+        ("context_a", context(&s.context_a)),
+        ("context_b", context(&s.context_b)),
+    ])
+}
+
+fn scenario_from_json(doc: &Json) -> Result<ReplayScenario, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        doc.field(key)?.as_str().map(str::to_owned).ok_or_else(|| format!("{key} must be a string"))
+    };
+    let opt_str_field = |key: &str| -> Result<Option<String>, String> {
+        match doc.field(key)? {
+            Json::Null => Ok(None),
+            v => v.as_str().map(|s| Some(s.to_owned())).ok_or_else(|| format!("bad {key}")),
+        }
+    };
+    let outcome = match doc.field("outcome")? {
+        Json::Str(s) if s == "NoStateChange" => InstanceOutcome::NoStateChange,
+        Json::Str(s) if s == "StateChange" => InstanceOutcome::StateChange,
+        failure @ Json::Obj(_) => {
+            let addr = || -> Result<u64, String> {
+                failure.field("addr")?.as_u64().ok_or_else(|| "addr must be an integer".to_string())
+            };
+            InstanceOutcome::ReplayFailure(match failure.field("kind")?.as_str() {
+                Some("UnknownLoad") => ReplayFailure::UnknownLoad { addr: addr()? },
+                Some("UnknownStore") => ReplayFailure::UnknownStore { addr: addr()? },
+                Some("UnknownFree") => ReplayFailure::UnknownFree { addr: addr()? },
+                Some("UnrecordedControlFlow") => ReplayFailure::UnrecordedControlFlow {
+                    tid: failure.field("tid")?.as_usize().ok_or("tid must be an integer")?,
+                    pc: failure.field("pc")?.as_usize().ok_or("pc must be an integer")?,
+                },
+                Some("BudgetExhausted") => ReplayFailure::BudgetExhausted,
+                other => return Err(format!("bad failure kind {other:?}")),
+            })
+        }
+        other => return Err(format!("bad outcome {other:?}")),
+    };
+    let context = |key: &str| -> Result<CodeContext, String> {
+        let c = doc.field(key)?;
+        let strings = |k: &str| -> Result<Vec<String>, String> {
+            c.field(k)?
+                .as_arr()
+                .ok_or_else(|| format!("{k} must be an array"))?
+                .iter()
+                .map(|v| v.as_str().map(str::to_owned).ok_or_else(|| format!("bad {k} entry")))
+                .collect()
+        };
+        Ok(CodeContext { lines: strings("lines")?, registers: strings("registers")? })
+    };
+    Ok(ReplayScenario {
+        instr_a: str_field("instr_a")?,
+        instr_b: str_field("instr_b")?,
+        mark_a: opt_str_field("mark_a")?,
+        mark_b: opt_str_field("mark_b")?,
+        thread_a: str_field("thread_a")?,
+        thread_b: str_field("thread_b")?,
+        addr: doc.field("addr")?.as_u64().ok_or("addr must be an integer")?,
+        outcome,
+        original_order: match doc.field("original_order")? {
+            Json::Null => None,
+            Json::Str(s) if s == "AThenB" => Some(PairOrder::AThenB),
+            Json::Str(s) if s == "BThenA" => Some(PairOrder::BThenA),
+            other => return Err(format!("bad original_order {other:?}")),
+        },
+        difference: str_field("difference")?,
+        context_a: context("context_a")?,
+        context_b: context("context_b")?,
+    })
+}
+
+fn build_entry(
+    trace: &ReplayTrace,
+    vproc: &Vproc<'_>,
+    cache: Option<&ReplayCache>,
+    race: &ClassifiedRace,
+) -> RaceReport {
     let scenario = race.first_exposing_instance().map(|ci| {
         let inst = &ci.instance;
         let program = trace.program();
@@ -174,7 +372,7 @@ fn build_entry(trace: &ReplayTrace, vproc: &Vproc<'_>, race: &ClassifiedRace) ->
         };
         let difference = match ci.outcome {
             InstanceOutcome::ReplayFailure(f) => format!("alternative replay failed: {f}"),
-            InstanceOutcome::StateChange => describe_difference(vproc, inst),
+            InstanceOutcome::StateChange => describe_difference(vproc, cache, inst),
             InstanceOutcome::NoStateChange => "no difference".to_string(),
         };
         ReplayScenario {
@@ -249,10 +447,20 @@ fn registers_read(instr: &tvm::Instr) -> Vec<tvm::Reg> {
     regs
 }
 
-/// Re-runs both orders of an instance and renders how the live-outs differ.
-fn describe_difference(vproc: &Vproc<'_>, inst: &crate::detect::RaceInstance) -> String {
-    let fwd = vproc.run_pair(&inst.a, &inst.b, PairOrder::AThenB);
-    let rev = vproc.run_pair(&inst.a, &inst.b, PairOrder::BThenA);
+/// Obtains both ordered live-outs of an instance — from the classification's
+/// replay cache when available, else by re-running — and renders how they
+/// differ.
+fn describe_difference(
+    vproc: &Vproc<'_>,
+    cache: Option<&ReplayCache>,
+    inst: &crate::detect::RaceInstance,
+) -> String {
+    let run = |order| match cache {
+        Some(c) => c.replay(vproc, &inst.a, &inst.b, order),
+        None => vproc.run_pair(&inst.a, &inst.b, order),
+    };
+    let fwd = run(PairOrder::AThenB);
+    let rev = run(PairOrder::BThenA);
     let (Ok(x), Ok(y)) = (fwd, rev) else {
         return "replay failure on re-examination".to_string();
     };
@@ -351,7 +559,7 @@ mod tests {
         assert!(text.contains("original order"));
         let json = report.to_json();
         assert!(json.contains("\"verdict\""));
-        let parsed: Report = serde_json::from_str(&json).unwrap();
+        let parsed = Report::from_json(&json).unwrap();
         assert_eq!(parsed.races.len(), report.races.len());
     }
 

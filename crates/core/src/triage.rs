@@ -14,13 +14,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use minijson::Json;
 
 use crate::classify::{ClassificationResult, Verdict};
 use crate::detect::StaticRaceId;
 
 /// A developer's manual verdict on one race.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ManualVerdict {
     /// Examined and found benign; suppressed from future reports.
     ConfirmedBenign,
@@ -30,7 +30,7 @@ pub enum ManualVerdict {
 }
 
 /// One triage decision.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TriageEntry {
     pub verdict: ManualVerdict,
     /// Free-form developer note ("statistics counter, imprecision intended").
@@ -58,14 +58,21 @@ pub struct TriageDb {
     entries: BTreeMap<StaticRaceId, TriageEntry>,
 }
 
-/// On-disk representation: one record per triaged race (JSON object keys
-/// must be strings, so the map is flattened).
-#[derive(Serialize, Deserialize)]
-struct TriageRecord {
-    pc_lo: usize,
-    pc_hi: usize,
-    verdict: ManualVerdict,
-    note: String,
+impl ManualVerdict {
+    fn as_json_str(&self) -> &'static str {
+        match self {
+            ManualVerdict::ConfirmedBenign => "ConfirmedBenign",
+            ManualVerdict::ConfirmedHarmful => "ConfirmedHarmful",
+        }
+    }
+
+    fn from_json_str(s: &str) -> Result<Self, String> {
+        match s {
+            "ConfirmedBenign" => Ok(ManualVerdict::ConfirmedBenign),
+            "ConfirmedHarmful" => Ok(ManualVerdict::ConfirmedHarmful),
+            other => Err(format!("unknown verdict `{other}`")),
+        }
+    }
 }
 
 /// Loading or saving the database failed.
@@ -112,24 +119,23 @@ impl TriageDb {
         self.entries.is_empty()
     }
 
-    /// Serializes the database to JSON.
-    ///
-    /// # Panics
-    ///
-    /// Serialization of these plain data types cannot fail.
+    /// Serializes the database to JSON: one record per triaged race (JSON
+    /// object keys must be strings, so the map is flattened).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let records: Vec<TriageRecord> = self
+        let records: Vec<Json> = self
             .entries
             .iter()
-            .map(|(id, e)| TriageRecord {
-                pc_lo: id.pc_lo,
-                pc_hi: id.pc_hi,
-                verdict: e.verdict.clone(),
-                note: e.note.clone(),
+            .map(|(id, e)| {
+                Json::obj(vec![
+                    ("pc_lo", Json::from(id.pc_lo)),
+                    ("pc_hi", Json::from(id.pc_hi)),
+                    ("verdict", Json::str(e.verdict.as_json_str())),
+                    ("note", Json::str(e.note.clone())),
+                ])
             })
             .collect();
-        serde_json::to_string_pretty(&records).expect("triage db serialization cannot fail")
+        Json::Arr(records).to_string_pretty()
     }
 
     /// Parses a database from JSON.
@@ -138,11 +144,22 @@ impl TriageDb {
     ///
     /// Returns a [`TriageDbError`] on malformed input.
     pub fn from_json(json: &str) -> Result<Self, TriageDbError> {
-        let records: Vec<TriageRecord> =
-            serde_json::from_str(json).map_err(|e| TriageDbError { message: e.to_string() })?;
+        let doc = Json::parse(json).map_err(|e| TriageDbError { message: e.to_string() })?;
         let mut db = TriageDb::new();
+        let records =
+            doc.as_arr().ok_or_else(|| TriageDbError { message: "expected an array".into() })?;
         for r in records {
-            db.mark(StaticRaceId::new(r.pc_lo, r.pc_hi), r.verdict, r.note);
+            let mut parse = || -> Result<(), String> {
+                let pc_lo = r.field("pc_lo")?.as_usize().ok_or("pc_lo must be an integer")?;
+                let pc_hi = r.field("pc_hi")?.as_usize().ok_or("pc_hi must be an integer")?;
+                let verdict = ManualVerdict::from_json_str(
+                    r.field("verdict")?.as_str().ok_or("verdict must be a string")?,
+                )?;
+                let note = r.field("note")?.as_str().ok_or("note must be a string")?;
+                db.mark(StaticRaceId::new(pc_lo, pc_hi), verdict, note);
+                Ok(())
+            };
+            parse().map_err(|message| TriageDbError { message })?;
         }
         Ok(db)
     }
@@ -264,10 +281,8 @@ mod tests {
             .store(Reg::R2, Reg::R15, 0x28)
             .halt();
         let program: std::sync::Arc<tvm::Program> = b.build().into();
-        let benign = StaticRaceId::new(
-            program.mark("benign_a").unwrap(),
-            program.mark("benign_b").unwrap(),
-        );
+        let benign =
+            StaticRaceId::new(program.mark("benign_a").unwrap(), program.mark("benign_b").unwrap());
         let harmful = StaticRaceId::new(
             program.mark("harmful_a").unwrap(),
             program.mark("harmful_b").unwrap(),

@@ -13,8 +13,6 @@
 
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use tvm::isa::NUM_REGS;
 use tvm::machine::Fault;
 
@@ -41,21 +39,61 @@ fn cerr<T>(message: impl Into<String>) -> Result<T, CodecError> {
     Err(CodecError { message: message.into() })
 }
 
+// --- byte cursor ------------------------------------------------------------
+
+/// A read cursor over a byte slice (the decoding twin of `Vec<u8>`).
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.pos < self.bytes.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]);
+        self.pos += 2;
+        v
+    }
+
+    fn take(&mut self, len: usize) -> &'a [u8] {
+        let s = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        s
+    }
+}
+
 // --- varint primitives ----------------------------------------------------
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+fn get_varint(buf: &mut Reader<'_>) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -74,45 +112,45 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_varint(buf, s.len() as u64);
-    buf.put_slice(s.as_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+fn get_str(buf: &mut Reader<'_>) -> Result<String, CodecError> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return cerr("truncated string");
     }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError { message: "bad utf-8".into() })
+    String::from_utf8(buf.take(len).to_vec())
+        .map_err(|_| CodecError { message: "bad utf-8".into() })
 }
 
-fn put_fault(buf: &mut BytesMut, f: Fault) {
+fn put_fault(buf: &mut Vec<u8>, f: Fault) {
     match f {
         Fault::InvalidAccess { addr } => {
-            buf.put_u8(0);
+            buf.push(0);
             put_varint(buf, addr);
         }
         Fault::UseAfterFree { addr } => {
-            buf.put_u8(1);
+            buf.push(1);
             put_varint(buf, addr);
         }
         Fault::InvalidFree { addr } => {
-            buf.put_u8(2);
+            buf.push(2);
             put_varint(buf, addr);
         }
-        Fault::DivideByZero => buf.put_u8(3),
-        Fault::CallStackOverflow => buf.put_u8(4),
-        Fault::CallStackUnderflow => buf.put_u8(5),
+        Fault::DivideByZero => buf.push(3),
+        Fault::CallStackOverflow => buf.push(4),
+        Fault::CallStackUnderflow => buf.push(5),
         Fault::PcOutOfRange { pc } => {
-            buf.put_u8(6);
+            buf.push(6);
             put_varint(buf, pc as u64);
         }
     }
 }
 
-fn get_fault(buf: &mut Bytes) -> Result<Fault, CodecError> {
+fn get_fault(buf: &mut Reader<'_>) -> Result<Fault, CodecError> {
     if !buf.has_remaining() {
         return cerr("truncated fault");
     }
@@ -133,18 +171,18 @@ fn get_fault(buf: &mut Bytes) -> Result<Fault, CodecError> {
 /// Encodes a log into the compact binary form.
 #[must_use]
 pub fn encode_log(log: &ReplayLog) -> Vec<u8> {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u8(FORMAT_VERSION);
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.push(FORMAT_VERSION);
     put_varint(&mut buf, log.total_instructions);
     put_varint(&mut buf, log.threads.len() as u64);
     for t in &log.threads {
         encode_thread(&mut buf, t);
     }
-    buf.to_vec()
+    buf
 }
 
-fn encode_thread(buf: &mut BytesMut, t: &ThreadLog) {
+fn encode_thread(buf: &mut Vec<u8>, t: &ThreadLog) {
     put_varint(buf, t.tid as u64);
     put_str(buf, &t.name);
     for r in t.start_regs {
@@ -155,10 +193,10 @@ fn encode_thread(buf: &mut BytesMut, t: &ThreadLog) {
     put_varint(buf, t.end_instr);
     put_varint(buf, t.end_ts);
     match t.end_status {
-        EndStatus::Halted => buf.put_u8(0),
-        EndStatus::Truncated => buf.put_u8(1),
+        EndStatus::Halted => buf.push(0),
+        EndStatus::Truncated => buf.push(1),
         EndStatus::Faulted(f) => {
-            buf.put_u8(2);
+            buf.push(2);
             put_fault(buf, f);
         }
     }
@@ -175,19 +213,19 @@ fn encode_thread(buf: &mut BytesMut, t: &ThreadLog) {
     for ev in &t.events {
         match *ev {
             ThreadEvent::Load { load_index, value } => {
-                buf.put_u8(0);
+                buf.push(0);
                 put_varint(buf, load_index - prev_load);
                 prev_load = load_index;
                 put_varint(buf, value);
             }
             ThreadEvent::SyscallRet { sys_index, value } => {
-                buf.put_u8(1);
+                buf.push(1);
                 put_varint(buf, sys_index - prev_sys);
                 prev_sys = sys_index;
                 put_varint(buf, value);
             }
             ThreadEvent::Sequencer { instr_index, ts } => {
-                buf.put_u8(2);
+                buf.push(2);
                 put_varint(buf, instr_index - prev_instr);
                 prev_instr = instr_index;
                 put_varint(buf, ts - prev_ts);
@@ -203,12 +241,11 @@ fn encode_thread(buf: &mut BytesMut, t: &ThreadLog) {
 ///
 /// Returns a [`CodecError`] on truncated or corrupted input.
 pub fn decode_log(bytes: &[u8]) -> Result<ReplayLog, CodecError> {
-    let mut buf = Bytes::copy_from_slice(bytes);
+    let mut buf = Reader::new(bytes);
     if buf.remaining() < 5 {
         return cerr("input too short");
     }
-    let magic = buf.copy_to_bytes(4);
-    if magic.as_ref() != MAGIC {
+    if buf.take(4) != MAGIC {
         return cerr("bad magic");
     }
     let version = buf.get_u8();
@@ -230,7 +267,7 @@ pub fn decode_log(bytes: &[u8]) -> Result<ReplayLog, CodecError> {
     Ok(ReplayLog { threads, total_instructions })
 }
 
-fn decode_thread(buf: &mut Bytes) -> Result<ThreadLog, CodecError> {
+fn decode_thread(buf: &mut Reader<'_>) -> Result<ThreadLog, CodecError> {
     let tid = get_varint(buf)? as usize;
     let name = get_str(buf)?;
     let mut start_regs = [0u64; NUM_REGS];
@@ -275,7 +312,8 @@ fn decode_thread(buf: &mut Bytes) -> Result<ThreadLog, CodecError> {
             }
             1 => {
                 prev_sys += get_varint(buf)?;
-                events.push(ThreadEvent::SyscallRet { sys_index: prev_sys, value: get_varint(buf)? });
+                events
+                    .push(ThreadEvent::SyscallRet { sys_index: prev_sys, value: get_varint(buf)? });
             }
             2 => {
                 prev_instr += get_varint(buf)?;
@@ -309,14 +347,14 @@ const MAX_MATCH: usize = 18;
 /// pass of the paper's log-size study.
 #[must_use]
 pub fn compress(input: &[u8]) -> Vec<u8> {
-    let mut out = BytesMut::new();
+    let mut out = Vec::new();
     put_varint(&mut out, input.len() as u64);
     let mut i = 0usize;
     // Token group: a flag byte describing the next 8 tokens (bit set =
     // back-reference), then the tokens.
     let mut flags = 0u8;
     let mut nflags = 0u32;
-    let mut group = BytesMut::new();
+    let mut group = Vec::new();
     // Hash chain on 3-byte prefixes for match finding.
     let mut heads: Vec<i64> = vec![-1; 1 << 14];
     let mut prevs: Vec<i64> = vec![-1; input.len().max(1)];
@@ -324,10 +362,10 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         ((usize::from(a) << 6) ^ (usize::from(b) << 3) ^ usize::from(c)) & ((1 << 14) - 1)
     };
 
-    let flush_group = |out: &mut BytesMut, flags: &mut u8, nflags: &mut u32, group: &mut BytesMut| {
+    let flush_group = |out: &mut Vec<u8>, flags: &mut u8, nflags: &mut u32, group: &mut Vec<u8>| {
         if *nflags > 0 {
-            out.put_u8(*flags);
-            out.put_slice(group);
+            out.push(*flags);
+            out.extend_from_slice(group);
             *flags = 0;
             *nflags = 0;
             group.clear();
@@ -363,7 +401,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             // Back-reference token: 12-bit distance, 4-bit (len - 3).
             flags |= 1 << nflags;
             let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
-            group.put_u16(token);
+            group.extend_from_slice(&token.to_be_bytes());
             // Insert hash entries for the covered positions.
             for k in i..i + best_len {
                 if k + MIN_MATCH <= input.len() {
@@ -374,7 +412,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             }
             i += best_len;
         } else {
-            group.put_u8(input[i]);
+            group.push(input[i]);
             if i + MIN_MATCH <= input.len() {
                 let h = hash(input[i], input[i + 1], input[i + 2]);
                 prevs[i] = heads[h];
@@ -388,7 +426,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         }
     }
     flush_group(&mut out, &mut flags, &mut nflags, &mut group);
-    out.to_vec()
+    out
 }
 
 /// Decompresses a [`compress`] stream.
@@ -397,7 +435,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 ///
 /// Returns a [`CodecError`] on malformed input.
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
-    let mut buf = Bytes::copy_from_slice(input);
+    let mut buf = Reader::new(input);
     let expected = get_varint(&mut buf)? as usize;
     if expected > 1 << 32 {
         return cerr("implausible decompressed size");
@@ -538,7 +576,12 @@ mod tests {
     fn compress_roundtrip_on_repetitive_data() {
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 7) as u8).collect();
         let c = compress(&data);
-        assert!(c.len() < data.len() / 2, "repetitive data compresses well: {} vs {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 2,
+            "repetitive data compresses well: {} vs {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

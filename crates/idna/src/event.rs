@@ -12,13 +12,11 @@
 //!   instruction and system call (§3.2),
 //! * an **end record** with the termination status.
 
-use serde::{Deserialize, Serialize};
-
 use tvm::isa::NUM_REGS;
 use tvm::machine::Fault;
 
 /// How a recorded thread's execution ended.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum EndStatus {
     /// The thread executed `halt`.
     Halted,
@@ -32,7 +30,7 @@ pub enum EndStatus {
 /// `load_index` counts load operations (including the read halves of atomic
 /// instructions), `sys_index` counts system calls, `instr_index` counts
 /// executed instructions.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ThreadEvent {
     /// The value observed by load number `load_index`, logged only when the
     /// replayer could not have reproduced it locally.
@@ -45,7 +43,7 @@ pub enum ThreadEvent {
 }
 
 /// The complete replay log of one thread.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThreadLog {
     pub tid: usize,
     /// Thread name from the program's [`ThreadSpec`].
@@ -81,7 +79,7 @@ impl ThreadLog {
 }
 
 /// A complete multi-threaded replay log.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplayLog {
     pub threads: Vec<ThreadLog>,
     /// Total instructions executed across all threads (denominator of the
@@ -103,7 +101,10 @@ impl ReplayLog {
         let in_stream: u64 = self
             .threads
             .iter()
-            .map(|t| t.events.iter().filter(|e| matches!(e, ThreadEvent::Sequencer { .. })).count() as u64)
+            .map(|t| {
+                t.events.iter().filter(|e| matches!(e, ThreadEvent::Sequencer { .. })).count()
+                    as u64
+            })
             .sum();
         in_stream + 2 * self.threads.len() as u64
     }

@@ -215,17 +215,11 @@ mod tests {
             .halt();
         let rec = record(&b.build().into(), &RunConfig::round_robin(100));
         let t = &rec.log.threads[0];
-        let loads: Vec<_> = t
-            .events
-            .iter()
-            .filter(|e| matches!(e, ThreadEvent::Load { .. }))
-            .collect();
+        let loads: Vec<_> =
+            t.events.iter().filter(|e| matches!(e, ThreadEvent::Load { .. })).collect();
         assert!(loads.is_empty(), "all loads reproducible locally: {loads:?}");
-        let seqs: Vec<_> = t
-            .events
-            .iter()
-            .filter(|e| matches!(e, ThreadEvent::Sequencer { .. }))
-            .collect();
+        let seqs: Vec<_> =
+            t.events.iter().filter(|e| matches!(e, ThreadEvent::Sequencer { .. })).collect();
         assert_eq!(seqs.len(), 1, "one atomic => one sequencer");
         assert_eq!(t.end_status, EndStatus::Halted);
         assert_eq!(t.end_instr, 6);
@@ -238,10 +232,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.thread("waiter");
         let spin = b.fresh_label("spin");
-        b.label(spin)
-            .load(Reg::R1, Reg::R15, 0x8)
-            .branch(Cond::Eq, Reg::R1, Reg::R15, spin)
-            .halt();
+        b.label(spin).load(Reg::R1, Reg::R15, 0x8).branch(Cond::Eq, Reg::R1, Reg::R15, spin).halt();
         b.thread("setter");
         b.movi(Reg::R1, 3).store(Reg::R1, Reg::R15, 0x8).halt();
         let rec = record(&b.build().into(), &RunConfig::round_robin(2));

@@ -8,13 +8,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::{ThreadEvent, ThreadLog};
 
 /// Identity of a sequencing region: thread id plus the region's position in
 /// that thread's region sequence.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegionId {
     pub tid: usize,
     pub index: usize,
@@ -33,7 +31,7 @@ impl fmt::Display for RegionId {
 /// instruction indices inside the region. A region beginning at a
 /// synchronization instruction *contains* that instruction (the sequencer is
 /// logged before the instruction executes).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Region {
     pub id: RegionId,
     pub start_ts: u64,
@@ -163,7 +161,10 @@ mod tests {
         let log = log_with_sequencers(&[(4, 100), (9, 200)], 7, (12, 300));
         let rs = regions_of(&log);
         assert_eq!(rs.len(), 3);
-        assert_eq!((rs[0].start_instr, rs[0].end_instr, rs[0].start_ts, rs[0].end_ts), (0, 4, 7, 100));
+        assert_eq!(
+            (rs[0].start_instr, rs[0].end_instr, rs[0].start_ts, rs[0].end_ts),
+            (0, 4, 7, 100)
+        );
         assert_eq!((rs[1].start_instr, rs[1].end_instr), (4, 9));
         assert_eq!((rs[2].start_instr, rs[2].end_instr, rs[2].end_ts), (9, 12, 300));
         assert_eq!(rs[2].id, RegionId { tid: 3, index: 2 });

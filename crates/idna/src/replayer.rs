@@ -7,8 +7,6 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use tvm::exec::AccessKind;
 use tvm::isa::{Instr, Reg, SysCall, NUM_REGS};
 use tvm::machine::{Fault, MAX_CALL_DEPTH};
@@ -18,7 +16,7 @@ use crate::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
 use crate::region::{regions_of, Region, RegionId};
 
 /// Architectural snapshot of one thread at a region boundary.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThreadSnapshot {
     pub regs: [u64; NUM_REGS],
     pub pc: usize,
@@ -34,7 +32,7 @@ impl ThreadSnapshot {
 }
 
 /// One replayed dynamic memory access.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TraceAccess {
     /// The thread's dynamic instruction index.
     pub instr_index: u64,
@@ -47,7 +45,7 @@ pub struct TraceAccess {
 }
 
 /// One replayed system call.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TraceSyscall {
     pub instr_index: u64,
     pub call: SysCall,
@@ -56,7 +54,7 @@ pub struct TraceSyscall {
 }
 
 /// A fully replayed sequencing region.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ReplayedRegion {
     pub region: Region,
     /// Position in the global replay order; region `p` sees the versioned
@@ -78,7 +76,7 @@ pub struct ReplayedRegion {
 /// Memory history indexed by replay version, used to reconstruct the live-in
 /// image of any region (paper §4.2: "the virtual processor is initialized
 /// with the live-in memory values").
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct VersionedMemory {
     writes: HashMap<u64, Vec<(u32, u64)>>,
 }
@@ -117,7 +115,7 @@ pub enum HeapState {
 }
 
 /// History of heap allocations and frees observed during replay.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct HeapHistory {
     /// `(version, base, size)` for every `sys.alloc`.
     pub allocs: Vec<(u32, u64, u64)>,
@@ -137,10 +135,13 @@ impl HeapHistory {
     pub fn state_at(&self, addr: u64, version: u32) -> HeapState {
         let mut best: Option<(u32, HeapState)> = None;
         for &(v, base, size) in &self.allocs {
-            if v <= version && base <= addr && addr < base + size
-                && best.is_none_or(|(bv, _)| v >= bv) {
-                    best = Some((v, HeapState::Live { base }));
-                }
+            if v <= version
+                && base <= addr
+                && addr < base + size
+                && best.is_none_or(|(bv, _)| v >= bv)
+            {
+                best = Some((v, HeapState::Live { base }));
+            }
         }
         for &(v, base) in &self.frees {
             if v <= version {
@@ -243,17 +244,19 @@ impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReplayError::SyscallDesync { tid, instr_index } => {
-                write!(f, "thread {tid}: system call at instruction {instr_index} has no logged result")
+                write!(
+                    f,
+                    "thread {tid}: system call at instruction {instr_index} has no logged result"
+                )
             }
             ReplayError::EventDesync { tid } => write!(f, "thread {tid}: log events out of sync"),
             ReplayError::IncompleteReplay { tid, expected_instrs, replayed } => write!(
                 f,
                 "thread {tid}: replayed {replayed} of {expected_instrs} recorded instructions"
             ),
-            ReplayError::ThreadMismatch { threads_in_log, threads_in_program } => write!(
-                f,
-                "log has {threads_in_log} threads but program has {threads_in_program}"
-            ),
+            ReplayError::ThreadMismatch { threads_in_log, threads_in_program } => {
+                write!(f, "log has {threads_in_log} threads but program has {threads_in_program}")
+            }
         }
     }
 }
@@ -290,11 +293,7 @@ impl<'a> RThread<'a> {
         }
         RThread {
             log,
-            snap: ThreadSnapshot {
-                regs: log.start_regs,
-                pc: log.start_pc,
-                call_stack: Vec::new(),
-            },
+            snap: ThreadSnapshot { regs: log.start_regs, pc: log.start_pc, call_stack: Vec::new() },
             image: HashMap::new(),
             instr: 0,
             loads: 0,
@@ -313,11 +312,7 @@ impl<'a> RThread<'a> {
     fn load_value(&mut self, addr: u64) -> u64 {
         let idx = self.loads;
         self.loads += 1;
-        let value = if self
-            .load_events
-            .get(self.load_cursor)
-            .is_some_and(|&(i, _)| i == idx)
-        {
+        let value = if self.load_events.get(self.load_cursor).is_some_and(|&(i, _)| i == idx) {
             let v = self.load_events[self.load_cursor].1;
             self.load_cursor += 1;
             v
@@ -459,7 +454,13 @@ fn replay_region(
                     break;
                 }
                 let v = t.load_value(addr);
-                push_access(TraceAccess { instr_index, pc, addr, value: v, kind: AccessKind::Read });
+                push_access(TraceAccess {
+                    instr_index,
+                    pc,
+                    addr,
+                    value: v,
+                    kind: AccessKind::Read,
+                });
                 t.set_reg(dst, v);
                 t.snap.pc = next;
             }
@@ -471,7 +472,13 @@ fn replay_region(
                 }
                 let v = t.reg(src);
                 t.image.insert(addr, v);
-                push_access(TraceAccess { instr_index, pc, addr, value: v, kind: AccessKind::Write });
+                push_access(TraceAccess {
+                    instr_index,
+                    pc,
+                    addr,
+                    value: v,
+                    kind: AccessKind::Write,
+                });
                 t.snap.pc = next;
             }
             Instr::AtomicRmw { op, dst, base, offset, src } => {
@@ -481,10 +488,22 @@ fn replay_region(
                     break;
                 }
                 let old = t.load_value(addr);
-                push_access(TraceAccess { instr_index, pc, addr, value: old, kind: AccessKind::Read });
+                push_access(TraceAccess {
+                    instr_index,
+                    pc,
+                    addr,
+                    value: old,
+                    kind: AccessKind::Read,
+                });
                 let new = op.apply(old, t.reg(src));
                 t.image.insert(addr, new);
-                push_access(TraceAccess { instr_index, pc, addr, value: new, kind: AccessKind::Write });
+                push_access(TraceAccess {
+                    instr_index,
+                    pc,
+                    addr,
+                    value: new,
+                    kind: AccessKind::Write,
+                });
                 t.set_reg(dst, old);
                 t.snap.pc = next;
             }
@@ -495,7 +514,13 @@ fn replay_region(
                     break;
                 }
                 let old = t.load_value(addr);
-                push_access(TraceAccess { instr_index, pc, addr, value: old, kind: AccessKind::Read });
+                push_access(TraceAccess {
+                    instr_index,
+                    pc,
+                    addr,
+                    value: old,
+                    kind: AccessKind::Read,
+                });
                 let success = old == t.reg(expected);
                 if success {
                     let nv = t.reg(new);
@@ -541,11 +566,8 @@ fn replay_region(
                 }
                 let idx = t.sys;
                 t.sys += 1;
-                let logged = t
-                    .sys_events
-                    .get(t.sys_cursor)
-                    .filter(|&&(i, _)| i == idx)
-                    .map(|&(_, v)| v);
+                let logged =
+                    t.sys_events.get(t.sys_cursor).filter(|&&(i, _)| i == idx).map(|&(_, v)| v);
                 let Some(ret) = logged else {
                     return Err(ReplayError::SyscallDesync { tid: t.log.tid, instr_index });
                 };
@@ -612,7 +634,10 @@ mod tests {
     use tvm::scheduler::RunConfig;
     use tvm::ProgramBuilder;
 
-    fn record_and_replay(b: ProgramBuilder, cfg: RunConfig) -> (Arc<Program>, ReplayTrace, crate::recorder::Recording) {
+    fn record_and_replay(
+        b: ProgramBuilder,
+        cfg: RunConfig,
+    ) -> (Arc<Program>, ReplayTrace, crate::recorder::Recording) {
         let program: Arc<Program> = Arc::new(b.build());
         let rec = record(&program, &cfg);
         let trace = replay(&program, &rec.log).expect("replay should succeed");
@@ -634,7 +659,11 @@ mod tests {
         // Two regions: before the fence, and after (print is also a seq point).
         let final_region = trace.regions().last().unwrap();
         let machine_thread = rec.machine.thread(0);
-        assert_eq!(&final_region.exit.regs, machine_thread.regs(), "replayed registers match recorded");
+        assert_eq!(
+            &final_region.exit.regs,
+            machine_thread.regs(),
+            "replayed registers match recorded"
+        );
         // The printed value appears in a region output.
         let outputs: Vec<u64> = trace.regions().iter().flat_map(|r| r.outputs.clone()).collect();
         assert_eq!(outputs, vec![6]);
@@ -657,10 +686,7 @@ mod tests {
         assert_eq!(outputs, vec![7], "waiter replays the published value");
         // Final register state of both threads matches the machine.
         for tid in 0..2 {
-            let last = trace
-                .regions()
-                .iter().rfind(|r| r.region.id.tid == tid)
-                .unwrap();
+            let last = trace.regions().iter().rfind(|r| r.region.id.tid == tid).unwrap();
             assert_eq!(&last.exit.regs, rec.machine.thread(tid).regs());
         }
     }
@@ -757,10 +783,7 @@ mod tests {
         let program: Arc<Program> = Arc::new(b.build());
         let mut rec = record(&program, &RunConfig::round_robin(100));
         rec.log.threads.push(rec.log.threads[0].clone());
-        assert!(matches!(
-            replay(&program, &rec.log),
-            Err(ReplayError::ThreadMismatch { .. })
-        ));
+        assert!(matches!(replay(&program, &rec.log), Err(ReplayError::ThreadMismatch { .. })));
     }
 
     #[test]

@@ -31,19 +31,15 @@ impl<'a> TimeTraveler<'a> {
     /// never reached that instruction.
     #[must_use]
     pub fn state_before(&self, tid: usize, instr_index: u64) -> Option<ThreadSnapshot> {
-        let region = self
-            .trace
-            .regions()
-            .iter()
-            .find(|r| {
-                r.region.id.tid == tid
-                    && r.region.start_instr <= instr_index
-                    && (instr_index < r.region.end_instr
+        let region = self.trace.regions().iter().find(|r| {
+            r.region.id.tid == tid
+                && r.region.start_instr <= instr_index
+                && (instr_index < r.region.end_instr
                         // The state before "one past the end" is the exit of
                         // the last region.
                         || (instr_index == r.region.end_instr
                             && self.is_last_region_of_thread(r)))
-            })?;
+        })?;
         if instr_index == region.region.end_instr {
             return Some(region.exit.clone());
         }
@@ -58,11 +54,9 @@ impl<'a> TimeTraveler<'a> {
     }
 
     fn is_last_region_of_thread(&self, region: &ReplayedRegion) -> bool {
-        !self
-            .trace
-            .regions()
-            .iter()
-            .any(|r| r.region.id.tid == region.region.id.tid && r.region.id.index > region.region.id.index)
+        !self.trace.regions().iter().any(|r| {
+            r.region.id.tid == region.region.id.tid && r.region.id.index > region.region.id.index
+        })
     }
 }
 
@@ -70,7 +64,11 @@ impl<'a> TimeTraveler<'a> {
 /// `target_instr`, sourcing loads and system-call results from the recorded
 /// trace. This cannot diverge: it is the same oracle replay the virtual
 /// processor's first phase performs.
-fn replay_forward(trace: &ReplayTrace, region: &ReplayedRegion, target_instr: u64) -> ThreadSnapshot {
+fn replay_forward(
+    trace: &ReplayTrace,
+    region: &ReplayedRegion,
+    target_instr: u64,
+) -> ThreadSnapshot {
     let mut snap = region.entry.clone();
     let mut instr_index = region.region.start_instr;
     let mut access_cursor = 0usize;

@@ -103,8 +103,7 @@ pub fn verify_fidelity(
         }
         let status_matches = matches!(
             (trace.thread_status(tid), live.status()),
-            (EndStatus::Halted, ThreadStatus::Halted)
-                | (EndStatus::Truncated, ThreadStatus::Ready)
+            (EndStatus::Halted, ThreadStatus::Halted) | (EndStatus::Truncated, ThreadStatus::Ready)
         ) || matches!(
             (trace.thread_status(tid), live.status()),
             (EndStatus::Faulted(a), ThreadStatus::Faulted(b)) if a == b

@@ -22,8 +22,6 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use tvm::exec::AccessKind;
 use tvm::isa::{Instr, Reg, SysCall};
 use tvm::machine::{Fault, MAX_CALL_DEPTH};
@@ -37,7 +35,7 @@ use crate::replayer::{HeapState, ReplayTrace, ReplayedRegion, ThreadSnapshot};
 const VPROC_FRESH_BASE: u64 = 1 << 40;
 
 /// One side of a data race: a dynamic memory access in a replayed region.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct AccessSite {
     /// The sequencing region containing the access.
     pub region: RegionId,
@@ -60,7 +58,7 @@ impl AccessSite {
 }
 
 /// Which racing access executes first.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum PairOrder {
     /// Site `a`'s instruction executes before site `b`'s.
     AThenB,
@@ -83,7 +81,7 @@ impl PairOrder {
 }
 
 /// Why an alternative replay could not be completed (paper §4.2.1).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ReplayFailure {
     /// A load touched an address never seen when the log was taken.
     UnknownLoad { addr: u64 },
@@ -101,9 +99,15 @@ pub enum ReplayFailure {
 impl fmt::Display for ReplayFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReplayFailure::UnknownLoad { addr } => write!(f, "load of unrecorded address {addr:#x}"),
-            ReplayFailure::UnknownStore { addr } => write!(f, "store to unrecorded address {addr:#x}"),
-            ReplayFailure::UnknownFree { addr } => write!(f, "free of unrecorded address {addr:#x}"),
+            ReplayFailure::UnknownLoad { addr } => {
+                write!(f, "load of unrecorded address {addr:#x}")
+            }
+            ReplayFailure::UnknownStore { addr } => {
+                write!(f, "store to unrecorded address {addr:#x}")
+            }
+            ReplayFailure::UnknownFree { addr } => {
+                write!(f, "free of unrecorded address {addr:#x}")
+            }
             ReplayFailure::UnrecordedControlFlow { tid, pc } => {
                 write!(f, "thread {tid} reached unrecorded code at pc {pc}")
             }
@@ -161,7 +165,7 @@ impl VprocConfig {
 /// stack), faults, and output — but **not** `instrs_executed`: two
 /// interleavings that converge to the same state after different spin
 /// counts are the *same result* in the paper's sense.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ThreadLiveOut {
     pub tid: usize,
     pub regs: [u64; tvm::isa::NUM_REGS],
@@ -189,7 +193,7 @@ impl Eq for ThreadLiveOut {}
 
 /// The complete live-out of a dual-region replay: both threads'
 /// architectural state plus the memory and heap effects.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PairLiveOut {
     /// Live-out of site `a`'s thread.
     pub a: ThreadLiveOut,
@@ -499,7 +503,12 @@ impl<'a> Vproc<'a> {
             }
             budget -= 1;
             if !threads[idx].done {
-                step_live(self.trace, &mut threads[idx], &mut vmem, self.config.permissive_control_flow)?;
+                step_live(
+                    self.trace,
+                    &mut threads[idx],
+                    &mut vmem,
+                    self.config.permissive_control_flow,
+                )?;
             }
         }
 
@@ -513,10 +522,7 @@ impl<'a> Vproc<'a> {
                         continue;
                     }
                     // Region end: the next instruction would log a sequencer.
-                    self.trace
-                        .program()
-                        .instr(t.snap.pc)
-                        .is_some_and(Instr::is_sequencer_point)
+                    self.trace.program().instr(t.snap.pc).is_some_and(Instr::is_sequencer_point)
                 };
                 if done_check {
                     threads[idx].done = true;
@@ -526,7 +532,12 @@ impl<'a> Vproc<'a> {
                     return Err(ReplayFailure::BudgetExhausted);
                 }
                 budget -= 1;
-                step_live(self.trace, &mut threads[idx], &mut vmem, self.config.permissive_control_flow)?;
+                step_live(
+                    self.trace,
+                    &mut threads[idx],
+                    &mut vmem,
+                    self.config.permissive_control_flow,
+                )?;
             }
         }
 
@@ -771,12 +782,8 @@ fn step_live(
             // Re-use the recorded result when the recorded syscall stream is
             // still aligned (same call kind at the cursor); otherwise the
             // execution has diverged and results are synthesized.
-            let recorded = t
-                .region
-                .syscalls
-                .get(t.sys_cursor)
-                .filter(|s| s.call == call)
-                .map(|s| s.ret);
+            let recorded =
+                t.region.syscalls.get(t.sys_cursor).filter(|s| s.call == call).map(|s| s.ret);
             if recorded.is_some() {
                 t.sys_cursor += 1;
             }

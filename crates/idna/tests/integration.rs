@@ -136,10 +136,7 @@ fn refcount_bug_shows_state_change_in_some_order_pair() {
         }
     }
     assert!(found_any_race, "no overlapping racy regions in any schedule");
-    assert!(
-        found_differing,
-        "the refcount bug must expose differing live-outs in some instance"
-    );
+    assert!(found_differing, "the refcount bug must expose differing live-outs in some instance");
 }
 
 #[test]
@@ -149,10 +146,7 @@ fn redundant_write_race_is_no_state_change() {
     let mut b = ProgramBuilder::new();
     for name in ["a", "b"] {
         b.thread(name);
-        b.movi(Reg::R1, 7)
-            .mark(&format!("{name}_store"))
-            .store(Reg::R1, Reg::R15, 0x20)
-            .halt();
+        b.movi(Reg::R1, 7).mark(&format!("{name}_store")).store(Reg::R1, Reg::R15, 0x20).halt();
     }
     let program: Arc<Program> = Arc::new(b.build());
     let rec = record(&program, &RunConfig::round_robin(1));
@@ -240,7 +234,8 @@ fn replay_is_faithful_across_many_schedules() {
         for tid in 0..program.threads().len() {
             let last = trace
                 .regions()
-                .iter().rfind(|r| r.region.id.tid == tid)
+                .iter()
+                .rfind(|r| r.region.id.tid == tid)
                 .expect("every thread has regions");
             assert_eq!(
                 &last.exit.regs,

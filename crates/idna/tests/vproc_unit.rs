@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use idna_replay::recorder::record;
 use idna_replay::replayer::{replay, ReplayTrace};
-use idna_replay::vproc::{
-    AccessSite, PairOrder, ReplayFailure, Vproc, VprocConfig,
-};
+use idna_replay::vproc::{AccessSite, PairOrder, ReplayFailure, Vproc, VprocConfig};
 use tvm::isa::{Cond, Reg, RmwOp, SysCall};
 use tvm::scheduler::RunConfig;
 use tvm::{Program, ProgramBuilder};
@@ -141,12 +139,9 @@ fn unknown_heap_load_is_a_replay_failure_and_permissive_mode_continues() {
 
     let strict = Vproc::new(&trace, VprocConfig::default());
     // One of the orders makes the reader chase the stale pointer.
-    let outcomes: Vec<_> =
-        PairOrder::BOTH.iter().map(|&o| strict.run_pair(&w, &r, o)).collect();
+    let outcomes: Vec<_> = PairOrder::BOTH.iter().map(|&o| strict.run_pair(&w, &r, o)).collect();
     assert!(
-        outcomes
-            .iter()
-            .any(|o| matches!(o, Err(ReplayFailure::UnknownLoad { .. }))),
+        outcomes.iter().any(|o| matches!(o, Err(ReplayFailure::UnknownLoad { .. }))),
         "{outcomes:?}"
     );
 
@@ -192,9 +187,7 @@ fn cold_branch_is_unrecorded_control_flow() {
 
     let results: Vec<_> = PairOrder::BOTH.iter().map(|&o| vproc.run_pair(&w, &r, o)).collect();
     assert!(
-        results
-            .iter()
-            .any(|r| matches!(r, Err(ReplayFailure::UnrecordedControlFlow { .. }))),
+        results.iter().any(|r| matches!(r, Err(ReplayFailure::UnrecordedControlFlow { .. }))),
         "expected an unrecorded-control-flow failure, got {results:?} (check pc {cold_pc})"
     );
 
@@ -263,10 +256,12 @@ fn use_after_free_faults_inside_the_vproc() {
         .halt();
     b.thread("chaser");
     let cspin = b.fresh_label("cspin");
-    b.label(cspin)
-        .movi(Reg::R2, 0)
-        .atomic_rmw(RmwOp::Or, Reg::R1, Reg::R15, 0x91, Reg::R2)
-        .branch(Cond::Eq, Reg::R1, Reg::R15, cspin);
+    b.label(cspin).movi(Reg::R2, 0).atomic_rmw(RmwOp::Or, Reg::R1, Reg::R15, 0x91, Reg::R2).branch(
+        Cond::Eq,
+        Reg::R1,
+        Reg::R15,
+        cspin,
+    );
     for _ in 0..12 {
         b.movi(Reg::R13, 0); // delay: the recorded read sees the fresh ptr
     }
@@ -284,9 +279,7 @@ fn use_after_free_faults_inside_the_vproc() {
     // One order dereferences the freed object and faults; it must complete
     // as a live-out fault (a state change), not a replay failure.
     let faulted = outcomes.iter().any(|o| {
-        o.as_ref().is_ok_and(|out| {
-            matches!(out.b.fault, Some(tvm::Fault::UseAfterFree { .. }))
-        })
+        o.as_ref().is_ok_and(|out| matches!(out.b.fault, Some(tvm::Fault::UseAfterFree { .. })))
     });
     assert!(faulted, "expected a UseAfterFree live-out: {outcomes:?}");
 }
@@ -298,10 +291,7 @@ fn budget_exhaustion_is_a_replay_failure() {
     // order can spin forever.
     let mut b = ProgramBuilder::new();
     b.thread("w");
-    b.movi(Reg::R1, 1)
-        .mark("unrelated_store")
-        .store(Reg::R1, Reg::R15, 0xA0)
-        .halt();
+    b.movi(Reg::R1, 1).mark("unrelated_store").store(Reg::R1, Reg::R15, 0xA0).halt();
     b.thread("r");
     let spin = b.fresh_label("spin");
     b.mark("read_a0")
@@ -340,10 +330,7 @@ fn atomic_racing_access_is_supported() {
     // region; the vproc must be able to order the pair both ways.
     let mut b = ProgramBuilder::new();
     b.thread("atomic");
-    b.movi(Reg::R1, 1)
-        .mark("rmw")
-        .atomic_rmw(RmwOp::Add, Reg::R2, Reg::R15, 0xB0, Reg::R1)
-        .halt();
+    b.movi(Reg::R1, 1).mark("rmw").atomic_rmw(RmwOp::Add, Reg::R2, Reg::R15, 0xB0, Reg::R1).halt();
     b.thread("plain");
     b.movi(Reg::R1, 10).mark("plain_store").store(Reg::R1, Reg::R15, 0xB0).halt();
     let (program, trace) = trace_of(b, RunConfig::round_robin(1));

@@ -156,7 +156,9 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             return err(lineno, format!("target {target} out of range"));
         }
         match &mut instrs[at] {
-            Instr::Jump { target: t } | Instr::Branch { target: t, .. } | Instr::Call { target: t } => {
+            Instr::Jump { target: t }
+            | Instr::Branch { target: t, .. }
+            | Instr::Call { target: t } => {
                 *t = target;
             }
             _ => unreachable!("fixup on non-branch"),
@@ -202,10 +204,9 @@ fn parse_instr(
 
     // Parses a memory operand `[rN]`, `[rN+K]`, or `[rN-K]`.
     let mem = |s: &str| -> Result<(Reg, i64), AsmError> {
-        let inner = s
-            .strip_prefix('[')
-            .and_then(|x| x.strip_suffix(']'))
-            .ok_or_else(|| AsmError { line: lineno, message: format!("bad memory operand {s:?}") })?;
+        let inner = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')).ok_or_else(|| {
+            AsmError { line: lineno, message: format!("bad memory operand {s:?}") }
+        })?;
         let (r, off) = match inner.find(['+', '-']) {
             Some(i) => {
                 let off: i64 = inner[i..].parse().map_err(|_| AsmError {
@@ -220,7 +221,8 @@ fn parse_instr(
     };
 
     let imm = |s: &str| -> Result<u64, AsmError> {
-        parse_imm(s).ok_or_else(|| AsmError { line: lineno, message: format!("bad immediate {s:?}") })
+        parse_imm(s)
+            .ok_or_else(|| AsmError { line: lineno, message: format!("bad immediate {s:?}") })
     };
 
     // Branch-like targets become fixups.
@@ -231,11 +233,9 @@ fn parse_instr(
 
     if let Some(name) = mnemonic.strip_prefix("sys.") {
         want(0)?;
-        let call = SysCall::ALL
-            .iter()
-            .copied()
-            .find(|c| c.name() == name)
-            .ok_or_else(|| AsmError { line: lineno, message: format!("unknown syscall {name:?}") })?;
+        let call = SysCall::ALL.iter().copied().find(|c| c.name() == name).ok_or_else(|| {
+            AsmError { line: lineno, message: format!("unknown syscall {name:?}") }
+        })?;
         return Ok(Instr::Syscall { call });
     }
     if let Some(op) = RmwOp::ALL.iter().copied().find(|o| o.mnemonic() == mnemonic) {
@@ -431,7 +431,10 @@ top:
   halt
 ";
         let p = assemble(src).unwrap();
-        assert_eq!(p.instr(2), Some(&Instr::Branch { cond: Cond::Ne, lhs: Reg::R1, rhs: Reg::R15, target: 1 }));
+        assert_eq!(
+            p.instr(2),
+            Some(&Instr::Branch { cond: Cond::Ne, lhs: Reg::R1, rhs: Reg::R15, target: 1 })
+        );
     }
 
     #[test]

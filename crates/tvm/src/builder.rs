@@ -191,7 +191,14 @@ impl ProgramBuilder {
     }
 
     /// Atomic read-modify-write (a sequencer point).
-    pub fn atomic_rmw(&mut self, op: RmwOp, dst: Reg, base: Reg, offset: i64, src: Reg) -> &mut Self {
+    pub fn atomic_rmw(
+        &mut self,
+        op: RmwOp,
+        dst: Reg,
+        base: Reg,
+        offset: i64,
+        src: Reg,
+    ) -> &mut Self {
         self.push(Instr::AtomicRmw { op, dst, base, offset, src })
     }
 

@@ -138,8 +138,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u64>) {
 ///
 /// Returns a [`DecodeError`] on unknown opcodes, bad fields, or truncation.
 pub fn decode_at(words: &[u64], at: usize) -> Result<(Instr, usize), DecodeError> {
-    let word =
-        *words.get(at).ok_or_else(|| DecodeError { at, message: "out of bounds".into() })?;
+    let word = *words.get(at).ok_or_else(|| DecodeError { at, message: "out of bounds".into() })?;
     let op = word & 0xff;
     let operand = |n: usize| -> Result<u64, DecodeError> {
         words
@@ -149,9 +148,7 @@ pub fn decode_at(words: &[u64], at: usize) -> Result<(Instr, usize), DecodeError
     };
     let instr = match op {
         OP_MOVI => (Instr::MovImm { dst: reg_field(word, 8, at)?, imm: operand(1)? }, 2),
-        OP_MOV => {
-            (Instr::Mov { dst: reg_field(word, 8, at)?, src: reg_field(word, 12, at)? }, 1)
-        }
+        OP_MOV => (Instr::Mov { dst: reg_field(word, 8, at)?, src: reg_field(word, 12, at)? }, 1),
         OP_BIN => (
             Instr::Bin {
                 op: sub_field(word, &BinOp::ALL, at, "binop")?,

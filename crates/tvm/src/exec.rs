@@ -5,13 +5,11 @@
 //! Recording (crate `idna-replay`) and the online race-detector baselines
 //! hang off the [`Observer`] trait.
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::{Instr, Reg, SysCall};
 use crate::machine::{Fault, Machine, OutputRecord, ThreadStatus, MAX_CALL_DEPTH};
 
 /// Kind of a memory access.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     Read,
     Write,
@@ -132,10 +130,7 @@ impl Machine {
     ///
     /// Panics if the thread is not [`ThreadStatus::Ready`].
     pub fn step_into(&mut self, tid: usize, info: &mut StepInfo) {
-        assert!(
-            self.thread(tid).status().is_ready(),
-            "stepping a thread that is not ready: {tid}"
-        );
+        assert!(self.thread(tid).status().is_ready(), "stepping a thread that is not ready: {tid}");
         let pc = self.thread(tid).pc();
         info.tid = tid;
         info.global_step = self.bump_global_step();
@@ -353,7 +348,11 @@ mod tests {
     fn load_store_roundtrip_produces_events() {
         let mut b = ProgramBuilder::new();
         b.thread("main");
-        b.movi(Reg::R1, 0x20).movi(Reg::R2, 5).store(Reg::R2, Reg::R1, 0).load(Reg::R3, Reg::R1, 0).halt();
+        b.movi(Reg::R1, 0x20)
+            .movi(Reg::R2, 5)
+            .store(Reg::R2, Reg::R1, 0)
+            .load(Reg::R3, Reg::R1, 0)
+            .halt();
         let mut m = Machine::new(Arc::new(b.build()));
         m.step(0); // movi
         m.step(0); // movi
@@ -374,7 +373,10 @@ mod tests {
     fn atomic_rmw_emits_sequencer_and_both_accesses() {
         let mut b = ProgramBuilder::new();
         b.thread("main");
-        b.movi(Reg::R1, 0x30).movi(Reg::R2, 3).atomic_rmw(RmwOp::Add, Reg::R0, Reg::R1, 0, Reg::R2).halt();
+        b.movi(Reg::R1, 0x30)
+            .movi(Reg::R2, 3)
+            .atomic_rmw(RmwOp::Add, Reg::R0, Reg::R1, 0, Reg::R2)
+            .halt();
         let mut m = Machine::new(Arc::new(b.build()));
         m.step(0);
         m.step(0);
@@ -492,10 +494,7 @@ mod tests {
         b.thread("main");
         b.movi(Reg::R0, 1); // no halt: falls off the end
         let m = run_single(b);
-        assert!(matches!(
-            m.thread(0).status(),
-            ThreadStatus::Faulted(Fault::PcOutOfRange { .. })
-        ));
+        assert!(matches!(m.thread(0).status(), ThreadStatus::Faulted(Fault::PcOutOfRange { .. })));
     }
 
     #[test]

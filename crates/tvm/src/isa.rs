@@ -14,8 +14,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of general-purpose registers per thread.
 pub const NUM_REGS: usize = 16;
 
@@ -29,7 +27,7 @@ pub const NUM_REGS: usize = 16;
 /// assert_eq!(r.index(), 3);
 /// assert_eq!(r.to_string(), "r3");
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {
@@ -85,7 +83,7 @@ impl fmt::Display for Reg {
 }
 
 /// Binary arithmetic/logical operations.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -159,7 +157,7 @@ impl BinOp {
 }
 
 /// Branch conditions, comparing two registers as unsigned words.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Cond {
     Eq,
     Ne,
@@ -204,7 +202,7 @@ impl Cond {
 ///
 /// Executing one of these logs an iDNA *sequencer*, exactly like a
 /// lock-prefixed x86 instruction does in the paper.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum RmwOp {
     Add,
     Sub,
@@ -218,14 +216,8 @@ pub enum RmwOp {
 
 impl RmwOp {
     /// All RMW operations, useful for exhaustive testing.
-    pub const ALL: [RmwOp; 6] = [
-        RmwOp::Add,
-        RmwOp::Sub,
-        RmwOp::And,
-        RmwOp::Or,
-        RmwOp::Xor,
-        RmwOp::Xchg,
-    ];
+    pub const ALL: [RmwOp; 6] =
+        [RmwOp::Add, RmwOp::Sub, RmwOp::And, RmwOp::Or, RmwOp::Xor, RmwOp::Xchg];
 
     /// The mnemonic used by the assembler (evoking the x86 `lock` prefix).
     #[must_use]
@@ -259,7 +251,7 @@ impl RmwOp {
 /// Every system call logs a sequencer (matching iDNA's behaviour for system
 /// interactions) and returns a result in `r0`. Arguments are taken from `r0`
 /// and `r1`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SysCall {
     /// Allocate `r0` words of heap memory; returns the base address in `r0`.
     Alloc,
@@ -280,14 +272,8 @@ pub enum SysCall {
 
 impl SysCall {
     /// All system calls, useful for exhaustive testing.
-    pub const ALL: [SysCall; 6] = [
-        SysCall::Alloc,
-        SysCall::Free,
-        SysCall::Print,
-        SysCall::Tid,
-        SysCall::Yield,
-        SysCall::Nop,
-    ];
+    pub const ALL: [SysCall; 6] =
+        [SysCall::Alloc, SysCall::Free, SysCall::Print, SysCall::Tid, SysCall::Yield, SysCall::Nop];
 
     /// The name used by the assembler, e.g. `sys.alloc`.
     #[must_use]
@@ -311,7 +297,7 @@ impl SysCall {
 ///
 /// [`ProgramBuilder`]: crate::builder::ProgramBuilder
 /// [`asm::assemble`]: crate::asm::assemble
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `dst <- imm`
     MovImm { dst: Reg, imm: u64 },
@@ -357,7 +343,10 @@ impl Instr {
     pub fn is_sequencer_point(&self) -> bool {
         matches!(
             self,
-            Instr::AtomicRmw { .. } | Instr::AtomicCas { .. } | Instr::Fence | Instr::Syscall { .. }
+            Instr::AtomicRmw { .. }
+                | Instr::AtomicCas { .. }
+                | Instr::Fence
+                | Instr::Syscall { .. }
         )
     }
 
@@ -366,7 +355,10 @@ impl Instr {
     pub fn touches_memory(&self) -> bool {
         matches!(
             self,
-            Instr::Load { .. } | Instr::Store { .. } | Instr::AtomicRmw { .. } | Instr::AtomicCas { .. }
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::AtomicRmw { .. }
+                | Instr::AtomicCas { .. }
         )
     }
 }

@@ -41,6 +41,7 @@ pub mod isa;
 pub mod machine;
 pub mod memory;
 pub mod program;
+pub mod rng;
 pub mod scheduler;
 
 pub use builder::ProgramBuilder;

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::NUM_REGS;
 use crate::memory::Memory;
 use crate::program::Program;
@@ -14,7 +12,7 @@ pub const MAX_CALL_DEPTH: usize = 256;
 
 /// A machine fault. Faults terminate the faulting thread (only), mirroring a
 /// crashing access violation in the paper's setting.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Fault {
     /// Access to an address that is neither a global nor inside a live heap
     /// allocation.
@@ -51,7 +49,7 @@ impl fmt::Display for Fault {
 impl std::error::Error for Fault {}
 
 /// Life-cycle state of a thread.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ThreadStatus {
     /// Can execute instructions.
     Ready,
@@ -70,7 +68,7 @@ impl ThreadStatus {
 }
 
 /// The architectural state of one thread.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ThreadState {
     tid: usize,
     regs: [u64; NUM_REGS],
@@ -187,7 +185,7 @@ impl ThreadState {
 /// One value printed by a thread via [`SysCall::Print`].
 ///
 /// [`SysCall::Print`]: crate::isa::SysCall::Print
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct OutputRecord {
     pub tid: usize,
     pub value: u64,
@@ -287,11 +285,7 @@ impl Machine {
     /// Thread ids that are still ready to run.
     #[must_use]
     pub fn runnable(&self) -> Vec<usize> {
-        self.threads
-            .iter()
-            .filter(|t| t.status().is_ready())
-            .map(ThreadState::tid)
-            .collect()
+        self.threads.iter().filter(|t| t.status().is_ready()).map(ThreadState::tid).collect()
     }
 
     /// Whether every thread has terminated (halted or faulted).

@@ -13,8 +13,6 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use crate::machine::Fault;
 
 /// First address past the always-mapped globals region.
@@ -38,7 +36,7 @@ pub const HEAP_BASE: u64 = 0x10_0000;
 /// assert_eq!(mem.read(0x10)?, 42);
 /// # Ok::<(), tvm::machine::Fault>(())
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Memory {
     words: HashMap<u64, u64>,
     /// Live allocations: base address -> size in words.
@@ -52,7 +50,12 @@ impl Memory {
     /// Creates an empty memory with an empty heap.
     #[must_use]
     pub fn new() -> Self {
-        Memory { words: HashMap::new(), live: BTreeMap::new(), freed: BTreeMap::new(), next: HEAP_BASE }
+        Memory {
+            words: HashMap::new(),
+            live: BTreeMap::new(),
+            freed: BTreeMap::new(),
+            next: HEAP_BASE,
+        }
     }
 
     /// Reads the word at `addr`.

@@ -4,13 +4,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::Instr;
 
 /// Specification of one thread of a [`Program`]: where it starts executing
 /// and the initial values of its first argument registers (`r0..`).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThreadSpec {
     /// Human-readable thread name, used in reports.
     pub name: String,
@@ -27,7 +25,7 @@ pub struct ThreadSpec {
 ///
 /// [`ProgramBuilder`]: crate::builder::ProgramBuilder
 /// [`asm::assemble`]: crate::asm::assemble
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     instrs: Vec<Instr>,
     threads: Vec<ThreadSpec>,
@@ -107,9 +105,7 @@ impl Program {
     /// The name of the mark placed at instruction `pc`, if any.
     #[must_use]
     pub fn mark_at(&self, pc: usize) -> Option<&str> {
-        self.marks
-            .iter()
-            .find_map(|(name, &p)| (p == pc).then_some(name.as_str()))
+        self.marks.iter().find_map(|(name, &p)| (p == pc).then_some(name.as_str()))
     }
 
     /// Initial global-memory image.
@@ -146,8 +142,7 @@ mod tests {
 
     fn tiny() -> Program {
         let instrs = vec![Instr::MovImm { dst: Reg::R0, imm: 1 }, Instr::Halt];
-        let threads =
-            vec![ThreadSpec { name: "main".into(), entry: 0, args: vec![] }];
+        let threads = vec![ThreadSpec { name: "main".into(), entry: 0, args: vec![] }];
         let mut marks = HashMap::new();
         marks.insert("start".to_string(), 0);
         Program::from_parts(instrs, threads, marks, HashMap::new())

@@ -6,15 +6,12 @@
 //! across runs. Distinct seeds produce distinct interleavings, which is how
 //! the evaluation corpus varies race instances across its 18 executions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 use crate::exec::Observer;
 use crate::machine::{Fault, Machine};
+use crate::rng::SplitMix64;
 
 /// How the next thread to execute is chosen.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub enum SchedulePolicy {
     /// Rotate through runnable threads, `quantum` instructions each.
     RoundRobin { quantum: u64 },
@@ -27,7 +24,7 @@ pub enum SchedulePolicy {
 }
 
 /// Configuration for [`run`].
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct RunConfig {
     pub policy: SchedulePolicy,
     /// Upper bound on total executed instructions (guards against livelock
@@ -85,7 +82,7 @@ pub struct RunSummary {
 
 struct Picker {
     policy: SchedulePolicy,
-    rng: StdRng,
+    rng: SplitMix64,
     current: Option<usize>,
     remaining: u64,
 }
@@ -96,7 +93,7 @@ impl Picker {
             SchedulePolicy::Random { seed } | SchedulePolicy::Chunked { seed, .. } => seed,
             SchedulePolicy::RoundRobin { .. } => 0,
         };
-        Picker { policy, rng: StdRng::seed_from_u64(seed), current: None, remaining: 0 }
+        Picker { policy, rng: SplitMix64::new(seed), current: None, remaining: 0 }
     }
 
     /// Picks the next thread from the non-empty `runnable` set.
@@ -112,21 +109,15 @@ impl Picker {
         let (tid, quantum) = match self.policy {
             SchedulePolicy::RoundRobin { quantum } => {
                 let next = match self.current {
-                    Some(cur) => runnable
-                        .iter()
-                        .copied()
-                        .find(|&t| t > cur)
-                        .unwrap_or(runnable[0]),
+                    Some(cur) => runnable.iter().copied().find(|&t| t > cur).unwrap_or(runnable[0]),
                     None => runnable[0],
                 };
                 (next, quantum)
             }
-            SchedulePolicy::Random { .. } => {
-                (runnable[self.rng.gen_range(0..runnable.len())], 1)
-            }
+            SchedulePolicy::Random { .. } => (runnable[self.rng.next_index(runnable.len())], 1),
             SchedulePolicy::Chunked { min_quantum, max_quantum, .. } => {
-                let tid = runnable[self.rng.gen_range(0..runnable.len())];
-                (tid, self.rng.gen_range(min_quantum..=max_quantum))
+                let tid = runnable[self.rng.next_index(runnable.len())];
+                (tid, self.rng.next_in(min_quantum, max_quantum))
             }
         };
         self.current = Some(tid);

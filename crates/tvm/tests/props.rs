@@ -1,55 +1,77 @@
 //! Property-based tests for the VM: assembler round-trips, scheduler
 //! determinism, and interpreter sanity on random straight-line programs.
+//!
+//! The cases are driven by the in-tree [`tvm::rng::SplitMix64`] generator
+//! (the workspace builds offline, with no external proptest dependency),
+//! so every failure is reproducible from the printed case seed.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use tvm::asm::{assemble, disassemble};
 use tvm::builder::ProgramBuilder;
 use tvm::isa::{BinOp, Instr, Reg, RmwOp, SysCall};
 use tvm::machine::Machine;
+use tvm::rng::SplitMix64;
 use tvm::scheduler::{run, RunConfig};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(Reg::new)
-}
+const CASES: u64 = 64;
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop::sample::select(BinOp::ALL.to_vec())
-}
-
-fn arb_rmw() -> impl Strategy<Value = RmwOp> {
-    prop::sample::select(RmwOp::ALL.to_vec())
+fn gen_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::new(rng.next_below(16) as u8)
 }
 
 /// Straight-line instructions only (no control flow), with memory operands
 /// confined to the globals region so they never fault.
-fn arb_safe_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Instr::MovImm { dst, imm }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
-        (arb_binop(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, dst, lhs, rhs)| Instr::Bin { op, dst, lhs, rhs }),
-        (arb_binop(), arb_reg(), arb_reg(), any::<u64>())
-            .prop_map(|(op, dst, lhs, imm)| Instr::BinImm { op, dst, lhs, imm }),
+fn gen_safe_instr(rng: &mut SplitMix64) -> Instr {
+    match rng.next_below(10) {
+        0 => Instr::MovImm { dst: gen_reg(rng), imm: rng.next_u64() },
+        1 => Instr::Mov { dst: gen_reg(rng), src: gen_reg(rng) },
+        2 => {
+            let op = BinOp::ALL[rng.next_index(BinOp::ALL.len())];
+            Instr::Bin { op, dst: gen_reg(rng), lhs: gen_reg(rng), rhs: gen_reg(rng) }
+        }
+        3 => {
+            let op = BinOp::ALL[rng.next_index(BinOp::ALL.len())];
+            Instr::BinImm { op, dst: gen_reg(rng), lhs: gen_reg(rng), imm: rng.next_u64() }
+        }
         // r15 is left 0 by these generators, so [r15 + k] stays in globals.
-        (arb_reg(), 0i64..0x1000).prop_map(|(dst, offset)| Instr::Load {
-            dst,
+        4 => {
+            Instr::Load { dst: gen_reg(rng), base: Reg::R15, offset: rng.next_below(0x1000) as i64 }
+        }
+        5 => Instr::Store {
+            src: gen_reg(rng),
             base: Reg::R15,
-            offset
-        }),
-        (arb_reg(), 0i64..0x1000).prop_map(|(src, offset)| Instr::Store {
-            src,
-            base: Reg::R15,
-            offset
-        }),
-        (arb_rmw(), arb_reg(), 0i64..0x1000, arb_reg()).prop_map(|(op, dst, offset, src)| {
-            Instr::AtomicRmw { op, dst, base: Reg::R15, offset, src }
-        }),
-        Just(Instr::Fence),
-        Just(Instr::Syscall { call: SysCall::Nop }),
-        Just(Instr::Syscall { call: SysCall::Tid }),
-    ]
+            offset: rng.next_below(0x1000) as i64,
+        },
+        6 => {
+            let op = RmwOp::ALL[rng.next_index(RmwOp::ALL.len())];
+            Instr::AtomicRmw {
+                op,
+                dst: gen_reg(rng),
+                base: Reg::R15,
+                offset: rng.next_below(0x1000) as i64,
+                src: gen_reg(rng),
+            }
+        }
+        7 => Instr::Fence,
+        8 => Instr::Syscall { call: SysCall::Nop },
+        _ => Instr::Syscall { call: SysCall::Tid },
+    }
+}
+
+fn gen_bodies(
+    rng: &mut SplitMix64,
+    max_threads: u64,
+    min_len: u64,
+    max_len: u64,
+) -> Vec<Vec<Instr>> {
+    let threads = rng.next_in(1, max_threads);
+    (0..threads)
+        .map(|_| {
+            let len = rng.next_in(min_len, max_len);
+            (0..len).map(|_| gen_safe_instr(rng)).collect()
+        })
+        .collect()
 }
 
 /// Builds a program whose threads run `body` instruction sequences that
@@ -100,101 +122,112 @@ fn program_from_bodies(bodies: &[Vec<Instr>]) -> Arc<tvm::Program> {
     Arc::new(b.build())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// assemble(disassemble(p)) reproduces the program exactly.
-    #[test]
-    fn asm_roundtrip(bodies in prop::collection::vec(
-        prop::collection::vec(arb_safe_instr(), 0..20), 1..4)) {
+/// assemble(disassemble(p)) reproduces the program exactly.
+#[test]
+fn asm_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA5_0000 + case);
+        let bodies = gen_bodies(&mut rng, 3, 0, 19);
         let p = program_from_bodies(&bodies);
         let text = disassemble(&p);
-        let p2 = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
-        prop_assert_eq!(p.instrs(), p2.instrs());
-        prop_assert_eq!(p.threads(), p2.threads());
+        let p2 = assemble(&text)
+            .unwrap_or_else(|e| panic!("case {case}: reassembly failed: {e}\n{text}"));
+        assert_eq!(p.instrs(), p2.instrs(), "case {case}");
+        assert_eq!(p.threads(), p2.threads(), "case {case}");
     }
+}
 
-    /// The same seed gives byte-identical executions; this is what makes
-    /// recorded logs reproducible.
-    #[test]
-    fn scheduler_determinism(
-        bodies in prop::collection::vec(prop::collection::vec(arb_safe_instr(), 1..30), 1..4),
-        seed in any::<u64>(),
-    ) {
+/// The same seed gives byte-identical executions; this is what makes
+/// recorded logs reproducible.
+#[test]
+fn scheduler_determinism() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB6_0000 + case);
+        let bodies = gen_bodies(&mut rng, 3, 1, 29);
+        let seed = rng.next_u64();
         let p = program_from_bodies(&bodies);
         let cfg = RunConfig::random(seed).with_max_steps(10_000);
         let mut m1 = Machine::new(p.clone());
         let mut m2 = Machine::new(p);
         let s1 = run(&mut m1, &cfg, &mut ());
         let s2 = run(&mut m2, &cfg, &mut ());
-        prop_assert_eq!(s1.steps, s2.steps);
-        prop_assert_eq!(m1.output(), m2.output());
-        prop_assert_eq!(m1.memory().snapshot(), m2.memory().snapshot());
+        assert_eq!(s1.steps, s2.steps, "case {case}");
+        assert_eq!(m1.output(), m2.output(), "case {case}");
+        assert_eq!(m1.memory().snapshot(), m2.memory().snapshot(), "case {case}");
         for (t1, t2) in m1.threads().iter().zip(m2.threads()) {
-            prop_assert_eq!(t1.regs(), t2.regs());
-            prop_assert_eq!(t1.status(), t2.status());
+            assert_eq!(t1.regs(), t2.regs(), "case {case}");
+            assert_eq!(t1.status(), t2.status(), "case {case}");
         }
     }
+}
 
-    /// Straight-line safe programs never fault and always terminate.
-    #[test]
-    fn safe_programs_complete(
-        bodies in prop::collection::vec(prop::collection::vec(arb_safe_instr(), 1..40), 1..5),
-        seed in any::<u64>(),
-    ) {
+/// Straight-line safe programs never fault and always terminate.
+#[test]
+fn safe_programs_complete() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC7_0000 + case);
+        let bodies = gen_bodies(&mut rng, 4, 1, 39);
+        let seed = rng.next_u64();
         let p = program_from_bodies(&bodies);
         let total: usize = bodies.iter().map(|b| b.len() + 1).sum();
         let mut m = Machine::new(p);
-        let summary = run(&mut m, &RunConfig::random(seed).with_max_steps(total as u64 * 2 + 16), &mut ());
-        prop_assert!(summary.completed);
+        let summary =
+            run(&mut m, &RunConfig::random(seed).with_max_steps(total as u64 * 2 + 16), &mut ());
+        assert!(summary.completed, "case {case}");
         // Div/Rem by zero is possible in random programs... except operands
         // here are registers, which may be zero. Allow DivideByZero faults
         // but nothing else.
         for (_, f) in &summary.faults {
-            prop_assert!(matches!(f, tvm::Fault::DivideByZero), "unexpected fault {f:?}");
+            assert!(matches!(f, tvm::Fault::DivideByZero), "case {case}: unexpected fault {f:?}");
         }
     }
+}
 
-    /// The binary instruction encoding round-trips arbitrary instruction
-    /// streams (branch targets included).
-    #[test]
-    fn machine_code_roundtrip(
-        bodies in prop::collection::vec(prop::collection::vec(arb_safe_instr(), 0..30), 1..4),
-        targets in prop::collection::vec(any::<u32>(), 0..8),
-    ) {
+/// The binary instruction encoding round-trips arbitrary instruction
+/// streams (branch targets included).
+#[test]
+fn machine_code_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xD8_0000 + case);
+        let bodies = gen_bodies(&mut rng, 3, 0, 29);
         let mut instrs: Vec<Instr> = bodies.concat();
-        for t in targets {
-            instrs.push(Instr::Jump { target: t as usize });
+        for _ in 0..rng.next_below(8) {
+            instrs.push(Instr::Jump { target: rng.next_below(1 << 32) as usize });
         }
         let words = tvm::encode::encode_program(&instrs);
         let back = tvm::encode::decode_program(&words).unwrap();
-        prop_assert_eq!(instrs, back);
+        assert_eq!(instrs, back, "case {case}");
     }
+}
 
-    /// Sequencer timestamps across any execution are unique and strictly
-    /// increasing in observation order.
-    #[test]
-    fn sequencers_strictly_increase(
-        bodies in prop::collection::vec(prop::collection::vec(arb_safe_instr(), 1..30), 1..4),
-        seed in any::<u64>(),
-    ) {
-        struct SeqWatch { last: Option<u64>, ok: bool }
-        impl tvm::Observer for SeqWatch {
-            fn on_step(&mut self, _m: &Machine, info: &tvm::StepInfo) {
-                for ts in info.sequencer.into_iter().chain(info.end_sequencer) {
-                    if let Some(last) = self.last {
-                        if ts <= last {
-                            self.ok = false;
-                        }
+/// Sequencer timestamps across any execution are unique and strictly
+/// increasing in observation order.
+#[test]
+fn sequencers_strictly_increase() {
+    struct SeqWatch {
+        last: Option<u64>,
+        ok: bool,
+    }
+    impl tvm::Observer for SeqWatch {
+        fn on_step(&mut self, _m: &Machine, info: &tvm::StepInfo) {
+            for ts in info.sequencer.into_iter().chain(info.end_sequencer) {
+                if let Some(last) = self.last {
+                    if ts <= last {
+                        self.ok = false;
                     }
-                    self.last = Some(ts);
                 }
+                self.last = Some(ts);
             }
         }
+    }
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xE9_0000 + case);
+        let bodies = gen_bodies(&mut rng, 3, 1, 29);
+        let seed = rng.next_u64();
         let p = program_from_bodies(&bodies);
         let mut m = Machine::new(p);
         let mut watch = SeqWatch { last: None, ok: true };
         run(&mut m, &RunConfig::random(seed).with_max_steps(10_000), &mut watch);
-        prop_assert!(watch.ok, "sequencer timestamps not strictly increasing");
+        assert!(watch.ok, "case {case}: sequencer timestamps not strictly increasing");
     }
 }

@@ -56,7 +56,7 @@ impl BrowserConfig {
 const QLOCK: u64 = 0x10; // CAS spin lock protecting the queue head
 const QHEAD: u64 = 0x11; // next job to fetch
 const FETCHED: u64 = 0x12; // per-job fetched flags base (jobs words)
-// Racy statistics (intentionally unsynchronized, like the paper's apps).
+                           // Racy statistics (intentionally unsynchronized, like the paper's apps).
 const STAT_FETCH: u64 = 0x90;
 const STAT_PARSE: u64 = 0x91;
 const PARSED_COUNT: u64 = 0x92; // atomically maintained parse counter
@@ -99,14 +99,20 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
         b.label(next_job);
         // j = pop(queue) under the lock.
         emit_lock(&mut b, "f", fi);
-        b.load(Reg::R1, Reg::R15, QHEAD as i64)
-            .addi(Reg::R2, Reg::R1, 1)
-            .store(Reg::R2, Reg::R15, QHEAD as i64);
+        b.load(Reg::R1, Reg::R15, QHEAD as i64).addi(Reg::R2, Reg::R1, 1).store(
+            Reg::R2,
+            Reg::R15,
+            QHEAD as i64,
+        );
         emit_unlock(&mut b);
         b.bini(BinOp::Sub, Reg::R3, Reg::R1, cfg.jobs).branch(Cond::Eq, Reg::R3, Reg::R15, done);
         // Out-of-range pops (> jobs) also stop.
-        b.bini(BinOp::Div, Reg::R3, Reg::R1, cfg.jobs + 1)
-            .branch(Cond::Ne, Reg::R3, Reg::R15, done);
+        b.bini(BinOp::Div, Reg::R3, Reg::R1, cfg.jobs + 1).branch(
+            Cond::Ne,
+            Reg::R3,
+            Reg::R15,
+            done,
+        );
         // "Download": content[j] = sum of `work` values derived from j.
         let work_top = b.fresh_label(&format!("f{fi}_work"));
         b.movi(Reg::R4, 0) // acc
@@ -120,14 +126,17 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
         b.movi(Reg::R7, CONTENT).add(Reg::R7, Reg::R7, Reg::R1).store(Reg::R4, Reg::R7, 0);
         // fetched[j] = 1 (plain store: consumed by parsers via spin — a
         // user-constructed-synchronization race).
-        b.movi(Reg::R8, FETCHED)
-            .add(Reg::R8, Reg::R8, Reg::R1)
-            .movi(Reg::R9, 1)
-            .store(Reg::R9, Reg::R8, 0);
+        b.movi(Reg::R8, FETCHED).add(Reg::R8, Reg::R8, Reg::R1).movi(Reg::R9, 1).store(
+            Reg::R9,
+            Reg::R8,
+            0,
+        );
         // Racy statistics: stat_fetch++ without synchronization.
-        b.load(Reg::R9, Reg::R15, STAT_FETCH as i64)
-            .addi(Reg::R9, Reg::R9, 1)
-            .store(Reg::R9, Reg::R15, STAT_FETCH as i64);
+        b.load(Reg::R9, Reg::R15, STAT_FETCH as i64).addi(Reg::R9, Reg::R9, 1).store(
+            Reg::R9,
+            Reg::R15,
+            STAT_FETCH as i64,
+        );
         b.jump(next_job);
         b.label(done);
         b.halt();
@@ -142,8 +151,7 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
         // Parsers statically partition jobs: job = pi, pi + parsers, ...
         b.movi(Reg::R1, pi as u64);
         b.label(next);
-        b.bini(BinOp::Div, Reg::R3, Reg::R1, cfg.jobs)
-            .branch(Cond::Ne, Reg::R3, Reg::R15, done);
+        b.bini(BinOp::Div, Reg::R3, Reg::R1, cfg.jobs).branch(Cond::Ne, Reg::R3, Reg::R15, done);
         // Wait for fetched[j] (racy flag read).
         b.movi(Reg::R8, FETCHED).add(Reg::R8, Reg::R8, Reg::R1);
         b.label(wait);
@@ -158,9 +166,11 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
             .add(Reg::R7, Reg::R7, Reg::R1)
             .store(Reg::R4, Reg::R7, 0);
         // Racy statistics + an atomic progress counter (the proper one).
-        b.load(Reg::R9, Reg::R15, STAT_PARSE as i64)
-            .addi(Reg::R9, Reg::R9, 1)
-            .store(Reg::R9, Reg::R15, STAT_PARSE as i64);
+        b.load(Reg::R9, Reg::R15, STAT_PARSE as i64).addi(Reg::R9, Reg::R9, 1).store(
+            Reg::R9,
+            Reg::R15,
+            STAT_PARSE as i64,
+        );
         b.movi(Reg::R9, 1).atomic_rmw(RmwOp::Add, Reg::R10, Reg::R15, PARSED_COUNT as i64, Reg::R9);
         b.bini(BinOp::Add, Reg::R1, Reg::R1, cfg.parsers as u64).jump(next);
         b.label(done);

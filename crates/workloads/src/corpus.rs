@@ -15,7 +15,9 @@ use std::sync::Arc;
 use tvm::scheduler::RunConfig;
 use tvm::{Program, ProgramBuilder};
 
-use crate::patterns::{approx_stats, both_values, disjoint_bits, double_check, harmful, redundant_write, user_sync};
+use crate::patterns::{
+    approx_stats, both_values, disjoint_bits, double_check, harmful, redundant_write, user_sync,
+};
 use crate::patterns::{Ctx, Emitted, GlobalAlloc};
 use crate::truth::GroundTruthRace;
 
@@ -169,23 +171,87 @@ pub fn corpus_executions() -> Vec<Execution> {
     let chunked = |seed| RunConfig::chunked(seed, 1, 6).with_max_steps(400_000);
     let rr = |q| RunConfig::round_robin(q).with_max_steps(400_000);
     vec![
-        Execution { name: "e01_shell_startup", enabled: vec!["us_h1", "rw1", "ax1"], schedule: rr(2) },
-        Execution { name: "e02_settings_service", enabled: vec!["us_h2", "dc_s1", "rw2"], schedule: rr(1) },
-        Execution { name: "e03_page_load", enabled: vec!["us_h3", "bv_w1", "ax2"], schedule: rr(3) },
-        Execution { name: "e04_media_scan", enabled: vec!["us_h4", "db1", "ax_s1"], schedule: rr(2) },
-        Execution { name: "e05_session_teardown", enabled: vec!["us_h5", "rw3", "hf_rc"], schedule: chunked(15, ) },
-        Execution { name: "e06_theme_switch", enabled: vec!["us_h6", "bv_v1", "ax3"], schedule: rr(2) },
+        Execution {
+            name: "e01_shell_startup",
+            enabled: vec!["us_h1", "rw1", "ax1"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e02_settings_service",
+            enabled: vec!["us_h2", "dc_s1", "rw2"],
+            schedule: rr(1),
+        },
+        Execution {
+            name: "e03_page_load",
+            enabled: vec!["us_h3", "bv_w1", "ax2"],
+            schedule: rr(3),
+        },
+        Execution {
+            name: "e04_media_scan",
+            enabled: vec!["us_h4", "db1", "ax_s1"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e05_session_teardown",
+            enabled: vec!["us_h5", "rw3", "hf_rc"],
+            schedule: chunked(15),
+        },
+        Execution {
+            name: "e06_theme_switch",
+            enabled: vec!["us_h6", "bv_v1", "ax3"],
+            schedule: rr(2),
+        },
         Execution { name: "e07_indexer", enabled: vec!["us_c1", "db2", "ax_s2"], schedule: rr(2) },
-        Execution { name: "e08_download_manager", enabled: vec!["us_c2", "ax4", "hf_sb"], schedule: rr(2) },
-        Execution { name: "e09_font_cache", enabled: vec!["dc_c1", "ax_s3", "db3"], schedule: rr(2) },
-        Execution { name: "e10_history_flush", enabled: vec!["bv_c1", "ax5", "rw1"], schedule: rr(2) },
-        Execution { name: "e11_favicon_fetch", enabled: vec!["bv_c2", "ax_s4", "us_h1"], schedule: rr(2) },
-        Execution { name: "e12_print_spooler", enabled: vec!["db_c1", "ax_s5", "hf_p2"], schedule: rr(2) },
-        Execution { name: "e13_tab_close", enabled: vec!["hf_rc", "ax1", "us_h2"], schedule: chunked(23) },
-        Execution { name: "e14_cache_eviction", enabled: vec!["hf_d1", "ax_s6", "rw2"], schedule: rr(2) },
-        Execution { name: "e15_form_autofill", enabled: vec!["ax_s7", "bv_w1", "us_h3"], schedule: rr(3) },
-        Execution { name: "e16_update_check", enabled: vec!["ax_s8", "dc_s1", "db1"], schedule: chunked(26) },
-        Execution { name: "e17_gc_pass", enabled: vec!["hf_rc", "ax2", "bv_v1", "hf_p3"], schedule: chunked(27) },
+        Execution {
+            name: "e08_download_manager",
+            enabled: vec!["us_c2", "ax4", "hf_sb"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e09_font_cache",
+            enabled: vec!["dc_c1", "ax_s3", "db3"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e10_history_flush",
+            enabled: vec!["bv_c1", "ax5", "rw1"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e11_favicon_fetch",
+            enabled: vec!["bv_c2", "ax_s4", "us_h1"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e12_print_spooler",
+            enabled: vec!["db_c1", "ax_s5", "hf_p2"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e13_tab_close",
+            enabled: vec!["hf_rc", "ax1", "us_h2"],
+            schedule: chunked(23),
+        },
+        Execution {
+            name: "e14_cache_eviction",
+            enabled: vec!["hf_d1", "ax_s6", "rw2"],
+            schedule: rr(2),
+        },
+        Execution {
+            name: "e15_form_autofill",
+            enabled: vec!["ax_s7", "bv_w1", "us_h3"],
+            schedule: rr(3),
+        },
+        Execution {
+            name: "e16_update_check",
+            enabled: vec!["ax_s8", "dc_s1", "db1"],
+            schedule: chunked(26),
+        },
+        Execution {
+            name: "e17_gc_pass",
+            enabled: vec!["hf_rc", "ax2", "bv_v1", "hf_p3"],
+            schedule: chunked(27),
+        },
         Execution {
             name: "e18_stress_mix",
             enabled: vec!["us_h4", "us_h5", "us_h6", "ax3", "hf_rc", "rw3"],
@@ -235,6 +301,14 @@ pub fn corpus_manifest() -> Vec<GroundTruthRace> {
 #[must_use]
 pub fn instance_count() -> usize {
     INSTANCES.len()
+}
+
+/// The registered pattern-instance ids, in emission order — lets tests and
+/// ablations exercise each workload pattern in isolation via
+/// [`corpus_program`] with a single-id enable set.
+#[must_use]
+pub fn instance_ids() -> Vec<&'static str> {
+    INSTANCES.iter().map(|i| i.id).collect()
 }
 
 #[cfg(test)]

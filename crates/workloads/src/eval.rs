@@ -50,10 +50,7 @@ impl CorpusReport {
     /// Planted races that no execution detected (dynamic coverage gaps).
     #[must_use]
     pub fn missing_races(&self) -> Vec<(StaticRaceId, TrueVerdict)> {
-        self.truth
-            .iter()
-            .filter(|(id, _)| !self.merged.races.contains_key(id))
-            .collect()
+        self.truth.iter().filter(|(id, _)| !self.merged.races.contains_key(id)).collect()
     }
 
     /// Total dynamic race instances detected.
@@ -71,6 +68,18 @@ impl CorpusReport {
 /// Panics if a freshly recorded log fails to replay (a pipeline bug).
 #[must_use]
 pub fn run_corpus() -> CorpusReport {
+    run_corpus_with(&ClassifierConfig::default())
+}
+
+/// [`run_corpus`] with explicit classifier options — the hook for the
+/// parallelism/cache ablations, which must hold the corpus fixed while
+/// varying only the engine knobs.
+///
+/// # Panics
+///
+/// Panics if a freshly recorded log fails to replay (a pipeline bug).
+#[must_use]
+pub fn run_corpus_with(classifier: &ClassifierConfig) -> CorpusReport {
     let executions = corpus_executions();
     let mut results = Vec::new();
     let mut outcomes = Vec::new();
@@ -82,7 +91,7 @@ pub fn run_corpus() -> CorpusReport {
         let config = PipelineConfig {
             run: exec.schedule,
             detector: DetectorConfig::default(),
-            classifier: ClassifierConfig::default(),
+            classifier: *classifier,
             measure_native: false,
         };
         let PipelineResult { detected, classification, log_size, instructions, .. } =
@@ -185,9 +194,21 @@ impl fmt::Display for Table1 {
         for (label, g) in rows {
             let (ben, harm) = (self.cells[g][0], self.cells[g][1]);
             if g == 0 {
-                writeln!(f, "{label:<16} {ben:>9} {harm:>8} {:>9} {:>8} {:>7}", "-", "-", ben + harm)?;
+                writeln!(
+                    f,
+                    "{label:<16} {ben:>9} {harm:>8} {:>9} {:>8} {:>7}",
+                    "-",
+                    "-",
+                    ben + harm
+                )?;
             } else {
-                writeln!(f, "{label:<16} {:>9} {:>8} {ben:>9} {harm:>8} {:>7}", "-", "-", ben + harm)?;
+                writeln!(
+                    f,
+                    "{label:<16} {:>9} {:>8} {ben:>9} {harm:>8} {:>7}",
+                    "-",
+                    "-",
+                    ben + harm
+                )?;
             }
         }
         let pb = self.potentially_benign();

@@ -74,10 +74,12 @@ pub fn emit_sampler(ctx: &mut Ctx<'_>, iters: u64) -> Emitted {
     ctx.b.movi(Reg::R7, iters).label(top);
     ctx.b.load(Reg::R1, Reg::R15, counter as i64).addi(Reg::R1, Reg::R1, 1);
     let store = ctx.mark("sampled_store");
-    ctx.b
-        .store(Reg::R1, Reg::R15, counter as i64)
-        .subi(Reg::R7, Reg::R7, 1)
-        .branch(Cond::Ne, Reg::R7, Reg::R15, top);
+    ctx.b.store(Reg::R1, Reg::R15, counter as i64).subi(Reg::R7, Reg::R7, 1).branch(
+        Cond::Ne,
+        Reg::R7,
+        Reg::R15,
+        top,
+    );
     ctx.clobber_scratch();
     ctx.b.halt();
 

@@ -122,20 +122,14 @@ pub fn emit_version_switch(ctx: &mut Ctx<'_>, cold: bool) -> Emitted {
     let loop_top = ctx.label("loop_top");
     ctx.b.movi(Reg::R7, iterations).label(loop_top).movi(Reg::R1, input);
     let read_ver = ctx.mark("read_version");
-    ctx.b
-        .load(Reg::R3, Reg::R15, ver as i64)
-        .branch(Cond::Eq, Reg::R3, Reg::R15, f0)
-        .jump(f1);
+    ctx.b.load(Reg::R3, Reg::R15, ver as i64).branch(Cond::Eq, Reg::R3, Reg::R15, f0).jump(f1);
     ctx.b.label(f0);
     ctx.b.bin(BinOp::Add, Reg::R2, Reg::R1, Reg::R1).jump(dispatch_join);
     ctx.b.label(f1);
     ctx.b.bini(BinOp::Shl, Reg::R2, Reg::R1, 1).jump(dispatch_join);
     ctx.b.label(dispatch_join);
     // r2 == 42 either way; the raced version value must not escape.
-    ctx.b
-        .movi(Reg::R3, 0)
-        .subi(Reg::R7, Reg::R7, 1)
-        .branch(Cond::Ne, Reg::R7, Reg::R15, loop_top);
+    ctx.b.movi(Reg::R3, 0).subi(Reg::R7, Reg::R7, 1).branch(Cond::Ne, Reg::R7, Reg::R15, loop_top);
     ctx.b.print(Reg::R2);
     ctx.clobber_scratch();
     ctx.b.movi(Reg::R0, 0).halt();

@@ -22,15 +22,22 @@ const HIGH_BYTE: u64 = 0xAB00;
 /// Bit 16: the cold-variant "shutdown" flag.
 const SHUTDOWN_BIT: u64 = 0x1_0000;
 
-fn emit_writer(ctx: &mut Ctx<'_>, word: u64, iters: u64, finish_with_bit: bool) -> (String, Option<String>) {
+fn emit_writer(
+    ctx: &mut Ctx<'_>,
+    word: u64,
+    iters: u64,
+    finish_with_bit: bool,
+) -> (String, Option<String>) {
     ctx.thread("bit_writer");
     let top = ctx.label("wtop");
     ctx.b.movi(Reg::R1, 1).label(top);
     // r2 = (word & ~0xff) | r1  — update only the low byte.
-    ctx.b
-        .load(Reg::R2, Reg::R15, word as i64)
-        .bini(BinOp::And, Reg::R2, Reg::R2, !0xffu64)
-        .bin(BinOp::Or, Reg::R2, Reg::R2, Reg::R1);
+    ctx.b.load(Reg::R2, Reg::R15, word as i64).bini(BinOp::And, Reg::R2, Reg::R2, !0xffu64).bin(
+        BinOp::Or,
+        Reg::R2,
+        Reg::R2,
+        Reg::R1,
+    );
     let store = ctx.mark("write_low_byte");
     ctx.b
         .store(Reg::R2, Reg::R15, word as i64)
@@ -38,9 +45,7 @@ fn emit_writer(ctx: &mut Ctx<'_>, word: u64, iters: u64, finish_with_bit: bool) 
         .bini(BinOp::Sub, Reg::R3, Reg::R1, iters + 1)
         .branch(Cond::Ne, Reg::R3, Reg::R15, top);
     let finish = if finish_with_bit {
-        ctx.b
-            .load(Reg::R2, Reg::R15, word as i64)
-            .bini(BinOp::Or, Reg::R2, Reg::R2, SHUTDOWN_BIT);
+        ctx.b.load(Reg::R2, Reg::R15, word as i64).bini(BinOp::Or, Reg::R2, Reg::R2, SHUTDOWN_BIT);
         let finish = ctx.mark("write_shutdown_bit");
         ctx.b.store(Reg::R2, Reg::R15, word as i64);
         Some(finish)
@@ -62,9 +67,7 @@ pub fn emit(ctx: &mut Ctx<'_>, readers: usize, iters: u64) -> Emitted {
     for r in 0..readers {
         ctx.thread(&format!("bit_reader{r}"));
         let read = ctx.mark(&format!("read_high_byte{r}"));
-        ctx.b
-            .load(Reg::R1, Reg::R15, word as i64)
-            .bini(BinOp::And, Reg::R1, Reg::R1, 0xff00);
+        ctx.b.load(Reg::R1, Reg::R15, word as i64).bini(BinOp::And, Reg::R1, Reg::R1, 0xff00);
         // The masked value is always the constant high byte.
         ctx.b.print(Reg::R1);
         ctx.clobber_scratch();

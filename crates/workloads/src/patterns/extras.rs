@@ -51,10 +51,12 @@ pub fn emit_seqlock(ctx: &mut Ctx<'_>, rounds: u64) -> Emitted {
     ctx.b.bini(BinOp::Mul, Reg::R3, Reg::R1, 2);
     ctx.b.store(Reg::R3, Reg::R15, data2 as i64);
     ctx.b.addi(Reg::R2, Reg::R2, 1).store(Reg::R2, Reg::R15, seq as i64);
-    ctx.b
-        .addi(Reg::R1, Reg::R1, 1)
-        .bini(BinOp::Sub, Reg::R4, Reg::R1, rounds + 1)
-        .branch(Cond::Ne, Reg::R4, Reg::R15, top);
+    ctx.b.addi(Reg::R1, Reg::R1, 1).bini(BinOp::Sub, Reg::R4, Reg::R1, rounds + 1).branch(
+        Cond::Ne,
+        Reg::R4,
+        Reg::R15,
+        top,
+    );
     ctx.clobber_scratch();
     ctx.b.halt();
 
@@ -122,9 +124,7 @@ pub fn emit_ticket_lock(ctx: &mut Ctx<'_>, workers: usize) -> Emitted {
     let spin = ctx.label("ticket_spin");
     ctx.b.label(spin);
     let serving_read = ctx.mark("now_serving_read");
-    ctx.b
-        .load(Reg::R3, Reg::R15, now_serving as i64)
-        .branch(Cond::Ne, Reg::R3, Reg::R2, spin);
+    ctx.b.load(Reg::R3, Reg::R15, now_serving as i64).branch(Cond::Ne, Reg::R3, Reg::R2, spin);
     // counter++  [the guarded data]
     let counter_load = ctx.mark("counter_load");
     ctx.b.load(Reg::R4, Reg::R15, counter as i64).addi(Reg::R4, Reg::R4, 1);
@@ -157,12 +157,12 @@ pub fn emit_lost_update(ctx: &mut Ctx<'_>, deposits: u64) -> Emitted {
     for name in ["teller_a", "teller_b"] {
         ctx.thread(name);
         let top = ctx.label(&format!("{name}_top"));
-        ctx.b
-            .movi(Reg::R7, deposits)
-            .label(top)
-            .call(deposit_fn)
-            .subi(Reg::R7, Reg::R7, 1)
-            .branch(Cond::Ne, Reg::R7, Reg::R15, top);
+        ctx.b.movi(Reg::R7, deposits).label(top).call(deposit_fn).subi(Reg::R7, Reg::R7, 1).branch(
+            Cond::Ne,
+            Reg::R7,
+            Reg::R15,
+            top,
+        );
         ctx.clobber_scratch();
         ctx.b.halt();
     }

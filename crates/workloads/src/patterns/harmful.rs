@@ -192,11 +192,12 @@ pub fn emit_status_beacon(ctx: &mut Ctx<'_>, beats: u64) -> Emitted {
     // Shutdown handling the recording never executed.
     ctx.b.movi(Reg::R5, 0xD1E).movi(Reg::R5, 0).jump(next);
     ctx.b.label(next);
-    ctx.b
-        .movi(Reg::R1, 0)
-        .movi(Reg::R3, 0)
-        .subi(Reg::R4, Reg::R4, 1)
-        .branch(Cond::Ne, Reg::R4, Reg::R15, poll);
+    ctx.b.movi(Reg::R1, 0).movi(Reg::R3, 0).subi(Reg::R4, Reg::R4, 1).branch(
+        Cond::Ne,
+        Reg::R4,
+        Reg::R15,
+        poll,
+    );
     ctx.clobber_scratch();
     ctx.b.halt();
 
@@ -214,11 +215,7 @@ pub fn emit_dangling(ctx: &mut Ctx<'_>) -> Emitted {
     let mut emitted = Emitted::default();
 
     ctx.thread("swinger");
-    ctx.b
-        .movi(Reg::R0, 2)
-        .syscall(SysCall::Alloc)
-        .mov(Reg::R5, Reg::R0)
-        .movi(Reg::R1, 7);
+    ctx.b.movi(Reg::R0, 2).syscall(SysCall::Alloc).mov(Reg::R5, Reg::R0).movi(Reg::R1, 7);
     let fill = ctx.mark("fill_object");
     ctx.b.store(Reg::R1, Reg::R5, 0);
     let swing = ctx.mark("swing_pointer");
@@ -309,11 +306,7 @@ mod tests {
             race.counts
         );
         let ratio = race.counts.exposing() as f64 / race.counts.analyzed as f64;
-        assert!(
-            ratio < 0.5,
-            "most instances must look benign (paper Figure 4): {:?}",
-            race.counts
-        );
+        assert!(ratio < 0.5, "most instances must look benign (paper Figure 4): {:?}", race.counts);
     }
 
     #[test]

@@ -69,10 +69,18 @@ pub fn emit(ctx: &mut Ctx<'_>, cfg: &RedundantWriteConfig) -> Emitted {
 
     for (i, wa) in write_marks.iter().enumerate() {
         for wb in &write_marks[i + 1..] {
-            emitted.push(wa.clone(), wb.clone(), TrueVerdict::Benign(BenignCategory::RedundantWrite));
+            emitted.push(
+                wa.clone(),
+                wb.clone(),
+                TrueVerdict::Benign(BenignCategory::RedundantWrite),
+            );
         }
         for rd in &read_marks {
-            emitted.push(wa.clone(), rd.clone(), TrueVerdict::Benign(BenignCategory::RedundantWrite));
+            emitted.push(
+                wa.clone(),
+                rd.clone(),
+                TrueVerdict::Benign(BenignCategory::RedundantWrite),
+            );
         }
     }
     debug_assert_eq!(emitted.races.len(), race_count(cfg));

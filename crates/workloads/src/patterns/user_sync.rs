@@ -41,9 +41,7 @@ pub fn emit_handoff(ctx: &mut Ctx<'_>) -> Emitted {
     let spin = ctx.label("spin");
     ctx.b.label(spin);
     let wait = ctx.mark("wait_flag");
-    ctx.b
-        .load(Reg::R1, Reg::R15, flag as i64)
-        .branch(Cond::Eq, Reg::R1, Reg::R15, spin);
+    ctx.b.load(Reg::R1, Reg::R15, flag as i64).branch(Cond::Eq, Reg::R1, Reg::R15, spin);
     ctx.clobber_scratch();
     ctx.b.halt();
 
@@ -71,17 +69,12 @@ pub fn emit_checked_handoff(ctx: &mut Ctx<'_>) -> Emitted {
     let check = ctx.mark("check_flag");
     let cold = ctx.label("cold_spin");
     let join = ctx.label("join");
-    ctx.b
-        .load(Reg::R1, Reg::R15, flag as i64)
-        .branch(Cond::Eq, Reg::R1, Reg::R15, cold);
+    ctx.b.load(Reg::R1, Reg::R15, flag as i64).branch(Cond::Eq, Reg::R1, Reg::R15, cold);
     ctx.b.jump(join);
     // Cold path: a perfectly good spin loop — but unrecorded, so the
     // alternative replay fails here instead of converging.
     ctx.b.label(cold);
-    ctx.b
-        .load(Reg::R1, Reg::R15, flag as i64)
-        .branch(Cond::Eq, Reg::R1, Reg::R15, cold)
-        .jump(join);
+    ctx.b.load(Reg::R1, Reg::R15, flag as i64).branch(Cond::Eq, Reg::R1, Reg::R15, cold).jump(join);
     ctx.b.label(join);
     ctx.clobber_scratch();
     ctx.b.halt();

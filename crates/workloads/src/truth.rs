@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use replay_race::detect::StaticRaceId;
 use tvm::program::Program;
 
 /// The paper's benign-race taxonomy (Table 2).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BenignCategory {
     /// §5.4(1): hand-rolled synchronization built from plain loads/stores.
     UserConstructedSync,
@@ -65,7 +63,7 @@ impl fmt::Display for BenignCategory {
 }
 
 /// Why a harmful race is harmful.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HarmfulKind {
     /// The paper's Figure 2: racy reference-count decrement with a
     /// conditional free (double free / leak).
@@ -77,7 +75,7 @@ pub enum HarmfulKind {
 }
 
 /// Manual-triage verdict of one race.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrueVerdict {
     Benign(BenignCategory),
     Harmful(HarmfulKind),
@@ -92,7 +90,7 @@ impl TrueVerdict {
 }
 
 /// One planted race, identified by the marks of its two instructions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GroundTruthRace {
     /// Mark of one racing instruction.
     pub mark_a: String,
@@ -208,8 +206,11 @@ mod tests {
         b.thread("t");
         b.halt();
         let p = b.build();
-        let manifest =
-            vec![GroundTruthRace::new("nope", "nope2", TrueVerdict::Harmful(HarmfulKind::RefCountFree))];
+        let manifest = vec![GroundTruthRace::new(
+            "nope",
+            "nope2",
+            TrueVerdict::Harmful(HarmfulKind::RefCountFree),
+        )];
         let _ = TruthTable::resolve(&p, &manifest);
     }
 

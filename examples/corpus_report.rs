@@ -10,7 +10,11 @@ use workloads::eval::{run_corpus, Figure, Table1, Table2};
 fn main() {
     let report = run_corpus();
 
-    println!("corpus: {} executions, {} instructions total", report.executions.len(), report.total_instructions);
+    println!(
+        "corpus: {} executions, {} instructions total",
+        report.executions.len(),
+        report.total_instructions
+    );
     println!(
         "detected {} unique races across {} dynamic instances\n",
         report.detected_races(),

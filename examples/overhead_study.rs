@@ -12,11 +12,7 @@ use workloads::browser::{browser_program, BrowserConfig};
 
 fn main() {
     let cfg = BrowserConfig::paper_scale();
-    println!(
-        "browser workload: {} threads, {} jobs (paper: 27 threads)",
-        cfg.threads(),
-        cfg.jobs
-    );
+    println!("browser workload: {} threads, {} jobs (paper: 27 threads)", cfg.threads(), cfg.jobs);
     let program = browser_program(&cfg);
     let run = RunConfig::chunked(7, 1, 8).with_max_steps(50_000_000);
     let result = run_pipeline(&program, &PipelineConfig::new(run)).expect("pipeline");
@@ -31,10 +27,26 @@ fn main() {
     println!();
     println!("phase           time        overhead vs native   (paper)");
     println!("native          {:>9.3?}   1.0x", t.native);
-    println!("record          {:>9.3?}   {:>6.1}x              (~6x)", t.record, t.overhead(t.record));
-    println!("replay          {:>9.3?}   {:>6.1}x              (~10x)", t.replay, t.overhead(t.replay));
-    println!("hb detection    {:>9.3?}   {:>6.1}x              (~45x)", t.detect, t.overhead(t.detect));
-    println!("classification  {:>9.3?}   {:>6.1}x              (~280x)", t.classify, t.overhead(t.classify));
+    println!(
+        "record          {:>9.3?}   {:>6.1}x              (~6x)",
+        t.record,
+        t.overhead(t.record)
+    );
+    println!(
+        "replay          {:>9.3?}   {:>6.1}x              (~10x)",
+        t.replay,
+        t.overhead(t.replay)
+    );
+    println!(
+        "hb detection    {:>9.3?}   {:>6.1}x              (~45x)",
+        t.detect,
+        t.overhead(t.detect)
+    );
+    println!(
+        "classification  {:>9.3?}   {:>6.1}x              (~280x)",
+        t.classify,
+        t.overhead(t.classify)
+    );
     println!();
     println!(
         "log size: {} bytes raw = {:.3} bits/instr (paper ~0.8); compressed {} bytes = {:.3} bits/instr (paper ~0.3)",

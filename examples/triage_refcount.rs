@@ -66,9 +66,7 @@ fn figure2_program() -> Arc<Program> {
 fn main() {
     let program = figure2_program();
     for seed in 0..64u64 {
-        let config = PipelineConfig::new(
-            RunConfig::chunked(seed, 1, 6).with_max_steps(200_000),
-        );
+        let config = PipelineConfig::new(RunConfig::chunked(seed, 1, 6).with_max_steps(200_000));
         let result = run_pipeline(&program, &config).expect("replay");
         let harmful: Vec<_> =
             result.classification.with_verdict(Verdict::PotentiallyHarmful).collect();

@@ -13,7 +13,11 @@ fn corpus_reproduces_the_paper() {
     // Every detected race is covered by the ground-truth manifests and
     // every planted race was dynamically detected.
     assert!(report.unexpected.is_empty(), "unplanted races: {:?}", report.unexpected);
-    assert!(report.missing_races().is_empty(), "undetected planted races: {:?}", report.missing_races());
+    assert!(
+        report.missing_races().is_empty(),
+        "undetected planted races: {:?}",
+        report.missing_races()
+    );
 
     // Table 1 (paper §5.2.2): 68 unique races; 32 No-State-Change (all
     // real-benign), 17 State-Change (15 benign + 2 harmful), 19

@@ -96,15 +96,12 @@ fn time_travel_reconstructs_states_along_a_pipeline_trace() {
     let last_region = result
         .trace
         .regions()
-        .iter().rfind(|r| r.region.id.tid == 0)
+        .iter()
+        .rfind(|r| r.region.id.tid == 0)
         .expect("thread 0 has regions");
     let end = last_region.region.end_instr;
     for back in 1..=end.min(10) {
-        assert!(
-            tt.state_before(0, end - back).is_some(),
-            "state {} steps back must exist",
-            back
-        );
+        assert!(tt.state_before(0, end - back).is_some(), "state {} steps back must exist", back);
     }
 }
 
@@ -117,6 +114,6 @@ fn report_json_round_trips_for_real_workloads() {
     )
     .expect("pipeline");
     let json = result.report.to_json();
-    let parsed: replay_race::report::Report = serde_json::from_str(&json).expect("parse");
+    let parsed = replay_race::report::Report::from_json(&json).expect("parse");
     assert_eq!(parsed.races.len(), result.report.races.len());
 }
