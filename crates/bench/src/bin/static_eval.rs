@@ -1,0 +1,21 @@
+//! E-SC2: precision/recall of the static race analyzer's warnings alone
+//! versus static warnings post-processed by the replay classifier, joined
+//! with the corpus ground truth.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin static_eval
+//! ```
+
+fn main() {
+    eprintln!("static analysis + 18-execution classifier feed ...");
+    let eval = workloads::eval::run_static_eval();
+    print!("{eval}");
+    assert_eq!(
+        eval.static_alone.flagged_harmful, eval.static_alone.harmful_total,
+        "static analysis missed a planted harmful race"
+    );
+    assert_eq!(
+        eval.combined.flagged_harmful, eval.combined.harmful_total,
+        "replay classification filtered a planted harmful race"
+    );
+}

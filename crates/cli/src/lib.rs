@@ -7,15 +7,22 @@
 //! racerep run       prog.tasm [--schedule S] [--max-steps N]
 //! racerep record    prog.tasm -o run.idna [--schedule S]
 //! racerep replay    prog.tasm run.idna
-//! racerep races     prog.tasm run.idna [--json] [--permissive] [--triage-db db.json]
-//!                   [--jobs N] [--cache off|exact|coarse]
-//! racerep classify  prog.tasm [--schedule S] [--json] [--jobs N] [--cache MODE]
+//! racerep races     prog.tasm run.idna [--format text|json] [--permissive]
+//!                   [--triage-db db.json] [--jobs N] [--cache off|exact|coarse]
+//! racerep classify  prog.tasm [--schedule S] [--format text|json] [--jobs N] [--cache MODE]
+//! racerep lint      prog.tasm [--format text|json]
 //! racerep triage    db.json <benign|harmful> <pc_lo> <pc_hi> [note...]
 //! racerep loginfo   run.idna
 //! racerep disasm    prog.tasm
 //! ```
 //!
 //! Schedules: `rr:<quantum>`, `random:<seed>`, `chunked:<seed>:<min>:<max>`.
+//!
+//! `lint` runs the `racecheck` static analyzer — CFG construction, abstract
+//! interpretation, lockset recognition — and prints the statically-may-race
+//! warnings without executing the program at all. `--format json` (or the
+//! legacy `--json` alias, accepted everywhere `--format` is) emits the
+//! machine-readable report documented in the README.
 //!
 //! `--jobs N` sets the classifier's worker-thread count (0 or omitted =
 //! available parallelism, 1 = single-threaded); `--cache` picks the replay
@@ -39,7 +46,7 @@ use idna_replay::vproc::VprocConfig;
 use replay_race::classify::{CacheMode, ClassifierConfig};
 use replay_race::pipeline::{run_pipeline, PipelineConfig};
 use replay_race::triage::{ManualVerdict, TriageDb};
-use tvm::asm::{assemble, disassemble};
+use tvm::asm::{assemble, disassemble_annotated};
 use tvm::machine::Machine;
 use tvm::program::Program;
 use tvm::scheduler::{run as run_machine, RunConfig, SchedulePolicy};
@@ -106,8 +113,18 @@ pub fn parse_schedule(spec: &str) -> Result<RunConfig, CliError> {
 pub fn load_program(path: &Path) -> Result<Arc<Program>, CliError> {
     let src = fs::read_to_string(path)
         .map_err(|e| CliError { message: format!("cannot read {}: {e}", path.display()) })?;
-    let program =
-        assemble(&src).map_err(|e| CliError { message: format!("{}: {e}", path.display()) })?;
+    let program = assemble(&src).map_err(|e| {
+        // `file:line: message` (the grep/editor-friendly shape), with the
+        // offending source line quoted underneath.
+        let mut message = format!("{}:{}: {}", path.display(), e.line, e.message);
+        if let Some(bad) = src.lines().nth(e.line.saturating_sub(1)) {
+            let bad = bad.trim_end();
+            if !bad.trim().is_empty() {
+                message.push_str(&format!("\n  {} | {}", e.line, bad));
+            }
+        }
+        CliError { message }
+    })?;
     if program.threads().is_empty() {
         return err(format!("{}: program has no threads", path.display()));
     }
@@ -408,14 +425,34 @@ pub fn cmd_loginfo(log_path: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `racerep disasm`: assembles and disassembles a program (normalizing it).
+/// `racerep disasm`: assembles and disassembles a program (normalizing it),
+/// annotating every instruction with its pc and `*`/`m` markers for
+/// sequencer points and memory-touching instructions.
 ///
 /// # Errors
 ///
 /// Propagates load failures.
 pub fn cmd_disasm(path: &Path) -> Result<String, CliError> {
     let program = load_program(path)?;
-    Ok(disassemble(&program))
+    Ok(disassemble_annotated(&program))
+}
+
+/// `racerep lint`: runs the static race analyzer over the program — no
+/// execution, no recording — and renders its warnings.
+///
+/// # Errors
+///
+/// Propagates load failures.
+pub fn cmd_lint(path: &Path, json: bool) -> Result<String, CliError> {
+    let program = load_program(path)?;
+    let analysis = racecheck::analyze(&program);
+    Ok(if json {
+        let mut text = racecheck::render_json(&analysis).to_string_pretty();
+        text.push('\n');
+        text
+    } else {
+        racecheck::render_text(&analysis)
+    })
 }
 
 /// Top-level argument dispatch; returns the text to print.
@@ -463,6 +500,17 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 );
             }
             "--json" => json = true,
+            "--format" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--format needs text or json".into() })?;
+                json = match v.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return err(format!("--format must be text or json, got {other:?}")),
+                };
+            }
             "--permissive" => permissive = true,
             "--jobs" | "-j" => {
                 i += 1;
@@ -499,7 +547,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let vproc = if permissive { VprocConfig::permissive() } else { VprocConfig::default() };
     let classifier = ClassifierConfig { vproc, jobs, cache, ..ClassifierConfig::default() };
 
-    let usage = "usage: racerep <run|record|replay|races|classify|triage|loginfo|disasm> ...";
+    let usage = "usage: racerep <run|record|replay|races|classify|lint|triage|loginfo|disasm> ...";
     let Some((&cmd, rest)) = positional.split_first() else {
         return err(usage);
     };
@@ -524,6 +572,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             triage_db.as_deref().map(Path::new),
         ),
         "classify" => cmd_classify(arg(0, "program path")?, schedule, json, &classifier),
+        "lint" => cmd_lint(arg(0, "program path")?, json),
         "triage" => {
             let parse_pc = |n: usize, what: &str| -> Result<usize, CliError> {
                 rest.get(n)
@@ -669,8 +718,47 @@ mod tests {
         let text = cmd_disasm(&prog).unwrap();
         assert!(text.contains(".thread writer"));
         assert!(text.contains("st [r15+32], r1"));
+        // The annotation markers: pc comments, `m` on the store.
+        assert!(text.contains("; @1 m"), "{text}");
         // Round-trips through the assembler.
         assert!(tvm::asm::assemble(&text).is_ok());
+        let _ = fs::remove_file(prog);
+    }
+
+    #[test]
+    fn lint_reports_candidates_without_running() {
+        let prog = temp_file("lint.tasm", RACY);
+        let text = cmd_lint(&prog, false).unwrap();
+        assert!(text.contains("may-race candidate"), "{text}");
+        let json = cmd_lint(&prog, true).unwrap();
+        let doc = Json::parse(&json).unwrap();
+        let stats = doc.field("stats").unwrap();
+        assert_eq!(stats.field("candidate_pairs").unwrap().as_u64(), Some(1));
+        assert!(!doc.field("warnings").unwrap().as_arr().unwrap().is_empty());
+        let _ = fs::remove_file(prog);
+    }
+
+    #[test]
+    fn dispatch_understands_format_and_lint() {
+        let prog = temp_file("lintfmt.tasm", RACY);
+        let args: Vec<String> =
+            vec!["lint".into(), prog.display().to_string(), "--format".into(), "json".into()];
+        let out = dispatch(&args).unwrap();
+        assert!(Json::parse(&out).is_ok(), "{out}");
+        let args: Vec<String> =
+            vec!["lint".into(), prog.display().to_string(), "--format".into(), "yaml".into()];
+        let e = dispatch(&args).unwrap_err();
+        assert!(e.message.contains("--format must be text or json"));
+        let _ = fs::remove_file(prog);
+    }
+
+    #[test]
+    fn load_errors_point_at_the_source_line() {
+        let prog = temp_file("bad.tasm", ".thread t\n  movi r1, 1\n  frobnicate r1\n  halt\n");
+        let e = load_program(&prog).unwrap_err();
+        let expect = format!("{}:3: ", prog.display());
+        assert!(e.message.contains(&expect), "{}", e.message);
+        assert!(e.message.contains("3 |   frobnicate r1"), "{}", e.message);
         let _ = fs::remove_file(prog);
     }
 }

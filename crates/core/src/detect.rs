@@ -9,9 +9,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use idna_replay::replayer::{ReplayTrace, ReplayedRegion};
 use idna_replay::vproc::AccessSite;
+use racecheck::CandidateSet;
 use tvm::exec::AccessKind;
 
 /// Identity of a *static* data race: the unordered pair of static
@@ -62,7 +64,7 @@ impl RaceInstance {
 }
 
 /// Detector options.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DetectorConfig {
     /// Bound on instances collected per (static race, region pair); loops
     /// can otherwise produce quadratic blowup. The bound is per static race
@@ -70,11 +72,18 @@ pub struct DetectorConfig {
     /// detection of other races on the same address. `usize::MAX` disables
     /// the bound.
     pub max_instances_per_region_pair: usize,
+    /// Static pre-filter from `racecheck::analyze`: accesses at pcs outside
+    /// every candidate pair are not indexed, and pc pairs outside the set
+    /// are never checked for overlap. Because the candidate set
+    /// over-approximates what happens-before can report, the detected races
+    /// are identical with and without the filter — only the cost counters
+    /// differ (`tests/static_soundness.rs` pins this).
+    pub prefilter: Option<Arc<CandidateSet>>,
 }
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { max_instances_per_region_pair: 64 }
+        DetectorConfig { max_instances_per_region_pair: 64, prefilter: None }
     }
 }
 
@@ -87,6 +96,10 @@ pub struct DetectedRaces {
     pub by_static: BTreeMap<StaticRaceId, Vec<usize>>,
     /// Number of region pairs that overlapped (a cost metric).
     pub overlapping_region_pairs: u64,
+    /// Accesses inserted into the per-region address index (a cost metric).
+    pub indexed_accesses: u64,
+    /// Accesses skipped by the static pre-filter (zero without a filter).
+    pub skipped_accesses: u64,
 }
 
 impl DetectedRaces {
@@ -111,7 +124,9 @@ impl DetectedRaces {
 /// Per-region index of accesses by address, split into reads and writes.
 struct RegionIndex<'a> {
     region: &'a ReplayedRegion,
-    by_addr: HashMap<u64, (Vec<usize>, Vec<usize>)>,
+    /// Sorted by address so pair enumeration order is deterministic and,
+    /// in particular, independent of how many accesses a pre-filter kept.
+    by_addr: BTreeMap<u64, (Vec<usize>, Vec<usize>)>,
     /// For each access, `Some(ts)` when the access's instruction is itself a
     /// sequencer point (an atomic): the access happens exactly *at* that
     /// timestamp rather than floating in the region.
@@ -119,20 +134,32 @@ struct RegionIndex<'a> {
 }
 
 impl<'a> RegionIndex<'a> {
-    fn new(trace: &ReplayTrace, region: &'a ReplayedRegion) -> Self {
-        let mut by_addr: HashMap<u64, (Vec<usize>, Vec<usize>)> = HashMap::new();
+    fn new(
+        trace: &ReplayTrace,
+        region: &'a ReplayedRegion,
+        config: &DetectorConfig,
+        out: &mut DetectedRaces,
+    ) -> Self {
+        let mut by_addr: BTreeMap<u64, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
         let mut point_ts = Vec::with_capacity(region.accesses.len());
         for (i, acc) in region.accesses.iter().enumerate() {
-            let entry = by_addr.entry(acc.addr).or_default();
-            match acc.kind {
-                AccessKind::Read => entry.0.push(i),
-                AccessKind::Write => entry.1.push(i),
-            }
+            // `point_ts` stays index-aligned with `region.accesses` even when
+            // the pre-filter keeps an access out of the address index.
             let is_sync =
                 trace.program().instr(acc.pc).is_some_and(tvm::isa::Instr::is_sequencer_point);
             // A sequencer-point instruction is the first instruction of its
             // region; its sequencer timestamp is the region's start.
             point_ts.push(is_sync.then_some(region.region.start_ts));
+            if config.prefilter.as_ref().is_some_and(|f| !f.monitors(acc.pc)) {
+                out.skipped_accesses += 1;
+                continue;
+            }
+            out.indexed_accesses += 1;
+            let entry = by_addr.entry(acc.addr).or_default();
+            match acc.kind {
+                AccessKind::Read => entry.0.push(i),
+                AccessKind::Write => entry.1.push(i),
+            }
         }
         RegionIndex { region, by_addr, point_ts }
     }
@@ -201,7 +228,7 @@ pub fn detect_races(trace: &ReplayTrace, config: &DetectorConfig) -> DetectedRac
             // have not already ordered via retain.
             continue;
         }
-        let idx = RegionIndex::new(trace, region);
+        let idx = RegionIndex::new(trace, region, config, &mut detected);
         for other in &active {
             if !idx.region.region.overlaps(&other.region.region) {
                 continue;
@@ -220,9 +247,14 @@ fn collect_pair(
     config: &DetectorConfig,
     out: &mut DetectedRaces,
 ) {
-    // Iterate the smaller address map.
-    let (small, large, small_is_a) =
-        if ra.by_addr.len() <= rb.by_addr.len() { (ra, rb, true) } else { (rb, ra, false) };
+    // Iterate the smaller region's map. Sizing by total accesses rather
+    // than indexed accesses keeps the choice — and with it the emission
+    // order — identical with and without a pre-filter.
+    let (small, large, small_is_a) = if ra.region.accesses.len() <= rb.region.accesses.len() {
+        (ra, rb, true)
+    } else {
+        (rb, ra, false)
+    };
     for (addr, (s_reads, s_writes)) in &small.by_addr {
         let Some((l_reads, l_writes)) = large.by_addr.get(addr) else { continue };
         // Budget applies per static race, so one hot pc pair cannot starve
@@ -233,6 +265,9 @@ fn collect_pair(
                 small.region.accesses[i_small].pc,
                 large.region.accesses[i_large].pc,
             );
+            if config.prefilter.as_ref().is_some_and(|f| !f.contains(id.pc_lo, id.pc_hi)) {
+                return;
+            }
             let budget = budgets.entry(id).or_insert(config.max_instances_per_region_pair);
             if *budget == 0 || !small.unordered_with(i_small, large, i_large) {
                 return;
@@ -420,9 +455,44 @@ mod tests {
         let program: Arc<Program> = Arc::new(b.build());
         let rec = record(&program, &RunConfig::round_robin(7));
         let trace = replay(&program, &rec.log).unwrap();
-        let capped = detect_races(&trace, &DetectorConfig { max_instances_per_region_pair: 5 });
+        let capped = detect_races(
+            &trace,
+            &DetectorConfig { max_instances_per_region_pair: 5, ..DetectorConfig::default() },
+        );
         // One overlapping region pair with a cap of 5 conflict pairs.
         assert!(capped.instance_count() <= 5 * capped.overlapping_region_pairs as usize);
+    }
+
+    #[test]
+    fn prefilter_preserves_races_and_skips_private_accesses() {
+        // A racy flag handoff plus a thread-private store: the static
+        // candidate set monitors the handoff pcs only, so the filtered run
+        // indexes fewer accesses but reports the identical races.
+        let mut b = ProgramBuilder::new();
+        b.thread("setter");
+        b.movi(Reg::R1, 1)
+            .store(Reg::R1, Reg::R15, 8)
+            .store(Reg::R1, Reg::R15, 64) // private: no other thread touches 64
+            .halt();
+        b.thread("waiter");
+        let spin = b.fresh_label("spin");
+        b.label(spin)
+            .load(Reg::R1, Reg::R15, 8)
+            .branch(tvm::isa::Cond::Eq, Reg::R1, Reg::R15, spin)
+            .halt();
+        let program: Arc<Program> = Arc::new(b.build());
+        let rec = record(&program, &RunConfig::round_robin(1));
+        let trace = replay(&program, &rec.log).unwrap();
+        let unfiltered = detect_races(&trace, &DetectorConfig::default());
+        let candidates = Arc::new(racecheck::analyze(&program).candidates);
+        let filtered = detect_races(
+            &trace,
+            &DetectorConfig { prefilter: Some(candidates), ..DetectorConfig::default() },
+        );
+        assert_eq!(filtered.instances, unfiltered.instances);
+        assert_eq!(filtered.by_static, unfiltered.by_static);
+        assert!(filtered.skipped_accesses > 0, "the private store is never indexed");
+        assert!(filtered.indexed_accesses < unfiltered.indexed_accesses);
     }
 
     #[test]

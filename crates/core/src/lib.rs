@@ -54,6 +54,7 @@ pub mod detect;
 pub mod lockset_feed;
 pub mod pipeline;
 pub mod report;
+pub mod static_feed;
 pub mod triage;
 
 pub use classify::{

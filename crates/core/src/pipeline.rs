@@ -17,7 +17,7 @@ use crate::detect::{detect_races, DetectedRaces, DetectorConfig};
 use crate::report::Report;
 
 /// Pipeline options.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct PipelineConfig {
     /// Scheduler policy and step budget for the recorded run.
     pub run: RunConfig,

@@ -1,0 +1,388 @@
+//! The whole-program analysis: per-thread access summaries, lock
+//! validation, and cross-thread candidate-pair generation.
+//!
+//! # Soundness contract
+//!
+//! The dynamic detector (`replay-race`'s happens-before pass) reports a pair
+//! of pcs only when two *different threads* touch the *same address*, at
+//! least one side *writes*, and the two accesses' replay regions are
+//! *unordered*. A pair is pruned here only when one of those conditions is
+//! statically refuted:
+//!
+//! * the abstract locations cannot alias (`Global` interval disjointness,
+//!   `Global` vs `Heap`),
+//! * both sides only read,
+//! * both sides are sequencer points — two atomics always order in the
+//!   region graph (`RegionIndex::unordered_with` returns `false` for a
+//!   point/point pair),
+//! * both sides hold a common *valid* spin lock — the lock's acquire and
+//!   release are sequencer points bounding the access's region, and the
+//!   validity rules guarantee occupancy windows are disjoint, so the
+//!   regions order.
+//!
+//! Anything the abstract interpretation cannot resolve lands in the
+//! `Unknown` location, which aliases everything; unknown pairs are kept.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tvm::program::Program;
+
+use crate::absint::{fixpoint, transfer, LockEvent};
+use crate::cfg::Cfg;
+use crate::domain::AbsLoc;
+
+/// One statically observed memory access in one thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The instruction performing the access.
+    pub pc: usize,
+    /// Where it may touch memory.
+    pub loc: AbsLoc,
+    /// Whether it can read.
+    pub reads: bool,
+    /// Whether it can write.
+    pub writes: bool,
+    /// Whether the instruction is a sequencer point.
+    pub atomic: bool,
+    /// Valid locks held on every path reaching the access.
+    pub locks: BTreeSet<u64>,
+}
+
+/// The access summary of one `ThreadSpec`.
+#[derive(Clone, Debug)]
+pub struct ThreadSummary {
+    /// The thread's name from the program.
+    pub name: String,
+    /// Its entry pc.
+    pub entry: usize,
+    /// Number of reachable pcs in its CFG.
+    pub reachable: usize,
+    /// All memory accesses at reachable pcs.
+    pub accesses: Vec<Access>,
+}
+
+/// Why a lock candidate was demoted to "not a lock".
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Demotion {
+    /// A write to the lock word from outside the recognized acquire/release
+    /// sites — the `L != 0 iff held` invariant cannot be trusted.
+    RogueWrite {
+        /// The offending write's pc.
+        pc: usize,
+    },
+    /// A release site reached without provably holding the lock — mutual
+    /// exclusion is broken.
+    ReleaseWithoutHold {
+        /// The offending release's pc.
+        pc: usize,
+    },
+}
+
+/// Everything the analysis learned about one spin-lock candidate.
+#[derive(Clone, Debug)]
+pub struct LockReport {
+    /// The lock word's global address.
+    pub addr: u64,
+    /// pcs of recognized acquire-shaped atomics.
+    pub acquire_sites: BTreeSet<usize>,
+    /// pcs of recognized release-shaped atomics.
+    pub release_sites: BTreeSet<usize>,
+    /// `None` when the lock is valid, else the first demotion reason.
+    pub demoted: Option<Demotion>,
+}
+
+impl LockReport {
+    /// Whether accesses under this lock may be pruned.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        self.demoted.is_none()
+    }
+}
+
+/// One side of a [`RaceWarning`].
+#[derive(Clone, Debug, Default)]
+pub struct WarningSide {
+    /// The access pc.
+    pub pc: usize,
+    /// Names of the threads that can execute this access.
+    pub threads: BTreeSet<String>,
+    /// Rendered abstract locations seen at this pc.
+    pub locs: BTreeSet<String>,
+    /// Whether any contributing access writes.
+    pub writes: bool,
+    /// Whether any contributing access is a sequencer point.
+    pub atomic: bool,
+}
+
+/// A statically-may-race warning, aggregated over every access pair that
+/// maps to the same normalized `(pc_lo, pc_hi)` static id.
+#[derive(Clone, Debug)]
+pub struct RaceWarning {
+    /// The lower-pc side.
+    pub lo: WarningSide,
+    /// The higher-pc side.
+    pub hi: WarningSide,
+    /// Whether any contributing location was `Unknown` (unresolved address).
+    pub unresolved: bool,
+}
+
+/// The set of statically-may-race pc pairs, the interface consumed by the
+/// detector pre-filter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CandidateSet {
+    pairs: BTreeSet<(usize, usize)>,
+    monitored: BTreeSet<usize>,
+}
+
+impl CandidateSet {
+    /// Whether the (unordered) pc pair is a candidate.
+    #[must_use]
+    pub fn contains(&self, pc_a: usize, pc_b: usize) -> bool {
+        let key = (pc_a.min(pc_b), pc_a.max(pc_b));
+        self.pairs.contains(&key)
+    }
+
+    /// Whether the pc participates in any candidate pair. Accesses at
+    /// non-monitored pcs can never be part of a reported race.
+    #[must_use]
+    pub fn monitors(&self, pc: usize) -> bool {
+        self.monitored.contains(&pc)
+    }
+
+    /// Number of candidate pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair survived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates the normalized pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    fn insert(&mut self, pc_a: usize, pc_b: usize) {
+        let key = (pc_a.min(pc_b), pc_a.max(pc_b));
+        self.pairs.insert(key);
+        self.monitored.insert(pc_a);
+        self.monitored.insert(pc_b);
+    }
+}
+
+/// Aggregate counters describing the analysis and its pruning power.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Threads analyzed.
+    pub threads: usize,
+    /// Distinct reachable pcs across all threads.
+    pub reachable_pcs: usize,
+    /// Distinct reachable pcs that touch memory.
+    pub memory_pcs: usize,
+    /// Distinct pcs in at least one candidate pair.
+    pub monitored_pcs: usize,
+    /// Candidate pairs emitted.
+    pub candidate_pairs: usize,
+    /// Accesses whose address the abstract interpretation could not resolve.
+    pub unknown_accesses: usize,
+    /// Spin-lock candidates recognized (valid or not).
+    pub lock_candidates: usize,
+    /// Candidates that survived validation.
+    pub valid_locks: usize,
+    /// Access pairs pruned because the locations cannot alias.
+    pub pruned_no_alias: u64,
+    /// Access pairs pruned because neither side writes.
+    pub pruned_read_read: u64,
+    /// Access pairs pruned because both sides are sequencer points.
+    pub pruned_atomic_atomic: u64,
+    /// Access pairs pruned because both sides hold a common valid lock.
+    pub pruned_common_lock: u64,
+}
+
+/// The full result of [`analyze`].
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Per-`ThreadSpec` summaries, in program order.
+    pub threads: Vec<ThreadSummary>,
+    /// Spin-lock candidates, sorted by address.
+    pub locks: Vec<LockReport>,
+    /// May-race warnings, sorted by `(pc_lo, pc_hi)`.
+    pub warnings: Vec<RaceWarning>,
+    /// The candidate pairs for the detector pre-filter.
+    pub candidates: CandidateSet,
+    /// Aggregate counters.
+    pub stats: AnalysisStats,
+}
+
+struct ThreadFacts {
+    summary: ThreadSummary,
+    /// Raw must-locksets per access index (before validity masking).
+    raw_locks: Vec<BTreeSet<u64>>,
+}
+
+/// Statically analyzes every thread of the program and cross-products the
+/// summaries into may-race candidate pairs.
+#[must_use]
+pub fn analyze(program: &Program) -> Analysis {
+    let mut facts: Vec<ThreadFacts> = Vec::new();
+    let mut acquires: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+    let mut releases: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+    let mut unheld_releases: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut reachable_pcs: BTreeSet<usize> = BTreeSet::new();
+    let mut memory_pcs: BTreeSet<usize> = BTreeSet::new();
+
+    for spec in program.threads() {
+        let cfg = Cfg::build(program, spec.entry);
+        let flow = fixpoint(program, &cfg, &spec.args);
+        let mut accesses = Vec::new();
+        let mut raw_locks = Vec::new();
+        for (&pc, state) in &flow.states {
+            reachable_pcs.insert(pc);
+            let t = transfer(program, &cfg, pc, state);
+            if let Some(a) = t.access {
+                memory_pcs.insert(pc);
+                accesses.push(Access {
+                    pc,
+                    loc: a.loc,
+                    reads: a.reads,
+                    writes: a.writes,
+                    atomic: a.atomic,
+                    locks: BTreeSet::new(), // masked by validity below
+                });
+                raw_locks.push(state.locks.clone());
+            }
+            match t.event {
+                Some(LockEvent::Acquire(lock)) => {
+                    acquires.entry(lock).or_default().insert(pc);
+                }
+                Some(LockEvent::Release { lock, held }) => {
+                    releases.entry(lock).or_default().insert(pc);
+                    if !held {
+                        unheld_releases.entry(lock).or_insert(pc);
+                    }
+                }
+                None => {}
+            }
+        }
+        facts.push(ThreadFacts {
+            summary: ThreadSummary {
+                name: spec.name.clone(),
+                entry: spec.entry,
+                reachable: cfg.reachable.len(),
+                accesses,
+            },
+            raw_locks,
+        });
+    }
+
+    // Validate lock candidates: a lock is trustworthy only if its word is
+    // written exclusively by recognized acquire/release sites and every
+    // release provably holds it.
+    let mut locks: Vec<LockReport> = Vec::new();
+    for (&addr, acq) in &acquires {
+        let rel = releases.get(&addr).cloned().unwrap_or_default();
+        let mut demoted = unheld_releases.get(&addr).map(|&pc| Demotion::ReleaseWithoutHold { pc });
+        if demoted.is_none() {
+            let word = AbsLoc::Global { lo: addr, hi: addr };
+            'scan: for f in &facts {
+                for a in &f.summary.accesses {
+                    if a.writes
+                        && !acq.contains(&a.pc)
+                        && !rel.contains(&a.pc)
+                        && a.loc.may_alias(word)
+                    {
+                        demoted = Some(Demotion::RogueWrite { pc: a.pc });
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        locks.push(LockReport { addr, acquire_sites: acq.clone(), release_sites: rel, demoted });
+    }
+    let valid: BTreeSet<u64> = locks.iter().filter(|l| l.valid()).map(|l| l.addr).collect();
+
+    // Mask every access's lockset down to the valid locks.
+    let mut threads: Vec<ThreadSummary> = Vec::new();
+    for mut f in facts {
+        for (a, raw) in f.summary.accesses.iter_mut().zip(&f.raw_locks) {
+            a.locks = raw.intersection(&valid).copied().collect();
+        }
+        threads.push(f.summary);
+    }
+
+    // Cross-product per-thread summaries into candidate pairs.
+    let mut candidates = CandidateSet::default();
+    let mut stats = AnalysisStats {
+        threads: threads.len(),
+        reachable_pcs: reachable_pcs.len(),
+        memory_pcs: memory_pcs.len(),
+        lock_candidates: locks.len(),
+        valid_locks: valid.len(),
+        unknown_accesses: threads
+            .iter()
+            .flat_map(|t| &t.accesses)
+            .filter(|a| a.loc == AbsLoc::Unknown)
+            .count(),
+        ..AnalysisStats::default()
+    };
+    let mut warnings: BTreeMap<(usize, usize), RaceWarning> = BTreeMap::new();
+    for (i, ta) in threads.iter().enumerate() {
+        for tb in threads.iter().skip(i + 1) {
+            for a in &ta.accesses {
+                for b in &tb.accesses {
+                    if !a.loc.may_alias(b.loc) {
+                        stats.pruned_no_alias += 1;
+                        continue;
+                    }
+                    if !a.writes && !b.writes {
+                        stats.pruned_read_read += 1;
+                        continue;
+                    }
+                    if a.atomic && b.atomic {
+                        stats.pruned_atomic_atomic += 1;
+                        continue;
+                    }
+                    if a.locks.intersection(&b.locks).next().is_some() {
+                        stats.pruned_common_lock += 1;
+                        continue;
+                    }
+                    candidates.insert(a.pc, b.pc);
+                    record_warning(&mut warnings, ta, a, tb, b);
+                }
+            }
+        }
+    }
+    stats.candidate_pairs = candidates.len();
+    stats.monitored_pcs = candidates.monitored.len();
+
+    Analysis { threads, locks, warnings: warnings.into_values().collect(), candidates, stats }
+}
+
+fn record_warning(
+    warnings: &mut BTreeMap<(usize, usize), RaceWarning>,
+    ta: &ThreadSummary,
+    a: &Access,
+    tb: &ThreadSummary,
+    b: &Access,
+) {
+    let key = (a.pc.min(b.pc), a.pc.max(b.pc));
+    let w = warnings.entry(key).or_insert_with(|| RaceWarning {
+        lo: WarningSide { pc: key.0, ..WarningSide::default() },
+        hi: WarningSide { pc: key.1, ..WarningSide::default() },
+        unresolved: false,
+    });
+    w.unresolved |= a.loc == AbsLoc::Unknown || b.loc == AbsLoc::Unknown;
+    // Tie-break equal pcs by putting `a` on the low side so both sides of a
+    // same-pc pair (one function run by two threads) are populated.
+    let (lo, hi) = if a.pc <= b.pc { ((ta, a), (tb, b)) } else { ((tb, b), (ta, a)) };
+    for ((thread, acc), s) in [(lo, &mut w.lo), (hi, &mut w.hi)] {
+        s.threads.insert(thread.name.clone());
+        s.locs.insert(acc.loc.to_string());
+        s.writes |= acc.writes;
+        s.atomic |= acc.atomic;
+    }
+}

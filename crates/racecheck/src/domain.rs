@@ -1,0 +1,373 @@
+//! Abstract domains for the static analyzer.
+//!
+//! Register values are tracked as unsigned intervals plus a heap-pointer
+//! taint; memory operands resolve to abstract locations. Both lattices are
+//! deliberately small: the analyzer only has to answer "which addresses can
+//! this access touch" precisely enough to build a *sound* may-race pair set,
+//! so every imprecision collapses toward `Top`/[`AbsLoc::Unknown`], never
+//! toward "cannot alias".
+
+use std::fmt;
+
+use tvm::isa::BinOp;
+use tvm::memory::HEAP_BASE;
+
+/// Heap-pointer arithmetic keeps the heap taint only while the added offset
+/// is provably below this bound, so the sum cannot wrap around the 64-bit
+/// address space and re-enter the global range. (The bump allocator starts
+/// at [`HEAP_BASE`] and total allocation is far below `2^62` words.)
+const NO_WRAP_BOUND: u64 = 1 << 62;
+
+/// Abstract value of one register.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    /// An integer (not heap-derived) in the inclusive range `[lo, hi]`.
+    Int {
+        /// Smallest possible value.
+        lo: u64,
+        /// Largest possible value.
+        hi: u64,
+    },
+    /// A pointer at or above the base of an allocation made by `sys.alloc`.
+    /// `site` is the pc of the allocating syscall when a single site is
+    /// known. The dynamic value is always `>= HEAP_BASE`.
+    HeapPtr {
+        /// Allocation-site pc, if exactly one flows here.
+        site: Option<usize>,
+    },
+    /// Any value at all (including heap pointers).
+    Top,
+}
+
+impl AbsVal {
+    /// The abstract zero.
+    pub const ZERO: AbsVal = AbsVal::Int { lo: 0, hi: 0 };
+
+    /// A single known value.
+    #[must_use]
+    pub fn constant(v: u64) -> Self {
+        AbsVal::Int { lo: v, hi: v }
+    }
+
+    /// The exact value, when only one is possible.
+    #[must_use]
+    pub fn as_const(self) -> Option<u64> {
+        match self {
+            AbsVal::Int { lo, hi } if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is provably non-zero (heap pointers are: the heap
+    /// starts at [`HEAP_BASE`]).
+    #[must_use]
+    pub fn is_nonzero(self) -> bool {
+        match self {
+            AbsVal::Int { lo, .. } => lo > 0,
+            AbsVal::HeapPtr { .. } => true,
+            AbsVal::Top => false,
+        }
+    }
+
+    /// Least upper bound of two values.
+    #[must_use]
+    pub fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (AbsVal::Int { lo: a, hi: b }, AbsVal::Int { lo: c, hi: d }) => {
+                AbsVal::Int { lo: a.min(c), hi: b.max(d) }
+            }
+            (AbsVal::HeapPtr { .. }, AbsVal::HeapPtr { .. }) => AbsVal::HeapPtr { site: None },
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Intersects the value with `[lo, hi]`. `None` means the value provably
+    /// lies outside the range — the refining branch edge is infeasible.
+    /// Heap pointers carry no interval, so range facts leave them unchanged.
+    #[must_use]
+    pub fn clamp(self, lo: u64, hi: u64) -> Option<Self> {
+        match self {
+            AbsVal::Top => Some(AbsVal::Int { lo, hi }),
+            AbsVal::Int { lo: a, hi: b } => {
+                let (l, h) = (a.max(lo), b.min(hi));
+                (l <= h).then_some(AbsVal::Int { lo: l, hi: h })
+            }
+            AbsVal::HeapPtr { .. } => Some(self),
+        }
+    }
+
+    /// Removes `v` from the value when it is an interval endpoint (intervals
+    /// cannot drop interior points). `None` means the value was exactly `v`.
+    #[must_use]
+    pub fn exclude(self, v: u64) -> Option<Self> {
+        match self {
+            AbsVal::Int { lo, hi } if lo == v && hi == v => None,
+            AbsVal::Int { lo, hi } if lo == v => Some(AbsVal::Int { lo: v + 1, hi }),
+            AbsVal::Int { lo, hi } if hi == v => Some(AbsVal::Int { lo, hi: v - 1 }),
+            other => Some(other),
+        }
+    }
+
+    /// Widens `new` against `old`: any interval bound that moved since `old`
+    /// jumps to its extreme, guaranteeing termination of loops that grow a
+    /// range one element per iteration.
+    #[must_use]
+    pub fn widen(old: Self, new: Self) -> Self {
+        match (old, new) {
+            (AbsVal::Int { lo: ol, hi: oh }, AbsVal::Int { lo: nl, hi: nh }) => AbsVal::Int {
+                lo: if nl < ol { 0 } else { nl },
+                hi: if nh > oh { u64::MAX } else { nh },
+            },
+            _ => new.join(old),
+        }
+    }
+
+    /// Abstract transfer of a binary ALU operation.
+    #[must_use]
+    pub fn binop(op: BinOp, lhs: Self, rhs: Self) -> Self {
+        if let (Some(a), Some(b)) = (lhs.as_const(), rhs.as_const()) {
+            return op.apply(a, b).map_or(AbsVal::Top, AbsVal::constant);
+        }
+        // Heap-pointer arithmetic: adding a provably small non-negative
+        // offset keeps the taint; everything else forgets it.
+        if let (AbsVal::HeapPtr { site }, AbsVal::Int { hi, .. })
+        | (AbsVal::Int { hi, .. }, AbsVal::HeapPtr { site }) = (lhs, rhs)
+        {
+            if op == BinOp::Add && hi < NO_WRAP_BOUND {
+                return AbsVal::HeapPtr { site };
+            }
+            return AbsVal::Top;
+        }
+        let (AbsVal::Int { lo: a, hi: b }, AbsVal::Int { lo: c, hi: d }) = (lhs, rhs) else {
+            return AbsVal::Top;
+        };
+        match op {
+            BinOp::Add => match (a.checked_add(c), b.checked_add(d)) {
+                (Some(lo), Some(hi)) => AbsVal::Int { lo, hi },
+                _ => AbsVal::Top, // may wrap: the range is no longer contiguous
+            },
+            BinOp::Sub => match (a.checked_sub(d), b.checked_sub(c)) {
+                (Some(lo), Some(hi)) => AbsVal::Int { lo, hi },
+                _ => AbsVal::Top,
+            },
+            BinOp::Mul => match (a.checked_mul(c), b.checked_mul(d)) {
+                (Some(lo), Some(hi)) => AbsVal::Int { lo, hi },
+                _ => AbsVal::Top,
+            },
+            BinOp::Div if c > 0 => AbsVal::Int { lo: a / d, hi: b / c },
+            BinOp::Rem if c > 0 => AbsVal::Int { lo: 0, hi: d - 1 },
+            BinOp::And => AbsVal::Int { lo: 0, hi: b.min(d) },
+            BinOp::Or | BinOp::Xor => AbsVal::Int { lo: 0, hi: bit_ceiling(b | d) },
+            // A logical right shift never increases the value.
+            BinOp::Shr => AbsVal::Int { lo: 0, hi: b },
+            _ => AbsVal::Top,
+        }
+    }
+}
+
+/// Smallest all-ones mask covering `v` (`or`/`xor` cannot exceed it).
+fn bit_ceiling(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        u64::MAX >> v.leading_zeros()
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsVal::Int { lo, hi } if lo == hi => write!(f, "{lo:#x}"),
+            AbsVal::Int { lo, hi } => write!(f, "[{lo:#x}, {hi:#x}]"),
+            AbsVal::HeapPtr { site: Some(pc) } => write!(f, "heap@{pc}"),
+            AbsVal::HeapPtr { site: None } => write!(f, "heap"),
+            AbsVal::Top => write!(f, "?"),
+        }
+    }
+}
+
+/// Abstract location of one memory access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsLoc {
+    /// A non-heap address in the inclusive range `[lo, hi]`, entirely below
+    /// [`HEAP_BASE`] (addresses in `[GLOBAL_LIMIT, HEAP_BASE)` fault and
+    /// therefore never produce access events the detector could pair).
+    Global {
+        /// Smallest possible address.
+        lo: u64,
+        /// Largest possible address.
+        hi: u64,
+    },
+    /// Somewhere on the heap (always `>= HEAP_BASE`). `site` is the
+    /// allocation-site pc when exactly one is known; sites are *not* used to
+    /// refine aliasing (an out-of-bounds but mapped access could cross into
+    /// a neighbouring allocation), only for reporting.
+    Heap {
+        /// Allocation-site pc, if known.
+        site: Option<usize>,
+    },
+    /// Any address.
+    Unknown,
+}
+
+impl AbsLoc {
+    /// Resolves `base + offset` (the ISA's wrapping address computation) to
+    /// an abstract location.
+    #[must_use]
+    pub fn resolve(base: AbsVal, offset: i64) -> Self {
+        match base {
+            AbsVal::Int { lo, hi } => {
+                let lo = i128::from(lo) + i128::from(offset);
+                let hi = i128::from(hi) + i128::from(offset);
+                if lo < 0 || hi > i128::from(u64::MAX) {
+                    // The wrapped range is not contiguous in u64 space.
+                    return AbsLoc::Unknown;
+                }
+                #[allow(clippy::cast_sign_loss)]
+                let (lo, hi) = (lo as u64, hi as u64);
+                if hi < HEAP_BASE {
+                    AbsLoc::Global { lo, hi }
+                } else {
+                    AbsLoc::Unknown
+                }
+            }
+            AbsVal::HeapPtr { site } => {
+                if offset >= 0 {
+                    AbsLoc::Heap { site }
+                } else {
+                    // A negative offset could reach below the allocation
+                    // base, down into the global range.
+                    AbsLoc::Unknown
+                }
+            }
+            AbsVal::Top => AbsLoc::Unknown,
+        }
+    }
+
+    /// A single exact global address, if that is what this location is.
+    #[must_use]
+    pub fn exact_global(self) -> Option<u64> {
+        match self {
+            AbsLoc::Global { lo, hi } if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// Whether two locations may name the same dynamic address.
+    ///
+    /// `Global`/`Heap` never alias: a global access's dynamic address is
+    /// below [`HEAP_BASE`] while every *valid* heap access is at or above it,
+    /// and faulting accesses produce no trace events for the detector.
+    #[must_use]
+    pub fn may_alias(self, other: Self) -> bool {
+        match (self, other) {
+            (AbsLoc::Unknown, _) | (_, AbsLoc::Unknown) => true,
+            (AbsLoc::Global { lo: a, hi: b }, AbsLoc::Global { lo: c, hi: d }) => a <= d && c <= b,
+            (AbsLoc::Heap { .. }, AbsLoc::Heap { .. }) => true,
+            (AbsLoc::Global { .. }, AbsLoc::Heap { .. })
+            | (AbsLoc::Heap { .. }, AbsLoc::Global { .. }) => false,
+        }
+    }
+
+    /// Least upper bound of two locations.
+    #[must_use]
+    pub fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (AbsLoc::Global { lo: a, hi: b }, AbsLoc::Global { lo: c, hi: d }) => {
+                AbsLoc::Global { lo: a.min(c), hi: b.max(d) }
+            }
+            (AbsLoc::Heap { .. }, AbsLoc::Heap { .. }) => AbsLoc::Heap { site: None },
+            _ => AbsLoc::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for AbsLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsLoc::Global { lo, hi } if lo == hi => write!(f, "global {lo:#x}"),
+            AbsLoc::Global { lo, hi } => write!(f, "globals [{lo:#x}, {hi:#x}]"),
+            AbsLoc::Heap { site: Some(pc) } => write!(f, "heap (alloc at pc {pc})"),
+            AbsLoc::Heap { site: None } => write!(f, "heap"),
+            AbsLoc::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_join_and_widen() {
+        let a = AbsVal::constant(3);
+        let b = AbsVal::constant(9);
+        assert_eq!(a.join(b), AbsVal::Int { lo: 3, hi: 9 });
+        assert_eq!(AbsVal::widen(a, AbsVal::Int { lo: 2, hi: 3 }), AbsVal::Int { lo: 0, hi: 3 });
+        assert_eq!(
+            AbsVal::widen(a, AbsVal::Int { lo: 3, hi: 4 }),
+            AbsVal::Int { lo: 3, hi: u64::MAX }
+        );
+        assert_eq!(AbsVal::Top.join(a), AbsVal::Top);
+    }
+
+    #[test]
+    fn binop_transfer_is_sound_on_samples() {
+        // Exhaustively check a few concrete pairs stay inside the abstract
+        // result for every operation.
+        let ranges = [(0u64, 5u64), (3, 3), (2, 100)];
+        for (al, ah) in ranges {
+            for (bl, bh) in ranges {
+                let la = AbsVal::Int { lo: al, hi: ah };
+                let lb = AbsVal::Int { lo: bl, hi: bh };
+                for op in BinOp::ALL {
+                    let abs = AbsVal::binop(op, la, lb);
+                    for x in [al, ah] {
+                        for y in [bl, bh] {
+                            let Some(v) = op.apply(x, y) else { continue };
+                            // Top covers everything; only intervals constrain.
+                            if let AbsVal::Int { lo, hi } = abs {
+                                assert!(lo <= v && v <= hi, "{op:?} {x} {y} -> {v} ∉ {abs}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heap_pointer_arithmetic() {
+        let p = AbsVal::HeapPtr { site: Some(7) };
+        let small = AbsVal::Int { lo: 0, hi: 64 };
+        assert_eq!(AbsVal::binop(BinOp::Add, p, small), p);
+        assert_eq!(AbsVal::binop(BinOp::Add, small, p), p);
+        assert_eq!(AbsVal::binop(BinOp::Sub, p, small), AbsVal::Top);
+        let huge = AbsVal::Int { lo: 0, hi: u64::MAX };
+        assert_eq!(AbsVal::binop(BinOp::Add, p, huge), AbsVal::Top);
+    }
+
+    #[test]
+    fn location_resolution_and_aliasing() {
+        let g8 = AbsLoc::resolve(AbsVal::ZERO, 8);
+        assert_eq!(g8, AbsLoc::Global { lo: 8, hi: 8 });
+        assert_eq!(g8.exact_global(), Some(8));
+        let heap = AbsLoc::resolve(AbsVal::HeapPtr { site: Some(3) }, 16);
+        assert_eq!(heap, AbsLoc::Heap { site: Some(3) });
+        assert!(!g8.may_alias(heap));
+        assert!(heap.may_alias(AbsLoc::Heap { site: None }));
+        assert!(AbsLoc::Unknown.may_alias(g8));
+        // A negative heap offset may dip below HEAP_BASE.
+        assert_eq!(AbsLoc::resolve(AbsVal::HeapPtr { site: None }, -8), AbsLoc::Unknown);
+        // A constant at or above HEAP_BASE may alias heap memory.
+        assert_eq!(AbsLoc::resolve(AbsVal::constant(HEAP_BASE), 0), AbsLoc::Unknown);
+        // Ranges overlap by intervals.
+        let lo = AbsLoc::Global { lo: 0, hi: 10 };
+        let hi = AbsLoc::Global { lo: 10, hi: 20 };
+        let far = AbsLoc::Global { lo: 21, hi: 30 };
+        assert!(lo.may_alias(hi));
+        assert!(!lo.may_alias(far));
+    }
+}

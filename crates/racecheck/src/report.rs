@@ -1,0 +1,175 @@
+//! Rendering an [`Analysis`] for `racerep lint`: human-readable text and a
+//! stable JSON document.
+
+use minijson::Json;
+
+use crate::analysis::{Analysis, Demotion, RaceWarning, WarningSide};
+
+fn side_kind(s: &WarningSide) -> &'static str {
+    match (s.writes, s.atomic) {
+        (true, true) => "atomic write",
+        (true, false) => "write",
+        (false, true) => "atomic read",
+        (false, false) => "read",
+    }
+}
+
+fn fmt_side(s: &WarningSide) -> String {
+    let threads: Vec<&str> = s.threads.iter().map(String::as_str).collect();
+    let locs: Vec<&str> = s.locs.iter().map(String::as_str).collect();
+    format!("pc {} ({}) at {} by {}", s.pc, side_kind(s), locs.join(" | "), threads.join(", "))
+}
+
+/// Renders the lint report as human-readable text.
+#[must_use]
+pub fn render_text(analysis: &Analysis) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let s = &analysis.stats;
+    let _ = writeln!(
+        out,
+        "racecheck: {} threads, {} reachable pcs, {} touch memory",
+        s.threads, s.reachable_pcs, s.memory_pcs
+    );
+    for t in &analysis.threads {
+        let _ = writeln!(
+            out,
+            "  thread {:12} entry {:4}  {} reachable pcs, {} accesses",
+            t.name,
+            t.entry,
+            t.reachable,
+            t.accesses.len()
+        );
+    }
+    if analysis.locks.is_empty() {
+        let _ = writeln!(out, "locks: none recognized");
+    } else {
+        let _ = writeln!(out, "locks:");
+        for l in &analysis.locks {
+            let status = match l.demoted {
+                None => "valid".to_string(),
+                Some(Demotion::RogueWrite { pc }) => {
+                    format!("demoted: non-idiom write at pc {pc}")
+                }
+                Some(Demotion::ReleaseWithoutHold { pc }) => {
+                    format!("demoted: release without hold at pc {pc}")
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  [{:#x}] acquire {:?} release {:?} -- {}",
+                l.addr,
+                l.acquire_sites.iter().collect::<Vec<_>>(),
+                l.release_sites.iter().collect::<Vec<_>>(),
+                status
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "pruned access pairs: {} no-alias, {} read-read, {} atomic-atomic, {} common-lock",
+        s.pruned_no_alias, s.pruned_read_read, s.pruned_atomic_atomic, s.pruned_common_lock
+    );
+    if analysis.warnings.is_empty() {
+        let _ = writeln!(out, "no may-race candidates: statically race-free");
+    } else {
+        let _ = writeln!(
+            out,
+            "{} may-race candidate pair(s) over {} monitored pc(s):",
+            s.candidate_pairs, s.monitored_pcs
+        );
+        for w in &analysis.warnings {
+            let tag = if w.unresolved { " [unresolved address]" } else { "" };
+            let _ = writeln!(out, "  W {}..{}{}", w.lo.pc, w.hi.pc, tag);
+            let _ = writeln!(out, "    {}", fmt_side(&w.lo));
+            let _ = writeln!(out, "    {}", fmt_side(&w.hi));
+        }
+    }
+    out
+}
+
+fn side_json(s: &WarningSide) -> Json {
+    Json::obj(vec![
+        ("pc", Json::from(s.pc)),
+        ("kind", Json::str(side_kind(s))),
+        ("threads", Json::Arr(s.threads.iter().map(Json::str).collect())),
+        ("locations", Json::Arr(s.locs.iter().map(Json::str).collect())),
+    ])
+}
+
+fn warning_json(w: &RaceWarning) -> Json {
+    Json::obj(vec![
+        ("pc_lo", Json::from(w.lo.pc)),
+        ("pc_hi", Json::from(w.hi.pc)),
+        ("unresolved", Json::from(w.unresolved)),
+        ("lo", side_json(&w.lo)),
+        ("hi", side_json(&w.hi)),
+    ])
+}
+
+/// Renders the lint report as a JSON document (see the README for the
+/// schema). Keys are emitted in a stable order.
+#[must_use]
+pub fn render_json(analysis: &Analysis) -> Json {
+    let s = &analysis.stats;
+    let threads: Vec<Json> = analysis
+        .threads
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("name", Json::str(&t.name)),
+                ("entry", Json::from(t.entry)),
+                ("reachable_pcs", Json::from(t.reachable)),
+                ("accesses", Json::from(t.accesses.len())),
+            ])
+        })
+        .collect();
+    let locks: Vec<Json> = analysis
+        .locks
+        .iter()
+        .map(|l| {
+            let (status, detail) = match l.demoted {
+                None => ("valid", Json::Null),
+                Some(Demotion::RogueWrite { pc }) => ("rogue_write", Json::from(pc)),
+                Some(Demotion::ReleaseWithoutHold { pc }) => {
+                    ("release_without_hold", Json::from(pc))
+                }
+            };
+            Json::obj(vec![
+                ("addr", Json::from(l.addr)),
+                (
+                    "acquire_sites",
+                    Json::Arr(l.acquire_sites.iter().map(|&p| Json::from(p)).collect()),
+                ),
+                (
+                    "release_sites",
+                    Json::Arr(l.release_sites.iter().map(|&p| Json::from(p)).collect()),
+                ),
+                ("status", Json::str(status)),
+                ("demoted_at", detail),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "stats",
+            Json::obj(vec![
+                ("threads", Json::from(s.threads)),
+                ("reachable_pcs", Json::from(s.reachable_pcs)),
+                ("memory_pcs", Json::from(s.memory_pcs)),
+                ("monitored_pcs", Json::from(s.monitored_pcs)),
+                ("candidate_pairs", Json::from(s.candidate_pairs)),
+                ("unknown_accesses", Json::from(s.unknown_accesses)),
+                ("lock_candidates", Json::from(s.lock_candidates)),
+                ("valid_locks", Json::from(s.valid_locks)),
+                ("pruned_no_alias", Json::from(s.pruned_no_alias)),
+                ("pruned_read_read", Json::from(s.pruned_read_read)),
+                ("pruned_atomic_atomic", Json::from(s.pruned_atomic_atomic)),
+                ("pruned_common_lock", Json::from(s.pruned_common_lock)),
+            ]),
+        ),
+        ("threads", Json::Arr(threads)),
+        ("locks", Json::Arr(locks)),
+        ("warnings", Json::Arr(analysis.warnings.iter().map(warning_json).collect())),
+    ])
+}

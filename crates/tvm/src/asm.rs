@@ -343,6 +343,20 @@ fn parse_imm(s: &str) -> Option<u64> {
 /// the same instructions, threads, marks, and globals.
 #[must_use]
 pub fn disassemble(program: &Program) -> String {
+    render(program, false)
+}
+
+/// Like [`disassemble`], but annotates every instruction with a trailing
+/// comment carrying its pc and two markers: `*` when the instruction is a
+/// sequencer point (it starts a new replay region) and `m` when it touches
+/// data memory. The output still round-trips through [`assemble`] because
+/// comments are stripped.
+#[must_use]
+pub fn disassemble_annotated(program: &Program) -> String {
+    render(program, true)
+}
+
+fn render(program: &Program, annotate: bool) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let mut globals: Vec<(u64, u64)> = program.globals().iter().map(|(a, v)| (*a, *v)).collect();
@@ -397,7 +411,21 @@ pub fn disassemble(program: &Program) -> String {
             }
             other => other.to_string(),
         };
-        let _ = writeln!(out, "  {text}");
+        if annotate {
+            let mut markers = String::new();
+            if instr.is_sequencer_point() {
+                markers.push('*');
+            }
+            if instr.touches_memory() {
+                markers.push('m');
+            }
+            if !markers.is_empty() {
+                markers.insert(0, ' ');
+            }
+            let _ = writeln!(out, "  {text:<28}; @{pc}{markers}");
+        } else {
+            let _ = writeln!(out, "  {text}");
+        }
     }
     // Labels that point one past the end (e.g. a branch to the very end).
     let end = program.len();
@@ -518,5 +546,22 @@ top:
         assert_eq!(p.threads(), p2.threads());
         assert_eq!(p.marks(), p2.marks());
         assert_eq!(p.globals(), p2.globals());
+    }
+
+    #[test]
+    fn annotated_disassembly_marks_sequencers_and_memory() {
+        let src = ".thread t\n  movi r1, 1\n  st [r15+8], r1\n  fence\n  \
+                   lock.add r0, [r15+0], r1\n  halt\n";
+        let p = assemble(src).unwrap();
+        let text = disassemble_annotated(&p);
+        // `.thread t` then the five instructions, each with a pc comment.
+        let comment = |n: usize| text.lines().nth(n).unwrap().split(';').nth(1).unwrap().trim();
+        assert_eq!(comment(1), "@0", "movi is plain: {text}");
+        assert_eq!(comment(2), "@1 m", "store touches memory: {text}");
+        assert_eq!(comment(3), "@2 *", "fence is a sequencer point: {text}");
+        assert_eq!(comment(4), "@3 *m", "atomic is both: {text}");
+        // Annotations are comments: the text still assembles identically.
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.instrs(), p2.instrs());
     }
 }

@@ -181,6 +181,7 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
     b.thread("renderer");
     let rwait = b.fresh_label("r_wait");
     let ragg = b.fresh_label("r_agg");
+    let rsum = b.fresh_label("r_sum");
     let rdone = b.fresh_label("r_done");
     // Wait (atomically) for all jobs parsed.
     b.label(rwait);
@@ -188,15 +189,18 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
         .atomic_rmw(RmwOp::Or, Reg::R1, Reg::R15, PARSED_COUNT as i64, Reg::R2)
         .bini(BinOp::Sub, Reg::R3, Reg::R1, cfg.jobs)
         .branch(Cond::Ne, Reg::R3, Reg::R15, rwait);
-    // Aggregate parsed values and print the page "checksum".
+    // Aggregate parsed values and print the page "checksum". The loop is
+    // top-tested with a division guard (`R5 / jobs == 0  ⟺  R5 < jobs`) so
+    // the index into PARSED stays bounded even after interval widening.
     b.movi(Reg::R4, 0).movi(Reg::R5, 0).label(ragg);
+    b.bini(BinOp::Div, Reg::R3, Reg::R5, cfg.jobs).branch(Cond::Ne, Reg::R3, Reg::R15, rsum);
     b.movi(Reg::R7, PARSED)
         .add(Reg::R7, Reg::R7, Reg::R5)
         .load(Reg::R6, Reg::R7, 0)
         .add(Reg::R4, Reg::R4, Reg::R6)
         .addi(Reg::R5, Reg::R5, 1)
-        .bini(BinOp::Sub, Reg::R3, Reg::R5, cfg.jobs)
-        .branch(Cond::Ne, Reg::R3, Reg::R15, ragg);
+        .jump(ragg);
+    b.label(rsum);
     b.print(Reg::R4);
     // Read the racy stats, as a browser's telemetry would.
     b.load(Reg::R1, Reg::R15, STAT_FETCH as i64)

@@ -1,15 +1,26 @@
 //! Corpus evaluation: regenerates the paper's Table 1, Table 2, and
 //! Figures 3–5 by running the full pipeline over the 18 executions and
 //! joining the merged classification with the ground-truth manifests.
+//!
+//! [`run_static_eval`] is the E-SC2 companion: it runs the *static*
+//! race analyzer (`racecheck`) over the corpus program, feeds its
+//! warnings through the replay classifier on every execution, and
+//! reports precision/recall of the static warnings alone against
+//! static + replay-classification.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
+use idna_replay::recorder::record;
+use idna_replay::replayer::replay;
+use idna_replay::vproc::VprocConfig;
 use replay_race::classify::{
     merge_classifications, ClassificationResult, ClassifierConfig, OutcomeGroup, Verdict,
 };
 use replay_race::detect::{DetectorConfig, StaticRaceId};
 use replay_race::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+use replay_race::static_feed::classify_static_warnings;
+use replay_race::InstanceOutcome;
 
 use crate::corpus::{corpus_executions, corpus_manifest, corpus_program};
 use crate::truth::{BenignCategory, TrueVerdict, TruthTable};
@@ -349,5 +360,225 @@ impl fmt::Display for Figure {
             writeln!(f, "  (none)")?;
         }
         Ok(())
+    }
+}
+
+/// Flagged/total counters over the planted races, for one triage policy.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrecisionRecall {
+    /// Really-harmful planted races the policy flags.
+    pub flagged_harmful: usize,
+    /// Really-benign planted races the policy flags (triage waste).
+    pub flagged_benign: usize,
+    /// Really-harmful planted races in total.
+    pub harmful_total: usize,
+    /// Really-benign planted races in total.
+    pub benign_total: usize,
+}
+
+impl PrecisionRecall {
+    /// Planted races the policy flags.
+    #[must_use]
+    pub fn flagged(&self) -> usize {
+        self.flagged_harmful + self.flagged_benign
+    }
+
+    /// Fraction of flagged races that are really harmful (1.0 when
+    /// nothing is flagged).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn precision(&self) -> f64 {
+        if self.flagged() == 0 {
+            1.0
+        } else {
+            self.flagged_harmful as f64 / self.flagged() as f64
+        }
+    }
+
+    /// Fraction of really-harmful races the policy flags (1.0 when there
+    /// are none to find).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn recall(&self) -> f64 {
+        if self.harmful_total == 0 {
+            1.0
+        } else {
+            self.flagged_harmful as f64 / self.harmful_total as f64
+        }
+    }
+}
+
+/// E-SC2: the static analyzer's warnings joined with ground truth, alone
+/// and after replay classification.
+#[derive(Clone, Debug)]
+pub struct StaticEval {
+    /// Counters from the one static analysis of the corpus program.
+    pub stats: racecheck::AnalysisStats,
+    /// Static candidate pairs in total.
+    pub candidates: usize,
+    /// Candidate pairs that are planted races (covered by ground truth).
+    pub covered: usize,
+    /// Candidate pairs with no ground-truth entry (conservative
+    /// over-approximation outside the planted set).
+    pub outside_truth: usize,
+    /// Outside-truth pairs still flagged after replay classification.
+    pub outside_truth_flagged: usize,
+    /// Planted races in total.
+    pub truth_races: usize,
+    /// Flagging everything the static analysis reports.
+    pub static_alone: PrecisionRecall,
+    /// Static warnings filtered through the replay classifier: a warning
+    /// survives if some execution's classifier flags it, or if no
+    /// execution ever materializes it (nothing refuted the claim).
+    pub combined: PrecisionRecall,
+    /// Covered warnings no execution materialized (they stay flagged).
+    pub covered_unmaterialized: usize,
+    /// Covered warnings the classifier filtered (no state change in every
+    /// materializing execution).
+    pub covered_filtered: usize,
+}
+
+/// Runs the static analyzer once over the corpus program, then feeds its
+/// warnings through the replay classifier on each of the 18 executions.
+///
+/// The corpus instruction stream is identical for every enable set (only
+/// initial globals differ) and the abstract interpreter never reads
+/// initial memory, so a single `racecheck::analyze` covers all
+/// executions.
+///
+/// # Panics
+///
+/// Panics if a freshly recorded log fails to replay (a pipeline bug).
+#[must_use]
+pub fn run_static_eval() -> StaticEval {
+    let executions = corpus_executions();
+    let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
+    let analysis = racecheck::analyze(&corpus_program(&full));
+    let truth = TruthTable::resolve(&corpus_program(&full), &corpus_manifest());
+
+    // Evidence accumulated across executions, keyed by static id.
+    let mut materialized: BTreeSet<StaticRaceId> = BTreeSet::new();
+    let mut flagged: BTreeSet<StaticRaceId> = BTreeSet::new();
+    for exec in &executions {
+        let enabled: BTreeSet<&str> = exec.enabled.iter().copied().collect();
+        let program = corpus_program(&enabled);
+        let rec = record(&program, &exec.schedule);
+        let trace = replay(&program, &rec.log).expect("corpus recording must replay");
+        let summary =
+            classify_static_warnings(&trace, &analysis.candidates, VprocConfig::default());
+        for result in &summary.results {
+            materialized.insert(result.id);
+            if result.outcome != InstanceOutcome::NoStateChange {
+                flagged.insert(result.id);
+            }
+        }
+    }
+    let survives = |id: &StaticRaceId| flagged.contains(id) || !materialized.contains(id);
+
+    let mut static_alone = PrecisionRecall::default();
+    let mut combined = PrecisionRecall::default();
+    let mut covered = 0;
+    let mut covered_unmaterialized = 0;
+    let mut covered_filtered = 0;
+    for (id, verdict) in truth.iter() {
+        let harmful = verdict.is_harmful();
+        if harmful {
+            static_alone.harmful_total += 1;
+            combined.harmful_total += 1;
+        } else {
+            static_alone.benign_total += 1;
+            combined.benign_total += 1;
+        }
+        if !analysis.candidates.contains(id.pc_lo, id.pc_hi) {
+            continue;
+        }
+        covered += 1;
+        if harmful {
+            static_alone.flagged_harmful += 1;
+        } else {
+            static_alone.flagged_benign += 1;
+        }
+        if !materialized.contains(&id) {
+            covered_unmaterialized += 1;
+        } else if !flagged.contains(&id) {
+            covered_filtered += 1;
+        }
+        if survives(&id) {
+            if harmful {
+                combined.flagged_harmful += 1;
+            } else {
+                combined.flagged_benign += 1;
+            }
+        }
+    }
+
+    let mut outside_truth = 0;
+    let mut outside_truth_flagged = 0;
+    for (pc_a, pc_b) in analysis.candidates.iter() {
+        let id = StaticRaceId::new(pc_a, pc_b);
+        if truth.verdict(id).is_some() {
+            continue;
+        }
+        outside_truth += 1;
+        if survives(&id) {
+            outside_truth_flagged += 1;
+        }
+    }
+
+    StaticEval {
+        candidates: analysis.candidates.len(),
+        stats: analysis.stats,
+        covered,
+        outside_truth,
+        outside_truth_flagged,
+        truth_races: truth.len(),
+        static_alone,
+        combined,
+        covered_unmaterialized,
+        covered_filtered,
+    }
+}
+
+impl fmt::Display for StaticEval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E-SC2: static warnings vs static + replay classification")?;
+        writeln!(
+            f,
+            "  static candidates: {} ({} on planted races, {} elsewhere)",
+            self.candidates, self.covered, self.outside_truth
+        )?;
+        writeln!(
+            f,
+            "  planted races: {} ({} harmful, {} benign)",
+            self.truth_races, self.static_alone.harmful_total, self.static_alone.benign_total
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>8} {:>8} {:>8} {:>10} {:>7}",
+            "", "flagged", "harmful", "benign", "precision", "recall"
+        )?;
+        for (label, pr) in
+            [("static alone", self.static_alone), ("static + classifier", self.combined)]
+        {
+            writeln!(
+                f,
+                "  {:<22} {:>8} {:>8} {:>8} {:>10.2} {:>7.2}",
+                label,
+                pr.flagged(),
+                pr.flagged_harmful,
+                pr.flagged_benign,
+                pr.precision(),
+                pr.recall()
+            )?;
+        }
+        writeln!(
+            f,
+            "  (classifier filtered {} of the covered warnings; {} never materialized \
+             and stay flagged; {} of {} elsewhere-warnings still flagged)",
+            self.covered_filtered,
+            self.covered_unmaterialized,
+            self.outside_truth_flagged,
+            self.outside_truth
+        )
     }
 }

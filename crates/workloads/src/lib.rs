@@ -29,5 +29,5 @@ pub mod patterns;
 pub mod truth;
 
 pub use corpus::{corpus_executions, corpus_manifest, corpus_program, Execution};
-pub use eval::{run_corpus, CorpusReport, Figure, Table1, Table2};
+pub use eval::{run_corpus, run_static_eval, CorpusReport, Figure, StaticEval, Table1, Table2};
 pub use truth::{BenignCategory, GroundTruthRace, HarmfulKind, TrueVerdict, TruthTable};
