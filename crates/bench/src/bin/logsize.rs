@@ -10,7 +10,7 @@
 //! ```
 
 use bench::{row, PAPER_BITS_PER_INSTR_COMPRESSED, PAPER_BITS_PER_INSTR_RAW};
-use idna_replay::codec::measure;
+use idna_replay::codec::LogWriter;
 use idna_replay::recorder::record;
 use tvm::scheduler::RunConfig;
 use workloads::browser::{browser_program, BrowserConfig};
@@ -24,12 +24,13 @@ fn main() {
         "config", "instructions", "raw bytes", "bits/instr", "compressed"
     );
     let mut last = None;
+    let mut writer = LogWriter::new();
     for (jobs, work) in [(8u64, 32u64), (32, 64), (64, 128), (96, 256)] {
         let cfg = BrowserConfig { fetchers: 6, parsers: 4, jobs, work };
         let program = browser_program(&cfg);
         let rec = record(&program, &RunConfig::chunked(7, 1, 8).with_max_steps(50_000_000));
         assert!(rec.summary.completed, "browser run truncated");
-        let report = measure(&rec.log);
+        let report = writer.measure(&rec.log);
         println!(
             "  jobs={jobs:<4} work={work:<14} {:>12} {:>10} {:>12.3} {:>9.3} b/i",
             report.instructions,

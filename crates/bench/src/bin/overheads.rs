@@ -1,38 +1,81 @@
 //! E-OV: the paper's §5.1 overhead study. Records the browser stand-in
 //! (paper: an Internet Explorer session with 27 threads) and reports each
-//! pipeline phase's slowdown relative to native execution.
+//! pipeline phase's slowdown relative to native execution, plus the
+//! predecode speedup of the decoded interpreter over the reference
+//! (match-on-`Instr`) interpreter.
 //!
 //! Paper numbers: record ≈6×, replay ≈10×, happens-before analysis ≈45×,
 //! classification ≈280×.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin overheads
+//! cargo run --release -p bench --bin overheads [-- --smoke] [-- -o PATH]
 //! ```
+//!
+//! Always writes `BENCH_OVERHEADS.json` (machine-readable results; see the
+//! README "Performance" section) into the current directory unless `-o`
+//! says otherwise. `--smoke` shrinks the workload and repetition count so
+//! CI can exercise the binary and validate the JSON in seconds.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bench::{row, PAPER_OVERHEADS};
-use replay_race::pipeline::{run_pipeline, PipelineConfig};
-use tvm::scheduler::RunConfig;
+use minijson::Json;
+use replay_race::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
+use tvm::machine::Machine;
+use tvm::predecode::DecodedProgram;
+use tvm::scheduler::{run_reference, RunConfig};
 use workloads::browser::{browser_program, BrowserConfig};
 
 fn main() {
-    let cfg = BrowserConfig::paper_scale();
-    eprintln!("browser workload: {} threads, {} jobs ...", cfg.threads(), cfg.jobs);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o" || a == "--output")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_OVERHEADS.json".to_string());
+
+    let cfg = if smoke {
+        BrowserConfig { fetchers: 2, parsers: 2, jobs: 8, work: 8 }
+    } else {
+        BrowserConfig::paper_scale()
+    };
+    let reps = if smoke { 2 } else { 5 };
+    eprintln!(
+        "browser workload: {} threads, {} jobs{} ...",
+        cfg.threads(),
+        cfg.jobs,
+        if smoke { " (smoke mode)" } else { "" }
+    );
     let program = browser_program(&cfg);
     let run = RunConfig::chunked(7, 1, 8).with_max_steps(50_000_000);
 
-    // Average the native baseline over several runs to stabilize the ratios.
-    let mut result = run_pipeline(&program, &PipelineConfig::new(run)).expect("pipeline");
-    let mut native = result.timings.native;
-    for _ in 0..4 {
-        let r = run_pipeline(
-            &program,
-            &PipelineConfig { measure_native: true, ..PipelineConfig::new(run) },
-        )
-        .expect("pipeline");
+    // Take the fastest native baseline over several runs to stabilize the
+    // ratios (single shared machine: an interpreter run is deterministic,
+    // only the wall clock varies).
+    let mut result: Option<PipelineResult> = None;
+    let mut native = Duration::MAX;
+    for _ in 0..reps {
+        let r = run_pipeline(&program, &PipelineConfig::new(run)).expect("pipeline");
         native = native.min(r.timings.native);
-        result = r;
+        result = Some(r);
     }
+    let mut result = result.expect("at least one rep");
     result.timings.native = native;
+
+    // The "before" baseline: the reference interpreter (decodes `Instr`
+    // on every step) over the same program and schedule. This is what the
+    // seed tree shipped; the decoded/reference ratio is the predecode win.
+    let decoded = Arc::new(DecodedProgram::new(program.clone()));
+    let mut reference = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut machine = Machine::with_decoded(decoded.clone());
+        run_reference(&mut machine, &run, &mut ());
+        reference = reference.min(start.elapsed());
+    }
 
     let t = &result.timings;
     println!(
@@ -41,7 +84,19 @@ fn main() {
         result.detected.unique_races(),
         result.detected.instance_count()
     );
-    println!("native time: {:?}", t.native);
+    let minstr = |d: Duration| {
+        #[allow(clippy::cast_precision_loss)]
+        let i = result.instructions as f64;
+        i / d.as_secs_f64().max(1e-12) / 1e6
+    };
+    println!(
+        "native time: {:?} ({:.1} Minstr/s decoded; reference interpreter {:?}, {:.1} Minstr/s, speedup {:.2}x)",
+        t.native,
+        minstr(t.native),
+        reference,
+        minstr(reference),
+        reference.as_secs_f64() / t.native.as_secs_f64().max(1e-12),
+    );
     println!();
     println!("phase overheads vs native:");
     let measured =
@@ -66,4 +121,39 @@ fn main() {
             "VIOLATED"
         }
     );
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let doc = Json::obj(vec![
+        ("workload", Json::str("browser")),
+        ("smoke", Json::from(smoke)),
+        ("threads", Json::from(cfg.threads())),
+        ("instructions", Json::from(result.instructions)),
+        (
+            "native",
+            Json::obj(vec![
+                ("reference_ms", Json::from(ms(reference))),
+                ("reference_minstr_per_s", Json::from(minstr(reference))),
+                ("decoded_ms", Json::from(ms(t.native))),
+                ("decoded_minstr_per_s", Json::from(minstr(t.native))),
+                (
+                    "speedup",
+                    Json::from(reference.as_secs_f64() / t.native.as_secs_f64().max(1e-12)),
+                ),
+            ]),
+        ),
+        (
+            "overheads_vs_native",
+            Json::obj(vec![
+                ("record", Json::from(measured[0])),
+                ("replay", Json::from(measured[1])),
+                ("detect", Json::from(measured[2])),
+                ("classify", Json::from(measured[3])),
+            ]),
+        ),
+        ("classify_ms", Json::from(ms(t.classify))),
+    ]);
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&out_path, text).expect("write BENCH_OVERHEADS.json");
+    eprintln!("wrote {out_path}");
 }

@@ -4,7 +4,7 @@
 //! the [`tvm::asm`] text format:
 //!
 //! ```text
-//! racerep run       prog.tasm [--schedule S] [--max-steps N]
+//! racerep run       prog.tasm [--schedule S] [--max-steps N] [--stats]
 //! racerep record    prog.tasm -o run.idna [--schedule S]
 //! racerep replay    prog.tasm run.idna
 //! racerep races     prog.tasm run.idna [--format text|json] [--permissive]
@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use minijson::Json;
 
-use idna_replay::codec::{compress, decode_log, decompress, encode_log, measure};
+use idna_replay::codec::{decode_log, decompress, LogWriter};
 use idna_replay::event::ReplayLog;
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
@@ -48,8 +48,9 @@ use replay_race::pipeline::{run_pipeline, PipelineConfig};
 use replay_race::triage::{ManualVerdict, TriageDb};
 use tvm::asm::{assemble, disassemble_annotated};
 use tvm::machine::Machine;
+use tvm::predecode::DecodedProgram;
 use tvm::program::Program;
-use tvm::scheduler::{run as run_machine, RunConfig, SchedulePolicy};
+use tvm::scheduler::{run_native, RunConfig, SchedulePolicy};
 
 /// Log-file magic (followed by the LZSS-compressed encoded log).
 const FILE_MAGIC: &[u8; 8] = b"IDNAFIL2";
@@ -136,11 +137,18 @@ pub fn load_program(path: &Path) -> Result<Arc<Program>, CliError> {
 /// replay).
 #[must_use]
 pub fn log_to_bytes(log: &ReplayLog, schedule: &RunConfig) -> Vec<u8> {
+    log_to_bytes_with(log, schedule, &mut LogWriter::new())
+}
+
+/// [`log_to_bytes`] with a caller-provided [`LogWriter`], so repeated
+/// serializations reuse the writer's encode/compress buffers.
+#[must_use]
+pub fn log_to_bytes_with(log: &ReplayLog, schedule: &RunConfig, writer: &mut LogWriter) -> Vec<u8> {
     let mut out = Vec::from(&FILE_MAGIC[..]);
     let schedule_json = schedule_to_json(schedule).to_string_compact().into_bytes();
     out.extend(u32::try_from(schedule_json.len()).expect("tiny header").to_le_bytes());
     out.extend(schedule_json);
-    out.extend(compress(&encode_log(log)));
+    out.extend_from_slice(writer.encode_compressed(log));
     out
 }
 
@@ -221,14 +229,17 @@ pub fn load_log(path: &Path) -> Result<(ReplayLog, RunConfig), CliError> {
 }
 
 /// `racerep run`: executes the program natively and renders the outcome.
+/// With `stats`, re-runs the program under a timing harness and appends
+/// wall-clock and throughput (Minstr/s) figures.
 ///
 /// # Errors
 ///
 /// Propagates load failures.
-pub fn cmd_run(path: &Path, schedule: RunConfig) -> Result<String, CliError> {
+pub fn cmd_run(path: &Path, schedule: RunConfig, stats: bool) -> Result<String, CliError> {
     let program = load_program(path)?;
-    let mut machine = Machine::new(program);
-    let summary = run_machine(&mut machine, &schedule, &mut ());
+    let decoded = Arc::new(DecodedProgram::new(program));
+    let mut machine = Machine::with_decoded(decoded.clone());
+    let summary = run_native(&mut machine, &schedule);
     let mut out = String::new();
     out.push_str(&format!(
         "{} instructions, {}\n",
@@ -241,6 +252,18 @@ pub fn cmd_run(path: &Path, schedule: RunConfig) -> Result<String, CliError> {
     for (tid, fault) in &summary.faults {
         out.push_str(&format!("thread {tid} FAULTED: {fault}\n"));
     }
+    if stats {
+        let m = bench::timing::measure(1, 5, || {
+            let mut machine = Machine::with_decoded(decoded.clone());
+            run_native(&mut machine, &schedule)
+        });
+        #[allow(clippy::cast_precision_loss)]
+        let minstr_per_s = summary.steps as f64 / m.seconds() / 1e6;
+        out.push_str(&format!(
+            "stats: {} instructions, median {:?} over {} runs, {minstr_per_s:.1} Minstr/s\n",
+            summary.steps, m.median, m.samples,
+        ));
+    }
     Ok(out)
 }
 
@@ -252,9 +275,10 @@ pub fn cmd_run(path: &Path, schedule: RunConfig) -> Result<String, CliError> {
 pub fn cmd_record(path: &Path, out_path: &Path, schedule: RunConfig) -> Result<String, CliError> {
     let program = load_program(path)?;
     let recording = record(&program, &schedule);
-    let bytes = log_to_bytes(&recording.log, &schedule);
+    let mut writer = LogWriter::new();
+    let bytes = log_to_bytes_with(&recording.log, &schedule, &mut writer);
     fs::write(out_path, &bytes)?;
-    let sizes = measure(&recording.log);
+    let sizes = writer.measure(&recording.log);
     Ok(format!(
         "recorded {} instructions across {} threads\nwrote {} ({} bytes; {:.3} bits/instr raw, {:.3} compressed)\n",
         recording.summary.steps,
@@ -397,7 +421,7 @@ pub fn cmd_classify(
 pub fn cmd_loginfo(log_path: &Path) -> Result<String, CliError> {
     let (log, schedule) = load_log(log_path)?;
     let _ = &schedule;
-    let sizes = measure(&log);
+    let sizes = LogWriter::new().measure(&log);
     let mut out = format!(
         "{} threads, {} instructions, {} events, {} sequencers\n",
         log.threads.len(),
@@ -464,6 +488,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let mut schedule = RunConfig::round_robin(2);
     let mut json = false;
     let mut permissive = false;
+    let mut stats = false;
     let mut out_path: Option<String> = None;
     let mut triage_db: Option<String> = None;
     let mut max_steps: Option<u64> = None;
@@ -512,6 +537,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 };
             }
             "--permissive" => permissive = true,
+            "--stats" => stats = true,
             "--jobs" | "-j" => {
                 i += 1;
                 let v = args
@@ -557,7 +583,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             .ok_or_else(|| CliError { message: format!("{cmd}: missing {what}") })
     };
     match cmd.as_str() {
-        "run" => cmd_run(arg(0, "program path")?, schedule),
+        "run" => cmd_run(arg(0, "program path")?, schedule, stats),
         "record" => {
             let out =
                 out_path.ok_or_else(|| CliError { message: "record: missing -o <log>".into() })?;
@@ -642,8 +668,12 @@ mod tests {
     #[test]
     fn run_and_classify_roundtrip() {
         let prog = temp_file("racy.tasm", RACY);
-        let out = cmd_run(&prog, RunConfig::round_robin(1)).unwrap();
+        let out = cmd_run(&prog, RunConfig::round_robin(1), false).unwrap();
         assert!(out.contains("completed"));
+        assert!(!out.contains("stats:"));
+        let out = cmd_run(&prog, RunConfig::round_robin(1), true).unwrap();
+        assert!(out.contains("stats:"), "{out}");
+        assert!(out.contains("Minstr/s"), "{out}");
         let report =
             cmd_classify(&prog, RunConfig::round_robin(1), false, &ClassifierConfig::default())
                 .unwrap();

@@ -14,7 +14,7 @@ fn sample(name: &str) -> PathBuf {
 fn samples_assemble_and_run() {
     for name in ["refcount.tasm", "handoff.tasm", "stats.tasm"] {
         let path = sample(name);
-        let out = cmd_run(&path, parse_schedule("rr:2").unwrap())
+        let out = cmd_run(&path, parse_schedule("rr:2").unwrap(), false)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(out.contains("completed"), "{name}: {out}");
         // Disassembly round-trips through the assembler.

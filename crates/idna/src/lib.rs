@@ -45,6 +45,7 @@
 
 pub mod codec;
 pub mod event;
+pub mod image;
 pub mod recorder;
 pub mod region;
 pub mod replayer;
@@ -52,8 +53,10 @@ pub mod timetravel;
 pub mod verify;
 pub mod vproc;
 
+pub use codec::LogWriter;
 pub use event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
-pub use recorder::{record, Recorder, Recording};
+pub use image::ReplayImage;
+pub use recorder::{record, record_with, Recorder, Recording};
 pub use region::{Region, RegionId};
-pub use replayer::{replay, ReplayError, ReplayTrace, ReplayedRegion, ThreadSnapshot};
+pub use replayer::{replay, replay_with, ReplayError, ReplayTrace, ReplayedRegion, ThreadSnapshot};
 pub use vproc::{AccessSite, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig};

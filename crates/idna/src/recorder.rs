@@ -9,15 +9,17 @@
 //! other threads, "DMA"-like system effects, everything — exactly the
 //! property iDNA relies on.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use tvm::exec::{Observer, StepInfo};
 use tvm::machine::{Machine, ThreadStatus};
+use tvm::predecode::DecodedProgram;
 use tvm::program::Program;
 use tvm::scheduler::{run, RunConfig, RunSummary};
 use tvm::AccessKind;
 
 use crate::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
+use crate::image::ReplayImage;
 
 use std::sync::Arc;
 
@@ -30,7 +32,7 @@ struct RecThread {
     events: Vec<ThreadEvent>,
     /// The thread's replay image: what the replayer will believe memory
     /// holds, based only on this thread's own history.
-    image: HashMap<u64, u64>,
+    image: ReplayImage,
     loads: u64,
     syscalls: u64,
     instrs: u64,
@@ -140,14 +142,14 @@ impl Observer for Recorder {
                 AccessKind::Read => {
                     let load_index = t.loads;
                     t.loads += 1;
-                    let known = t.image.get(&acc.addr).copied().unwrap_or(0);
+                    let known = t.image.get(acc.addr);
                     if known != acc.value {
                         t.events.push(ThreadEvent::Load { load_index, value: acc.value });
                     }
-                    t.image.insert(acc.addr, acc.value);
+                    t.image.set(acc.addr, acc.value);
                 }
                 AccessKind::Write => {
-                    t.image.insert(acc.addr, acc.value);
+                    t.image.set(acc.addr, acc.value);
                 }
             }
         }
@@ -189,7 +191,15 @@ pub struct Recording {
 /// together with the final machine state.
 #[must_use]
 pub fn record(program: &Arc<Program>, config: &RunConfig) -> Recording {
-    let mut machine = Machine::new(program.clone());
+    record_with(&Arc::new(DecodedProgram::new(program.clone())), config)
+}
+
+/// [`record`], but reusing an already-predecoded program — the pipeline
+/// predecodes once and shares the result across native execution, recording,
+/// replay, and classification.
+#[must_use]
+pub fn record_with(decoded: &Arc<DecodedProgram>, config: &RunConfig) -> Recording {
+    let mut machine = Machine::with_decoded(decoded.clone());
     let mut recorder = Recorder::new();
     let summary = run(&mut machine, config, &mut recorder);
     Recording { log: recorder.into_log(), summary, machine }

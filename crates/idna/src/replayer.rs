@@ -3,16 +3,18 @@
 //! [`ReplayTrace`] — the complete, queryable history the race detector and
 //! the classification virtual processor operate on.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use tvm::exec::AccessKind;
-use tvm::isa::{Instr, Reg, SysCall, NUM_REGS};
+use tvm::fasthash::FastHashMap;
+use tvm::isa::{Reg, SysCall, NUM_REGS};
 use tvm::machine::{Fault, MAX_CALL_DEPTH};
+use tvm::predecode::{Decoded, DecodedProgram};
 use tvm::program::Program;
 
 use crate::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
+use crate::image::ReplayImage;
 use crate::region::{regions_of, Region, RegionId};
 
 /// Architectural snapshot of one thread at a region boundary.
@@ -78,7 +80,7 @@ pub struct ReplayedRegion {
 /// with the live-in memory values").
 #[derive(Clone, Debug, Default)]
 pub struct VersionedMemory {
-    writes: HashMap<u64, Vec<(u32, u64)>>,
+    writes: FastHashMap<u64, Vec<(u32, u64)>>,
 }
 
 impl VersionedMemory {
@@ -159,7 +161,7 @@ impl HeapHistory {
 /// The complete replayed history of one recorded execution.
 #[derive(Clone, Debug)]
 pub struct ReplayTrace {
-    program: Arc<Program>,
+    decoded: Arc<DecodedProgram>,
     /// Regions in replay (version) order.
     regions: Vec<ReplayedRegion>,
     /// `region_pos[tid][index]` = position of that region in `regions`.
@@ -198,7 +200,14 @@ impl ReplayTrace {
     /// The program this trace replays.
     #[must_use]
     pub fn program(&self) -> &Arc<Program> {
-        &self.program
+        self.decoded.program()
+    }
+
+    /// The predecoded program this trace replays; the classification
+    /// virtual processor steps over it directly.
+    #[must_use]
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.decoded
     }
 
     /// Number of threads.
@@ -267,7 +276,7 @@ impl std::error::Error for ReplayError {}
 struct RThread<'a> {
     log: &'a ThreadLog,
     snap: ThreadSnapshot,
-    image: HashMap<u64, u64>,
+    image: ReplayImage,
     instr: u64,
     loads: u64,
     sys: u64,
@@ -294,7 +303,7 @@ impl<'a> RThread<'a> {
         RThread {
             log,
             snap: ThreadSnapshot { regs: log.start_regs, pc: log.start_pc, call_stack: Vec::new() },
-            image: HashMap::new(),
+            image: ReplayImage::new(),
             instr: 0,
             loads: 0,
             sys: 0,
@@ -317,9 +326,9 @@ impl<'a> RThread<'a> {
             self.load_cursor += 1;
             v
         } else {
-            self.image.get(&addr).copied().unwrap_or(0)
+            self.image.get(addr)
         };
-        self.image.insert(addr, value);
+        self.image.set(addr, value);
         value
     }
 
@@ -327,8 +336,18 @@ impl<'a> RThread<'a> {
         self.snap.regs[r.index()]
     }
 
+    /// Register read by predecoded (raw) index.
+    fn reg_i(&self, i: u8) -> u64 {
+        self.snap.regs[i as usize]
+    }
+
     fn set_reg(&mut self, r: Reg, v: u64) {
         self.snap.regs[r.index()] = v;
+    }
+
+    /// Register write by predecoded (raw) index.
+    fn set_reg_i(&mut self, i: u8, v: u64) {
+        self.snap.regs[i as usize] = v;
     }
 }
 
@@ -339,6 +358,21 @@ impl<'a> RThread<'a> {
 /// Returns a [`ReplayError`] when the log cannot have been produced by
 /// `program` (corruption, truncation, mismatched binaries).
 pub fn replay(program: &Arc<Program>, log: &ReplayLog) -> Result<ReplayTrace, ReplayError> {
+    replay_with(&Arc::new(DecodedProgram::new(program.clone())), log)
+}
+
+/// [`replay`], but reusing an already-predecoded program — the pipeline
+/// predecodes once and shares the result across all stages.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] when the log cannot have been produced by the
+/// decoded program.
+pub fn replay_with(
+    decoded: &Arc<DecodedProgram>,
+    log: &ReplayLog,
+) -> Result<ReplayTrace, ReplayError> {
+    let program = decoded.program();
     if log.threads.len() != program.threads().len() {
         return Err(ReplayError::ThreadMismatch {
             threads_in_log: log.threads.len(),
@@ -353,7 +387,7 @@ pub fn replay(program: &Arc<Program>, log: &ReplayLog) -> Result<ReplayTrace, Re
         initial_memory.record(0, addr, value);
     }
     let mut trace = ReplayTrace {
-        program: program.clone(),
+        decoded: decoded.clone(),
         regions: Vec::new(),
         region_pos: threads.iter().map(|t| vec![usize::MAX; t.regions.len()]).collect(),
         footprints: log.threads.iter().map(|t| t.footprint.clone()).collect(),
@@ -376,7 +410,7 @@ pub fn replay(program: &Arc<Program>, log: &ReplayLog) -> Result<ReplayTrace, Re
         let region = threads[tid].regions[threads[tid].next_region];
         threads[tid].next_region += 1;
         let version = trace.regions.len() as u32;
-        let replayed = replay_region(program, &mut threads[tid], region, version, &mut trace)?;
+        let replayed = replay_region(decoded, &mut threads[tid], region, version, &mut trace)?;
         trace.region_pos[tid][region.id.index] = trace.regions.len();
         trace.regions.push(replayed);
     }
@@ -397,7 +431,7 @@ pub fn replay(program: &Arc<Program>, log: &ReplayLog) -> Result<ReplayTrace, Re
 }
 
 fn replay_region(
-    program: &Arc<Program>,
+    decoded: &DecodedProgram,
     t: &mut RThread<'_>,
     region: Region,
     version: u32,
@@ -412,43 +446,43 @@ fn replay_region(
         let instr_index = t.instr;
         t.instr += 1;
         let pc = t.snap.pc;
-        let Some(instr) = program.instr(pc).cloned() else {
+        let Some(&op) = decoded.op(pc) else {
             // Recorded run faulted with PcOutOfRange here.
             t.finished = true;
             break;
         };
         let mut push_access = |acc: TraceAccess| accesses.push(acc);
         let next = pc + 1;
-        match instr {
-            Instr::MovImm { dst, imm } => {
-                t.set_reg(dst, imm);
+        match op {
+            Decoded::MovImm { dst, imm } => {
+                t.set_reg_i(dst, imm);
                 t.snap.pc = next;
             }
-            Instr::Mov { dst, src } => {
-                let v = t.reg(src);
-                t.set_reg(dst, v);
+            Decoded::Mov { dst, src } => {
+                let v = t.reg_i(src);
+                t.set_reg_i(dst, v);
                 t.snap.pc = next;
             }
-            Instr::Bin { op, dst, lhs, rhs } => match op.apply(t.reg(lhs), t.reg(rhs)) {
+            Decoded::Bin { op, dst, lhs, rhs } => match op.apply(t.reg_i(lhs), t.reg_i(rhs)) {
                 Some(v) => {
-                    t.set_reg(dst, v);
+                    t.set_reg_i(dst, v);
                     t.snap.pc = next;
                 }
                 None => {
                     t.finished = true; // recorded DivideByZero fault
                 }
             },
-            Instr::BinImm { op, dst, lhs, imm } => match op.apply(t.reg(lhs), imm) {
+            Decoded::BinImm { op, dst, lhs, imm } => match op.apply(t.reg_i(lhs), imm) {
                 Some(v) => {
-                    t.set_reg(dst, v);
+                    t.set_reg_i(dst, v);
                     t.snap.pc = next;
                 }
                 None => {
                     t.finished = true;
                 }
             },
-            Instr::Load { dst, base, offset } => {
-                let addr = t.reg(base).wrapping_add(offset as u64);
+            Decoded::Load { dst, base, offset } => {
+                let addr = t.reg_i(base).wrapping_add(offset as u64);
                 if faulted_here(t, instr_index) {
                     t.finished = true;
                     break;
@@ -461,17 +495,17 @@ fn replay_region(
                     value: v,
                     kind: AccessKind::Read,
                 });
-                t.set_reg(dst, v);
+                t.set_reg_i(dst, v);
                 t.snap.pc = next;
             }
-            Instr::Store { src, base, offset } => {
-                let addr = t.reg(base).wrapping_add(offset as u64);
+            Decoded::Store { src, base, offset } => {
+                let addr = t.reg_i(base).wrapping_add(offset as u64);
                 if faulted_here(t, instr_index) {
                     t.finished = true;
                     break;
                 }
-                let v = t.reg(src);
-                t.image.insert(addr, v);
+                let v = t.reg_i(src);
+                t.image.set(addr, v);
                 push_access(TraceAccess {
                     instr_index,
                     pc,
@@ -481,8 +515,8 @@ fn replay_region(
                 });
                 t.snap.pc = next;
             }
-            Instr::AtomicRmw { op, dst, base, offset, src } => {
-                let addr = t.reg(base).wrapping_add(offset as u64);
+            Decoded::AtomicRmw { op, dst, base, offset, src } => {
+                let addr = t.reg_i(base).wrapping_add(offset as u64);
                 if faulted_here(t, instr_index) {
                     t.finished = true;
                     break;
@@ -495,8 +529,8 @@ fn replay_region(
                     value: old,
                     kind: AccessKind::Read,
                 });
-                let new = op.apply(old, t.reg(src));
-                t.image.insert(addr, new);
+                let new = op.apply(old, t.reg_i(src));
+                t.image.set(addr, new);
                 push_access(TraceAccess {
                     instr_index,
                     pc,
@@ -504,11 +538,11 @@ fn replay_region(
                     value: new,
                     kind: AccessKind::Write,
                 });
-                t.set_reg(dst, old);
+                t.set_reg_i(dst, old);
                 t.snap.pc = next;
             }
-            Instr::AtomicCas { dst, base, offset, expected, new } => {
-                let addr = t.reg(base).wrapping_add(offset as u64);
+            Decoded::AtomicCas { dst, base, offset, expected, new } => {
+                let addr = t.reg_i(base).wrapping_add(offset as u64);
                 if faulted_here(t, instr_index) {
                     t.finished = true;
                     break;
@@ -521,10 +555,10 @@ fn replay_region(
                     value: old,
                     kind: AccessKind::Read,
                 });
-                let success = old == t.reg(expected);
+                let success = old == t.reg_i(expected);
                 if success {
-                    let nv = t.reg(new);
-                    t.image.insert(addr, nv);
+                    let nv = t.reg_i(new);
+                    t.image.set(addr, nv);
                     push_access(TraceAccess {
                         instr_index,
                         pc,
@@ -533,31 +567,32 @@ fn replay_region(
                         kind: AccessKind::Write,
                     });
                 }
-                t.set_reg(dst, u64::from(success));
+                t.set_reg_i(dst, u64::from(success));
                 t.snap.pc = next;
             }
-            Instr::Fence => {
+            Decoded::Fence => {
                 t.snap.pc = next;
             }
-            Instr::Jump { target } => {
-                t.snap.pc = target;
+            Decoded::Jump { target } => {
+                t.snap.pc = target as usize;
             }
-            Instr::Branch { cond, lhs, rhs, target } => {
-                t.snap.pc = if cond.eval(t.reg(lhs), t.reg(rhs)) { target } else { next };
+            Decoded::Branch { cond, lhs, rhs, target } => {
+                t.snap.pc =
+                    if cond.eval(t.reg_i(lhs), t.reg_i(rhs)) { target as usize } else { next };
             }
-            Instr::Call { target } => {
+            Decoded::Call { target } => {
                 if t.snap.call_stack.len() >= MAX_CALL_DEPTH {
                     t.finished = true;
                 } else {
                     t.snap.call_stack.push(next);
-                    t.snap.pc = target;
+                    t.snap.pc = target as usize;
                 }
             }
-            Instr::Ret => match t.snap.call_stack.pop() {
+            Decoded::Ret => match t.snap.call_stack.pop() {
                 Some(ret) => t.snap.pc = ret,
                 None => t.finished = true,
             },
-            Instr::Syscall { call } => {
+            Decoded::Syscall { call } => {
                 if faulted_here(t, instr_index) {
                     // The recorded run faulted in this system call (e.g. a
                     // double free); no result was logged.
@@ -592,7 +627,7 @@ fn replay_region(
                 t.set_reg(Reg::R0, ret);
                 t.snap.pc = next;
             }
-            Instr::Halt => {
+            Decoded::Halt => {
                 t.finished = true;
             }
         }

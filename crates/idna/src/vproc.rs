@@ -19,13 +19,16 @@
 //! the recording never saw, or control flow leaving the recorded code
 //! footprint, are **replay failures** (§4.2.1).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use tvm::exec::AccessKind;
-use tvm::isa::{Instr, Reg, SysCall};
+use tvm::fasthash::FastHashMap;
+use tvm::isa::{Reg, SysCall, NUM_REGS};
 use tvm::machine::{Fault, MAX_CALL_DEPTH};
 use tvm::memory::{GLOBAL_LIMIT, HEAP_BASE};
+use tvm::predecode::Decoded;
 
 use crate::region::RegionId;
 use crate::replayer::{HeapState, ReplayTrace, ReplayedRegion, ThreadSnapshot};
@@ -238,9 +241,9 @@ fn thread_matches(out: &ThreadLiveOut, region: &ReplayedRegion) -> bool {
 struct VMem<'a> {
     trace: &'a ReplayTrace,
     base_version: u32,
-    writes: HashMap<u64, u64>,
+    writes: FastHashMap<u64, u64>,
     /// Allocations made during this replay: base -> size.
-    vallocs: HashMap<u64, u64>,
+    vallocs: FastHashMap<u64, u64>,
     /// Bases freed during this replay.
     vfreed: BTreeSet<u64>,
     fresh: u64,
@@ -258,8 +261,8 @@ impl<'a> VMem<'a> {
         VMem {
             trace,
             base_version,
-            writes: HashMap::new(),
-            vallocs: HashMap::new(),
+            writes: FastHashMap::default(),
+            vallocs: FastHashMap::default(),
             vfreed: BTreeSet::new(),
             fresh: VPROC_FRESH_BASE,
             permissive,
@@ -371,33 +374,83 @@ impl<'a> VMem<'a> {
     }
 }
 
-/// Per-thread virtual-processor state.
-struct VThread<'a> {
+/// Reusable per-[`Vproc`] working state: two thread snapshots and two
+/// output buffers, reset from the region entries at the start of every
+/// [`Vproc::run_pair`].
+///
+/// The seed implementation cloned `region.entry` (registers, pc, and a
+/// freshly allocated call stack) for each thread on every replay — twice
+/// per race instance for the two pair orders, and again for every instance
+/// of the same static race. The arena keeps one copy per thread slot and
+/// overwrites it in place, so steady-state replays allocate nothing for
+/// snapshots or outputs.
+#[derive(Debug)]
+struct SnapshotArena {
+    snaps: [ThreadSnapshot; 2],
+    outputs: [Vec<u64>; 2],
+}
+
+impl Default for SnapshotArena {
+    fn default() -> Self {
+        let blank = ThreadSnapshot { regs: [0; NUM_REGS], pc: 0, call_stack: Vec::new() };
+        SnapshotArena { snaps: [blank.clone(), blank], outputs: [Vec::new(), Vec::new()] }
+    }
+}
+
+impl SnapshotArena {
+    /// Resets both slots from the region entries and hands out the working
+    /// borrows.
+    fn checkout(
+        &mut self,
+        entry_a: &ThreadSnapshot,
+        entry_b: &ThreadSnapshot,
+    ) -> [(&mut ThreadSnapshot, &mut Vec<u64>); 2] {
+        let [sa, sb] = &mut self.snaps;
+        let [oa, ob] = &mut self.outputs;
+        for (slot, entry) in [(&mut *sa, entry_a), (&mut *sb, entry_b)] {
+            slot.regs = entry.regs;
+            slot.pc = entry.pc;
+            slot.call_stack.clear();
+            slot.call_stack.extend_from_slice(&entry.call_stack);
+        }
+        oa.clear();
+        ob.clear();
+        [(sa, oa), (sb, ob)]
+    }
+}
+
+/// Per-thread virtual-processor state. The snapshot and output buffers are
+/// borrowed from the [`SnapshotArena`] and live only for one `run_pair`.
+struct VThread<'a, 's> {
     tid: usize,
     region: &'a ReplayedRegion,
-    snap: ThreadSnapshot,
+    snap: &'s mut ThreadSnapshot,
     /// Absolute thread-local instruction index about to execute.
     instr: u64,
     access_cursor: usize,
     sys_cursor: usize,
     racing_index: u64,
-    outputs: Vec<u64>,
+    outputs: &'s mut Vec<u64>,
     fault: Option<Fault>,
     done: bool,
     executed: u64,
 }
 
-impl<'a> VThread<'a> {
-    fn new(region: &'a ReplayedRegion, racing_index: u64) -> Self {
+impl<'a, 's> VThread<'a, 's> {
+    fn new(
+        region: &'a ReplayedRegion,
+        racing_index: u64,
+        (snap, outputs): (&'s mut ThreadSnapshot, &'s mut Vec<u64>),
+    ) -> Self {
         VThread {
             tid: region.region.id.tid,
             region,
-            snap: region.entry.clone(),
+            snap,
             instr: region.region.start_instr,
             access_cursor: 0,
             sys_cursor: 0,
             racing_index,
-            outputs: Vec::new(),
+            outputs,
             fault: None,
             done: false,
             executed: 0,
@@ -408,8 +461,18 @@ impl<'a> VThread<'a> {
         self.snap.regs[r.index()]
     }
 
+    /// Register read by predecoded (raw) index.
+    fn reg_i(&self, i: u8) -> u64 {
+        self.snap.regs[i as usize]
+    }
+
     fn set_reg(&mut self, r: Reg, v: u64) {
         self.snap.regs[r.index()] = v;
+    }
+
+    /// Register write by predecoded (raw) index.
+    fn set_reg_i(&mut self, i: u8, v: u64) {
+        self.snap.regs[i as usize] = v;
     }
 
     fn live_out(&self) -> ThreadLiveOut {
@@ -435,13 +498,17 @@ impl<'a> VThread<'a> {
 pub struct Vproc<'a> {
     trace: &'a ReplayTrace,
     config: VprocConfig,
+    /// Reusable snapshot/output buffers; see [`SnapshotArena`]. The
+    /// `RefCell` keeps `run_pair` callable through `&self` (each classifier
+    /// worker owns its own `Vproc`, so there is no sharing to guard).
+    scratch: RefCell<SnapshotArena>,
 }
 
 impl<'a> Vproc<'a> {
     /// Creates a virtual processor over a replayed trace.
     #[must_use]
     pub fn new(trace: &'a ReplayTrace, config: VprocConfig) -> Self {
-        Vproc { trace, config }
+        Vproc { trace, config, scratch: RefCell::new(SnapshotArena::default()) }
     }
 
     /// The trace this virtual processor replays.
@@ -475,7 +542,10 @@ impl<'a> Vproc<'a> {
         let rb = self.trace.region(b.region);
         let base_version = ra.version.min(rb.version);
         let mut vmem = VMem::new(self.trace, base_version, self.config.permissive_unknown_loads);
-        let mut threads = [VThread::new(ra, a.instr_index), VThread::new(rb, b.instr_index)];
+        let mut scratch = self.scratch.borrow_mut();
+        let [slot_a, slot_b] = scratch.checkout(&ra.entry, &rb.entry);
+        let mut threads =
+            [VThread::new(ra, a.instr_index, slot_a), VThread::new(rb, b.instr_index, slot_b)];
         let mut budget = self.config.step_budget;
 
         // Phase 1: oracle-replay each thread up to its racing instruction,
@@ -521,8 +591,10 @@ impl<'a> Vproc<'a> {
                     if t.done {
                         continue;
                     }
-                    // Region end: the next instruction would log a sequencer.
-                    self.trace.program().instr(t.snap.pc).is_some_and(Instr::is_sequencer_point)
+                    // Region end: the next instruction would log a sequencer
+                    // (one predecoded-flag byte load; out-of-range pcs are
+                    // not sequencer points, matching the seed's lookup).
+                    self.trace.decoded().is_sequencer_point(t.snap.pc)
                 };
                 if done_check {
                     threads[idx].done = true;
@@ -554,95 +626,95 @@ impl<'a> Vproc<'a> {
 
 /// Oracle step: re-execute one instruction using the *recorded* access
 /// values, mirroring the main replay exactly (this cannot diverge).
-fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_>, vmem: &mut VMem<'_>) {
+fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_, '_>, vmem: &mut VMem<'_>) {
     let pc = t.snap.pc;
     t.instr += 1;
     t.executed += 1;
-    let instr = *trace
-        .program()
-        .instr(pc)
+    let op = *trace
+        .decoded()
+        .op(pc)
         .unwrap_or_else(|| panic!("oracle replay left program text at pc {pc}"));
     let next = pc + 1;
 
     // Pull the next recorded access value for this instruction.
-    let oracle_read = |t: &mut VThread<'_>| -> u64 {
+    let oracle_read = |t: &mut VThread<'_, '_>| -> u64 {
         let acc = t.region.accesses[t.access_cursor];
         debug_assert_eq!(acc.kind, AccessKind::Read);
         t.access_cursor += 1;
         acc.value
     };
 
-    match instr {
-        Instr::MovImm { dst, imm } => {
-            t.set_reg(dst, imm);
+    match op {
+        Decoded::MovImm { dst, imm } => {
+            t.set_reg_i(dst, imm);
             t.snap.pc = next;
         }
-        Instr::Mov { dst, src } => {
-            let v = t.reg(src);
-            t.set_reg(dst, v);
+        Decoded::Mov { dst, src } => {
+            let v = t.reg_i(src);
+            t.set_reg_i(dst, v);
             t.snap.pc = next;
         }
-        Instr::Bin { op, dst, lhs, rhs } => {
-            let v = op.apply(t.reg(lhs), t.reg(rhs)).expect("oracle replay re-faulted");
-            t.set_reg(dst, v);
+        Decoded::Bin { op, dst, lhs, rhs } => {
+            let v = op.apply(t.reg_i(lhs), t.reg_i(rhs)).expect("oracle replay re-faulted");
+            t.set_reg_i(dst, v);
             t.snap.pc = next;
         }
-        Instr::BinImm { op, dst, lhs, imm } => {
-            let v = op.apply(t.reg(lhs), imm).expect("oracle replay re-faulted");
-            t.set_reg(dst, v);
+        Decoded::BinImm { op, dst, lhs, imm } => {
+            let v = op.apply(t.reg_i(lhs), imm).expect("oracle replay re-faulted");
+            t.set_reg_i(dst, v);
             t.snap.pc = next;
         }
-        Instr::Load { dst, base, offset } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
+        Decoded::Load { dst, base, offset } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
             let v = oracle_read(t);
             vmem.writes.entry(addr).or_insert(v); // first-use copy-in
-            t.set_reg(dst, v);
+            t.set_reg_i(dst, v);
             t.snap.pc = next;
         }
-        Instr::Store { src, base, offset } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
-            let v = t.reg(src);
+        Decoded::Store { src, base, offset } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
+            let v = t.reg_i(src);
             t.access_cursor += 1;
             vmem.writes.insert(addr, v);
             t.snap.pc = next;
         }
-        Instr::AtomicRmw { op, dst, base, offset, src } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
+        Decoded::AtomicRmw { op, dst, base, offset, src } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
             let old = oracle_read(t);
-            let new = op.apply(old, t.reg(src));
+            let new = op.apply(old, t.reg_i(src));
             t.access_cursor += 1; // the write half
             vmem.writes.insert(addr, new);
-            t.set_reg(dst, old);
+            t.set_reg_i(dst, old);
             t.snap.pc = next;
         }
-        Instr::AtomicCas { dst, base, offset, expected, new } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
+        Decoded::AtomicCas { dst, base, offset, expected, new } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
             let old = oracle_read(t);
-            let success = old == t.reg(expected);
+            let success = old == t.reg_i(expected);
             if success {
-                let nv = t.reg(new);
+                let nv = t.reg_i(new);
                 t.access_cursor += 1;
                 vmem.writes.insert(addr, nv);
             } else {
                 vmem.writes.entry(addr).or_insert(old);
             }
-            t.set_reg(dst, u64::from(success));
+            t.set_reg_i(dst, u64::from(success));
             t.snap.pc = next;
         }
-        Instr::Fence => t.snap.pc = next,
-        Instr::Jump { target } => t.snap.pc = target,
-        Instr::Branch { cond, lhs, rhs, target } => {
-            t.snap.pc = if cond.eval(t.reg(lhs), t.reg(rhs)) { target } else { next };
+        Decoded::Fence => t.snap.pc = next,
+        Decoded::Jump { target } => t.snap.pc = target as usize,
+        Decoded::Branch { cond, lhs, rhs, target } => {
+            t.snap.pc = if cond.eval(t.reg_i(lhs), t.reg_i(rhs)) { target as usize } else { next };
         }
-        Instr::Call { target } => {
+        Decoded::Call { target } => {
             t.snap.call_stack.push(next);
-            t.snap.pc = target;
+            t.snap.pc = target as usize;
         }
-        Instr::Ret => {
+        Decoded::Ret => {
             let ret = t.snap.call_stack.pop().expect("oracle replay re-faulted on ret");
             t.snap.pc = ret;
         }
-        Instr::Syscall { call } => {
+        Decoded::Syscall { call } => {
             let sys = t.region.syscalls[t.sys_cursor];
             t.sys_cursor += 1;
             debug_assert_eq!(sys.call, call);
@@ -662,7 +734,7 @@ fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_>, vmem: &mut VMem<'_>) {
             t.set_reg(Reg::R0, sys.ret);
             t.snap.pc = next;
         }
-        Instr::Halt => {
+        Decoded::Halt => {
             t.done = true;
         }
     }
@@ -671,7 +743,7 @@ fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_>, vmem: &mut VMem<'_>) {
 /// Live step: execute one instruction against the virtual-processor memory.
 fn step_live(
     trace: &ReplayTrace,
-    t: &mut VThread<'_>,
+    t: &mut VThread<'_, '_>,
     vmem: &mut VMem<'_>,
     allow_unrecorded_cf: bool,
 ) -> Result<(), ReplayFailure> {
@@ -679,7 +751,7 @@ fn step_live(
     if !allow_unrecorded_cf && !trace.in_footprint(t.tid, pc) {
         return Err(ReplayFailure::UnrecordedControlFlow { tid: t.tid, pc });
     }
-    let Some(instr) = trace.program().instr(pc).cloned() else {
+    let Some(&op) = trace.decoded().op(pc) else {
         t.fault = Some(Fault::PcOutOfRange { pc });
         t.done = true;
         return Ok(());
@@ -688,7 +760,7 @@ fn step_live(
     t.executed += 1;
     let next = pc + 1;
 
-    let fault = |t: &mut VThread<'_>, f: Fault| {
+    let fault = |t: &mut VThread<'_, '_>, f: Fault| {
         t.fault = Some(f);
         t.done = true;
     };
@@ -706,79 +778,79 @@ fn step_live(
         };
     }
 
-    match instr {
-        Instr::MovImm { dst, imm } => {
-            t.set_reg(dst, imm);
+    match op {
+        Decoded::MovImm { dst, imm } => {
+            t.set_reg_i(dst, imm);
             t.snap.pc = next;
         }
-        Instr::Mov { dst, src } => {
-            let v = t.reg(src);
-            t.set_reg(dst, v);
+        Decoded::Mov { dst, src } => {
+            let v = t.reg_i(src);
+            t.set_reg_i(dst, v);
             t.snap.pc = next;
         }
-        Instr::Bin { op, dst, lhs, rhs } => match op.apply(t.reg(lhs), t.reg(rhs)) {
+        Decoded::Bin { op, dst, lhs, rhs } => match op.apply(t.reg_i(lhs), t.reg_i(rhs)) {
             Some(v) => {
-                t.set_reg(dst, v);
+                t.set_reg_i(dst, v);
                 t.snap.pc = next;
             }
             None => fault(t, Fault::DivideByZero),
         },
-        Instr::BinImm { op, dst, lhs, imm } => match op.apply(t.reg(lhs), imm) {
+        Decoded::BinImm { op, dst, lhs, imm } => match op.apply(t.reg_i(lhs), imm) {
             Some(v) => {
-                t.set_reg(dst, v);
+                t.set_reg_i(dst, v);
                 t.snap.pc = next;
             }
             None => fault(t, Fault::DivideByZero),
         },
-        Instr::Load { dst, base, offset } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
+        Decoded::Load { dst, base, offset } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
             let v = mem_value!(t, vmem.load(addr));
-            t.set_reg(dst, v);
+            t.set_reg_i(dst, v);
             t.snap.pc = next;
         }
-        Instr::Store { src, base, offset } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
-            let v = t.reg(src);
+        Decoded::Store { src, base, offset } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
+            let v = t.reg_i(src);
             mem_value!(t, vmem.store(addr, v));
             t.snap.pc = next;
         }
-        Instr::AtomicRmw { op, dst, base, offset, src } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
+        Decoded::AtomicRmw { op, dst, base, offset, src } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
             let old = mem_value!(t, vmem.load(addr));
-            let new = op.apply(old, t.reg(src));
+            let new = op.apply(old, t.reg_i(src));
             mem_value!(t, vmem.store(addr, new));
-            t.set_reg(dst, old);
+            t.set_reg_i(dst, old);
             t.snap.pc = next;
         }
-        Instr::AtomicCas { dst, base, offset, expected, new } => {
-            let addr = t.reg(base).wrapping_add(offset as u64);
+        Decoded::AtomicCas { dst, base, offset, expected, new } => {
+            let addr = t.reg_i(base).wrapping_add(offset as u64);
             let old = mem_value!(t, vmem.load(addr));
-            let success = old == t.reg(expected);
+            let success = old == t.reg_i(expected);
             if success {
-                let nv = t.reg(new);
+                let nv = t.reg_i(new);
                 mem_value!(t, vmem.store(addr, nv));
             }
-            t.set_reg(dst, u64::from(success));
+            t.set_reg_i(dst, u64::from(success));
             t.snap.pc = next;
         }
-        Instr::Fence => t.snap.pc = next,
-        Instr::Jump { target } => t.snap.pc = target,
-        Instr::Branch { cond, lhs, rhs, target } => {
-            t.snap.pc = if cond.eval(t.reg(lhs), t.reg(rhs)) { target } else { next };
+        Decoded::Fence => t.snap.pc = next,
+        Decoded::Jump { target } => t.snap.pc = target as usize,
+        Decoded::Branch { cond, lhs, rhs, target } => {
+            t.snap.pc = if cond.eval(t.reg_i(lhs), t.reg_i(rhs)) { target as usize } else { next };
         }
-        Instr::Call { target } => {
+        Decoded::Call { target } => {
             if t.snap.call_stack.len() >= MAX_CALL_DEPTH {
                 fault(t, Fault::CallStackOverflow);
             } else {
                 t.snap.call_stack.push(next);
-                t.snap.pc = target;
+                t.snap.pc = target as usize;
             }
         }
-        Instr::Ret => match t.snap.call_stack.pop() {
+        Decoded::Ret => match t.snap.call_stack.pop() {
             Some(ret) => t.snap.pc = ret,
             None => fault(t, Fault::CallStackUnderflow),
         },
-        Instr::Syscall { call } => {
+        Decoded::Syscall { call } => {
             // Re-use the recorded result when the recorded syscall stream is
             // still aligned (same call kind at the cursor); otherwise the
             // execution has diverged and results are synthesized.
@@ -808,7 +880,7 @@ fn step_live(
             t.set_reg(Reg::R0, ret);
             t.snap.pc = next;
         }
-        Instr::Halt => {
+        Decoded::Halt => {
             t.done = true;
         }
     }

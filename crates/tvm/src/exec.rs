@@ -7,6 +7,7 @@
 
 use crate::isa::{Instr, Reg, SysCall};
 use crate::machine::{Fault, Machine, OutputRecord, ThreadStatus, MAX_CALL_DEPTH};
+use crate::predecode::Decoded;
 
 /// Kind of a memory access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -42,7 +43,7 @@ pub struct SyscallEvent {
 }
 
 /// Everything that happened while executing one instruction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StepInfo {
     /// Thread that executed.
     pub tid: usize,
@@ -87,6 +88,68 @@ pub trait Observer {
 /// required but no observation is wanted.
 impl Observer for () {}
 
+/// Destination of per-step side observations (memory accesses, syscall
+/// results, output, yields). The interpreter body is generic over this so
+/// the unobserved native path ([`Machine::step_native`]) monomorphizes the
+/// event plumbing away entirely while sharing one copy of the semantics
+/// with the recorded path.
+trait StepSink {
+    fn access(&mut self, ev: MemAccessEvent);
+    fn syscall(&mut self, ev: SyscallEvent);
+    fn output(&mut self, value: u64);
+    fn yielded(&mut self);
+}
+
+impl StepSink for StepInfo {
+    #[inline]
+    fn access(&mut self, ev: MemAccessEvent) {
+        self.accesses.push(ev);
+    }
+    #[inline]
+    fn syscall(&mut self, ev: SyscallEvent) {
+        self.syscall = Some(ev);
+    }
+    #[inline]
+    fn output(&mut self, value: u64) {
+        self.output = Some(value);
+    }
+    #[inline]
+    fn yielded(&mut self) {
+        self.yielded = true;
+    }
+}
+
+/// Sink for the native fast path: drops everything except the yield hint,
+/// which the scheduler needs for preemption.
+struct NativeSink {
+    yielded: bool,
+}
+
+impl StepSink for NativeSink {
+    #[inline]
+    fn access(&mut self, _ev: MemAccessEvent) {}
+    #[inline]
+    fn syscall(&mut self, _ev: SyscallEvent) {}
+    #[inline]
+    fn output(&mut self, _value: u64) {}
+    #[inline]
+    fn yielded(&mut self) {
+        self.yielded = true;
+    }
+}
+
+/// What [`Machine::step_native`] reports: just enough for a scheduler to
+/// maintain its runnable set and preempt on yields.
+#[derive(Copy, Clone, Debug)]
+pub struct NativeOutcome {
+    /// The instruction was a `sys.yield` scheduling hint.
+    pub yielded: bool,
+    /// The thread terminated (halted or faulted) on this step.
+    pub ended: bool,
+    /// Fault raised by this instruction, if any.
+    pub fault: Option<Fault>,
+}
+
 impl StepInfo {
     /// A placeholder value for use with [`Machine::step_into`], which
     /// overwrites every field. Reusing one `StepInfo` across steps avoids
@@ -126,10 +189,106 @@ impl Machine {
     /// Like [`Machine::step`], but reuses `info`'s buffers instead of
     /// allocating. Every field of `info` is overwritten.
     ///
+    /// Dispatches over the machine's predecoded instruction stream; the
+    /// original fetch-from-`Program` interpreter is retained as
+    /// [`Machine::step_into_reference`] and the two are pinned step-for-step
+    /// identical by the `predecode_equiv` suite.
+    ///
     /// # Panics
     ///
     /// Panics if the thread is not [`ThreadStatus::Ready`].
     pub fn step_into(&mut self, tid: usize, info: &mut StepInfo) {
+        let pc = self.begin_step(tid, info);
+
+        let Some(&op) = self.decoded().op(pc) else {
+            self.fault_out_of_range(tid, pc, info);
+            return;
+        };
+        // `op` exists, so `pc` indexes the program text.
+        info.instr = self.program().instrs()[pc];
+
+        // Sequencers are logged when the synchronization instruction or
+        // system call executes (paper §3.2); we assign the timestamp before
+        // the instruction's effects so the instruction begins a new
+        // sequencing region. The predecoded flags array answers the
+        // per-step predicate with one byte load.
+        if self.decoded().is_sequencer_point(pc) {
+            info.sequencer = Some(self.take_seq());
+        }
+
+        let next_pc = self.execute_decoded(tid, pc, op, info);
+        self.finish_step(tid, next_pc, info);
+    }
+
+    /// The seed interpreter: fetches [`Instr`] from the [`Program`] and
+    /// dispatches over it. Kept as the differential-testing oracle for the
+    /// predecoded fast path (and as the "before" baseline for throughput
+    /// comparisons); production callers go through [`Machine::step_into`].
+    ///
+    /// [`Program`]: crate::program::Program
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not [`ThreadStatus::Ready`].
+    pub fn step_into_reference(&mut self, tid: usize, info: &mut StepInfo) {
+        let pc = self.begin_step(tid, info);
+
+        let Some(&instr) = self.program().instr(pc) else {
+            self.fault_out_of_range(tid, pc, info);
+            return;
+        };
+        info.instr = instr;
+        info.sequencer = instr.is_sequencer_point().then(|| self.take_seq());
+
+        let next_pc = self.execute(tid, pc, &instr, info);
+        self.finish_step(tid, next_pc, info);
+    }
+
+    /// Executes one instruction on thread `tid` without materializing a
+    /// [`StepInfo`]: the native fast path for unobserved runs. Machine
+    /// state evolves exactly as under [`Machine::step_into`] (same counters,
+    /// sequencer timestamps, memory effects, and output stream); only the
+    /// per-step event report is elided, which is what makes this the
+    /// baseline for the pipeline's overhead ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not [`ThreadStatus::Ready`].
+    pub fn step_native(&mut self, tid: usize) -> NativeOutcome {
+        assert!(self.thread(tid).status().is_ready(), "stepping a thread that is not ready: {tid}");
+        let pc = self.thread(tid).pc();
+        self.bump_global_step();
+        self.thread_mut(tid).bump_steps();
+
+        let Some(&op) = self.decoded().op(pc) else {
+            let fault = Fault::PcOutOfRange { pc };
+            self.terminate(tid, ThreadStatus::Faulted(fault));
+            return NativeOutcome { yielded: false, ended: true, fault: Some(fault) };
+        };
+        if self.decoded().is_sequencer_point(pc) {
+            self.take_seq();
+        }
+
+        let mut sink = NativeSink { yielded: false };
+        match self.execute_decoded(tid, pc, op, &mut sink) {
+            Ok(Some(next)) => {
+                self.thread_mut(tid).set_pc(next);
+                NativeOutcome { yielded: sink.yielded, ended: false, fault: None }
+            }
+            Ok(None) => {
+                self.terminate(tid, ThreadStatus::Halted);
+                NativeOutcome { yielded: false, ended: true, fault: None }
+            }
+            Err(fault) => {
+                self.terminate(tid, ThreadStatus::Faulted(fault));
+                NativeOutcome { yielded: false, ended: true, fault: Some(fault) }
+            }
+        }
+    }
+
+    /// Shared step prologue: bumps counters and resets `info`. Returns the
+    /// pc about to execute.
+    fn begin_step(&mut self, tid: usize, info: &mut StepInfo) -> usize {
         assert!(self.thread(tid).status().is_ready(), "stepping a thread that is not ready: {tid}");
         let pc = self.thread(tid).pc();
         info.tid = tid;
@@ -144,41 +303,37 @@ impl Machine {
         info.halted = false;
         info.end_sequencer = None;
         info.yielded = false;
+        pc
+    }
 
-        let Some(&instr) = self.program().instr(pc) else {
-            let fault = Fault::PcOutOfRange { pc };
-            let end = self.terminate(tid, ThreadStatus::Faulted(fault));
-            info.instr = Instr::Halt;
-            info.fault = Some(fault);
-            info.end_sequencer = Some(end);
-            return;
-        };
-        info.instr = instr;
-
-        // Sequencers are logged when the synchronization instruction or
-        // system call executes (paper §3.2); we assign the timestamp before
-        // the instruction's effects so the instruction begins a new
-        // sequencing region.
-        info.sequencer = instr.is_sequencer_point().then(|| self.take_seq());
-
-        let next_pc = match self.execute(tid, pc, &instr, info) {
-            Ok(next) => next,
-            Err(fault) => {
-                info.fault = Some(fault);
-                let end = self.terminate(tid, ThreadStatus::Faulted(fault));
-                info.end_sequencer = Some(end);
-                return;
-            }
-        };
-
+    /// Shared step epilogue: advances the pc or terminates the thread.
+    fn finish_step(
+        &mut self,
+        tid: usize,
+        next_pc: Result<Option<usize>, Fault>,
+        info: &mut StepInfo,
+    ) {
         match next_pc {
-            Some(next) => self.thread_mut(tid).set_pc(next),
-            None => {
+            Ok(Some(next)) => self.thread_mut(tid).set_pc(next),
+            Ok(None) => {
                 info.halted = true;
                 let end = self.terminate(tid, ThreadStatus::Halted);
                 info.end_sequencer = Some(end);
             }
+            Err(fault) => {
+                info.fault = Some(fault);
+                let end = self.terminate(tid, ThreadStatus::Faulted(fault));
+                info.end_sequencer = Some(end);
+            }
         }
+    }
+
+    fn fault_out_of_range(&mut self, tid: usize, pc: usize, info: &mut StepInfo) {
+        let fault = Fault::PcOutOfRange { pc };
+        let end = self.terminate(tid, ThreadStatus::Faulted(fault));
+        info.instr = Instr::Halt;
+        info.fault = Some(fault);
+        info.end_sequencer = Some(end);
     }
 
     fn terminate(&mut self, tid: usize, status: ThreadStatus) -> u64 {
@@ -224,7 +379,7 @@ impl Machine {
             Instr::Load { dst, base, offset } => {
                 let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
                 let v = self.memory().read(addr)?;
-                info.accesses.push(MemAccessEvent { addr, value: v, kind: AccessKind::Read });
+                info.access(MemAccessEvent { addr, value: v, kind: AccessKind::Read });
                 self.thread_mut(tid).set_reg(dst, v);
                 Ok(Some(next))
             }
@@ -232,30 +387,30 @@ impl Machine {
                 let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
                 let v = self.thread(tid).reg(src);
                 self.memory_mut().write(addr, v)?;
-                info.accesses.push(MemAccessEvent { addr, value: v, kind: AccessKind::Write });
+                info.access(MemAccessEvent { addr, value: v, kind: AccessKind::Write });
                 Ok(Some(next))
             }
             Instr::AtomicRmw { op, dst, base, offset, src } => {
                 let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
                 let old = self.memory().read(addr)?;
-                info.accesses.push(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
+                info.access(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
                 let operand = self.thread(tid).reg(src);
                 let new = op.apply(old, operand);
                 self.memory_mut().write(addr, new)?;
-                info.accesses.push(MemAccessEvent { addr, value: new, kind: AccessKind::Write });
+                info.access(MemAccessEvent { addr, value: new, kind: AccessKind::Write });
                 self.thread_mut(tid).set_reg(dst, old);
                 Ok(Some(next))
             }
             Instr::AtomicCas { dst, base, offset, expected, new } => {
                 let addr = self.thread(tid).reg(base).wrapping_add(offset as u64);
                 let old = self.memory().read(addr)?;
-                info.accesses.push(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
+                info.access(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
                 let exp = self.thread(tid).reg(expected);
                 let success = old == exp;
                 if success {
                     let nv = self.thread(tid).reg(new);
                     self.memory_mut().write(addr, nv)?;
-                    info.accesses.push(MemAccessEvent { addr, value: nv, kind: AccessKind::Write });
+                    info.access(MemAccessEvent { addr, value: nv, kind: AccessKind::Write });
                 }
                 self.thread_mut(tid).set_reg(dst, u64::from(success));
                 Ok(Some(next))
@@ -283,14 +438,124 @@ impl Machine {
             Instr::Syscall { call } => {
                 let ret = self.do_syscall(tid, call, info)?;
                 self.thread_mut(tid).set_reg(Reg::R0, ret);
-                info.syscall = Some(SyscallEvent { call, ret });
+                info.syscall(SyscallEvent { call, ret });
                 Ok(Some(next))
             }
             Instr::Halt => Ok(None),
         }
     }
 
-    fn do_syscall(&mut self, tid: usize, call: SysCall, info: &mut StepInfo) -> Result<u64, Fault> {
+    /// Executes a predecoded instruction body. Behaviourally identical to
+    /// [`Machine::execute`] — the two are pinned against each other by the
+    /// `predecode_equiv` suite — but dispatches over the 16-byte [`Decoded`]
+    /// form with raw register indices, so the hot path does no `Reg`
+    /// re-validation and reads only the operand bytes it needs.
+    fn execute_decoded<S: StepSink>(
+        &mut self,
+        tid: usize,
+        pc: usize,
+        op: Decoded,
+        info: &mut S,
+    ) -> Result<Option<usize>, Fault> {
+        let next = pc + 1;
+        match op {
+            Decoded::MovImm { dst, imm } => {
+                self.thread_mut(tid).set_reg_raw(dst, imm);
+                Ok(Some(next))
+            }
+            Decoded::Mov { dst, src } => {
+                let v = self.thread(tid).reg_raw(src);
+                self.thread_mut(tid).set_reg_raw(dst, v);
+                Ok(Some(next))
+            }
+            Decoded::Bin { op, dst, lhs, rhs } => {
+                let l = self.thread(tid).reg_raw(lhs);
+                let r = self.thread(tid).reg_raw(rhs);
+                let v = op.apply(l, r).ok_or(Fault::DivideByZero)?;
+                self.thread_mut(tid).set_reg_raw(dst, v);
+                Ok(Some(next))
+            }
+            Decoded::BinImm { op, dst, lhs, imm } => {
+                let l = self.thread(tid).reg_raw(lhs);
+                let v = op.apply(l, imm).ok_or(Fault::DivideByZero)?;
+                self.thread_mut(tid).set_reg_raw(dst, v);
+                Ok(Some(next))
+            }
+            Decoded::Load { dst, base, offset } => {
+                let addr = self.thread(tid).reg_raw(base).wrapping_add(offset as u64);
+                let v = self.memory().read(addr)?;
+                info.access(MemAccessEvent { addr, value: v, kind: AccessKind::Read });
+                self.thread_mut(tid).set_reg_raw(dst, v);
+                Ok(Some(next))
+            }
+            Decoded::Store { src, base, offset } => {
+                let addr = self.thread(tid).reg_raw(base).wrapping_add(offset as u64);
+                let v = self.thread(tid).reg_raw(src);
+                self.memory_mut().write(addr, v)?;
+                info.access(MemAccessEvent { addr, value: v, kind: AccessKind::Write });
+                Ok(Some(next))
+            }
+            Decoded::AtomicRmw { op, dst, base, offset, src } => {
+                let addr = self.thread(tid).reg_raw(base).wrapping_add(offset as u64);
+                let old = self.memory().read(addr)?;
+                info.access(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
+                let operand = self.thread(tid).reg_raw(src);
+                let new = op.apply(old, operand);
+                self.memory_mut().write(addr, new)?;
+                info.access(MemAccessEvent { addr, value: new, kind: AccessKind::Write });
+                self.thread_mut(tid).set_reg_raw(dst, old);
+                Ok(Some(next))
+            }
+            Decoded::AtomicCas { dst, base, offset, expected, new } => {
+                let addr = self.thread(tid).reg_raw(base).wrapping_add(offset as u64);
+                let old = self.memory().read(addr)?;
+                info.access(MemAccessEvent { addr, value: old, kind: AccessKind::Read });
+                let exp = self.thread(tid).reg_raw(expected);
+                let success = old == exp;
+                if success {
+                    let nv = self.thread(tid).reg_raw(new);
+                    self.memory_mut().write(addr, nv)?;
+                    info.access(MemAccessEvent { addr, value: nv, kind: AccessKind::Write });
+                }
+                self.thread_mut(tid).set_reg_raw(dst, u64::from(success));
+                Ok(Some(next))
+            }
+            Decoded::Fence => Ok(Some(next)),
+            Decoded::Jump { target } => Ok(Some(target as usize)),
+            Decoded::Branch { cond, lhs, rhs, target } => {
+                let l = self.thread(tid).reg_raw(lhs);
+                let r = self.thread(tid).reg_raw(rhs);
+                Ok(Some(if cond.eval(l, r) { target as usize } else { next }))
+            }
+            Decoded::Call { target } => {
+                let t = self.thread_mut(tid);
+                if t.call_stack().len() >= MAX_CALL_DEPTH {
+                    return Err(Fault::CallStackOverflow);
+                }
+                t.call_stack_mut().push(next);
+                Ok(Some(target as usize))
+            }
+            Decoded::Ret => {
+                let t = self.thread_mut(tid);
+                let ret = t.call_stack_mut().pop().ok_or(Fault::CallStackUnderflow)?;
+                Ok(Some(ret))
+            }
+            Decoded::Syscall { call } => {
+                let ret = self.do_syscall(tid, call, info)?;
+                self.thread_mut(tid).set_reg(Reg::R0, ret);
+                info.syscall(SyscallEvent { call, ret });
+                Ok(Some(next))
+            }
+            Decoded::Halt => Ok(None),
+        }
+    }
+
+    fn do_syscall<S: StepSink>(
+        &mut self,
+        tid: usize,
+        call: SysCall,
+        info: &mut S,
+    ) -> Result<u64, Fault> {
         match call {
             SysCall::Alloc => {
                 let size = self.thread(tid).reg(Reg::R0);
@@ -304,12 +569,12 @@ impl Machine {
             SysCall::Print => {
                 let value = self.thread(tid).reg(Reg::R0);
                 self.push_output(OutputRecord { tid, value });
-                info.output = Some(value);
+                info.output(value);
                 Ok(value)
             }
             SysCall::Tid => Ok(tid as u64),
             SysCall::Yield => {
-                info.yielded = true;
+                info.yielded();
                 Ok(0)
             }
             SysCall::Nop => Ok(0),

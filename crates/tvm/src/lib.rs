@@ -37,16 +37,20 @@ pub mod asm;
 pub mod builder;
 pub mod encode;
 pub mod exec;
+pub mod fasthash;
 pub mod isa;
 pub mod machine;
 pub mod memory;
+pub mod pagestore;
+pub mod predecode;
 pub mod program;
 pub mod rng;
 pub mod scheduler;
 
 pub use builder::ProgramBuilder;
-pub use exec::{AccessKind, MemAccessEvent, Observer, StepInfo};
+pub use exec::{AccessKind, MemAccessEvent, NativeOutcome, Observer, StepInfo};
 pub use isa::{Instr, Reg};
 pub use machine::{Fault, Machine, ThreadStatus};
+pub use predecode::{Decoded, DecodedProgram};
 pub use program::{Program, ThreadSpec};
-pub use scheduler::{run, RunConfig, SchedulePolicy};
+pub use scheduler::{run, run_native, run_reference, RunConfig, SchedulePolicy};

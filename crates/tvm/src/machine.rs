@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::isa::NUM_REGS;
 use crate::memory::Memory;
+use crate::predecode::DecodedProgram;
 use crate::program::Program;
 
 /// Maximum call-stack depth per thread.
@@ -123,6 +124,19 @@ impl ThreadState {
         self.regs[r.index()] = v;
     }
 
+    /// Reads a register by raw index (predecoded dispatch; `i < NUM_REGS`
+    /// by construction).
+    #[inline]
+    pub(crate) fn reg_raw(&self, i: u8) -> u64 {
+        self.regs[i as usize]
+    }
+
+    /// Writes a register by raw index (predecoded dispatch).
+    #[inline]
+    pub(crate) fn set_reg_raw(&mut self, i: u8, v: u64) {
+        self.regs[i as usize] = v;
+    }
+
     /// Current program counter.
     #[must_use]
     pub fn pc(&self) -> usize {
@@ -214,7 +228,7 @@ pub struct OutputRecord {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Machine {
-    program: Arc<Program>,
+    decoded: Arc<DecodedProgram>,
     mem: Memory,
     threads: Vec<ThreadState>,
     output: Vec<OutputRecord>,
@@ -226,8 +240,20 @@ impl Machine {
     /// Creates a machine for `program` with all threads ready at their
     /// entry points, globals initialized, and thread-start sequencers
     /// assigned in thread-id order.
+    ///
+    /// The program is predecoded as part of construction; when several
+    /// machines (or pipeline stages) execute the same program, build one
+    /// [`DecodedProgram`] and share it via [`Machine::with_decoded`].
     #[must_use]
     pub fn new(program: Arc<Program>) -> Self {
+        Machine::with_decoded(Arc::new(DecodedProgram::new(program)))
+    }
+
+    /// Creates a machine over an already predecoded program, sharing the
+    /// decode work across machines.
+    #[must_use]
+    pub fn with_decoded(decoded: Arc<DecodedProgram>) -> Self {
+        let program = decoded.program();
         let mut mem = Memory::new();
         for (&addr, &val) in program.globals() {
             mem.write(addr, val).expect("global initializer outside globals region");
@@ -243,13 +269,19 @@ impl Machine {
                 ThreadState::new(tid, spec.entry, &spec.args, ts)
             })
             .collect();
-        Machine { program, mem, threads, output: Vec::new(), global_step: 0, next_seq }
+        Machine { decoded, mem, threads, output: Vec::new(), global_step: 0, next_seq }
     }
 
     /// The program being executed.
     #[must_use]
     pub fn program(&self) -> &Arc<Program> {
-        &self.program
+        self.decoded.program()
+    }
+
+    /// The predecoded form of the program.
+    #[must_use]
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.decoded
     }
 
     /// Shared memory.

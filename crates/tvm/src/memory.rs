@@ -14,6 +14,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use crate::machine::Fault;
+use crate::pagestore::PagedWords;
 
 /// First address past the always-mapped globals region.
 pub const GLOBAL_LIMIT: u64 = 0x1_0000;
@@ -38,7 +39,9 @@ pub const HEAP_BASE: u64 = 0x10_0000;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    words: HashMap<u64, u64>,
+    /// Word contents, paged for spatial locality (the interpreter's hottest
+    /// data structure after the register files).
+    words: PagedWords,
     /// Live allocations: base address -> size in words.
     live: BTreeMap<u64, u64>,
     /// Bases that were freed (for better diagnostics on use-after-free).
@@ -51,7 +54,7 @@ impl Memory {
     #[must_use]
     pub fn new() -> Self {
         Memory {
-            words: HashMap::new(),
+            words: PagedWords::new(),
             live: BTreeMap::new(),
             freed: BTreeMap::new(),
             next: HEAP_BASE,
@@ -66,7 +69,7 @@ impl Memory {
     /// region and not inside a live heap allocation.
     pub fn read(&self, addr: u64) -> Result<u64, Fault> {
         self.check(addr)?;
-        Ok(self.words.get(&addr).copied().unwrap_or(0))
+        Ok(self.words.get(addr))
     }
 
     /// Writes the word at `addr`.
@@ -77,7 +80,7 @@ impl Memory {
     /// [`Memory::read`].
     pub fn write(&mut self, addr: u64, value: u64) -> Result<(), Fault> {
         self.check(addr)?;
-        self.words.insert(addr, value);
+        self.words.set(addr, value);
         Ok(())
     }
 
@@ -85,7 +88,7 @@ impl Memory {
     /// inspects raw images).
     #[must_use]
     pub fn peek(&self, addr: u64) -> u64 {
-        self.words.get(&addr).copied().unwrap_or(0)
+        self.words.get(addr)
     }
 
     /// Whether `addr` is currently mapped.
@@ -104,7 +107,7 @@ impl Memory {
         // Zero the allocation so recycled addresses (never recycled here, but
         // keep the invariant simple) read as fresh.
         for w in 0..size {
-            self.words.insert(base + w, 0);
+            self.words.set(base + w, 0);
         }
         base
     }
@@ -120,7 +123,7 @@ impl Memory {
             Some(size) => {
                 self.freed.insert(base, size);
                 for w in 0..size {
-                    self.words.remove(&(base + w));
+                    self.words.set(base + w, 0);
                 }
                 Ok(())
             }
@@ -130,7 +133,7 @@ impl Memory {
 
     /// Iterates over all non-zero words, in unspecified order.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.words.iter().filter(|(_, v)| **v != 0).map(|(a, v)| (*a, *v))
+        self.words.iter_nonzero()
     }
 
     /// A snapshot of the memory contents (non-zero words only).

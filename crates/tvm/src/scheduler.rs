@@ -97,15 +97,42 @@ impl Picker {
     }
 
     /// Picks the next thread from the non-empty `runnable` set.
+    #[inline]
     fn pick(&mut self, runnable: &[usize]) -> usize {
         debug_assert!(!runnable.is_empty());
-        // Keep running the current thread while its quantum lasts.
+        // Keep running the current thread while its quantum lasts. The run
+        // loops preempt (zeroing `remaining`) whenever the current thread
+        // halts, faults, or yields — and only the stepping thread can leave
+        // the runnable set — so a live quantum implies `cur` is still
+        // runnable and no membership scan is needed on the per-instruction
+        // fast path.
+        if let Some(cur) = self.current {
+            if self.remaining > 0 {
+                debug_assert!(runnable.contains(&cur));
+                self.remaining -= 1;
+                return cur;
+            }
+        }
+        self.pick_fresh(runnable)
+    }
+
+    /// The seed's picker, which re-verified the current thread's membership
+    /// in `runnable` on every step. Decisions are identical to [`Picker::pick`];
+    /// retained so [`run_reference`] preserves the seed scheduler's per-step
+    /// cost profile as the "before" baseline in throughput comparisons.
+    fn pick_seed(&mut self, runnable: &[usize]) -> usize {
+        debug_assert!(!runnable.is_empty());
         if let Some(cur) = self.current {
             if self.remaining > 0 && runnable.contains(&cur) {
                 self.remaining -= 1;
                 return cur;
             }
         }
+        self.pick_fresh(runnable)
+    }
+
+    /// Starts a fresh quantum: chooses the thread and quantum per policy.
+    fn pick_fresh(&mut self, runnable: &[usize]) -> usize {
         let (tid, quantum) = match self.policy {
             SchedulePolicy::RoundRobin { quantum } => {
                 let next = match self.current {
@@ -135,6 +162,58 @@ impl Picker {
 ///
 /// Execution is fully deterministic for a given `(program, config)` pair.
 pub fn run(machine: &mut Machine, config: &RunConfig, observer: &mut dyn Observer) -> RunSummary {
+    run_loop(machine, config, observer, Machine::step_into, Picker::pick)
+}
+
+/// [`run`], but stepping through the retained seed interpreter
+/// ([`Machine::step_into_reference`]) instead of the predecoded fast path.
+///
+/// Exists for differential testing (the `predecode_equiv` suite pins the two
+/// paths step-for-step identical) and as the "before" baseline in throughput
+/// benchmarks.
+pub fn run_reference(
+    machine: &mut Machine,
+    config: &RunConfig,
+    observer: &mut dyn Observer,
+) -> RunSummary {
+    run_loop(machine, config, observer, Machine::step_into_reference, Picker::pick_seed)
+}
+
+/// [`run`] without an observer, stepping through [`Machine::step_native`]:
+/// no [`StepInfo`](crate::exec::StepInfo) is materialized, so this is the
+/// fastest way to execute a program and the native baseline the pipeline's
+/// overhead ratios divide by. Scheduling decisions are identical to
+/// [`run`]'s, so outputs, faults, and the step count all match.
+pub fn run_native(machine: &mut Machine, config: &RunConfig) -> RunSummary {
+    let mut picker = Picker::new(config.policy);
+    let mut steps = 0;
+    let mut faults = Vec::new();
+    let mut runnable = machine.runnable();
+    while !runnable.is_empty() && steps < config.max_steps {
+        let tid = picker.pick(&runnable);
+        let out = machine.step_native(tid);
+        steps += 1;
+        if let Some(fault) = out.fault {
+            faults.push((tid, fault));
+        }
+        if out.yielded {
+            picker.preempt();
+        }
+        if out.ended {
+            runnable.retain(|&t| t != tid);
+            picker.preempt();
+        }
+    }
+    RunSummary { steps, completed: runnable.is_empty(), faults }
+}
+
+fn run_loop(
+    machine: &mut Machine,
+    config: &RunConfig,
+    observer: &mut dyn Observer,
+    step: fn(&mut Machine, usize, &mut crate::exec::StepInfo),
+    pick: fn(&mut Picker, &[usize]) -> usize,
+) -> RunSummary {
     observer.on_start(machine);
     let mut picker = Picker::new(config.policy);
     let mut steps = 0;
@@ -142,10 +221,10 @@ pub fn run(machine: &mut Machine, config: &RunConfig, observer: &mut dyn Observe
     // Maintain the runnable set incrementally: recomputing it on every
     // instruction dominates the cost of "native" execution otherwise.
     let mut runnable = machine.runnable();
-    let mut info = tvm_step_info_placeholder();
+    let mut info = crate::exec::StepInfo::placeholder();
     while !runnable.is_empty() && steps < config.max_steps {
-        let tid = picker.pick(&runnable);
-        machine.step_into(tid, &mut info);
+        let tid = pick(&mut picker, &runnable);
+        step(machine, tid, &mut info);
         steps += 1;
         if let Some(fault) = info.fault {
             faults.push((tid, fault));
@@ -160,10 +239,6 @@ pub fn run(machine: &mut Machine, config: &RunConfig, observer: &mut dyn Observe
         observer.on_step(machine, &info);
     }
     RunSummary { steps, completed: runnable.is_empty(), faults }
-}
-
-fn tvm_step_info_placeholder() -> crate::exec::StepInfo {
-    crate::exec::StepInfo::placeholder()
 }
 
 #[cfg(test)]
@@ -252,6 +327,36 @@ mod tests {
         run(&mut m, &RunConfig::round_robin(1000), &mut ());
         let tids: Vec<usize> = m.output().iter().map(|o| o.tid).collect();
         assert_eq!(tids, vec![0, 1, 0], "yield hands the cpu to thread b");
+    }
+
+    #[test]
+    fn native_path_matches_observed_run() {
+        // Same schedule decisions, outputs, and summary whether or not a
+        // StepInfo is materialized — including across yields and faults.
+        let mut b = ProgramBuilder::new();
+        b.thread("a");
+        b.syscall(SysCall::Tid)
+            .syscall(SysCall::Print)
+            .syscall(SysCall::Yield)
+            .syscall(SysCall::Tid)
+            .syscall(SysCall::Print)
+            .halt();
+        b.thread("b");
+        b.syscall(SysCall::Tid).syscall(SysCall::Print).ret(); // ret faults: empty stack
+        let p: Arc<crate::program::Program> = Arc::new(b.build());
+        for config in [RunConfig::round_robin(2), RunConfig::random(5), RunConfig::chunked(3, 1, 4)]
+        {
+            let mut observed = Machine::new(p.clone());
+            let mut native = Machine::new(p.clone());
+            let s1 = run(&mut observed, &config, &mut ());
+            let s2 = run_native(&mut native, &config);
+            assert_eq!(s1, s2, "{config:?}");
+            assert_eq!(observed.output(), native.output(), "{config:?}");
+            for tid in 0..2 {
+                assert_eq!(observed.thread(tid).status(), native.thread(tid).status());
+                assert_eq!(observed.thread(tid).end_seq(), native.thread(tid).end_seq());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Corpus-wide predecode equivalence: the decoded-dispatch interpreter
+//! ([`tvm::scheduler::run`], driving [`tvm::machine::Machine::step_into`]
+//! over the flat [`tvm::predecode::DecodedProgram`] stream) must produce a
+//! step-for-step identical [`StepInfo`] stream to the seed interpreter
+//! ([`tvm::scheduler::run_reference`], decoding [`tvm::isa::Instr`] on every
+//! step) — on every corpus pattern, under more than one schedule.
+//!
+//! This is the widest pin on the predecode layer: any divergence in operand
+//! splitting, branch-target resolution, sequencer-point flagging, fault
+//! ordering, or scheduler interaction shows up as the first differing step.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use tvm::machine::Machine;
+use tvm::scheduler::{run, run_reference, RunConfig};
+use tvm::{Observer, StepInfo};
+use workloads::corpus::{corpus_program, instance_ids};
+
+/// Records every executed step.
+struct Collect {
+    steps: Vec<StepInfo>,
+}
+
+impl Observer for Collect {
+    fn on_step(&mut self, _machine: &Machine, info: &StepInfo) {
+        self.steps.push(info.clone());
+    }
+}
+
+/// Runs `config` over `program` with the given driver, returning the full
+/// step stream plus the machine's output.
+fn trace_with(
+    program: &Arc<tvm::Program>,
+    config: &RunConfig,
+    driver: fn(&mut Machine, &RunConfig, &mut dyn Observer) -> tvm::scheduler::RunSummary,
+) -> (Vec<StepInfo>, Vec<u64>) {
+    let mut machine = Machine::new(program.clone());
+    let mut observer = Collect { steps: Vec::new() };
+    driver(&mut machine, config, &mut observer);
+    let output = machine.output().iter().map(|o| o.value).collect();
+    (observer.steps, output)
+}
+
+#[test]
+fn decoded_stream_matches_reference_on_whole_corpus() {
+    let schedules = [
+        ("rr:2", RunConfig::round_robin(2).with_max_steps(400_000)),
+        ("chunk:9:1:6", RunConfig::chunked(9, 1, 6).with_max_steps(400_000)),
+    ];
+    for id in instance_ids() {
+        let enabled: BTreeSet<&str> = [id].into_iter().collect();
+        let program = corpus_program(&enabled);
+        for (name, config) in &schedules {
+            let (decoded_steps, decoded_out) = trace_with(&program, config, run);
+            let (reference_steps, reference_out) = trace_with(&program, config, run_reference);
+            assert_eq!(
+                decoded_steps.len(),
+                reference_steps.len(),
+                "step count diverged for {id} under {name}"
+            );
+            for (i, (d, r)) in decoded_steps.iter().zip(&reference_steps).enumerate() {
+                assert_eq!(d, r, "step {i} diverged for {id} under {name}");
+            }
+            assert_eq!(decoded_out, reference_out, "output diverged for {id} under {name}");
+        }
+    }
+}
+
+#[test]
+fn decoded_stream_matches_reference_on_full_corpus_program() {
+    // All patterns enabled at once: cross-pattern interleavings exercise
+    // preemption points no single-instance run reaches.
+    let enabled: BTreeSet<&str> = instance_ids().into_iter().collect();
+    let program = corpus_program(&enabled);
+    let config = RunConfig::round_robin(3).with_max_steps(400_000);
+    let (decoded_steps, decoded_out) = trace_with(&program, &config, run);
+    let (reference_steps, reference_out) = trace_with(&program, &config, run_reference);
+    assert_eq!(decoded_steps, reference_steps);
+    assert_eq!(decoded_out, reference_out);
+}
