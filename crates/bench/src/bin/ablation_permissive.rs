@@ -34,6 +34,7 @@ fn run_with(vproc: VprocConfig) -> CorpusReport {
             run: exec.schedule,
             detector: DetectorConfig::default(),
             classifier: ClassifierConfig { vproc, ..ClassifierConfig::default() },
+            static_predictions: None,
             measure_native: false,
         };
         let result = run_pipeline(&program, &config).expect("pipeline");

@@ -1,0 +1,26 @@
+//! E-SC3: the idiom pass's predicted verdicts cross-validated against the
+//! replay classifier, plus the trust-static ablation (replays saved when
+//! high-confidence benign predictions skip replay entirely).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin idiom_eval
+//! ```
+
+fn main() {
+    eprintln!("static idiom pass + 18-execution classifier feed ...");
+    let eval = workloads::eval::run_static_eval();
+    print!("{eval}");
+    assert_eq!(
+        eval.confusion_high.static_optimistic, 0,
+        "a high-confidence benign prediction was refuted by replay"
+    );
+
+    eprintln!("trust-static ablation (two corpus passes) ...");
+    let ablation = workloads::eval::run_trust_ablation();
+    print!("{ablation}");
+    assert!(
+        ablation.verdict_flips.is_empty(),
+        "trusting static predictions flipped verdicts: {:?}",
+        ablation.verdict_flips
+    );
+}

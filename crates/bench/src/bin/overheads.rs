@@ -16,16 +16,20 @@
 //! says otherwise. `--smoke` shrinks the workload and repetition count so
 //! CI can exercise the binary and validate the JSON in seconds.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::{row, PAPER_OVERHEADS};
 use minijson::Json;
+use replay_race::classify::{predictions_by_id, ClassifierConfig, TrustStatic};
 use replay_race::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
 use tvm::machine::Machine;
 use tvm::predecode::DecodedProgram;
 use tvm::scheduler::{run_reference, RunConfig};
 use workloads::browser::{browser_program, BrowserConfig};
+use workloads::corpus::{corpus_executions, corpus_program};
+use workloads::eval::{run_corpus_with, run_corpus_with_predictions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -122,6 +126,32 @@ fn main() {
         }
     );
 
+    // E-SC3 companion: classify replay counts over the 18-execution corpus
+    // with static-prediction trust off vs on (skip high-confidence benign).
+    eprintln!("trust-static ablation on the corpus (off vs skip-benign) ...");
+    let start = Instant::now();
+    let baseline = run_corpus_with(&ClassifierConfig::default());
+    let baseline_time = start.elapsed();
+    let executions = corpus_executions();
+    let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
+    let predictions = Arc::new(predictions_by_id(&racecheck::analyze(&corpus_program(&full))));
+    let trusted_config = ClassifierConfig {
+        trust_static: TrustStatic::SkipAgreedBenign,
+        ..ClassifierConfig::default()
+    };
+    let start = Instant::now();
+    let trusted = run_corpus_with_predictions(&trusted_config, Some(predictions));
+    let trusted_time = start.elapsed();
+    println!(
+        "trust-static: {} -> {} vproc replays ({} saved, {} race skips); corpus classify {:?} -> {:?}",
+        baseline.merged.vproc_replays,
+        trusted.merged.vproc_replays,
+        baseline.merged.vproc_replays.saturating_sub(trusted.merged.vproc_replays),
+        trusted.merged.static_skipped_races,
+        baseline_time,
+        trusted_time,
+    );
+
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let doc = Json::obj(vec![
         ("workload", Json::str("browser")),
@@ -151,6 +181,22 @@ fn main() {
             ]),
         ),
         ("classify_ms", Json::from(ms(t.classify))),
+        (
+            "trust_static",
+            Json::obj(vec![
+                ("corpus_replays_off", Json::from(baseline.merged.vproc_replays)),
+                ("corpus_replays_skip_benign", Json::from(trusted.merged.vproc_replays)),
+                (
+                    "replays_saved",
+                    Json::from(
+                        baseline.merged.vproc_replays.saturating_sub(trusted.merged.vproc_replays),
+                    ),
+                ),
+                ("races_skipped", Json::from(trusted.merged.static_skipped_races)),
+                ("corpus_classify_off_ms", Json::from(ms(baseline_time))),
+                ("corpus_classify_skip_benign_ms", Json::from(ms(trusted_time))),
+            ]),
+        ),
     ]);
     let mut text = doc.to_string_pretty();
     text.push('\n');

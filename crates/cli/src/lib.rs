@@ -9,7 +9,9 @@
 //! racerep replay    prog.tasm run.idna
 //! racerep races     prog.tasm run.idna [--format text|json] [--permissive]
 //!                   [--triage-db db.json] [--jobs N] [--cache off|exact|coarse]
+//!                   [--trust-static off|skip-benign]
 //! racerep classify  prog.tasm [--schedule S] [--format text|json] [--jobs N] [--cache MODE]
+//!                   [--trust-static off|skip-benign]
 //! racerep lint      prog.tasm [--format text|json]
 //! racerep triage    db.json <benign|harmful> <pc_lo> <pc_hi> [note...]
 //! racerep loginfo   run.idna
@@ -28,6 +30,11 @@
 //! available parallelism, 1 = single-threaded); `--cache` picks the replay
 //! memoization mode. Neither changes the classification, only its cost.
 //!
+//! `--trust-static skip-benign` (ablation) lets `races` and `classify` skip
+//! dual-order replays for races the static idiom pass predicts benign at
+//! high confidence, recording them as No-State-Change on static authority
+//! alone. The default (`off`) replays everything.
+//!
 //! The library half exists so the command implementations are unit-testable
 //! without spawning processes.
 
@@ -43,7 +50,7 @@ use idna_replay::event::ReplayLog;
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
 use idna_replay::vproc::VprocConfig;
-use replay_race::classify::{CacheMode, ClassifierConfig};
+use replay_race::classify::{predictions_by_id, CacheMode, ClassifierConfig, TrustStatic};
 use replay_race::pipeline::{run_pipeline, PipelineConfig};
 use replay_race::triage::{ManualVerdict, TriageDb};
 use tvm::asm::{assemble, disassemble_annotated};
@@ -338,7 +345,14 @@ pub fn cmd_races(
     let trace = replay(&program, &log).map_err(|e| CliError { message: e.to_string() })?;
     let detected =
         replay_race::detect::detect_races(&trace, &replay_race::detect::DetectorConfig::default());
-    let classification = replay_race::classify::classify_races(&trace, &detected, classifier);
+    let predictions = (classifier.trust_static == TrustStatic::SkipAgreedBenign)
+        .then(|| predictions_by_id(&racecheck::analyze(&program)));
+    let classification = replay_race::classify::classify_races_with(
+        &trace,
+        &detected,
+        classifier,
+        predictions.as_ref(),
+    );
     let report = replay_race::report::Report::build(&trace, &classification);
     let mut out = if json { report.to_json() } else { report.to_text() };
     if let Some(db_path) = triage_db {
@@ -387,7 +401,11 @@ pub fn cmd_classify(
     classifier: &ClassifierConfig,
 ) -> Result<String, CliError> {
     let program = load_program(path)?;
-    let config = PipelineConfig { classifier: *classifier, ..PipelineConfig::new(schedule) };
+    let mut config = PipelineConfig { classifier: *classifier, ..PipelineConfig::new(schedule) };
+    if classifier.trust_static == TrustStatic::SkipAgreedBenign {
+        config.static_predictions =
+            Some(Arc::new(predictions_by_id(&racecheck::analyze(&program))));
+    }
     let result =
         run_pipeline(&program, &config).map_err(|e| CliError { message: e.to_string() })?;
     Ok(if json {
@@ -409,6 +427,12 @@ pub fn cmd_classify(
             cache.hit_rate() * 100.0,
             cache.saved_replays,
         ));
+        if result.classification.static_skipped_races > 0 {
+            out.push_str(&format!(
+                "{} race(s) recorded benign on static authority (no replays)\n",
+                result.classification.static_skipped_races,
+            ));
+        }
         out
     })
 }
@@ -494,6 +518,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let mut max_steps: Option<u64> = None;
     let mut jobs: usize = 0;
     let mut cache = CacheMode::default();
+    let mut trust_static = TrustStatic::default();
     let mut positional: Vec<&String> = Vec::new();
 
     let mut i = 0;
@@ -552,6 +577,13 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                     .ok_or_else(|| CliError { message: "--cache needs a mode".into() })?;
                 cache = CacheMode::parse(v).map_err(|message| CliError { message })?;
             }
+            "--trust-static" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--trust-static needs a mode".into() })?;
+                trust_static = TrustStatic::parse(v).map_err(|message| CliError { message })?;
+            }
             "--triage-db" => {
                 i += 1;
                 triage_db = Some(
@@ -571,7 +603,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         schedule = schedule.with_max_steps(ms);
     }
     let vproc = if permissive { VprocConfig::permissive() } else { VprocConfig::default() };
-    let classifier = ClassifierConfig { vproc, jobs, cache, ..ClassifierConfig::default() };
+    let classifier =
+        ClassifierConfig { vproc, jobs, cache, trust_static, ..ClassifierConfig::default() };
 
     let usage = "usage: racerep <run|record|replay|races|classify|lint|triage|loginfo|disasm> ...";
     let Some((&cmd, rest)) = positional.split_first() else {
@@ -779,6 +812,47 @@ mod tests {
             vec!["lint".into(), prog.display().to_string(), "--format".into(), "yaml".into()];
         let e = dispatch(&args).unwrap_err();
         assert!(e.message.contains("--format must be text or json"));
+        let _ = fs::remove_file(prog);
+    }
+
+    #[test]
+    fn trust_static_flag_skips_replays_for_predicted_benign_races() {
+        // Two threads redundantly store the same constant the global
+        // already holds: spot-on for the redundant-write recognizer.
+        let src = "\
+.global 0x20 7
+.thread a
+  movi r1, 7
+  st [r15+32], r1
+  halt
+.thread b
+  movi r1, 7
+  st [r15+32], r1
+  halt
+";
+        let prog = temp_file("trust.tasm", src);
+        let trusted = ClassifierConfig {
+            trust_static: TrustStatic::SkipAgreedBenign,
+            ..ClassifierConfig::default()
+        };
+        let out = cmd_classify(&prog, RunConfig::round_robin(1), false, &trusted).unwrap();
+        assert!(out.contains("recorded benign on static authority"), "{out}");
+        assert!(out.contains("potentially benign"), "{out}");
+        assert!(out.contains("0 vproc replays"), "{out}");
+        // The default config replays instead of skipping.
+        let out =
+            cmd_classify(&prog, RunConfig::round_robin(1), false, &ClassifierConfig::default())
+                .unwrap();
+        assert!(!out.contains("static authority"), "{out}");
+        // Flag parsing: bad modes are reported.
+        let args: Vec<String> = vec![
+            "classify".into(),
+            prog.display().to_string(),
+            "--trust-static".into(),
+            "maybe".into(),
+        ];
+        let e = dispatch(&args).unwrap_err();
+        assert!(e.message.contains("trust-static mode"), "{}", e.message);
         let _ = fs::remove_file(prog);
     }
 

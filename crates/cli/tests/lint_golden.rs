@@ -1,0 +1,70 @@
+//! Pins the `racerep lint --format json` output for the four Table 2 idiom
+//! exemplars against committed golden files, locking both the extended
+//! schema (`idiom`, `predicted`, `confidence`) and the stable warning order
+//! (sorted by `(pc_lo, pc_hi)`, i.e. lowest address class first).
+//!
+//! To refresh after an intentional schema or recognizer change:
+//!
+//! ```sh
+//! for f in spin_wait double_check redundant_write disjoint_bits; do
+//!   cargo run -p racerep -- lint examples/asm/idiom_$f.tasm --format json \
+//!     > examples/asm/golden/idiom_$f.lint.json
+//! done
+//! ```
+
+use std::path::PathBuf;
+
+use racerep::cmd_lint;
+
+const EXEMPLARS: [(&str, &str, &str); 4] = [
+    ("idiom_spin_wait", "spin-wait", "high"),
+    ("idiom_double_check", "double-check", "low"),
+    ("idiom_redundant_write", "redundant-write", "high"),
+    ("idiom_disjoint_bits", "disjoint-bits", "high"),
+];
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel)
+}
+
+#[test]
+fn lint_json_matches_committed_goldens() {
+    for (name, _, _) in EXEMPLARS {
+        let asm = repo_path(&format!("examples/asm/{name}.tasm"));
+        let golden = repo_path(&format!("examples/asm/golden/{name}.lint.json"));
+        let out = cmd_lint(&asm, true).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expected = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("{name}: golden file unreadable: {e}"));
+        assert_eq!(
+            out, expected,
+            "{name}: lint JSON drifted from examples/asm/golden/{name}.lint.json — \
+             if intentional, regenerate the goldens (see this file's header)"
+        );
+    }
+}
+
+#[test]
+fn golden_warnings_carry_the_expected_idiom_and_are_sorted() {
+    for (name, idiom, confidence) in EXEMPLARS {
+        let out = cmd_lint(&repo_path(&format!("examples/asm/{name}.tasm")), true).unwrap();
+        let json = minijson::Json::parse(&out).expect("lint json parses");
+        let warnings = json.get("warnings").and_then(|w| w.as_arr()).expect("warnings array");
+        assert!(!warnings.is_empty(), "{name}: no warnings");
+
+        // Every exemplar's warnings are tagged benign, the intended idiom
+        // appears at its intended confidence, and the emission order is the
+        // sorted (pc_lo, pc_hi) order the schema promises.
+        let mut prev = (0u64, 0u64);
+        let mut intended = false;
+        for w in warnings {
+            let key = |k: &str| w.get(k).and_then(|v| v.as_u64()).expect("pc field");
+            let s = |k: &str| w.get(k).and_then(|v| v.as_str()).expect("tag field").to_owned();
+            let here = (key("pc_lo"), key("pc_hi"));
+            assert!(prev <= here, "{name}: warnings out of order: {prev:?} then {here:?}");
+            prev = here;
+            assert_eq!(s("predicted"), "benign", "{name}: {here:?}");
+            intended |= s("idiom") == idiom && s("confidence") == confidence;
+        }
+        assert!(intended, "{name}: no warning tagged ({idiom}, {confidence})");
+    }
+}

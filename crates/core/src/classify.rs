@@ -45,6 +45,7 @@ use tvm::fasthash::FastHashMap;
 
 use idna_replay::replayer::ReplayTrace;
 use idna_replay::vproc::{AccessSite, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig};
+use racecheck::PredictedVerdict;
 
 use crate::detect::{DetectedRaces, RaceInstance, StaticRaceId};
 
@@ -183,6 +184,38 @@ impl CacheMode {
             "exact" => Ok(CacheMode::Exact),
             "coarse" => Ok(CacheMode::Coarse),
             other => Err(format!("cache mode must be off, exact, or coarse, got {other:?}")),
+        }
+    }
+}
+
+/// How much the classifier trusts the static idiom pass's predictions
+/// ([`racecheck::idioms`]). **Ablation-only knob**: the default runs every
+/// replay; `SkipAgreedBenign` trades replays for trust in the static
+/// recognizers, and graduates from ablation status only while it produces
+/// zero verdict flips on the corpus (pinned by `tests/static_idioms.rs`,
+/// measured in EXPERIMENTS.md E-SC3).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum TrustStatic {
+    /// Ignore static predictions; classify every race by replay.
+    #[default]
+    Off,
+    /// Skip dual-order replays for races whose static prediction is benign
+    /// at high confidence, recording them as No-State-Change with zero
+    /// analyzed instances.
+    SkipAgreedBenign,
+}
+
+impl TrustStatic {
+    /// Parses a CLI-style mode name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unrecognized input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(TrustStatic::Off),
+            "skip-benign" => Ok(TrustStatic::SkipAgreedBenign),
+            other => Err(format!("trust-static mode must be off or skip-benign, got {other:?}")),
         }
     }
 }
@@ -365,6 +398,9 @@ pub struct ClassifierConfig {
     pub jobs: usize,
     /// Replay memoization granularity (default [`CacheMode::Exact`]).
     pub cache: CacheMode,
+    /// Whether high-confidence benign static predictions skip replay
+    /// (default [`TrustStatic::Off`]; see the type's ablation caveat).
+    pub trust_static: TrustStatic,
 }
 
 impl ClassifierConfig {
@@ -387,6 +423,7 @@ impl Default for ClassifierConfig {
             max_instances_per_race: 2_000,
             jobs: 0,
             cache: CacheMode::default(),
+            trust_static: TrustStatic::default(),
         }
     }
 }
@@ -402,6 +439,9 @@ pub struct ClassificationResult {
     pub vproc_replays: u64,
     /// Replay-cache counters for the classification phase.
     pub cache_stats: CacheStats,
+    /// Races recorded benign on static authority alone (zero replays),
+    /// under [`TrustStatic::SkipAgreedBenign`]. Always 0 with trust off.
+    pub static_skipped_races: u64,
     /// The populated replay cache, for downstream phases (the report) to
     /// reuse live-outs from. `None` when caching was off or after merging
     /// across traces (a cache is only meaningful for its own trace).
@@ -543,6 +583,30 @@ pub fn classify_races(
     detected: &DetectedRaces,
     config: &ClassifierConfig,
 ) -> ClassificationResult {
+    classify_races_with(trace, detected, config, None)
+}
+
+/// Converts a [`racecheck`] idiom-pass prediction map to the classifier's
+/// [`StaticRaceId`] keying, for [`classify_races_with`].
+#[must_use]
+pub fn predictions_by_id(
+    analysis: &racecheck::Analysis,
+) -> BTreeMap<StaticRaceId, PredictedVerdict> {
+    analysis.predictions().into_iter().map(|((lo, hi), p)| (StaticRaceId::new(lo, hi), p)).collect()
+}
+
+/// [`classify_races`], with an optional static-prediction map consulted only
+/// under [`TrustStatic::SkipAgreedBenign`]: races the idiom pass predicts
+/// benign at high confidence are recorded No-State-Change without planning
+/// any replays. With trust off (or `predictions` `None`) the map is ignored
+/// and the result is identical to [`classify_races`].
+#[must_use]
+pub fn classify_races_with(
+    trace: &ReplayTrace,
+    detected: &DetectedRaces,
+    config: &ClassifierConfig,
+    predictions: Option<&BTreeMap<StaticRaceId, PredictedVerdict>>,
+) -> ClassificationResult {
     let cache = ReplayCache::new(config.cache, config.vproc);
 
     // Phase 1: plan. A sequential walk fixes which replays run and which
@@ -552,7 +616,14 @@ pub fn classify_races(
     let mut job_index: FastHashMap<ReplayKey, usize> = FastHashMap::default();
     let mut planned_hits = 0u64;
     let mut plan: Vec<(StaticRaceId, usize, Vec<PlannedInstance>)> = Vec::new();
+    let mut static_skipped: Vec<(StaticRaceId, usize)> = Vec::new();
     for (&id, indices) in &detected.by_static {
+        if config.trust_static == TrustStatic::SkipAgreedBenign
+            && predictions.and_then(|m| m.get(&id)).is_some_and(|p| p.high_confidence_benign())
+        {
+            static_skipped.push((id, indices.len()));
+            continue;
+        }
         let mut planned = Vec::with_capacity(indices.len().min(config.max_instances_per_race));
         for &idx in indices.iter().take(config.max_instances_per_race) {
             let instance = detected.instances[idx];
@@ -597,6 +668,15 @@ pub fn classify_races(
         },
         ..ClassificationResult::default()
     };
+    result.static_skipped_races = static_skipped.len() as u64;
+    for (id, detected_count) in static_skipped {
+        let counts = InstanceCounts { detected: detected_count, ..InstanceCounts::default() };
+        let group = OutcomeGroup::NoStateChange;
+        result.races.insert(
+            id,
+            ClassifiedRace { id, group, verdict: group.verdict(), counts, instances: vec![] },
+        );
+    }
     for (id, detected_count, planned) in plan {
         let mut counts = InstanceCounts { detected: detected_count, ..InstanceCounts::default() };
         let mut classified = Vec::with_capacity(planned.len());
@@ -655,9 +735,11 @@ pub fn merge_classifications(results: &[ClassificationResult]) -> Classification
     let mut merged: BTreeMap<StaticRaceId, ClassifiedRace> = BTreeMap::new();
     let mut vproc_replays = 0;
     let mut cache_stats = CacheStats::default();
+    let mut static_skipped_races = 0;
     for result in results {
         vproc_replays += result.vproc_replays;
         cache_stats = cache_stats.merged(result.cache_stats);
+        static_skipped_races += result.static_skipped_races;
         for (id, race) in &result.races {
             merged
                 .entry(*id)
@@ -680,7 +762,13 @@ pub fn merge_classifications(results: &[ClassificationResult]) -> Classification
                 .or_insert_with(|| race.clone());
         }
     }
-    ClassificationResult { races: merged, vproc_replays, cache_stats, cache: None }
+    ClassificationResult {
+        races: merged,
+        vproc_replays,
+        cache_stats,
+        static_skipped_races,
+        cache: None,
+    }
 }
 
 #[cfg(test)]
@@ -850,6 +938,97 @@ mod tests {
         let (nsc, sc, rf) = result.group_counts();
         assert_eq!(nsc + sc + rf, result.races.len());
         assert!(sc >= 1, "the conflicting write must be state-change");
+    }
+
+    #[test]
+    fn trust_static_skips_high_confidence_benign_predictions() {
+        let mut b = ProgramBuilder::new();
+        for name in ["a", "b"] {
+            b.thread(name);
+            b.movi(Reg::R1, 7).store(Reg::R1, Reg::R15, 0x20).halt();
+        }
+        let program: Arc<Program> = Arc::new(b.build());
+        let cfg = RunConfig::round_robin(1);
+        let rec = record(&program, &cfg);
+        let trace = replay(&program, &rec.log).unwrap();
+        let detected = detect_races(&trace, &DetectorConfig::default());
+        let baseline = classify_races(&trace, &detected, &ClassifierConfig::default());
+        assert_eq!(baseline.static_skipped_races, 0);
+        let (&id, base_race) = baseline.races.iter().next().unwrap();
+        assert!(base_race.counts.analyzed > 0);
+
+        let benign = PredictedVerdict {
+            idiom: racecheck::Idiom::RedundantWrite,
+            confidence: racecheck::Confidence::High,
+        };
+        let predictions: BTreeMap<StaticRaceId, PredictedVerdict> = [(id, benign)].into();
+        let trusted = ClassifierConfig {
+            trust_static: TrustStatic::SkipAgreedBenign,
+            ..ClassifierConfig::default()
+        };
+        let result = classify_races_with(&trace, &detected, &trusted, Some(&predictions));
+        assert_eq!(result.static_skipped_races, 1);
+        assert_eq!(result.vproc_replays, 0, "the only race was skipped");
+        let race = &result.races[&id];
+        assert_eq!(race.verdict, Verdict::PotentiallyBenign);
+        assert_eq!(race.group, OutcomeGroup::NoStateChange);
+        assert_eq!(race.counts.analyzed, 0);
+        assert_eq!(race.counts.detected, base_race.counts.detected);
+        assert!(race.instances.is_empty());
+
+        // With trust off the same prediction map changes nothing.
+        let off = classify_races_with(
+            &trace,
+            &detected,
+            &ClassifierConfig::default(),
+            Some(&predictions),
+        );
+        assert_eq!(off.static_skipped_races, 0);
+        assert_eq!(off.vproc_replays, baseline.vproc_replays);
+        assert_eq!(off.races[&id].counts.analyzed, base_race.counts.analyzed);
+    }
+
+    #[test]
+    fn trust_static_ignores_low_confidence_and_harmful_predictions() {
+        let mut b = ProgramBuilder::new();
+        for (name, val) in [("a", 1u64), ("b", 2u64)] {
+            b.thread(name);
+            b.movi(Reg::R1, val).store(Reg::R1, Reg::R15, 0x20).halt();
+        }
+        let program: Arc<Program> = Arc::new(b.build());
+        let cfg = RunConfig::round_robin(1);
+        let rec = record(&program, &cfg);
+        let trace = replay(&program, &rec.log).unwrap();
+        let detected = detect_races(&trace, &DetectorConfig::default());
+        let &id = detected.by_static.keys().next().unwrap();
+        let low = PredictedVerdict {
+            idiom: racecheck::Idiom::DoubleCheck,
+            confidence: racecheck::Confidence::Low,
+        };
+        for prediction in [low, PredictedVerdict::UNKNOWN] {
+            let predictions: BTreeMap<StaticRaceId, PredictedVerdict> = [(id, prediction)].into();
+            let trusted = ClassifierConfig {
+                trust_static: TrustStatic::SkipAgreedBenign,
+                ..ClassifierConfig::default()
+            };
+            let result = classify_races_with(&trace, &detected, &trusted, Some(&predictions));
+            assert_eq!(result.static_skipped_races, 0, "{prediction:?} must still replay");
+            assert!(result.races[&id].counts.analyzed > 0);
+        }
+    }
+
+    #[test]
+    fn merge_sums_static_skip_accounting() {
+        let one = ClassificationResult { static_skipped_races: 2, ..Default::default() };
+        let two = ClassificationResult { static_skipped_races: 1, ..Default::default() };
+        assert_eq!(merge_classifications(&[one, two]).static_skipped_races, 3);
+    }
+
+    #[test]
+    fn parse_trust_static_names() {
+        assert_eq!(TrustStatic::parse("off").unwrap(), TrustStatic::Off);
+        assert_eq!(TrustStatic::parse("skip-benign").unwrap(), TrustStatic::SkipAgreedBenign);
+        assert!(TrustStatic::parse("always").is_err());
     }
 
     #[test]

@@ -2,19 +2,21 @@
 //! classify → report, with phase timings for the paper's §5.1 overhead
 //! study.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use idna_replay::codec::{LogSizeReport, LogWriter};
 use idna_replay::recorder::record_with;
 use idna_replay::replayer::{replay_with, ReplayError, ReplayTrace};
+use racecheck::PredictedVerdict;
 use tvm::machine::Machine;
 use tvm::predecode::DecodedProgram;
 use tvm::program::Program;
 use tvm::scheduler::{run_native, RunConfig};
 
-use crate::classify::{classify_races, CacheStats, ClassificationResult, ClassifierConfig};
-use crate::detect::{detect_races, DetectedRaces, DetectorConfig};
+use crate::classify::{classify_races_with, CacheStats, ClassificationResult, ClassifierConfig};
+use crate::detect::{detect_races, DetectedRaces, DetectorConfig, StaticRaceId};
 use crate::report::Report;
 
 /// Pipeline options.
@@ -24,6 +26,10 @@ pub struct PipelineConfig {
     pub run: RunConfig,
     pub detector: DetectorConfig,
     pub classifier: ClassifierConfig,
+    /// Static idiom-pass predictions keyed by race id, consulted only under
+    /// [`crate::classify::TrustStatic::SkipAgreedBenign`]. `None` (the
+    /// default) classifies every race by replay.
+    pub static_predictions: Option<Arc<BTreeMap<StaticRaceId, PredictedVerdict>>>,
     /// Whether to run the program once *without* recording to obtain the
     /// native-execution baseline for the overhead ratios.
     pub measure_native: bool,
@@ -37,6 +43,7 @@ impl PipelineConfig {
             run,
             detector: DetectorConfig::default(),
             classifier: ClassifierConfig::default(),
+            static_predictions: None,
             measure_native: true,
         }
     }
@@ -152,7 +159,8 @@ pub fn run_pipeline(
     timings.detect = start.elapsed();
 
     let start = Instant::now();
-    let classification = classify_races(&trace, &detected, &config.classifier);
+    let predictions = config.static_predictions.as_deref();
+    let classification = classify_races_with(&trace, &detected, &config.classifier, predictions);
     timings.classify = start.elapsed();
 
     let report = Report::build(&trace, &classification);

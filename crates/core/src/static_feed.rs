@@ -64,6 +64,56 @@ pub struct StaticFeedSummary {
     pub unmaterialized_ids: Vec<StaticRaceId>,
 }
 
+/// Predicted-vs-replayed agreement over materialized warnings: the E-SC3
+/// confusion matrix between the idiom pass's pre-replay verdicts
+/// ([`racecheck::idioms`]) and the replay classifier's outcomes.
+/// Unmaterialized warnings are out of scope — replay produced no verdict
+/// to agree or disagree with.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticConfusion {
+    /// Predicted benign; every replayed instance left state unchanged.
+    pub agree_benign: usize,
+    /// Predicted harmful (no idiom matched); replay exposed the race.
+    pub agree_harmful: usize,
+    /// Predicted benign but replay exposed the race — the dangerous cell;
+    /// high-confidence entries here veto
+    /// [`TrustStatic`](crate::classify::TrustStatic) graduation.
+    pub static_optimistic: usize,
+    /// Predicted harmful but replay saw no state change — triage waste,
+    /// never a soundness problem.
+    pub static_pessimistic: usize,
+}
+
+impl StaticConfusion {
+    /// Folds one materialized warning into the matrix.
+    pub fn record(&mut self, predicted_benign: bool, replay_benign: bool) {
+        match (predicted_benign, replay_benign) {
+            (true, true) => self.agree_benign += 1,
+            (false, false) => self.agree_harmful += 1,
+            (true, false) => self.static_optimistic += 1,
+            (false, true) => self.static_pessimistic += 1,
+        }
+    }
+
+    /// Materialized warnings folded in.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.agree_benign + self.agree_harmful + self.static_optimistic + self.static_pessimistic
+    }
+
+    /// Fraction of materialized warnings where prediction and replay agree
+    /// (1.0 when nothing materialized).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn agreement(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            (self.agree_benign + self.agree_harmful) as f64 / self.total() as f64
+        }
+    }
+}
+
 /// Materializes concrete access pairs for each static candidate and
 /// classifies them by replaying both orders.
 ///

@@ -97,7 +97,7 @@ impl State {
         State { regs, locks: BTreeSet::new(), pending: None, defs: [None; NUM_REGS] }
     }
 
-    fn reg(&self, r: Reg) -> AbsVal {
+    pub(crate) fn reg(&self, r: Reg) -> AbsVal {
         self.regs[r.index()]
     }
 
@@ -154,6 +154,11 @@ pub struct AccessFact {
     pub writes: bool,
     /// Whether the instruction is a sequencer point (atomic).
     pub atomic: bool,
+    /// Abstract value the access stores, for writes whose stored value is
+    /// directly visible (plain stores and `xchg`). `None` for pure reads and
+    /// for writes whose stored value depends on the memory word (CAS,
+    /// arithmetic RMWs).
+    pub stored: Option<AbsVal>,
 }
 
 /// A lock-discipline event the transfer function recognized at one pc.
@@ -210,20 +215,23 @@ pub fn transfer(program: &Program, cfg: &Cfg, pc: usize, state: &State) -> Trans
                 reads: true,
                 writes: false,
                 atomic: false,
+                stored: None,
             });
             next.set_reg(dst, AbsVal::Top);
         }
-        Instr::Store { base, offset, .. } => {
+        Instr::Store { src, base, offset } => {
             out.access = Some(AccessFact {
                 loc: AbsLoc::resolve(state.reg(base), offset),
                 reads: false,
                 writes: true,
                 atomic: false,
+                stored: Some(state.reg(src)),
             });
         }
         Instr::AtomicRmw { op, dst, base, offset, src } => {
             let loc = AbsLoc::resolve(state.reg(base), offset);
-            out.access = Some(AccessFact { loc, reads: true, writes: true, atomic: true });
+            let stored = if op == RmwOp::Xchg { Some(state.reg(src)) } else { None };
+            out.access = Some(AccessFact { loc, reads: true, writes: true, atomic: true, stored });
             if op == RmwOp::Xchg {
                 if let Some(lock) = loc.exact_global() {
                     let stored = state.reg(src);
@@ -242,7 +250,8 @@ pub fn transfer(program: &Program, cfg: &Cfg, pc: usize, state: &State) -> Trans
         }
         Instr::AtomicCas { dst, base, offset, expected, new } => {
             let loc = AbsLoc::resolve(state.reg(base), offset);
-            out.access = Some(AccessFact { loc, reads: true, writes: true, atomic: true });
+            out.access =
+                Some(AccessFact { loc, reads: true, writes: true, atomic: true, stored: None });
             if let Some(lock) = loc.exact_global() {
                 let (exp, new) = (state.reg(expected), state.reg(new));
                 if exp.as_const() == Some(0) && new.is_nonzero() {

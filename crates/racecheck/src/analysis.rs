@@ -30,6 +30,7 @@ use tvm::program::Program;
 use crate::absint::{fixpoint, transfer, LockEvent};
 use crate::cfg::Cfg;
 use crate::domain::AbsLoc;
+use crate::idioms::{self, AccessIdiom, PredictedVerdict};
 
 /// One statically observed memory access in one thread.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +47,8 @@ pub struct Access {
     pub atomic: bool,
     /// Valid locks held on every path reaching the access.
     pub locks: BTreeSet<u64>,
+    /// Dataflow facts for the benign-idiom recognizers.
+    pub idiom: AccessIdiom,
 }
 
 /// The access summary of one `ThreadSpec`.
@@ -124,6 +127,9 @@ pub struct RaceWarning {
     pub hi: WarningSide,
     /// Whether any contributing location was `Unknown` (unresolved address).
     pub unresolved: bool,
+    /// The idiom pass's predicted replay verdict, folded over every
+    /// contributing access pair.
+    pub predicted: PredictedVerdict,
 }
 
 /// The set of statically-may-race pc pairs, the interface consumed by the
@@ -201,6 +207,8 @@ pub struct AnalysisStats {
     pub pruned_atomic_atomic: u64,
     /// Access pairs pruned because both sides hold a common valid lock.
     pub pruned_common_lock: u64,
+    /// Warnings whose predicted verdict is benign (any idiom matched).
+    pub predicted_benign: usize,
 }
 
 /// The full result of [`analyze`].
@@ -234,6 +242,7 @@ pub fn analyze(program: &Program) -> Analysis {
     let mut unheld_releases: BTreeMap<u64, usize> = BTreeMap::new();
     let mut reachable_pcs: BTreeSet<usize> = BTreeSet::new();
     let mut memory_pcs: BTreeSet<usize> = BTreeSet::new();
+    let barriers = idioms::control_barriers(program);
 
     for spec in program.threads() {
         let cfg = Cfg::build(program, spec.entry);
@@ -252,6 +261,7 @@ pub fn analyze(program: &Program) -> Analysis {
                     writes: a.writes,
                     atomic: a.atomic,
                     locks: BTreeSet::new(), // masked by validity below
+                    idiom: idioms::access_facts(program, &flow, &barriers, pc, &a),
                 });
                 raw_locks.push(state.locks.clone());
             }
@@ -315,6 +325,7 @@ pub fn analyze(program: &Program) -> Analysis {
     }
 
     // Cross-product per-thread summaries into candidate pairs.
+    let single_valued = idioms::single_valued_globals(program, &threads);
     let mut candidates = CandidateSet::default();
     let mut stats = AnalysisStats {
         threads: threads.len(),
@@ -351,7 +362,8 @@ pub fn analyze(program: &Program) -> Analysis {
                         continue;
                     }
                     candidates.insert(a.pc, b.pc);
-                    record_warning(&mut warnings, ta, a, tb, b);
+                    let predicted = idioms::classify_pair(a, b, &single_valued);
+                    record_warning(&mut warnings, ta, a, tb, b, predicted);
                 }
             }
         }
@@ -359,7 +371,37 @@ pub fn analyze(program: &Program) -> Analysis {
     stats.candidate_pairs = candidates.len();
     stats.monitored_pcs = candidates.monitored.len();
 
-    Analysis { threads, locks, warnings: warnings.into_values().collect(), candidates, stats }
+    // The BTreeMap already iterates by `(pc_lo, pc_hi)`, but the emission
+    // order is part of the lint JSON contract: sort explicitly by
+    // `(pc_lo, pc_hi, addr class)` so it never silently inherits whatever
+    // the aggregation map happens to be.
+    let mut warnings: Vec<RaceWarning> = warnings.into_values().collect();
+    warnings.sort_by_key(|w| (w.lo.pc, w.hi.pc, addr_class(w)));
+    stats.predicted_benign = warnings.iter().filter(|w| w.predicted.benign()).count();
+
+    Analysis { threads, locks, warnings, candidates, stats }
+}
+
+/// Ordering class of a warning's addresses: resolved globals sort before
+/// heap locations, unresolved addresses last.
+fn addr_class(w: &RaceWarning) -> u8 {
+    if w.unresolved {
+        2
+    } else if w.lo.locs.iter().chain(&w.hi.locs).any(|l| l.starts_with("heap")) {
+        1
+    } else {
+        0
+    }
+}
+
+impl Analysis {
+    /// The per-warning predictions keyed by normalized `(pc_lo, pc_hi)` —
+    /// the join key consumers use to meet static predictions with dynamic
+    /// race ids.
+    #[must_use]
+    pub fn predictions(&self) -> BTreeMap<(usize, usize), PredictedVerdict> {
+        self.warnings.iter().map(|w| ((w.lo.pc, w.hi.pc), w.predicted)).collect()
+    }
 }
 
 fn record_warning(
@@ -368,13 +410,16 @@ fn record_warning(
     a: &Access,
     tb: &ThreadSummary,
     b: &Access,
+    predicted: PredictedVerdict,
 ) {
     let key = (a.pc.min(b.pc), a.pc.max(b.pc));
     let w = warnings.entry(key).or_insert_with(|| RaceWarning {
         lo: WarningSide { pc: key.0, ..WarningSide::default() },
         hi: WarningSide { pc: key.1, ..WarningSide::default() },
         unresolved: false,
+        predicted,
     });
+    w.predicted = w.predicted.combine(predicted);
     w.unresolved |= a.loc == AbsLoc::Unknown || b.loc == AbsLoc::Unknown;
     // Tie-break equal pcs by putting `a` on the low side so both sides of a
     // same-pc pair (one function run by two threads) are populated.

@@ -123,6 +123,17 @@ impl AbsVal {
         }
     }
 
+    /// Bits this value may have set: an all-ones mask covering every
+    /// possible concrete value, [`u64::MAX`] when nothing is known. Used by
+    /// the idiom pass to bound which bits an `or`/`xor` source can flip.
+    #[must_use]
+    pub fn may_set_mask(self) -> u64 {
+        match self {
+            AbsVal::Int { hi, .. } => bit_ceiling(hi),
+            AbsVal::HeapPtr { .. } | AbsVal::Top => u64::MAX,
+        }
+    }
+
     /// Abstract transfer of a binary ALU operation.
     #[must_use]
     pub fn binop(op: BinOp, lhs: Self, rhs: Self) -> Self {

@@ -36,6 +36,7 @@ pub mod absint;
 pub mod analysis;
 pub mod cfg;
 pub mod domain;
+pub mod idioms;
 pub mod report;
 
 pub use analysis::{
@@ -44,6 +45,7 @@ pub use analysis::{
 };
 pub use cfg::Cfg;
 pub use domain::{AbsLoc, AbsVal};
+pub use idioms::{AccessIdiom, Confidence, Idiom, PredictedVerdict, SpinPolarity};
 pub use report::{render_json, render_text};
 
 #[cfg(test)]

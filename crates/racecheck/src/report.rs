@@ -4,6 +4,15 @@
 use minijson::Json;
 
 use crate::analysis::{Analysis, Demotion, RaceWarning, WarningSide};
+use crate::idioms::PredictedVerdict;
+
+fn predicted_kind(p: PredictedVerdict) -> &'static str {
+    if p.benign() {
+        "benign"
+    } else {
+        "harmful"
+    }
+}
 
 fn side_kind(s: &WarningSide) -> &'static str {
     match (s.writes, s.atomic) {
@@ -83,6 +92,13 @@ pub fn render_text(analysis: &Analysis) -> String {
             let _ = writeln!(out, "  W {}..{}{}", w.lo.pc, w.hi.pc, tag);
             let _ = writeln!(out, "    {}", fmt_side(&w.lo));
             let _ = writeln!(out, "    {}", fmt_side(&w.hi));
+            let _ = writeln!(
+                out,
+                "    predicted {} (idiom {}, {} confidence)",
+                predicted_kind(w.predicted),
+                w.predicted.idiom.label(),
+                w.predicted.confidence.label()
+            );
         }
     }
     out
@@ -102,6 +118,9 @@ fn warning_json(w: &RaceWarning) -> Json {
         ("pc_lo", Json::from(w.lo.pc)),
         ("pc_hi", Json::from(w.hi.pc)),
         ("unresolved", Json::from(w.unresolved)),
+        ("idiom", Json::str(w.predicted.idiom.label())),
+        ("predicted", Json::str(predicted_kind(w.predicted))),
+        ("confidence", Json::str(w.predicted.confidence.label())),
         ("lo", side_json(&w.lo)),
         ("hi", side_json(&w.hi)),
     ])
@@ -166,6 +185,7 @@ pub fn render_json(analysis: &Analysis) -> Json {
                 ("pruned_read_read", Json::from(s.pruned_read_read)),
                 ("pruned_atomic_atomic", Json::from(s.pruned_atomic_atomic)),
                 ("pruned_common_lock", Json::from(s.pruned_common_lock)),
+                ("predicted_benign", Json::from(s.predicted_benign)),
             ]),
         ),
         ("threads", Json::Arr(threads)),

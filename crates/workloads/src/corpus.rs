@@ -104,6 +104,17 @@ fn status_beacon(ctx: &mut Ctx<'_>) -> Emitted {
     harmful::emit_status_beacon(ctx, 10)
 }
 
+fn rw_status(ctx: &mut Ctx<'_>) -> Emitted {
+    redundant_write::emit(
+        ctx,
+        &redundant_write::RedundantWriteConfig { writers: 2, readers: 1, value: 0x51 },
+    )
+}
+
+fn db_bitfield(ctx: &mut Ctx<'_>) -> Emitted {
+    disjoint_bits::emit(ctx, 2, 3)
+}
+
 /// Instance registry, in emission order. Never reorder entries: static pcs
 /// (and therefore race identities recorded in EXPERIMENTS.md) depend on it.
 const INSTANCES: &[InstanceDef] = &[
@@ -153,6 +164,12 @@ const INSTANCES: &[InstanceDef] = &[
     InstanceDef { id: "hf_p2", emit: pub_cold2 },
     InstanceDef { id: "hf_p3", emit: pub_cold3 },
     InstanceDef { id: "hf_d1", emit: harmful::emit_dangling },
+    // Idiom exemplars (mirror examples/asm/idiom_*.tasm, one per Table 2
+    // recognizer): appended so earlier pcs stay stable.
+    InstanceDef { id: "us_x1", emit: user_sync::emit_handoff },
+    InstanceDef { id: "dc_x1", emit: double_check::emit_shared },
+    InstanceDef { id: "rw_x1", emit: rw_status },
+    InstanceDef { id: "db_x1", emit: db_bitfield },
 ];
 
 /// One recorded execution: a service mix and a schedule.
@@ -173,12 +190,12 @@ pub fn corpus_executions() -> Vec<Execution> {
     vec![
         Execution {
             name: "e01_shell_startup",
-            enabled: vec!["us_h1", "rw1", "ax1"],
+            enabled: vec!["us_h1", "rw1", "ax1", "us_x1"],
             schedule: rr(2),
         },
         Execution {
             name: "e02_settings_service",
-            enabled: vec!["us_h2", "dc_s1", "rw2"],
+            enabled: vec!["us_h2", "dc_s1", "rw2", "dc_x1"],
             schedule: rr(1),
         },
         Execution {
@@ -188,7 +205,7 @@ pub fn corpus_executions() -> Vec<Execution> {
         },
         Execution {
             name: "e04_media_scan",
-            enabled: vec!["us_h4", "db1", "ax_s1"],
+            enabled: vec!["us_h4", "db1", "ax_s1", "db_x1"],
             schedule: rr(2),
         },
         Execution {
@@ -204,7 +221,7 @@ pub fn corpus_executions() -> Vec<Execution> {
         Execution { name: "e07_indexer", enabled: vec!["us_c1", "db2", "ax_s2"], schedule: rr(2) },
         Execution {
             name: "e08_download_manager",
-            enabled: vec!["us_c2", "ax4", "hf_sb"],
+            enabled: vec!["us_c2", "ax4", "hf_sb", "rw_x1"],
             schedule: rr(2),
         },
         Execution {

@@ -8,18 +8,21 @@
 //! reports precision/recall of the static warnings alone against
 //! static + replay-classification.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
 use idna_replay::vproc::VprocConfig;
+use racecheck::PredictedVerdict;
 use replay_race::classify::{
-    merge_classifications, ClassificationResult, ClassifierConfig, OutcomeGroup, Verdict,
+    merge_classifications, predictions_by_id, ClassificationResult, ClassifierConfig, OutcomeGroup,
+    TrustStatic, Verdict,
 };
 use replay_race::detect::{DetectorConfig, StaticRaceId};
 use replay_race::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
-use replay_race::static_feed::classify_static_warnings;
+use replay_race::static_feed::{classify_static_warnings, StaticConfusion};
 use replay_race::InstanceOutcome;
 
 use crate::corpus::{corpus_executions, corpus_manifest, corpus_program};
@@ -91,6 +94,20 @@ pub fn run_corpus() -> CorpusReport {
 /// Panics if a freshly recorded log fails to replay (a pipeline bug).
 #[must_use]
 pub fn run_corpus_with(classifier: &ClassifierConfig) -> CorpusReport {
+    run_corpus_with_predictions(classifier, None)
+}
+
+/// [`run_corpus_with`], threading an optional static-prediction map into
+/// every execution's classifier — the E-SC3 trust ablation entry point.
+///
+/// # Panics
+///
+/// Panics if a freshly recorded log fails to replay (a pipeline bug).
+#[must_use]
+pub fn run_corpus_with_predictions(
+    classifier: &ClassifierConfig,
+    predictions: Option<Arc<BTreeMap<StaticRaceId, PredictedVerdict>>>,
+) -> CorpusReport {
     let executions = corpus_executions();
     let mut results = Vec::new();
     let mut outcomes = Vec::new();
@@ -103,6 +120,7 @@ pub fn run_corpus_with(classifier: &ClassifierConfig) -> CorpusReport {
             run: exec.schedule,
             detector: DetectorConfig::default(),
             classifier: *classifier,
+            static_predictions: predictions.clone(),
             measure_native: false,
         };
         let PipelineResult { detected, classification, log_size, instructions, .. } =
@@ -436,6 +454,21 @@ pub struct StaticEval {
     /// Covered warnings the classifier filtered (no state change in every
     /// materializing execution).
     pub covered_filtered: usize,
+    /// E-SC3: idiom-pass predictions vs replay verdicts over materialized
+    /// warnings (any confidence).
+    pub confusion: StaticConfusion,
+    /// E-SC3: the same matrix restricted to high-confidence benign
+    /// predictions plus all predicted-harmful warnings — the population
+    /// [`TrustStatic::SkipAgreedBenign`] acts on. Its `static_optimistic`
+    /// cell must stay zero for the mode to graduate from ablation status.
+    pub confusion_high: StaticConfusion,
+    /// Warnings the idiom pass predicts benign (at any confidence).
+    pub predicted_benign: usize,
+    /// Warnings predicted benign at high confidence.
+    pub predicted_benign_high: usize,
+    /// Detected replay-benign races whose warning matched *no* idiom —
+    /// recall gaps of the recognizers (E-SC3 reports these).
+    pub replay_benign_unpredicted: usize,
 }
 
 /// Runs the static analyzer once over the corpus program, then feeds its
@@ -474,6 +507,28 @@ pub fn run_static_eval() -> StaticEval {
         }
     }
     let survives = |id: &StaticRaceId| flagged.contains(id) || !materialized.contains(id);
+
+    // E-SC3: fold every materialized warning into the predicted-vs-replayed
+    // confusion matrices. A warning missing from the prediction map (never
+    // the case for candidate pairs, but stay total) counts as predicted
+    // harmful.
+    let predictions = predictions_by_id(&analysis);
+    let mut confusion = StaticConfusion::default();
+    let mut confusion_high = StaticConfusion::default();
+    for id in &materialized {
+        let p = predictions.get(id).copied().unwrap_or(PredictedVerdict::UNKNOWN);
+        let replay_benign = !flagged.contains(id);
+        confusion.record(p.benign(), replay_benign);
+        if !p.benign() || p.high_confidence_benign() {
+            confusion_high.record(p.benign(), replay_benign);
+        }
+    }
+    let predicted_benign = predictions.values().filter(|p| p.benign()).count();
+    let predicted_benign_high = predictions.values().filter(|p| p.high_confidence_benign()).count();
+    let replay_benign_unpredicted = materialized
+        .iter()
+        .filter(|id| !flagged.contains(id) && !predictions.get(id).is_some_and(|p| p.benign()))
+        .count();
 
     let mut static_alone = PrecisionRecall::default();
     let mut combined = PrecisionRecall::default();
@@ -536,6 +591,95 @@ pub fn run_static_eval() -> StaticEval {
         combined,
         covered_unmaterialized,
         covered_filtered,
+        confusion,
+        confusion_high,
+        predicted_benign,
+        predicted_benign_high,
+        replay_benign_unpredicted,
+    }
+}
+
+/// E-SC3 trust ablation: the corpus classified with every replay run
+/// versus with [`TrustStatic::SkipAgreedBenign`] skipping the races the
+/// idiom pass predicts benign at high confidence.
+#[derive(Debug)]
+pub struct TrustAblation {
+    /// Corpus run with trust off (replay everything).
+    pub baseline: CorpusReport,
+    /// Corpus run trusting high-confidence benign predictions.
+    pub trusted: CorpusReport,
+    /// Race ids whose merged verdict differs between the two runs. Must be
+    /// empty for the mode to graduate from ablation status.
+    pub verdict_flips: Vec<StaticRaceId>,
+}
+
+impl TrustAblation {
+    /// Virtual-processor replays saved by trusting the static pass.
+    #[must_use]
+    pub fn replays_saved(&self) -> u64 {
+        self.baseline.merged.vproc_replays.saturating_sub(self.trusted.merged.vproc_replays)
+    }
+
+    /// Race skips across all 18 executions (one race can be skipped in
+    /// several executions).
+    #[must_use]
+    pub fn skipped_races(&self) -> u64 {
+        self.trusted.merged.static_skipped_races
+    }
+}
+
+/// Runs the trust ablation: one corpus pass with the default classifier,
+/// one with [`TrustStatic::SkipAgreedBenign`] fed by a single static
+/// analysis of the corpus program.
+///
+/// # Panics
+///
+/// Panics if a freshly recorded log fails to replay (a pipeline bug).
+#[must_use]
+pub fn run_trust_ablation() -> TrustAblation {
+    let executions = corpus_executions();
+    let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
+    let predictions = Arc::new(predictions_by_id(&racecheck::analyze(&corpus_program(&full))));
+    let baseline = run_corpus_with(&ClassifierConfig::default());
+    let trusted_config = ClassifierConfig {
+        trust_static: TrustStatic::SkipAgreedBenign,
+        ..ClassifierConfig::default()
+    };
+    let trusted = run_corpus_with_predictions(&trusted_config, Some(predictions));
+    let verdict_flips = baseline
+        .merged
+        .races
+        .iter()
+        .filter(|(id, race)| trusted.merged.races.get(id).is_none_or(|t| t.verdict != race.verdict))
+        .map(|(id, _)| *id)
+        .collect();
+    TrustAblation { baseline, trusted, verdict_flips }
+}
+
+impl fmt::Display for TrustAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E-SC3 ablation: trust-static off vs skip-benign")?;
+        for (label, report) in [("off", &self.baseline), ("skip-benign", &self.trusted)] {
+            writeln!(
+                f,
+                "  {:<12} races={:<3} vproc replays={:<5} statically skipped={}",
+                label,
+                report.merged.races.len(),
+                report.merged.vproc_replays,
+                report.merged.static_skipped_races
+            )?;
+        }
+        writeln!(
+            f,
+            "  replays saved: {} ({} race-execution skips)",
+            self.replays_saved(),
+            self.skipped_races()
+        )?;
+        if self.verdict_flips.is_empty() {
+            writeln!(f, "  verdict flips: none")
+        } else {
+            writeln!(f, "  verdict flips: {:?}", self.verdict_flips)
+        }
     }
 }
 
@@ -579,6 +723,32 @@ impl fmt::Display for StaticEval {
             self.covered_unmaterialized,
             self.outside_truth_flagged,
             self.outside_truth
+        )?;
+        writeln!(f, "E-SC3: idiom predictions vs replay verdicts (materialized warnings)")?;
+        writeln!(
+            f,
+            "  predicted benign: {} warnings ({} at high confidence)",
+            self.predicted_benign, self.predicted_benign_high
+        )?;
+        for (label, c) in
+            [("all predictions", self.confusion), ("trusted population", self.confusion_high)]
+        {
+            writeln!(
+                f,
+                "  {:<22} agree-benign={:<4} agree-harmful={:<4} optimistic={:<4} \
+                 pessimistic={:<4} agreement={:.2}",
+                label,
+                c.agree_benign,
+                c.agree_harmful,
+                c.static_optimistic,
+                c.static_pessimistic,
+                c.agreement()
+            )?;
+        }
+        writeln!(
+            f,
+            "  ({} replay-benign races matched no idiom — recognizer recall gaps)",
+            self.replay_benign_unpredicted
         )
     }
 }

@@ -1,10 +1,17 @@
 //! The headline regression test: the 18-execution corpus must reproduce
-//! the paper's Table 1 and Table 2 **exactly**, with the soundness property
-//! the paper emphasizes — no harmful race is ever filtered out as
-//! potentially benign.
+//! the paper's Table 1 and Table 2 **exactly** — plus the eight planted
+//! idiom-exemplar races (`us_x1`/`dc_x1`/`rw_x1`/`db_x1`, all real-benign
+//! No-State-Change) that exercise the Table 2 recognizers end-to-end —
+//! with the soundness property the paper emphasizes: no harmful race is
+//! ever filtered out as potentially benign.
 
+use std::collections::BTreeSet;
+
+use racecheck::{Confidence, Idiom};
+use replay_race::classify::{predictions_by_id, OutcomeGroup};
+use workloads::corpus::{corpus_executions, corpus_program};
 use workloads::eval::{run_corpus, Figure, Table1, Table2};
-use workloads::truth::BenignCategory;
+use workloads::truth::{BenignCategory, TrueVerdict};
 
 #[test]
 fn corpus_reproduces_the_paper() {
@@ -19,13 +26,14 @@ fn corpus_reproduces_the_paper() {
         report.missing_races()
     );
 
-    // Table 1 (paper §5.2.2): 68 unique races; 32 No-State-Change (all
-    // real-benign), 17 State-Change (15 benign + 2 harmful), 19
-    // Replay-Failure (14 benign + 5 harmful).
+    // Table 1 (paper §5.2.2): the paper's 68 unique races — 32
+    // No-State-Change (all real-benign), 17 State-Change (15 benign + 2
+    // harmful), 19 Replay-Failure (14 benign + 5 harmful) — plus the 8
+    // idiom-exemplar races, all No-State-Change benign (32 + 8 = 40).
     let t1 = Table1::compute(&report);
-    assert_eq!(t1.cells, [[32, 0], [15, 2], [14, 5]], "Table 1 mismatch:\n{t1}");
-    assert_eq!(t1.total(), 68);
-    assert_eq!(t1.potentially_benign(), 32);
+    assert_eq!(t1.cells, [[40, 0], [15, 2], [14, 5]], "Table 1 mismatch:\n{t1}");
+    assert_eq!(t1.total(), 76);
+    assert_eq!(t1.potentially_benign(), 40);
     assert_eq!(t1.potentially_harmful(), 36);
 
     // The paper's headline soundness result: every harmful race was
@@ -34,17 +42,19 @@ fn corpus_reproduces_the_paper() {
 
     // And the headline productivity result: over half of the real benign
     // races are filtered out.
-    let real_benign = 32 + t1.benign_flagged_harmful();
-    assert!(32 * 2 >= real_benign, "less than half of the benign races were filtered");
+    let real_benign = 40 + t1.benign_flagged_harmful();
+    assert!(40 * 2 >= real_benign, "less than half of the benign races were filtered");
 
-    // Table 2 (paper §5.4).
+    // Table 2 (paper §5.4): the paper's 61 benign races plus the 8
+    // exemplars (+1 user-sync, +2 double-check, +3 redundant-write,
+    // +2 disjoint-bits).
     let t2 = Table2::compute(&report);
     let expect = [
-        (BenignCategory::UserConstructedSync, 8),
-        (BenignCategory::DoubleCheck, 3),
+        (BenignCategory::UserConstructedSync, 9),
+        (BenignCategory::DoubleCheck, 5),
         (BenignCategory::BothValuesValid, 5),
-        (BenignCategory::RedundantWrite, 13),
-        (BenignCategory::DisjointBitManipulation, 9),
+        (BenignCategory::RedundantWrite, 16),
+        (BenignCategory::DisjointBitManipulation, 11),
         (BenignCategory::ApproximateComputation, 23),
     ];
     for (cat, count) in expect {
@@ -54,13 +64,13 @@ fn corpus_reproduces_the_paper() {
             "Table 2 mismatch for {cat}:\n{t2}"
         );
     }
-    assert_eq!(t2.total(), 61);
+    assert_eq!(t2.total(), 69);
 
-    // Figures 3-5 partition the 68 races: 32 + 7 + 29.
+    // Figures 3-5 partition the 76 races: 40 + 7 + 29.
     let f3 = Figure::figure3(&report);
     let f4 = Figure::figure4(&report);
     let f5 = Figure::figure5(&report);
-    assert_eq!(f3.bars.len(), 32, "Figure 3 bar count");
+    assert_eq!(f3.bars.len(), 40, "Figure 3 bar count");
     assert_eq!(f4.bars.len(), 7, "Figure 4 bar count");
     assert_eq!(f5.bars.len(), 29, "Figure 5 bar count");
 
@@ -75,6 +85,110 @@ fn corpus_reproduces_the_paper() {
         f4.bars.iter().any(|b| b.instances >= 20 && b.exposing * 2 <= b.instances),
         "expected a harmful race with mostly-benign instances: {f4}"
     );
+}
+
+#[test]
+fn idiom_exemplars_are_benign_and_statically_predicted() {
+    // The four exemplar instances mirror examples/asm/idiom_*.tasm. Each
+    // planted race must (a) carry the planted Table 2 ground truth, (b) be
+    // replay-classified No-State-Change, and (c) be tagged by the matching
+    // static recognizer at the expected confidence.
+    let report = run_corpus();
+    let executions = corpus_executions();
+    let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
+    let program = corpus_program(&full);
+    let predictions = predictions_by_id(&racecheck::analyze(&program));
+
+    let expect = [
+        (
+            "us_x1.set_flag",
+            "us_x1.wait_flag",
+            BenignCategory::UserConstructedSync,
+            Idiom::SpinWait,
+            Confidence::High,
+        ),
+        (
+            "dc_x1.outer_check",
+            "dc_x1.init_flag",
+            BenignCategory::DoubleCheck,
+            Idiom::DoubleCheck,
+            Confidence::Low,
+        ),
+        (
+            "dc_x1.init_flag",
+            "dc_x1.init_flag",
+            BenignCategory::DoubleCheck,
+            Idiom::RedundantWrite,
+            Confidence::High,
+        ),
+        (
+            "rw_x1.write0",
+            "rw_x1.write1",
+            BenignCategory::RedundantWrite,
+            Idiom::RedundantWrite,
+            Confidence::High,
+        ),
+        // The corpus program contains one statically unresolved store (the
+        // bv_w1 producer's moving buffer pointer), so the single-valued
+        // proof behind write/read redundant-write pairs is downgraded to
+        // Low corpus-wide. The standalone exemplar
+        // examples/asm/idiom_redundant_write.tasm stays High.
+        (
+            "rw_x1.write0",
+            "rw_x1.read0",
+            BenignCategory::RedundantWrite,
+            Idiom::RedundantWrite,
+            Confidence::Low,
+        ),
+        (
+            "rw_x1.write1",
+            "rw_x1.read0",
+            BenignCategory::RedundantWrite,
+            Idiom::RedundantWrite,
+            Confidence::Low,
+        ),
+        (
+            "db_x1.write_low_byte",
+            "db_x1.read_high_byte0",
+            BenignCategory::DisjointBitManipulation,
+            Idiom::DisjointBits,
+            Confidence::High,
+        ),
+        (
+            "db_x1.write_low_byte",
+            "db_x1.read_high_byte1",
+            BenignCategory::DisjointBitManipulation,
+            Idiom::DisjointBits,
+            Confidence::High,
+        ),
+    ];
+    for (mark_a, mark_b, category, idiom, confidence) in expect {
+        let pc_a = program.mark(mark_a).unwrap_or_else(|| panic!("mark {mark_a} missing"));
+        let pc_b = program.mark(mark_b).unwrap_or_else(|| panic!("mark {mark_b} missing"));
+        let id = replay_race::detect::StaticRaceId::new(pc_a, pc_b);
+
+        assert_eq!(
+            report.truth.verdict(id),
+            Some(TrueVerdict::Benign(category)),
+            "ground truth for ({mark_a}, {mark_b})"
+        );
+        let race = report
+            .merged
+            .races
+            .get(&id)
+            .unwrap_or_else(|| panic!("race ({mark_a}, {mark_b}) never detected"));
+        assert_eq!(
+            race.group,
+            OutcomeGroup::NoStateChange,
+            "replay verdict for ({mark_a}, {mark_b})"
+        );
+
+        let p = predictions
+            .get(&id)
+            .unwrap_or_else(|| panic!("no static prediction for ({mark_a}, {mark_b})"));
+        assert_eq!(p.idiom, idiom, "idiom for ({mark_a}, {mark_b})");
+        assert_eq!(p.confidence, confidence, "confidence for ({mark_a}, {mark_b})");
+    }
 }
 
 #[test]
