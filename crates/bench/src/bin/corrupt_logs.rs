@@ -1,0 +1,156 @@
+//! Fault-injection harness for the log codec (`DESIGN.md` §D10).
+//!
+//! Records every corpus pattern in isolation, then hammers each encoded
+//! log with seeded corruptors (bit flips, truncations, splices, duplicated
+//! frames) and checks the decoder's robustness contract on every mutant:
+//!
+//! - decoding — strict or tolerant — never panics, only `Ok`/`CodecError`;
+//! - a tolerant decode's intact frames are byte-identical to the thread
+//!   they were recorded from (a checksum match means the bytes are real);
+//! - the LZSS layer honors the same contract when the *compressed* stream
+//!   is corrupted.
+//!
+//! Usage: `corrupt_logs [seed] [rounds-per-corruptor]`. Every failure
+//! prints the (pattern, corruptor, round) triple, so a run is replayable
+//! from its seed alone. Exits non-zero on any contract violation.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bench::corrupt;
+use idna_replay::codec::{
+    compress, decode_log_mode, decompress, encode_log, CodecError, DecodeMode,
+};
+use idna_replay::event::ReplayLog;
+use idna_replay::recorder::record;
+use tvm::rng::SplitMix64;
+use tvm::scheduler::RunConfig;
+use workloads::corpus::{corpus_program, instance_ids};
+
+/// Outcome tallies across all trials.
+#[derive(Default)]
+struct Tally {
+    trials: u64,
+    strict_ok: u64,
+    strict_err: u64,
+    tolerant_ok: u64,
+    tolerant_err: u64,
+    violations: u64,
+}
+
+/// Runs one decode under panic capture; `Err(())` means it panicked.
+fn run_decode(bytes: &[u8], mode: DecodeMode) -> Result<Result<ReplayLog, CodecError>, ()> {
+    catch_unwind(AssertUnwindSafe(|| decode_log_mode(bytes, mode).map(|(log, _report)| log)))
+        .map_err(|_| ())
+}
+
+/// One corrupted byte vector through both decode modes plus the intact-frame
+/// fidelity check. Returns the violation messages (empty = clean trial).
+fn check_mutant(mutant: &[u8], original: &ReplayLog, tally: &mut Tally) -> Vec<String> {
+    let mut violations = Vec::new();
+    tally.trials += 1;
+    match run_decode(mutant, DecodeMode::Strict) {
+        Ok(Ok(_)) => tally.strict_ok += 1,
+        Ok(Err(_)) => tally.strict_err += 1,
+        Err(()) => violations.push("strict decode panicked".into()),
+    }
+    match catch_unwind(AssertUnwindSafe(|| decode_log_mode(mutant, DecodeMode::Tolerant))) {
+        Ok(Ok((log, report))) => {
+            tally.tolerant_ok += 1;
+            for frame in report.frames.iter().filter(|f| f.status.is_intact()) {
+                // A checksum-verified frame must carry a genuine recorded
+                // thread: compare against the original by its payload tid
+                // (duplicated frames shift slots, so slot != tid is fine).
+                let decoded = &log.threads[frame.tid];
+                match original.threads.get(decoded.tid) {
+                    Some(expected) if decoded == expected => {}
+                    _ => violations.push(format!(
+                        "intact frame at slot {} does not match any recorded thread",
+                        frame.tid
+                    )),
+                }
+            }
+        }
+        Ok(Err(_)) => tally.tolerant_err += 1,
+        Err(_) => violations.push("tolerant decode panicked".into()),
+    }
+    violations
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().map_or(0x1D4A_C0FF_EE00, |s| s.parse().expect("seed"));
+    let rounds: u64 = args.next().map_or(16, |s| s.parse().expect("rounds"));
+    let schedule = RunConfig::round_robin(2).with_max_steps(400_000);
+
+    let mut tally = Tally::default();
+    let ids = instance_ids();
+    eprintln!(
+        "corrupting {} pattern logs x {} corruptors x {rounds} rounds (seed {seed:#x}) ...",
+        ids.len(),
+        corrupt::ALL.len(),
+    );
+    for (pi, id) in ids.iter().enumerate() {
+        let program = corpus_program(&BTreeSet::from([*id]));
+        let recording = record(&program, &schedule);
+        let raw = encode_log(&recording.log);
+        let packed = compress(&raw);
+        assert!(
+            decode_log_mode(&raw, DecodeMode::Strict).is_ok(),
+            "{id}: pristine log must decode"
+        );
+        for (ci, (corruptor_name, corruptor)) in corrupt::ALL.iter().enumerate() {
+            for round in 0..rounds {
+                let trial_seed = seed
+                    .wrapping_add((pi as u64) << 24)
+                    .wrapping_add((ci as u64) << 16)
+                    .wrapping_add(round);
+                let mut rng = SplitMix64::new(trial_seed);
+
+                // Corrupt the raw encoded log.
+                let mut mutant = raw.clone();
+                corruptor(&mut mutant, &mut rng);
+                for v in check_mutant(&mutant, &recording.log, &mut tally) {
+                    tally.violations += 1;
+                    println!("VIOLATION [{id}/{corruptor_name}/round {round}]: {v}");
+                }
+
+                // Corrupt the compressed stream: decompression must fail
+                // cleanly or yield bytes the decoder handles like any
+                // other mutant.
+                let mut packed_mutant = packed.clone();
+                corruptor(&mut packed_mutant, &mut rng);
+                match catch_unwind(AssertUnwindSafe(|| decompress(&packed_mutant))) {
+                    Ok(Ok(unpacked)) => {
+                        for v in check_mutant(&unpacked, &recording.log, &mut tally) {
+                            tally.violations += 1;
+                            println!(
+                                "VIOLATION [{id}/{corruptor_name}/round {round}, compressed]: {v}"
+                            );
+                        }
+                    }
+                    Ok(Err(_)) => {}
+                    Err(_) => {
+                        tally.violations += 1;
+                        println!(
+                            "VIOLATION [{id}/{corruptor_name}/round {round}]: decompress panicked"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "{} trials: strict {} ok / {} rejected, tolerant {} salvaged / {} rejected, {} violations",
+        tally.trials,
+        tally.strict_ok,
+        tally.strict_err,
+        tally.tolerant_ok,
+        tally.tolerant_err,
+        tally.violations,
+    );
+    if tally.violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Seeded log corruptors for the fault-injection harness.
+//!
+//! Each corruptor takes a byte vector and a [`SplitMix64`] stream and
+//! applies one class of damage — the kinds a log file actually suffers on
+//! disk (flipped bits, short writes, torn rewrites, doubled extents). The
+//! same seed always produces the same corruption, so a failure found by
+//! the harness is replayable from its printed seed alone.
+
+use idna_replay::codec::frame_spans;
+use tvm::rng::SplitMix64;
+
+/// One corruption pass over a byte vector, driven by a seeded stream.
+pub type Corruptor = fn(&mut Vec<u8>, &mut SplitMix64);
+
+/// Every corruptor, for harnesses that sweep them all.
+pub const ALL: [(&str, Corruptor); 4] = [
+    ("bit-flip", bit_flip),
+    ("truncate", truncate),
+    ("splice", splice),
+    ("duplicate-frame", duplicate_frame),
+];
+
+/// Flips one random bit.
+#[allow(clippy::ptr_arg)] // signature shared with length-changing corruptors via `ALL`
+pub fn bit_flip(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let i = rng.next_index(bytes.len());
+    bytes[i] ^= 1 << rng.next_below(8);
+}
+
+/// Cuts the tail off at a random point — a short write or torn download.
+pub fn truncate(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    bytes.truncate(rng.next_index(bytes.len()));
+}
+
+/// Overwrites a random span with random garbage — a torn in-place rewrite.
+#[allow(clippy::ptr_arg)] // signature shared with length-changing corruptors via `ALL`
+pub fn splice(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let start = rng.next_index(bytes.len());
+    let len = 1 + rng.next_index((bytes.len() - start).min(64));
+    for b in &mut bytes[start..start + len] {
+        *b = u8::try_from(rng.next_below(256)).expect("byte");
+    }
+}
+
+/// Duplicates one frame in place (header and payload), growing the log —
+/// a doubled extent. Falls back to duplicating a random span when the
+/// bytes have no recognizable v2 frame table (e.g. already corrupted).
+pub fn duplicate_frame(bytes: &mut Vec<u8>, rng: &mut SplitMix64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let spans = frame_spans(bytes);
+    let span = if spans.is_empty() {
+        let start = rng.next_index(bytes.len());
+        let len = 1 + rng.next_index((bytes.len() - start).min(64));
+        start..start + len
+    } else {
+        spans[rng.next_index(spans.len())].clone()
+    };
+    let copy: Vec<u8> = bytes[span.clone()].to_vec();
+    // Splice the copy in right after the original.
+    let at = span.end;
+    bytes.splice(at..at, copy);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruptors_are_deterministic_and_actually_corrupt() {
+        let original: Vec<u8> = (0u8..=255).cycle().take(4096).collect();
+        for (name, corrupt) in ALL {
+            let mut a = original.clone();
+            let mut b = original.clone();
+            corrupt(&mut a, &mut SplitMix64::new(99));
+            corrupt(&mut b, &mut SplitMix64::new(99));
+            assert_eq!(a, b, "{name} must be seed-deterministic");
+            assert_ne!(a, original, "{name} must change the bytes");
+        }
+    }
+
+    #[test]
+    fn corruptors_tolerate_tiny_inputs() {
+        for (name, corrupt) in ALL {
+            for len in 0..4 {
+                let mut bytes: Vec<u8> = vec![0xAB; len];
+                corrupt(&mut bytes, &mut SplitMix64::new(7));
+                let _ = name;
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! `DESIGN.md` §5 for the experiment index) and prints paper-reported
 //! values next to the measured ones so drift is visible at a glance.
 
+pub mod corrupt;
 pub mod timing;
 
 use workloads::eval::CorpusReport;

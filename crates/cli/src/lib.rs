@@ -9,12 +9,13 @@
 //! racerep replay    prog.tasm run.idna
 //! racerep races     prog.tasm run.idna [--format text|json] [--permissive]
 //!                   [--triage-db db.json] [--jobs N] [--cache off|exact|coarse]
-//!                   [--trust-static off|skip-benign]
+//!                   [--trust-static off|skip-benign] [--tolerant]
 //! racerep classify  prog.tasm [--schedule S] [--format text|json] [--jobs N] [--cache MODE]
 //!                   [--trust-static off|skip-benign]
 //! racerep lint      prog.tasm [--format text|json]
 //! racerep triage    db.json <benign|harmful> <pc_lo> <pc_hi> [note...]
 //! racerep loginfo   run.idna
+//! racerep doctor    run.idna
 //! racerep disasm    prog.tasm
 //! ```
 //!
@@ -35,6 +36,13 @@
 //! high confidence, recording them as No-State-Change on static authority
 //! alone. The default (`off`) replays everything.
 //!
+//! `--tolerant` lets `races` ingest a damaged log: intact checksummed
+//! frames are salvaged, damage is profiled against the static analysis,
+//! and races whose evidence was lost are reported as replay failures
+//! (potentially harmful) instead of aborting the whole run. `doctor`
+//! prints per-frame integrity diagnostics for a log file without needing
+//! the program.
+//!
 //! The library half exists so the command implementations are unit-testable
 //! without spawning processes.
 
@@ -45,13 +53,15 @@ use std::sync::Arc;
 
 use minijson::Json;
 
-use idna_replay::codec::{decode_log, decompress, LogWriter};
+use idna_replay::codec::{
+    decode_log_mode, decompress, frame_spans, strip_damaged, DecodeMode, DecodeReport, LogWriter,
+};
 use idna_replay::event::ReplayLog;
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
 use idna_replay::vproc::VprocConfig;
 use replay_race::classify::{predictions_by_id, CacheMode, ClassifierConfig, TrustStatic};
-use replay_race::pipeline::{run_pipeline, PipelineConfig};
+use replay_race::pipeline::{damage_profile, run_pipeline, PipelineConfig};
 use replay_race::triage::{ManualVerdict, TriageDb};
 use tvm::asm::{assemble, disassemble_annotated};
 use tvm::machine::Machine;
@@ -203,6 +213,24 @@ fn schedule_from_json(doc: &Json) -> Result<RunConfig, String> {
 ///
 /// Returns a [`CliError`] on bad magic or a corrupt payload.
 pub fn log_from_bytes(bytes: &[u8]) -> Result<(ReplayLog, RunConfig), CliError> {
+    let (log, schedule, _report) = log_from_bytes_mode(bytes, DecodeMode::Strict)?;
+    Ok((log, schedule))
+}
+
+/// [`log_from_bytes`] with an explicit [`DecodeMode`], returning the
+/// decoder's [`DecodeReport`] alongside the log. The container framing
+/// (magic, schedule header, compression) must be intact even in tolerant
+/// mode — only the per-thread frames inside the compressed payload can
+/// degrade.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad magic or a corrupt payload (strict), or
+/// when not even one salvageable byte of log survives (tolerant).
+pub fn log_from_bytes_mode(
+    bytes: &[u8],
+    mode: DecodeMode,
+) -> Result<(ReplayLog, RunConfig, DecodeReport), CliError> {
     let payload = bytes
         .strip_prefix(&FILE_MAGIC[..])
         .ok_or_else(|| CliError { message: "not a racerep log file (bad magic)".into() })?;
@@ -220,8 +248,9 @@ pub fn log_from_bytes(bytes: &[u8]) -> Result<(ReplayLog, RunConfig), CliError> 
         .and_then(|doc| schedule_from_json(&doc))
         .map_err(|e| CliError { message: format!("bad schedule header: {e}") })?;
     let raw = decompress(&payload[4 + hlen..]).map_err(|e| CliError { message: e.to_string() })?;
-    let log = decode_log(&raw).map_err(|e| CliError { message: e.to_string() })?;
-    Ok((log, schedule))
+    let (log, report) =
+        decode_log_mode(&raw, mode).map_err(|e| CliError { message: e.to_string() })?;
+    Ok((log, schedule, report))
 }
 
 /// Loads a log file.
@@ -230,9 +259,22 @@ pub fn log_from_bytes(bytes: &[u8]) -> Result<(ReplayLog, RunConfig), CliError> 
 ///
 /// Returns a [`CliError`] on io or decode failure.
 pub fn load_log(path: &Path) -> Result<(ReplayLog, RunConfig), CliError> {
+    let (log, schedule, _report) = load_log_mode(path, DecodeMode::Strict)?;
+    Ok((log, schedule))
+}
+
+/// [`load_log`] with an explicit [`DecodeMode`].
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on io or decode failure.
+pub fn load_log_mode(
+    path: &Path,
+    mode: DecodeMode,
+) -> Result<(ReplayLog, RunConfig, DecodeReport), CliError> {
     let bytes = fs::read(path)
         .map_err(|e| CliError { message: format!("cannot read {}: {e}", path.display()) })?;
-    log_from_bytes(&bytes)
+    log_from_bytes_mode(&bytes, mode)
 }
 
 /// `racerep run`: executes the program natively and renders the outcome.
@@ -330,6 +372,14 @@ pub fn cmd_replay(path: &Path, log_path: &Path) -> Result<String, CliError> {
 /// `racerep races`: detects and classifies the races in a recorded log and
 /// renders the developer report.
 ///
+/// With `tolerant`, a damaged log degrades instead of failing: intact
+/// frames are salvaged, the decode report is refined into a per-thread
+/// damage profile via the static analyzer, and races whose live-in state
+/// was lost come back as replay failures (potentially harmful). If the
+/// salvaged bytes themselves poison the replay, the damaged threads are
+/// stripped to placeholders and the replay is retried — classification
+/// then proceeds on the intact threads alone.
+///
 /// # Errors
 ///
 /// Fails if the log does not replay against the program.
@@ -339,10 +389,27 @@ pub fn cmd_races(
     json: bool,
     classifier: &ClassifierConfig,
     triage_db: Option<&Path>,
+    tolerant: bool,
 ) -> Result<String, CliError> {
     let program = load_program(path)?;
-    let (log, _schedule) = load_log(log_path)?;
-    let trace = replay(&program, &log).map_err(|e| CliError { message: e.to_string() })?;
+    let mode = if tolerant { DecodeMode::Tolerant } else { DecodeMode::Strict };
+    let (log, _schedule, decode_report) = load_log_mode(log_path, mode)?;
+    let damaged = !decode_report.is_clean();
+    let mut trace = match replay(&program, &log) {
+        Ok(trace) => trace,
+        Err(_) if tolerant && damaged => {
+            // A salvaged prefix can still hold silently corrupted values
+            // that derail the replay (checksums detect damage, they do
+            // not localize it). Placeholder-only damaged threads always
+            // replay — each thread replays purely from its own log.
+            let stripped = strip_damaged(&log, &decode_report);
+            replay(&program, &stripped).map_err(|e| CliError { message: e.to_string() })?
+        }
+        Err(e) => return err(e.to_string()),
+    };
+    if tolerant && damaged {
+        trace.set_damage(damage_profile(&program, &decode_report));
+    }
     let detected =
         replay_race::detect::detect_races(&trace, &replay_race::detect::DetectorConfig::default());
     let predictions = (classifier.trust_static == TrustStatic::SkipAgreedBenign)
@@ -354,7 +421,21 @@ pub fn cmd_races(
         predictions.as_ref(),
     );
     let report = replay_race::report::Report::build(&trace, &classification);
-    let mut out = if json { report.to_json() } else { report.to_text() };
+    let mut out = if json {
+        report.to_json()
+    } else {
+        let mut text = String::new();
+        if damaged {
+            text.push_str(&format!(
+                "!!! log damage: {} of {} frame(s) damaged, {} byte(s) dropped (decoded with --tolerant)\n\n",
+                decode_report.damaged_frames(),
+                decode_report.frames.len(),
+                decode_report.bytes_dropped,
+            ));
+        }
+        text.push_str(&report.to_text());
+        text
+    };
     if let Some(db_path) = triage_db {
         let db = TriageDb::load(db_path).map_err(|e| CliError { message: e.to_string() })?;
         let queue = db.queue(&classification);
@@ -473,6 +554,98 @@ pub fn cmd_loginfo(log_path: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `racerep doctor`: integrity diagnostics for a log file. Walks the
+/// container layer by layer (magic, schedule header, compression, frame
+/// table, per-frame checksums) and reports what is intact and what was
+/// lost, without needing the program. A damaged log is a diagnosis, not
+/// an error: doctor succeeds and prints the damage.
+///
+/// # Errors
+///
+/// Fails only when the file cannot be read at all.
+pub fn cmd_doctor(log_path: &Path) -> Result<String, CliError> {
+    let bytes = fs::read(log_path)
+        .map_err(|e| CliError { message: format!("cannot read {}: {e}", log_path.display()) })?;
+    let mut out = format!("{}: {} bytes\n", log_path.display(), bytes.len());
+    let fail = |mut out: String, what: &str, detail: String| {
+        out.push_str(&format!("  {what}: FAIL — {detail}\n"));
+        out.push_str("verdict: container damaged before the frame layer; nothing salvageable\n");
+        Ok(out)
+    };
+    let Some(payload) = bytes.strip_prefix(&FILE_MAGIC[..]) else {
+        return fail(out, "container magic", "not a racerep log file".into());
+    };
+    out.push_str("  container magic: ok\n");
+    if payload.len() < 4 {
+        return fail(out, "schedule header", "truncated length field".into());
+    }
+    let hlen = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    if payload.len() < 4 + hlen {
+        return fail(out, "schedule header", format!("{hlen} bytes declared, fewer present"));
+    }
+    let schedule_ok = std::str::from_utf8(&payload[4..4 + hlen])
+        .map_err(|e| e.to_string())
+        .and_then(|h| Json::parse(h).map_err(|e| e.to_string()))
+        .and_then(|doc| schedule_from_json(&doc));
+    match schedule_ok {
+        Ok(_) => out.push_str(&format!("  schedule header: ok ({hlen} bytes)\n")),
+        Err(e) => return fail(out, "schedule header", e),
+    }
+    let raw = match decompress(&payload[4 + hlen..]) {
+        Ok(raw) => raw,
+        Err(e) => return fail(out, "compression", e.to_string()),
+    };
+    out.push_str(&format!(
+        "  compression: ok ({} bytes compressed, {} bytes raw)\n",
+        payload.len() - 4 - hlen,
+        raw.len(),
+    ));
+    let (log, report) = match decode_log_mode(&raw, DecodeMode::Tolerant) {
+        Ok(decoded) => decoded,
+        Err(e) => return fail(out, "log header", e.to_string()),
+    };
+    let spans = frame_spans(&raw);
+    out.push_str(&format!(
+        "  log format: v{}, {} frame(s) spanning {} byte(s)\n",
+        report.format_version,
+        report.frames.len(),
+        spans.iter().map(|s| s.end - s.start).sum::<usize>(),
+    ));
+    for f in &report.frames {
+        let t = &log.threads[f.tid];
+        out.push_str(&format!(
+            "  frame {}: {} payload byte(s), {}\n",
+            f.tid, f.payload_len, f.status,
+        ));
+        if f.status.is_intact() {
+            out.push_str(&format!(
+                "    thread {} ({}): {} instructions, {} events, end {:?}\n",
+                t.tid,
+                t.name,
+                t.end_instr,
+                t.events.len(),
+                t.end_status,
+            ));
+        } else {
+            out.push_str(&format!(
+                "    salvaged {} event(s) through instruction {} (ts {}); live-ins untrusted\n",
+                f.salvaged_events, t.end_instr, f.trusted_ts,
+            ));
+        }
+    }
+    if report.is_clean() {
+        out.push_str("verdict: log is clean\n");
+    } else {
+        out.push_str(&format!(
+            "verdict: {} of {} frame(s) damaged, {} byte(s) dropped — `races --tolerant` classifies what survives\n",
+            report.damaged_frames(),
+            report.frames.len(),
+            report.bytes_dropped,
+        ));
+    }
+    Ok(out)
+}
+
 /// `racerep disasm`: assembles and disassembles a program (normalizing it),
 /// annotating every instruction with its pc and `*`/`m` markers for
 /// sequencer points and memory-touching instructions.
@@ -513,6 +686,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let mut json = false;
     let mut permissive = false;
     let mut stats = false;
+    let mut tolerant = false;
     let mut out_path: Option<String> = None;
     let mut triage_db: Option<String> = None;
     let mut max_steps: Option<u64> = None;
@@ -563,6 +737,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             }
             "--permissive" => permissive = true,
             "--stats" => stats = true,
+            "--tolerant" => tolerant = true,
             "--jobs" | "-j" => {
                 i += 1;
                 let v = args
@@ -606,7 +781,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let classifier =
         ClassifierConfig { vproc, jobs, cache, trust_static, ..ClassifierConfig::default() };
 
-    let usage = "usage: racerep <run|record|replay|races|classify|lint|triage|loginfo|disasm> ...";
+    let usage =
+        "usage: racerep <run|record|replay|races|classify|lint|triage|loginfo|doctor|disasm> ...";
     let Some((&cmd, rest)) = positional.split_first() else {
         return err(usage);
     };
@@ -629,6 +805,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             json,
             &classifier,
             triage_db.as_deref().map(Path::new),
+            tolerant,
         ),
         "classify" => cmd_classify(arg(0, "program path")?, schedule, json, &classifier),
         "lint" => cmd_lint(arg(0, "program path")?, json),
@@ -654,6 +831,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             )
         }
         "loginfo" => cmd_loginfo(arg(0, "log path")?),
+        "doctor" => cmd_doctor(arg(0, "log path")?),
         "disasm" => cmd_disasm(arg(0, "program path")?),
         other => err(format!("unknown command {other:?}\n{usage}")),
     }
@@ -729,13 +907,14 @@ mod tests {
         let rep = cmd_replay(&prog, &log).unwrap();
         assert!(rep.contains("sequencing regions"));
         assert!(rep.contains("fidelity verified"), "{rep}");
-        let races = cmd_races(&prog, &log, false, &ClassifierConfig::default(), None).unwrap();
+        let races =
+            cmd_races(&prog, &log, false, &ClassifierConfig::default(), None, false).unwrap();
         assert!(races.contains("data race report"));
         // With a triage database: first everything is new, then suppressed.
         let db = std::env::temp_dir().join(format!("racerep_db_{}.json", std::process::id()));
         let _ = fs::remove_file(&db);
         let with_queue =
-            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db)).unwrap();
+            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db), false).unwrap();
         assert!(with_queue.contains("triage queue: 1 new"), "{with_queue}");
         // Mark the race benign; resolve the pcs from the report is overkill
         // here — mark via the id printed in the queue line.
@@ -749,7 +928,8 @@ mod tests {
             .collect();
         let msg = cmd_triage(&db, "benign", nums[0], nums[1], "known ok").unwrap();
         assert!(msg.contains("1 races triaged"));
-        let after = cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db)).unwrap();
+        let after =
+            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db), false).unwrap();
         assert!(after.contains("triage queue: 0 new"), "{after}");
         assert!(after.contains("1 suppressed"), "{after}");
         let _ = fs::remove_file(db);
@@ -773,6 +953,82 @@ mod tests {
     fn log_container_rejects_garbage() {
         assert!(log_from_bytes(b"nope").is_err());
         assert!(log_from_bytes(b"IDNAFIL2ga").is_err());
+    }
+
+    #[test]
+    fn doctor_reports_a_clean_log() {
+        let prog = temp_file("doc.tasm", RACY);
+        let log = std::env::temp_dir().join(format!("racerep_doc_{}.idna", std::process::id()));
+        cmd_record(&prog, &log, RunConfig::round_robin(1)).unwrap();
+        let text = cmd_doctor(&log).unwrap();
+        assert!(text.contains("container magic: ok"), "{text}");
+        assert!(text.contains("log format: v2, 2 frame(s)"), "{text}");
+        assert!(text.contains("verdict: log is clean"), "{text}");
+        let _ = fs::remove_file(prog);
+        let _ = fs::remove_file(log);
+    }
+
+    #[test]
+    fn doctor_diagnoses_a_damaged_container() {
+        let text_path = temp_file("docbad.idna", "IDNAFIL2 not actually a log");
+        let text = cmd_doctor(&text_path).unwrap();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("nothing salvageable"), "{text}");
+        let _ = fs::remove_file(text_path);
+    }
+
+    /// Builds a container whose *second* frame payload has one flipped bit,
+    /// returning the path it was written to.
+    fn corrupted_container(tag: &str) -> (PathBuf, PathBuf) {
+        let prog = temp_file(&format!("{tag}.tasm"), RACY);
+        let program = load_program(&prog).unwrap();
+        let schedule = RunConfig::round_robin(1);
+        let recording = record(&program, &schedule);
+        let mut raw = idna_replay::codec::encode_log(&recording.log);
+        let spans = frame_spans(&raw);
+        assert_eq!(spans.len(), 2);
+        // Flip a bit inside the second frame's payload, past its header.
+        raw[spans[1].start + 12 + 2] ^= 0x40;
+        let mut container = Vec::from(&FILE_MAGIC[..]);
+        let sched_json = schedule_to_json(&schedule).to_string_compact().into_bytes();
+        container.extend(u32::try_from(sched_json.len()).unwrap().to_le_bytes());
+        container.extend(sched_json);
+        container.extend(idna_replay::codec::compress(&raw));
+        let log_path =
+            std::env::temp_dir().join(format!("racerep_{tag}_{}.idna", std::process::id()));
+        fs::write(&log_path, &container).unwrap();
+        (prog, log_path)
+    }
+
+    #[test]
+    fn tolerant_races_degrade_on_a_corrupt_frame() {
+        let (prog, log_path) = corrupted_container("tol");
+        // Strict ingestion refuses the damaged log outright.
+        assert!(load_log(&log_path).is_err());
+        let e = cmd_races(&prog, &log_path, false, &ClassifierConfig::default(), None, false)
+            .unwrap_err();
+        assert!(e.message.contains("checksum"), "{}", e.message);
+        // Tolerant ingestion salvages the intact frame and reports damage.
+        let (_log, _sched, report) = load_log_mode(&log_path, DecodeMode::Tolerant).unwrap();
+        assert_eq!(report.damaged_frames(), 1);
+        let out =
+            cmd_races(&prog, &log_path, false, &ClassifierConfig::default(), None, true).unwrap();
+        assert!(out.contains("!!! log damage: 1 of 2 frame(s) damaged"), "{out}");
+        assert!(out.contains("data race report"), "{out}");
+        // Doctor names the damaged frame and points at --tolerant.
+        let text = cmd_doctor(&log_path).unwrap();
+        assert!(text.contains("checksum"), "{text}");
+        assert!(text.contains("races --tolerant"), "{text}");
+        // The dispatch layer understands the flag.
+        let args: Vec<String> = vec![
+            "races".into(),
+            prog.display().to_string(),
+            log_path.display().to_string(),
+            "--tolerant".into(),
+        ];
+        assert!(dispatch(&args).is_ok());
+        let _ = fs::remove_file(prog);
+        let _ = fs::remove_file(log_path);
     }
 
     #[test]

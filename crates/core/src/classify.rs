@@ -442,6 +442,13 @@ pub struct ClassificationResult {
     /// Races recorded benign on static authority alone (zero replays),
     /// under [`TrustStatic::SkipAgreedBenign`]. Always 0 with trust off.
     pub static_skipped_races: u64,
+    /// Races with at least one instance that failed replay because the
+    /// log decoded tolerantly and damage cost the replay a needed live-in
+    /// (`ReplayFailure::LogDamage`). These are potentially harmful by the
+    /// paper's replay-failure rule; the counter separates "harmful
+    /// because the evidence was damaged" from "harmful on clean
+    /// evidence". Always 0 for strict (clean) decodes.
+    pub log_damaged_races: u64,
     /// The populated replay cache, for downstream phases (the report) to
     /// reuse live-outs from. `None` when caching was off or after merging
     /// across traces (a cache is only meaningful for its own trace).
@@ -710,10 +717,12 @@ pub fn classify_races_with(
         } else {
             OutcomeGroup::NoStateChange
         };
-        result.races.insert(
-            id,
-            ClassifiedRace { id, group, verdict: group.verdict(), counts, instances: classified },
-        );
+        let race =
+            ClassifiedRace { id, group, verdict: group.verdict(), counts, instances: classified };
+        if race_touches_log_damage(&race) {
+            result.log_damaged_races += 1;
+        }
+        result.races.insert(id, race);
     }
     cache.absorb_plan(&jobs, &outcomes, planned_hits, &retain);
     if config.cache != CacheMode::Off {
@@ -762,13 +771,24 @@ pub fn merge_classifications(results: &[ClassificationResult]) -> Classification
                 .or_insert_with(|| race.clone());
         }
     }
+    // Recompute rather than sum: the same race seen in several executions
+    // must count once.
+    let log_damaged_races = merged.values().filter(|r| race_touches_log_damage(r)).count() as u64;
     ClassificationResult {
         races: merged,
         vproc_replays,
         cache_stats,
         static_skipped_races,
+        log_damaged_races,
         cache: None,
     }
+}
+
+/// Whether any analyzed instance of the race failed replay on log damage.
+fn race_touches_log_damage(race: &ClassifiedRace) -> bool {
+    race.instances
+        .iter()
+        .any(|i| i.outcome == InstanceOutcome::ReplayFailure(ReplayFailure::LogDamage))
 }
 
 #[cfg(test)]

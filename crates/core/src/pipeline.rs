@@ -6,10 +6,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use idna_replay::codec::{LogSizeReport, LogWriter};
+use idna_replay::codec::{DecodeReport, LogSizeReport, LogWriter};
+use idna_replay::damage::{ThreadDamage, TraceDamage};
 use idna_replay::recorder::record_with;
 use idna_replay::replayer::{replay_with, ReplayError, ReplayTrace};
+use racecheck::domain::AbsLoc;
 use racecheck::PredictedVerdict;
+use tvm::isa::{Instr, SysCall};
 use tvm::machine::Machine;
 use tvm::predecode::DecodedProgram;
 use tvm::program::Program;
@@ -176,6 +179,71 @@ pub fn run_pipeline(
         run_completed: recording.summary.completed,
         instructions: recording.summary.steps,
     })
+}
+
+/// Refines a tolerant decode's damage report into a per-thread damage
+/// horizon using the static analyzer: a damaged thread only taints the
+/// global addresses it may write (and the heap only if it can reach heap
+/// traffic), so races between intact threads on unrelated state keep
+/// their clean verdicts. Falls back to "may write anything" for a
+/// damaged thread the analysis cannot bound.
+///
+/// The caller attaches the result to the trace with
+/// [`ReplayTrace::set_damage`] before detection and classification.
+#[must_use]
+pub fn damage_profile(program: &Program, report: &DecodeReport) -> TraceDamage {
+    if report.is_clean() {
+        return TraceDamage::default();
+    }
+    // Lost alloc/free syscalls corrupt the replayed heap history for every
+    // thread, so heap trust requires the *program* to be heap-free — the
+    // per-thread summaries do not cover syscall reachability.
+    let program_uses_heap = program.instrs().iter().any(|i| {
+        matches!(
+            i,
+            Instr::Syscall { call: SysCall::Alloc } | Instr::Syscall { call: SysCall::Free }
+        )
+    });
+    let analysis = racecheck::analyze(program);
+    let threads = report
+        .frames
+        .iter()
+        .filter(|f| !f.status.is_intact())
+        .map(|f| {
+            let Some(summary) = analysis.threads.get(f.tid) else {
+                // A frame slot the program has no thread for: the log and
+                // program disagree, trust nothing.
+                return ThreadDamage {
+                    tid: f.tid,
+                    trusted_ts: f.trusted_ts,
+                    may_write: None,
+                    may_heap: true,
+                };
+            };
+            let mut ranges: Vec<(u64, u64)> = Vec::new();
+            let mut may_heap = program_uses_heap;
+            let mut unbounded = false;
+            for access in summary.accesses.iter().filter(|a| a.writes) {
+                match access.loc {
+                    AbsLoc::Global { lo, hi } => ranges.push((lo, hi)),
+                    AbsLoc::Heap { .. } => may_heap = true,
+                    AbsLoc::Unknown => {
+                        unbounded = true;
+                        may_heap = true;
+                    }
+                }
+            }
+            ranges.sort_unstable();
+            ranges.dedup();
+            ThreadDamage {
+                tid: f.tid,
+                trusted_ts: f.trusted_ts,
+                may_write: if unbounded { None } else { Some(ranges) },
+                may_heap,
+            }
+        })
+        .collect();
+    TraceDamage::new(threads)
 }
 
 #[cfg(test)]

@@ -82,6 +82,10 @@ pub struct RaceReport {
 pub struct Report {
     /// Potentially harmful races first (the triage queue), then benign.
     pub races: Vec<RaceReport>,
+    /// Races whose verdict rests on log damage rather than clean
+    /// evidence (tolerant decode; see `ClassificationResult`). Zero for
+    /// strict decodes.
+    pub log_damaged_races: u64,
 }
 
 impl Report {
@@ -98,7 +102,7 @@ impl Report {
         let mut races: Vec<RaceReport> =
             result.races.values().map(|race| build_entry(trace, &vproc, cache, race)).collect();
         races.sort_by_key(|r| (r.verdict != Verdict::PotentiallyHarmful, r.id));
-        Report { races }
+        Report { races, log_damaged_races: result.log_damaged_races }
     }
 
     /// The potentially harmful subset — what a developer triages.
@@ -117,6 +121,15 @@ impl Report {
             self.races.len(),
             harmful
         );
+        if self.log_damaged_races > 0 {
+            let _ = writeln!(
+                out,
+                "!!! {} race(s) classified from a damaged log: their replays \
+                 failed on lost state, so they are potentially harmful by the \
+                 replay-failure rule, not on clean evidence",
+                self.log_damaged_races
+            );
+        }
         for race in &self.races {
             let verdict = match race.verdict {
                 Verdict::PotentiallyHarmful => "POTENTIALLY HARMFUL",
@@ -159,7 +172,11 @@ impl Report {
     #[must_use]
     pub fn to_json(&self) -> String {
         let races: Vec<Json> = self.races.iter().map(race_to_json).collect();
-        Json::obj(vec![("races", Json::Arr(races))]).to_string_pretty()
+        Json::obj(vec![
+            ("races", Json::Arr(races)),
+            ("log_damaged_races", Json::from(self.log_damaged_races)),
+        ])
+        .to_string_pretty()
     }
 
     /// Parses a report previously produced by [`Report::to_json`].
@@ -176,7 +193,10 @@ impl Report {
             .iter()
             .map(race_from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Report { races })
+        // Absent in reports written before tolerant decoding existed.
+        let log_damaged_races =
+            doc.field("log_damaged_races").ok().and_then(Json::as_u64).unwrap_or(0);
+        Ok(Report { races, log_damaged_races })
     }
 }
 
@@ -257,6 +277,7 @@ fn scenario_to_json(s: &ReplayScenario) -> Json {
                     ("UnrecordedControlFlow", vec![("tid", tid.into()), ("pc", pc.into())])
                 }
                 ReplayFailure::BudgetExhausted => ("BudgetExhausted", Vec::new()),
+                ReplayFailure::LogDamage => ("LogDamage", Vec::new()),
             };
             let mut pairs = vec![("kind", Json::str(kind))];
             pairs.extend(fields);
@@ -318,6 +339,7 @@ fn scenario_from_json(doc: &Json) -> Result<ReplayScenario, String> {
                     pc: failure.field("pc")?.as_usize().ok_or("pc must be an integer")?,
                 },
                 Some("BudgetExhausted") => ReplayFailure::BudgetExhausted,
+                Some("LogDamage") => ReplayFailure::LogDamage,
                 other => return Err(format!("bad failure kind {other:?}")),
             })
         }

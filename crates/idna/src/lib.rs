@@ -16,8 +16,11 @@
 //! * [`vproc`] — the virtual processor that replays a racing region pair
 //!   under **both** orders of the conflicting operations and reports
 //!   comparable live-outs or a *replay failure* (§4.2).
-//! * [`codec`] — compact binary log encoding plus LZSS compression for the
-//!   paper's bits-per-instruction study (§5.1).
+//! * [`codec`] — compact binary log encoding with per-thread checksummed
+//!   frames and corruption-tolerant decoding, plus LZSS compression for
+//!   the paper's bits-per-instruction study (§5.1).
+//! * [`damage`] — damage horizons: what a tolerantly decoded log no longer
+//!   knows, consulted by the virtual processor's live-in fetches.
 //! * [`timetravel`] — reverse-execution queries over a replay trace.
 //! * [`verify`] — fidelity and determinism checkers for the record/replay
 //!   pair itself.
@@ -44,6 +47,7 @@
 //! [`ReplayTrace`]: replayer::ReplayTrace
 
 pub mod codec;
+pub mod damage;
 pub mod event;
 pub mod image;
 pub mod recorder;
@@ -53,7 +57,8 @@ pub mod timetravel;
 pub mod verify;
 pub mod vproc;
 
-pub use codec::LogWriter;
+pub use codec::{DecodeMode, DecodeReport, FrameInfo, FrameStatus, LogWriter};
+pub use damage::{ThreadDamage, TraceDamage};
 pub use event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
 pub use image::ReplayImage;
 pub use recorder::{record, record_with, Recorder, Recording};

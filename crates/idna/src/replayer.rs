@@ -13,6 +13,7 @@ use tvm::machine::{Fault, MAX_CALL_DEPTH};
 use tvm::predecode::{Decoded, DecodedProgram};
 use tvm::program::Program;
 
+use crate::damage::TraceDamage;
 use crate::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
 use crate::image::ReplayImage;
 use crate::region::{regions_of, Region, RegionId};
@@ -178,6 +179,9 @@ pub struct ReplayTrace {
     pub heap: HeapHistory,
     /// Total instructions in the recorded run.
     pub total_instructions: u64,
+    /// Damage horizon for logs decoded in tolerant mode; `None` for clean
+    /// logs. The virtual processor's live-in fetches consult it.
+    damage: Option<TraceDamage>,
 }
 
 impl ReplayTrace {
@@ -232,6 +236,20 @@ impl ReplayTrace {
     #[must_use]
     pub fn in_footprint(&self, tid: usize, pc: usize) -> bool {
         self.footprints[tid].binary_search(&pc).is_ok()
+    }
+
+    /// The damage horizon for a tolerantly decoded log; `None` when the
+    /// log decoded clean.
+    #[must_use]
+    pub fn damage(&self) -> Option<&TraceDamage> {
+        self.damage.as_ref()
+    }
+
+    /// Attaches a damage horizon (from `DecodeReport::trace_damage` or
+    /// the pipeline's statically refined profile). An empty profile
+    /// clears it — clean logs carry no damage state at all.
+    pub fn set_damage(&mut self, damage: TraceDamage) {
+        self.damage = if damage.is_empty() { None } else { Some(damage) };
     }
 }
 
@@ -396,6 +414,7 @@ pub fn replay_with(
         memory: initial_memory,
         heap: HeapHistory::default(),
         total_instructions: log.total_instructions,
+        damage: None,
     };
 
     // Paper §3.3: replay one sequencing region at a time, always the pending

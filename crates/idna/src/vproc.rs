@@ -97,6 +97,11 @@ pub enum ReplayFailure {
     /// The replay did not converge within the step budget (e.g. a spin loop
     /// whose exit condition never arrives in this ordering).
     BudgetExhausted,
+    /// A live-in value (or heap state) the replay needed was lost to log
+    /// damage: the log decoded in tolerant mode and a damaged thread may
+    /// have written the fetched state. Not in the paper — the §4 rule
+    /// still applies: a failed replay cannot demonstrate benignity.
+    LogDamage,
 }
 
 impl fmt::Display for ReplayFailure {
@@ -115,6 +120,7 @@ impl fmt::Display for ReplayFailure {
                 write!(f, "thread {tid} reached unrecorded code at pc {pc}")
             }
             ReplayFailure::BudgetExhausted => write!(f, "replay step budget exhausted"),
+            ReplayFailure::LogDamage => write!(f, "live-in state lost to log damage"),
         }
     }
 }
@@ -241,6 +247,9 @@ fn thread_matches(out: &ThreadLiveOut, region: &ReplayedRegion) -> bool {
 struct VMem<'a> {
     trace: &'a ReplayTrace,
     base_version: u32,
+    /// Starting timestamp of the base region: live-in fetches are ordered
+    /// relative to it, so it is what damage horizons are compared against.
+    base_ts: u64,
     writes: FastHashMap<u64, u64>,
     /// Allocations made during this replay: base -> size.
     vallocs: FastHashMap<u64, u64>,
@@ -258,14 +267,31 @@ enum Mem {
 
 impl<'a> VMem<'a> {
     fn new(trace: &'a ReplayTrace, base_version: u32, permissive: bool) -> Self {
+        let base_ts = trace.regions().get(base_version as usize).map_or(0, |r| r.region.start_ts);
         VMem {
             trace,
             base_version,
+            base_ts,
             writes: FastHashMap::default(),
             vallocs: FastHashMap::default(),
             vfreed: BTreeSet::new(),
             fresh: VPROC_FRESH_BASE,
             permissive,
+        }
+    }
+
+    /// Whether a live-in fetch of `addr` could be wrong because a damaged
+    /// thread's writes (or heap traffic) were lost — in which case the
+    /// replay must fail with [`ReplayFailure::LogDamage`] rather than
+    /// compute live-outs from state the recording no longer vouches for.
+    fn damage_tainted(&self, addr: u64) -> bool {
+        let Some(damage) = self.trace.damage() else { return false };
+        if addr < GLOBAL_LIMIT {
+            damage.taints_global(addr, self.base_ts)
+        } else if addr >= HEAP_BASE {
+            damage.taints_heap(self.base_ts)
+        } else {
+            false
         }
     }
 
@@ -291,6 +317,12 @@ impl<'a> VMem<'a> {
             return Mem::Value(v);
         }
         if addr < GLOBAL_LIMIT {
+            // The versioned-memory fetch below reads recorded history; if
+            // log damage could have cost us a write that feeds it, the
+            // fetch is unanswerable.
+            if self.damage_tainted(addr) {
+                return Mem::Fail(ReplayFailure::LogDamage);
+            }
             return Mem::Value(self.trace.memory.value_at(addr, self.base_version).unwrap_or(0));
         }
         if addr < HEAP_BASE {
@@ -301,6 +333,11 @@ impl<'a> VMem<'a> {
         }
         if self.in_valloc(addr) {
             return Mem::Value(0);
+        }
+        // Past the pair-local allocations we depend on the recorded heap
+        // history, which lost heap traffic invalidates wholesale.
+        if self.damage_tainted(addr) {
+            return Mem::Fail(ReplayFailure::LogDamage);
         }
         match self.trace.heap.state_at(addr, self.base_version) {
             HeapState::Live { .. } => {
@@ -326,6 +363,11 @@ impl<'a> VMem<'a> {
                 return Mem::Fault(Fault::UseAfterFree { addr });
             }
             if !self.in_valloc(addr) {
+                if self.damage_tainted(addr) {
+                    // Lost heap traffic: liveness of this address at the
+                    // base version can no longer be judged.
+                    return Mem::Fail(ReplayFailure::LogDamage);
+                }
                 match self.trace.heap.state_at(addr, self.base_version) {
                     HeapState::Live { .. } => {}
                     HeapState::Freed { .. } => return Mem::Fault(Fault::UseAfterFree { addr }),
@@ -361,6 +403,9 @@ impl<'a> VMem<'a> {
         if self.vallocs.contains_key(&base) {
             self.vfreed.insert(base);
             return Mem::Value(0);
+        }
+        if self.damage_tainted(base) {
+            return Mem::Fail(ReplayFailure::LogDamage);
         }
         match self.trace.heap.state_at(base, self.base_version) {
             HeapState::Live { base: b } if b == base => {

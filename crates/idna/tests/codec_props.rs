@@ -8,9 +8,13 @@
 //! workspace builds offline, with no external proptest dependency), so every
 //! failure reproduces from the printed seed.
 
-use idna_replay::codec::{compress, decode_log, decompress, encode_log, LogWriter};
-use idna_replay::event::{EndStatus, ReplayLog, ThreadLog};
+use idna_replay::codec::{
+    compress, decode_log, decode_log_mode, decompress, encode_log, encode_log_v1, DecodeMode,
+    LogWriter,
+};
+use idna_replay::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
 use tvm::isa::NUM_REGS;
+use tvm::machine::Fault;
 use tvm::rng::SplitMix64;
 
 #[test]
@@ -118,6 +122,94 @@ fn zero_instruction_logs_round_trip() {
         let compressed = writer.encode_compressed(&log).to_vec();
         let raw = decompress(&compressed).expect("decompress");
         assert_eq!(decode_log(&raw).expect("decode compressed"), log, "{name} (compressed)");
+    }
+}
+
+/// A small two-thread log exercising every event kind, both varint widths
+/// (values above `0x80` and above `0x4000`), a non-zero register, a fault
+/// end status, and a footprint — the fixture behind the byte pins below.
+fn pinned_log() -> ReplayLog {
+    let mut regs = [0u64; NUM_REGS];
+    regs[1] = 0x1234;
+    ReplayLog {
+        threads: vec![
+            ThreadLog {
+                tid: 0,
+                name: "main".to_string(),
+                start_regs: regs,
+                start_pc: 0,
+                start_ts: 0,
+                events: vec![
+                    ThreadEvent::Load { load_index: 0, value: 0x99 },
+                    ThreadEvent::Sequencer { instr_index: 3, ts: 2 },
+                    ThreadEvent::SyscallRet { sys_index: 0, value: 0x10_0000 },
+                ],
+                end_instr: 7,
+                end_ts: 4,
+                end_status: EndStatus::Halted,
+                footprint: vec![0, 1, 2, 3, 6],
+            },
+            ThreadLog {
+                tid: 1,
+                name: "w".to_string(),
+                start_regs: [0; NUM_REGS],
+                start_pc: 8,
+                start_ts: 1,
+                events: vec![ThreadEvent::Load { load_index: 0, value: 0x4001 }],
+                end_instr: 2,
+                end_ts: 3,
+                end_status: EndStatus::Faulted(Fault::InvalidAccess { addr: 0x30 }),
+                footprint: vec![8, 9],
+            },
+        ],
+        total_instructions: 9,
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+}
+
+/// The v2 encoding of [`pinned_log`], byte for byte: `IDNL` magic, format
+/// version 2, instruction/thread counts, then one length-prefixed,
+/// checksummed frame per thread.
+const PINNED_V2: &str = "49444e4c0209022f000000c0a1d8152f5ef2cc00046d61696e00b4\
+2400000000000000000000000000000000070400050001010103030000990102030201008080\
+4023000000f738fc54c4e4418b010177000000000000000000000000000000000801020302003\
+0020801010000818001";
+
+/// The v1 (legacy, unframed) encoding of the same log. v1 logs exist on
+/// disk; the decoder must keep reading these exact bytes forever.
+const PINNED_V1: &str = "49444e4c01090200046d61696e00b4240000000000000000000000\
+0000000000070400050001010103030000990102030201008080400101770000000000000000\
+0000000000000000080102030200300208010100\
+00818001";
+
+#[test]
+fn v2_encoding_is_byte_stable() {
+    let log = pinned_log();
+    let encoded = encode_log(&log);
+    assert_eq!(hex(&encoded), PINNED_V2, "v2 byte layout changed — bump FORMAT_VERSION");
+    assert_eq!(decode_log(&encoded).expect("strict decode"), log);
+    let (decoded, report) =
+        decode_log_mode(&encoded, DecodeMode::Tolerant).expect("tolerant decode");
+    assert_eq!(decoded, log);
+    assert!(report.is_clean(), "a pristine v2 log decodes clean");
+}
+
+#[test]
+fn v1_pinned_bytes_still_decode() {
+    let log = pinned_log();
+    assert_eq!(hex(&encode_log_v1(&log)), PINNED_V1, "v1 re-encoder drifted from the pin");
+    for mode in [DecodeMode::Strict, DecodeMode::Tolerant] {
+        let (decoded, report) =
+            decode_log_mode(&unhex(PINNED_V1), mode).expect("v1 bytes must decode");
+        assert_eq!(decoded, log, "{mode:?}");
+        assert!(report.is_clean(), "v1 has no frames to damage ({mode:?})");
     }
 }
 
