@@ -152,6 +152,40 @@ fn main() {
         trusted_time,
     );
 
+    // D11 companion: how much detector work the statically-ordered prune
+    // rule removes, on the browser workload and across the per-execution
+    // corpus analyses (the inputs the detector pre-filter consumes).
+    eprintln!("static order pruning (browser + per-execution corpus) ...");
+    let browser_with = racecheck::analyze(&program);
+    let browser_without = racecheck::analyze_without_order(&program);
+    let mut corpus_pairs = (0usize, 0usize);
+    let mut corpus_monitored = (0usize, 0usize);
+    let mut corpus_valid_handoffs = 0usize;
+    for exec in &executions {
+        let enabled: BTreeSet<&str> = exec.enabled.iter().copied().collect();
+        let exec_program = corpus_program(&enabled);
+        let with = racecheck::analyze(&exec_program);
+        let without = racecheck::analyze_without_order(&exec_program);
+        corpus_pairs.0 += with.stats.candidate_pairs;
+        corpus_pairs.1 += without.stats.candidate_pairs;
+        corpus_monitored.0 += with.stats.monitored_pcs;
+        corpus_monitored.1 += without.stats.monitored_pcs;
+        corpus_valid_handoffs += with.stats.valid_handoffs;
+    }
+    println!(
+        "static order: browser pairs {} -> {}, monitored pcs {} -> {}; \
+         corpus totals pairs {} -> {}, monitored pcs {} -> {} ({} validated handoffs)",
+        browser_without.stats.candidate_pairs,
+        browser_with.stats.candidate_pairs,
+        browser_without.stats.monitored_pcs,
+        browser_with.stats.monitored_pcs,
+        corpus_pairs.1,
+        corpus_pairs.0,
+        corpus_monitored.1,
+        corpus_monitored.0,
+        corpus_valid_handoffs,
+    );
+
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let doc = Json::obj(vec![
         ("workload", Json::str("browser")),
@@ -195,6 +229,21 @@ fn main() {
                 ("races_skipped", Json::from(trusted.merged.static_skipped_races)),
                 ("corpus_classify_off_ms", Json::from(ms(baseline_time))),
                 ("corpus_classify_skip_benign_ms", Json::from(ms(trusted_time))),
+            ]),
+        ),
+        (
+            "static_order",
+            Json::obj(vec![
+                ("browser_pairs_no_order", Json::from(browser_without.stats.candidate_pairs)),
+                ("browser_pairs", Json::from(browser_with.stats.candidate_pairs)),
+                ("browser_monitored_no_order", Json::from(browser_without.stats.monitored_pcs)),
+                ("browser_monitored", Json::from(browser_with.stats.monitored_pcs)),
+                ("browser_order_edges", Json::from(browser_with.stats.order_edges)),
+                ("corpus_pairs_no_order", Json::from(corpus_pairs.1)),
+                ("corpus_pairs", Json::from(corpus_pairs.0)),
+                ("corpus_monitored_no_order", Json::from(corpus_monitored.1)),
+                ("corpus_monitored", Json::from(corpus_monitored.0)),
+                ("corpus_valid_handoffs", Json::from(corpus_valid_handoffs)),
             ]),
         ),
     ]);

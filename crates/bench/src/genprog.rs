@@ -1,0 +1,203 @@
+//! Seeded generator of small handoff-shaped concurrent programs for the
+//! order-soundness fuzzer (`fuzz_order`).
+//!
+//! Each generated program is a set of 2-4 threads communicating over a
+//! few flag/data "channels". Every channel is a handoff attempt: a
+//! producer writes the data word(s) and releases a flag, a consumer spins
+//! on the flag and then touches the data. A per-channel mutation picks
+//! whether the handoff is *valid* (atomic nonzero release, exit-on-nonzero
+//! spin) or broken in one of the ways the static order pass must demote:
+//! a rogue plain write to the flag, a nonzero flag initializer, a plain
+//! (non-atomic) release, a second releaser, or an exit-on-zero spin.
+//!
+//! Termination is guaranteed by construction so every schedule runs to
+//! completion: all releases and rogue writes are unconditional
+//! straight-line code executed *before* any spin in their thread, every
+//! written flag value is nonzero, and exit-on-zero spins only appear with
+//! a zero-initialized flag (they exit on the first read).
+
+use tvm::isa::{Cond, Reg, RmwOp, SysCall};
+use tvm::rng::SplitMix64;
+use tvm::scheduler::RunConfig;
+use tvm::{Program, ProgramBuilder};
+
+/// Flag words live here, one per channel.
+const FLAG_BASE: u64 = 0x100;
+/// Data words live here, one per channel.
+const DATA_BASE: u64 = 0x200;
+/// Two shared words every program races on with plain stores, so the
+/// dynamic detector always has something to report.
+const NOISE_BASE: u64 = 0x300;
+
+/// How a channel's handoff is mutated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Atomic nonzero release + exit-on-nonzero spin: must be proven
+    /// ordered (no other mutation hits the flag).
+    Valid,
+    /// A third party plain-stores a nonzero value to the flag.
+    RogueWrite,
+    /// The flag is initialized nonzero, so the spin can fall through
+    /// before the release.
+    NonZeroInit,
+    /// The producer releases with a plain store instead of an atomic.
+    PlainRelease,
+    /// A second thread also atomically releases the flag.
+    SecondRelease,
+    /// The consumer exits its spin when the flag reads *zero*.
+    ExitOnZero,
+}
+
+impl Shape {
+    const ALL: [Shape; 6] = [
+        Shape::Valid,
+        Shape::RogueWrite,
+        Shape::NonZeroInit,
+        Shape::PlainRelease,
+        Shape::SecondRelease,
+        Shape::ExitOnZero,
+    ];
+}
+
+/// One producer/consumer flag-data channel.
+#[derive(Debug)]
+struct Channel {
+    flag: u64,
+    data: u64,
+    producer: usize,
+    consumer: usize,
+    /// Thread performing the rogue/second release, when the shape has one.
+    intruder: usize,
+    shape: Shape,
+    /// Value the producer publishes.
+    payload: u64,
+    /// Whether the consumer also writes the data word after its spin.
+    consumer_writes: bool,
+}
+
+/// Generates one program from the rng. The same rng state always yields
+/// the same program, so a failing trial is replayable from its seed.
+#[must_use]
+pub fn generate(rng: &mut SplitMix64) -> Program {
+    let threads = 2 + (rng.next_u64() % 3) as usize;
+    let channels = 1 + (rng.next_u64() % 3) as usize;
+    let channels: Vec<Channel> = (0..channels)
+        .map(|c| {
+            let producer = (rng.next_u64() as usize) % threads;
+            let consumer = (producer + 1 + (rng.next_u64() as usize) % (threads - 1)) % threads;
+            let intruder = (producer + 1 + (rng.next_u64() as usize) % (threads - 1)) % threads;
+            Channel {
+                flag: FLAG_BASE + 8 * c as u64,
+                data: DATA_BASE + 8 * c as u64,
+                producer,
+                consumer,
+                intruder,
+                shape: Shape::ALL[(rng.next_u64() as usize) % Shape::ALL.len()],
+                payload: 1 + rng.next_u64() % 1000,
+                consumer_writes: rng.next_u64().is_multiple_of(2),
+            }
+        })
+        .collect();
+    let noisy: Vec<bool> = (0..threads).map(|_| rng.next_u64().is_multiple_of(2)).collect();
+
+    let mut b = ProgramBuilder::new();
+    for ch in &channels {
+        let init = if ch.shape == Shape::NonZeroInit { 1 + rng.next_u64() % 7 } else { 0 };
+        b.global(ch.flag, init);
+        b.global(ch.data, 0);
+    }
+    b.global(NOISE_BASE, 0);
+    b.global(NOISE_BASE + 8, 0);
+
+    for (t, &thread_is_noisy) in noisy.iter().enumerate() {
+        b.thread(&format!("t{t}"));
+
+        // Phase 1 — unconditional produce/interfere code. Runs before any
+        // spin in this thread, so every flag is guaranteed released.
+        for ch in &channels {
+            if ch.producer == t {
+                b.movi(Reg::R1, ch.payload).store(Reg::R1, Reg::R15, ch.data as i64);
+                // ExitOnZero releases zero so the flag never turns on and
+                // the exit-on-zero spin always falls straight through —
+                // the release is demoted (zero store), the spin stays
+                // bounded, and the program terminates under any schedule.
+                let value = if ch.shape == Shape::ExitOnZero { 0 } else { 1 };
+                b.movi(Reg::R2, value);
+                if ch.shape == Shape::PlainRelease {
+                    b.store(Reg::R2, Reg::R15, ch.flag as i64);
+                } else {
+                    b.atomic_rmw(RmwOp::Xchg, Reg::R3, Reg::R15, ch.flag as i64, Reg::R2);
+                }
+            }
+            if ch.intruder == t {
+                match ch.shape {
+                    Shape::RogueWrite => {
+                        b.movi(Reg::R4, 2).store(Reg::R4, Reg::R15, ch.flag as i64);
+                    }
+                    Shape::SecondRelease => {
+                        b.movi(Reg::R4, 3);
+                        b.atomic_rmw(RmwOp::Xchg, Reg::R5, Reg::R15, ch.flag as i64, Reg::R4);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if thread_is_noisy {
+            let word = NOISE_BASE + 8 * (rng.next_u64() % 2);
+            b.movi(Reg::R6, 10 + t as u64).store(Reg::R6, Reg::R15, word as i64);
+        }
+
+        // Phase 2 — consume: spin on the flag, then touch the data word.
+        for ch in &channels {
+            if ch.consumer != t {
+                continue;
+            }
+            let spin = b.fresh_label(&format!("spin_{:x}_{t}", ch.flag));
+            b.label(spin);
+            b.movi(Reg::R7, 0);
+            b.atomic_rmw(RmwOp::Or, Reg::R8, Reg::R15, ch.flag as i64, Reg::R7);
+            if ch.shape == Shape::ExitOnZero {
+                // Loop while nonzero; the flag starts at zero, so the
+                // first read falls through.
+                b.branch(Cond::Ne, Reg::R8, Reg::R15, spin);
+            } else {
+                b.branch(Cond::Eq, Reg::R8, Reg::R15, spin);
+            }
+            b.load(Reg::R9, Reg::R15, ch.data as i64);
+            if ch.consumer_writes {
+                b.addi(Reg::R9, Reg::R9, 1).store(Reg::R9, Reg::R15, ch.data as i64);
+            }
+        }
+        b.syscall(SysCall::Nop);
+        b.halt();
+    }
+    b.build()
+}
+
+/// The two schedules each generated program is run under: a round-robin
+/// and a seeded chunked interleaving, both bounded.
+#[must_use]
+pub fn schedules(round: u64) -> [RunConfig; 2] {
+    [
+        RunConfig::round_robin(1 + round % 4).with_max_steps(200_000),
+        RunConfig::chunked(0x5EED ^ round, 1, 3).with_max_steps(200_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_programs_terminate() {
+        for seed in 0..16 {
+            let a = std::sync::Arc::new(generate(&mut SplitMix64::new(seed)));
+            let b = generate(&mut SplitMix64::new(seed));
+            assert_eq!(a.instrs(), b.instrs());
+            for schedule in schedules(seed) {
+                let rec = idna_replay::recorder::record(&a, &schedule);
+                idna_replay::replayer::replay(&a, &rec.log).expect("generated program replays");
+            }
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! values next to the measured ones so drift is visible at a glance.
 
 pub mod corrupt;
+pub mod genprog;
 pub mod timing;
 
 use workloads::eval::CorpusReport;

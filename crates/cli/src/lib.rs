@@ -12,7 +12,7 @@
 //!                   [--trust-static off|skip-benign] [--tolerant]
 //! racerep classify  prog.tasm [--schedule S] [--format text|json] [--jobs N] [--cache MODE]
 //!                   [--trust-static off|skip-benign]
-//! racerep lint      prog.tasm [--format text|json]
+//! racerep lint      prog.tasm [--format text|json] [--fail-on none|harmful|warnings]
 //! racerep triage    db.json <benign|harmful> <pc_lo> <pc_hi> [note...]
 //! racerep loginfo   run.idna
 //! racerep doctor    run.idna
@@ -22,10 +22,13 @@
 //! Schedules: `rr:<quantum>`, `random:<seed>`, `chunked:<seed>:<min>:<max>`.
 //!
 //! `lint` runs the `racecheck` static analyzer — CFG construction, abstract
-//! interpretation, lockset recognition — and prints the statically-may-race
-//! warnings without executing the program at all. `--format json` (or the
-//! legacy `--json` alias, accepted everywhere `--format` is) emits the
-//! machine-readable report documented in the README.
+//! interpretation, lockset recognition, order analysis — and prints the
+//! statically-may-race warnings without executing the program at all.
+//! `--format json` (or the legacy `--json` alias, accepted everywhere
+//! `--format` is) emits the machine-readable report documented in the
+//! README. `--fail-on` makes lint usable as a CI gate: exit 1 when any
+//! warning (`warnings`) or any warning not predicted benign (`harmful`)
+//! survives the analysis; the default (`none`) always exits 0.
 //!
 //! `--jobs N` sets the classifier's worker-thread count (0 or omitted =
 //! available parallelism, 1 = single-threaded); `--cache` picks the replay
@@ -658,22 +661,57 @@ pub fn cmd_disasm(path: &Path) -> Result<String, CliError> {
     Ok(disassemble_annotated(&program))
 }
 
+/// What surviving lint warnings should fail the process (exit code 1).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum FailOn {
+    /// Always exit 0 (the default): lint is informational.
+    #[default]
+    None,
+    /// Exit 1 when any warning is *not* predicted benign.
+    Harmful,
+    /// Exit 1 when any warning survives at all.
+    Warnings,
+}
+
+impl FailOn {
+    /// Parses a `--fail-on` mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown modes.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(FailOn::None),
+            "harmful" => Ok(FailOn::Harmful),
+            "warnings" => Ok(FailOn::Warnings),
+            other => Err(format!("fail-on mode must be none, harmful, or warnings, got {other:?}")),
+        }
+    }
+}
+
 /// `racerep lint`: runs the static race analyzer over the program — no
-/// execution, no recording — and renders its warnings.
+/// execution, no recording — and renders its warnings. Returns the report
+/// plus the exit code the `fail_on` gate selects.
 ///
 /// # Errors
 ///
 /// Propagates load failures.
-pub fn cmd_lint(path: &Path, json: bool) -> Result<String, CliError> {
+pub fn cmd_lint(path: &Path, json: bool, fail_on: FailOn) -> Result<(String, i32), CliError> {
     let program = load_program(path)?;
     let analysis = racecheck::analyze(&program);
-    Ok(if json {
+    let text = if json {
         let mut text = racecheck::render_json(&analysis).to_string_pretty();
         text.push('\n');
         text
     } else {
         racecheck::render_text(&analysis)
-    })
+    };
+    let gate_tripped = match fail_on {
+        FailOn::None => false,
+        FailOn::Harmful => analysis.warnings.iter().any(|w| !w.predicted.benign()),
+        FailOn::Warnings => !analysis.warnings.is_empty(),
+    };
+    Ok((text, i32::from(gate_tripped)))
 }
 
 /// Top-level argument dispatch; returns the text to print.
@@ -682,6 +720,16 @@ pub fn cmd_lint(path: &Path, json: bool) -> Result<String, CliError> {
 ///
 /// Returns usage or command errors for the binary to report.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    dispatch_with_status(args).map(|(text, _)| text)
+}
+
+/// [`dispatch`] plus the process exit code (0 unless a `--fail-on` gate
+/// tripped — a tripped gate still returns its report as `Ok`).
+///
+/// # Errors
+///
+/// Returns usage or command errors for the binary to report.
+pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> {
     let mut schedule = RunConfig::round_robin(2);
     let mut json = false;
     let mut permissive = false;
@@ -693,6 +741,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let mut jobs: usize = 0;
     let mut cache = CacheMode::default();
     let mut trust_static = TrustStatic::default();
+    let mut fail_on = FailOn::default();
     let mut positional: Vec<&String> = Vec::new();
 
     let mut i = 0;
@@ -759,6 +808,13 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                     .ok_or_else(|| CliError { message: "--trust-static needs a mode".into() })?;
                 trust_static = TrustStatic::parse(v).map_err(|message| CliError { message })?;
             }
+            "--fail-on" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--fail-on needs a mode".into() })?;
+                fail_on = FailOn::parse(v).map_err(|message| CliError { message })?;
+            }
             "--triage-db" => {
                 i += 1;
                 triage_db = Some(
@@ -791,24 +847,25 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             .map(|s| Path::new(s.as_str()))
             .ok_or_else(|| CliError { message: format!("{cmd}: missing {what}") })
     };
+    let ok = |r: Result<String, CliError>| r.map(|text| (text, 0));
     match cmd.as_str() {
-        "run" => cmd_run(arg(0, "program path")?, schedule, stats),
+        "run" => ok(cmd_run(arg(0, "program path")?, schedule, stats)),
         "record" => {
             let out =
                 out_path.ok_or_else(|| CliError { message: "record: missing -o <log>".into() })?;
-            cmd_record(arg(0, "program path")?, Path::new(&out), schedule)
+            ok(cmd_record(arg(0, "program path")?, Path::new(&out), schedule))
         }
-        "replay" => cmd_replay(arg(0, "program path")?, arg(1, "log path")?),
-        "races" => cmd_races(
+        "replay" => ok(cmd_replay(arg(0, "program path")?, arg(1, "log path")?)),
+        "races" => ok(cmd_races(
             arg(0, "program path")?,
             arg(1, "log path")?,
             json,
             &classifier,
             triage_db.as_deref().map(Path::new),
             tolerant,
-        ),
-        "classify" => cmd_classify(arg(0, "program path")?, schedule, json, &classifier),
-        "lint" => cmd_lint(arg(0, "program path")?, json),
+        )),
+        "classify" => ok(cmd_classify(arg(0, "program path")?, schedule, json, &classifier)),
+        "lint" => cmd_lint(arg(0, "program path")?, json, fail_on),
         "triage" => {
             let parse_pc = |n: usize, what: &str| -> Result<usize, CliError> {
                 rest.get(n)
@@ -822,17 +879,17 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 .map(|s| s.as_str())
                 .collect::<Vec<_>>()
                 .join(" ");
-            cmd_triage(
+            ok(cmd_triage(
                 arg(0, "db path")?,
                 rest.get(1).map(|s| s.as_str()).unwrap_or(""),
                 parse_pc(2, "pc_lo")?,
                 parse_pc(3, "pc_hi")?,
                 &note,
-            )
+            ))
         }
-        "loginfo" => cmd_loginfo(arg(0, "log path")?),
-        "doctor" => cmd_doctor(arg(0, "log path")?),
-        "disasm" => cmd_disasm(arg(0, "program path")?),
+        "loginfo" => ok(cmd_loginfo(arg(0, "log path")?)),
+        "doctor" => ok(cmd_doctor(arg(0, "log path")?)),
+        "disasm" => ok(cmd_disasm(arg(0, "program path")?)),
         other => err(format!("unknown command {other:?}\n{usage}")),
     }
 }
@@ -1047,13 +1104,63 @@ mod tests {
     #[test]
     fn lint_reports_candidates_without_running() {
         let prog = temp_file("lint.tasm", RACY);
-        let text = cmd_lint(&prog, false).unwrap();
+        let (text, code) = cmd_lint(&prog, false, FailOn::None).unwrap();
         assert!(text.contains("may-race candidate"), "{text}");
-        let json = cmd_lint(&prog, true).unwrap();
+        assert_eq!(code, 0);
+        let (json, _) = cmd_lint(&prog, true, FailOn::None).unwrap();
         let doc = Json::parse(&json).unwrap();
         let stats = doc.field("stats").unwrap();
         assert_eq!(stats.field("candidate_pairs").unwrap().as_u64(), Some(1));
         assert!(!doc.field("warnings").unwrap().as_arr().unwrap().is_empty());
+        let _ = fs::remove_file(prog);
+    }
+
+    #[test]
+    fn lint_fail_on_gates_the_exit_code() {
+        // RACY's store/load pair matches no benign idiom, so it trips both
+        // the harmful and warnings gates.
+        let prog = temp_file("lintgate.tasm", RACY);
+        let (_, code) = cmd_lint(&prog, false, FailOn::Harmful).unwrap();
+        assert_eq!(code, 1);
+        let (_, code) = cmd_lint(&prog, false, FailOn::Warnings).unwrap();
+        assert_eq!(code, 1);
+        let _ = fs::remove_file(prog);
+
+        // A redundant-write pair is predicted benign: `harmful` passes,
+        // `warnings` still gates.
+        let benign = "\
+.global 0x20 7
+.thread a
+  movi r1, 7
+  st [r15+32], r1
+  halt
+.thread b
+  movi r1, 7
+  st [r15+32], r1
+  halt
+";
+        let prog = temp_file("lintgate2.tasm", benign);
+        let (_, code) = cmd_lint(&prog, false, FailOn::Harmful).unwrap();
+        assert_eq!(code, 0);
+        let (_, code) = cmd_lint(&prog, false, FailOn::Warnings).unwrap();
+        assert_eq!(code, 1);
+        // Race-free programs pass every gate.
+        let _ = fs::remove_file(prog);
+        let prog = temp_file("lintgate3.tasm", ".thread a\n  movi r1, 1\n  halt\n");
+        let (_, code) = cmd_lint(&prog, false, FailOn::Warnings).unwrap();
+        assert_eq!(code, 0);
+        let _ = fs::remove_file(prog);
+
+        // Dispatch surfaces the gate's code and rejects bad modes.
+        let prog = temp_file("lintgate4.tasm", RACY);
+        let args: Vec<String> =
+            vec!["lint".into(), prog.display().to_string(), "--fail-on".into(), "harmful".into()];
+        let (_, code) = dispatch_with_status(&args).unwrap();
+        assert_eq!(code, 1);
+        let args: Vec<String> =
+            vec!["lint".into(), prog.display().to_string(), "--fail-on".into(), "sometimes".into()];
+        let e = dispatch_with_status(&args).unwrap_err();
+        assert!(e.message.contains("fail-on mode"), "{}", e.message);
         let _ = fs::remove_file(prog);
     }
 

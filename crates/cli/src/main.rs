@@ -3,8 +3,13 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match racerep::dispatch(&args) {
-        Ok(output) => print!("{output}"),
+    match racerep::dispatch_with_status(&args) {
+        Ok((output, code)) => {
+            print!("{output}");
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
         Err(e) => {
             eprintln!("racerep: {e}");
             std::process::exit(2);

@@ -10,11 +10,15 @@
 //!   cargo run -p racerep -- lint examples/asm/idiom_$f.tasm --format json \
 //!     > examples/asm/golden/idiom_$f.lint.json
 //! done
+//! for f in handoff_valid handoff_broken; do
+//!   cargo run -p racerep -- lint examples/asm/$f.tasm --format json \
+//!     > examples/asm/golden/$f.lint.json
+//! done
 //! ```
 
 use std::path::PathBuf;
 
-use racerep::cmd_lint;
+use racerep::{cmd_lint, FailOn};
 
 const EXEMPLARS: [(&str, &str, &str); 4] = [
     ("idiom_spin_wait", "spin-wait", "high"),
@@ -23,16 +27,21 @@ const EXEMPLARS: [(&str, &str, &str); 4] = [
     ("idiom_disjoint_bits", "disjoint-bits", "high"),
 ];
 
+/// Order-pass exemplars (DESIGN.md D11), pinned by golden file only: the
+/// valid handoff lints clean (no warnings to tag), the broken one keeps
+/// its candidate warning.
+const HANDOFFS: [&str; 2] = ["handoff_valid", "handoff_broken"];
+
 fn repo_path(rel: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel)
 }
 
 #[test]
 fn lint_json_matches_committed_goldens() {
-    for (name, _, _) in EXEMPLARS {
+    for name in EXEMPLARS.iter().map(|(name, _, _)| *name).chain(HANDOFFS) {
         let asm = repo_path(&format!("examples/asm/{name}.tasm"));
         let golden = repo_path(&format!("examples/asm/golden/{name}.lint.json"));
-        let out = cmd_lint(&asm, true).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (out, _) = cmd_lint(&asm, true, FailOn::None).unwrap_or_else(|e| panic!("{name}: {e}"));
         let expected = std::fs::read_to_string(&golden)
             .unwrap_or_else(|e| panic!("{name}: golden file unreadable: {e}"));
         assert_eq!(
@@ -44,9 +53,38 @@ fn lint_json_matches_committed_goldens() {
 }
 
 #[test]
+fn handoff_exemplars_lint_as_designed() {
+    // The valid handoff is statically race-free: one validated handoff,
+    // one order edge, the data pair pruned as statically ordered, no
+    // warnings. The broken one keeps its warning and records why the
+    // handoff proof failed.
+    let (out, _) =
+        cmd_lint(&repo_path("examples/asm/handoff_valid.tasm"), true, FailOn::Warnings).unwrap();
+    let json = minijson::Json::parse(&out).expect("lint json parses");
+    let arr = |k: &str| json.get(k).and_then(|v| v.as_arr()).map(<[_]>::len).expect(k);
+    assert_eq!(arr("warnings"), 0);
+    assert_eq!(arr("order_edges"), 1);
+    let stat = |k: &str| json.get("stats").and_then(|s| s.get(k)).and_then(|v| v.as_u64());
+    assert_eq!(stat("valid_handoffs"), Some(1));
+    assert_eq!(stat("pruned_statically_ordered"), Some(1));
+
+    let (out, _) =
+        cmd_lint(&repo_path("examples/asm/handoff_broken.tasm"), true, FailOn::None).unwrap();
+    let json = minijson::Json::parse(&out).expect("lint json parses");
+    assert!(!json.get("warnings").and_then(|v| v.as_arr()).expect("warnings").is_empty());
+    assert_eq!(json.get("order_edges").and_then(|v| v.as_arr()).map(<[_]>::len), Some(0));
+    let handoffs = json.get("handoffs").and_then(|v| v.as_arr()).expect("handoffs");
+    assert!(
+        handoffs.iter().any(|h| h.get("status").and_then(|s| s.as_str()) == Some("rogue_write")),
+        "broken handoff must record the rogue-write demotion: {out}"
+    );
+}
+
+#[test]
 fn golden_warnings_carry_the_expected_idiom_and_are_sorted() {
     for (name, idiom, confidence) in EXEMPLARS {
-        let out = cmd_lint(&repo_path(&format!("examples/asm/{name}.tasm")), true).unwrap();
+        let (out, _) =
+            cmd_lint(&repo_path(&format!("examples/asm/{name}.tasm")), true, FailOn::None).unwrap();
         let json = minijson::Json::parse(&out).expect("lint json parses");
         let warnings = json.get("warnings").and_then(|w| w.as_arr()).expect("warnings array");
         assert!(!warnings.is_empty(), "{name}: no warnings");

@@ -226,6 +226,10 @@ pub fn damage_profile(program: &Program, report: &DecodeReport) -> TraceDamage {
             for access in summary.accesses.iter().filter(|a| a.writes) {
                 match access.loc {
                     AbsLoc::Global { lo, hi } => ranges.push((lo, hi)),
+                    AbsLoc::Above { lo } => {
+                        ranges.push((lo, u64::MAX));
+                        may_heap = true;
+                    }
                     AbsLoc::Heap { .. } => may_heap = true,
                     AbsLoc::Unknown => {
                         unbounded = true;

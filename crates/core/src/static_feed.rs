@@ -274,15 +274,17 @@ mod tests {
 
     #[test]
     fn unreached_code_stays_an_unmaterialized_warning() {
-        // Thread b only writes the shared word when its argument is
-        // non-zero; statically the store is reachable, dynamically it never
-        // runs (the argument is 0), so the warning cannot materialize.
+        // Thread b only writes the shared word when its tid is zero;
+        // statically the tid is any of [0, threads), so the store is
+        // reachable, but dynamically thread b is tid 1 and always skips,
+        // so the warning cannot materialize.
         let mut b = ProgramBuilder::new();
         b.thread("a");
         b.movi(Reg::R1, 1).store(Reg::R1, Reg::R15, 8).halt();
         b.thread("b");
         let skip = b.fresh_label("skip");
-        b.branch(tvm::isa::Cond::Eq, Reg::R0, Reg::R15, skip)
+        b.syscall(tvm::isa::SysCall::Tid)
+            .branch(tvm::isa::Cond::Ne, Reg::R0, Reg::R15, skip)
             .store(Reg::R0, Reg::R15, 8)
             .label(skip)
             .halt();

@@ -25,7 +25,7 @@
 //! acquire can only *shrink* must-locksets, which only *grows* the candidate
 //! pair set, preserving soundness.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use tvm::isa::{BinOp, Cond, Instr, Reg, RmwOp, SysCall, NUM_REGS};
 use tvm::program::Program;
@@ -188,12 +188,32 @@ pub struct Transfer {
     pub event: Option<LockEvent>,
 }
 
+/// Abstractly executes the instruction at `pc` on `state`, with no
+/// stable-global knowledge (see [`transfer_with`]).
+#[must_use]
+pub fn transfer(program: &Program, cfg: &Cfg, pc: usize, state: &State) -> Transfer {
+    transfer_with(program, cfg, pc, state, &BTreeMap::new())
+}
+
 /// Abstractly executes the instruction at `pc` on `state`.
+///
+/// `consts` maps *stable globals* — words provably written by no reachable
+/// instruction of any thread — to their initial values; loads from them
+/// produce the exact constant instead of `Top`. Branch edges whose
+/// refinement is contradictory (the tested interval provably excludes the
+/// edge's outcome) are dropped entirely, so code behind them stays
+/// unreached in the fixpoint.
 ///
 /// Successors one past the end of the program (thread termination) are
 /// dropped, matching [`Cfg::successors`].
 #[must_use]
-pub fn transfer(program: &Program, cfg: &Cfg, pc: usize, state: &State) -> Transfer {
+pub fn transfer_with(
+    program: &Program,
+    cfg: &Cfg,
+    pc: usize,
+    state: &State,
+    consts: &BTreeMap<u64, u64>,
+) -> Transfer {
     let mut out = Transfer::default();
     let Some(instr) = program.instr(pc) else { return out };
     let len = program.len();
@@ -210,14 +230,14 @@ pub fn transfer(program: &Program, cfg: &Cfg, pc: usize, state: &State) -> Trans
             next.set_reg(dst, AbsVal::binop(op, state.reg(lhs), AbsVal::constant(imm)));
         }
         Instr::Load { dst, base, offset } => {
-            out.access = Some(AccessFact {
-                loc: AbsLoc::resolve(state.reg(base), offset),
-                reads: true,
-                writes: false,
-                atomic: false,
-                stored: None,
-            });
-            next.set_reg(dst, AbsVal::Top);
+            let loc = AbsLoc::resolve(state.reg(base), offset);
+            out.access =
+                Some(AccessFact { loc, reads: true, writes: false, atomic: false, stored: None });
+            let loaded = loc
+                .exact_global()
+                .and_then(|g| consts.get(&g))
+                .map_or(AbsVal::Top, |&v| AbsVal::constant(v));
+            next.set_reg(dst, loaded);
         }
         Instr::Store { src, base, offset } => {
             out.access = Some(AccessFact {
@@ -327,8 +347,12 @@ pub fn transfer(program: &Program, cfg: &Cfg, pc: usize, state: &State) -> Trans
         Instr::Halt => {}
         Instr::Branch { cond, lhs, rhs, target } => {
             let (taken, fall) = branch_states(state, next, cond, lhs, rhs);
-            push_succ(&mut out, target, taken, len);
-            push_succ(&mut out, pc + 1, fall, len);
+            if let Some(taken) = taken {
+                push_succ(&mut out, target, taken, len);
+            }
+            if let Some(fall) = fall {
+                push_succ(&mut out, pc + 1, fall, len);
+            }
         }
         _ => push_succ(&mut out, pc + 1, next, len),
     }
@@ -344,8 +368,18 @@ fn push_succ(out: &mut Transfer, pc: usize, state: State, len: usize) {
 /// Splits a branch into (taken, fallthrough) states: confirms a pending
 /// lock acquire when the branch tests the acquire's flag register against a
 /// provably zero register, and refines intervals from `reg == 0` /
-/// `reg != 0` facts (including through a remembered [`RegDef`] guard).
-fn branch_states(in_state: &State, base: State, cond: Cond, lhs: Reg, rhs: Reg) -> (State, State) {
+/// `reg != 0` facts (including through a remembered [`RegDef`] guard). An
+/// edge whose refinement is contradictory — the tested register provably
+/// cannot take the edge's outcome — is returned as `None` and never
+/// propagated, so provably-dead code (an enable gate's off branch) stays
+/// outside the fixpoint.
+fn branch_states(
+    in_state: &State,
+    base: State,
+    cond: Cond,
+    lhs: Reg,
+    rhs: Reg,
+) -> (Option<State>, Option<State>) {
     let mut taken = base.clone();
     let mut fall = base;
     // Identify `reg <cond> zero` (either operand order).
@@ -359,7 +393,7 @@ fn branch_states(in_state: &State, base: State, cond: Cond, lhs: Reg, rhs: Reg) 
     };
     let (Some(reg), Cond::Eq | Cond::Ne) = (reg, cond) else {
         // Not a zero test, or an unordered comparison: stay conservative.
-        return (taken, fall);
+        return (Some(taken), Some(fall));
     };
     let eq_edge_taken = cond == Cond::Eq;
 
@@ -379,47 +413,58 @@ fn branch_states(in_state: &State, base: State, cond: Cond, lhs: Reg, rhs: Reg) 
     let def = in_state.defs[reg.index()];
     let (zero_state, nonzero_state) =
         if eq_edge_taken { (&mut taken, &mut fall) } else { (&mut fall, &mut taken) };
-    refine_zero(zero_state, reg, def);
-    refine_nonzero(nonzero_state, reg, def);
-    (taken, fall)
+    let zero_ok = refine_zero(zero_state, reg, def);
+    let nonzero_ok = refine_nonzero(nonzero_state, reg, def);
+    let (taken_ok, fall_ok) =
+        if eq_edge_taken { (zero_ok, nonzero_ok) } else { (nonzero_ok, zero_ok) };
+    (taken_ok.then_some(taken), fall_ok.then_some(fall))
 }
 
 /// Applies `reg == 0` to `state`: the register itself is zero, and a guard
 /// definition pins its operand (`src - imm == 0 ⟹ src == imm`;
-/// `src / imm == 0 ⟹ src < imm`).
-fn refine_zero(state: &mut State, reg: Reg, def: Option<RegDef>) {
-    clamp_reg(state, reg, 0, 0);
-    match def {
-        Some(RegDef { op: BinOp::Sub, src, imm }) => clamp_reg(state, src, imm, imm),
-        Some(RegDef { op: BinOp::Div, src, imm }) => clamp_reg(state, src, 0, imm - 1),
-        _ => {}
-    }
+/// `src / imm == 0 ⟹ src < imm`). Returns whether the edge is feasible.
+fn refine_zero(state: &mut State, reg: Reg, def: Option<RegDef>) -> bool {
+    clamp_reg(state, reg, 0, 0)
+        && match def {
+            Some(RegDef { op: BinOp::Sub, src, imm }) => clamp_reg(state, src, imm, imm),
+            Some(RegDef { op: BinOp::Div, src, imm }) => clamp_reg(state, src, 0, imm - 1),
+            _ => true,
+        }
 }
 
 /// Applies `reg != 0` to `state` (`src - imm != 0 ⟹ src != imm`;
-/// `src / imm != 0 ⟹ src >= imm`).
-fn refine_nonzero(state: &mut State, reg: Reg, def: Option<RegDef>) {
-    exclude_reg(state, reg, 0);
-    match def {
-        Some(RegDef { op: BinOp::Sub, src, imm }) => exclude_reg(state, src, imm),
-        Some(RegDef { op: BinOp::Div, src, imm }) => clamp_reg(state, src, imm, u64::MAX),
-        _ => {}
-    }
+/// `src / imm != 0 ⟹ src >= imm`). Returns whether the edge is feasible.
+fn refine_nonzero(state: &mut State, reg: Reg, def: Option<RegDef>) -> bool {
+    exclude_reg(state, reg, 0)
+        && match def {
+            Some(RegDef { op: BinOp::Sub, src, imm }) => exclude_reg(state, src, imm),
+            Some(RegDef { op: BinOp::Div, src, imm }) => clamp_reg(state, src, imm, u64::MAX),
+            _ => true,
+        }
 }
 
-/// Intersects a register with `[lo, hi]`. An empty intersection means the
-/// edge is infeasible; the state is left unrefined, which is conservative.
-fn clamp_reg(state: &mut State, r: Reg, lo: u64, hi: u64) {
-    if let Some(v) = state.regs[r.index()].clamp(lo, hi) {
-        state.regs[r.index()] = v;
+/// Intersects a register with `[lo, hi]`. An empty intersection proves the
+/// refining edge infeasible: the state is left unrefined and `false` is
+/// returned so the caller drops the edge.
+fn clamp_reg(state: &mut State, r: Reg, lo: u64, hi: u64) -> bool {
+    match state.regs[r.index()].clamp(lo, hi) {
+        Some(v) => {
+            state.regs[r.index()] = v;
+            true
+        }
+        None => false,
     }
 }
 
 /// Removes an endpoint value from a register's interval (same infeasible-
-/// edge caveat as [`clamp_reg`]).
-fn exclude_reg(state: &mut State, r: Reg, v: u64) {
-    if let Some(nv) = state.regs[r.index()].exclude(v) {
-        state.regs[r.index()] = nv;
+/// edge contract as [`clamp_reg`]).
+fn exclude_reg(state: &mut State, r: Reg, v: u64) -> bool {
+    match state.regs[r.index()].exclude(v) {
+        Some(nv) => {
+            state.regs[r.index()] = nv;
+            true
+        }
+        None => false,
     }
 }
 
@@ -431,9 +476,22 @@ pub struct ThreadFlow {
 }
 
 /// Runs the worklist fixpoint for the thread entering at `cfg.entry` with
-/// the given spec args.
+/// the given spec args and no stable-global knowledge.
 #[must_use]
 pub fn fixpoint(program: &Program, cfg: &Cfg, args: &[u64]) -> ThreadFlow {
+    fixpoint_with(program, cfg, args, &BTreeMap::new())
+}
+
+/// [`fixpoint`] with a stable-global constant map (see [`transfer_with`]).
+/// pcs only reachable through contradictory branch edges receive no state —
+/// they are semantically dead for this program's initial globals.
+#[must_use]
+pub fn fixpoint_with(
+    program: &Program,
+    cfg: &Cfg,
+    args: &[u64],
+    consts: &BTreeMap<u64, u64>,
+) -> ThreadFlow {
     let mut states: std::collections::BTreeMap<usize, State> = std::collections::BTreeMap::new();
     let mut visits: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
     let mut work: Vec<usize> = Vec::new();
@@ -443,7 +501,7 @@ pub fn fixpoint(program: &Program, cfg: &Cfg, args: &[u64]) -> ThreadFlow {
     }
     while let Some(pc) = work.pop() {
         let state = states.get(&pc).expect("queued pc has a state").clone();
-        for (succ, out) in transfer(program, cfg, pc, &state).succs {
+        for (succ, out) in transfer_with(program, cfg, pc, &state, consts).succs {
             match states.get_mut(&succ) {
                 None => {
                     states.insert(succ, out);

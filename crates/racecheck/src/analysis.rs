@@ -19,6 +19,10 @@
 //!   release are sequencer points bounding the access's region, and the
 //!   validity rules guarantee occupancy windows are disjoint, so the
 //!   regions order.
+//! * the pair is provably ordered in every execution by a validated
+//!   flag-handoff chain (`crate::order`): the release's sequencer point
+//!   always precedes the acquire's successful read, so the two regions
+//!   order point-to-point in the dynamic region graph.
 //!
 //! Anything the abstract interpretation cannot resolve lands in the
 //! `Unknown` location, which aliases everything; unknown pairs are kept.
@@ -27,10 +31,11 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use tvm::program::Program;
 
-use crate::absint::{fixpoint, transfer, LockEvent};
+use crate::absint::{fixpoint_with, transfer_with, LockEvent, ThreadFlow};
 use crate::cfg::Cfg;
 use crate::domain::AbsLoc;
 use crate::idioms::{self, AccessIdiom, PredictedVerdict};
+use crate::order::{analyze_order, OrderAnalysis};
 
 /// One statically observed memory access in one thread.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,11 +69,11 @@ pub struct ThreadSummary {
     pub accesses: Vec<Access>,
 }
 
-/// Why a lock candidate was demoted to "not a lock".
+/// Why a lock or flag-handoff candidate was demoted to "not trusted".
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Demotion {
-    /// A write to the lock word from outside the recognized acquire/release
-    /// sites — the `L != 0 iff held` invariant cannot be trusted.
+    /// A write to the lock or flag word from outside the recognized
+    /// acquire/release sites — the word's invariant cannot be trusted.
     RogueWrite {
         /// The offending write's pc.
         pc: usize,
@@ -79,6 +84,82 @@ pub enum Demotion {
         /// The offending release's pc.
         pc: usize,
     },
+    /// A handoff flag whose initial global value is non-zero: the spin can
+    /// exit before the release ever runs.
+    NonzeroInit {
+        /// The flag word's initial value.
+        value: u64,
+    },
+    /// A spin loop that exits when the flag reads *zero* — the inverted
+    /// polarity proves nothing about the releasing thread.
+    ExitOnZero {
+        /// The spin's zero-test branch (or its atomic) pc.
+        pc: usize,
+    },
+    /// A handoff release that may execute more than once (it sits on a CFG
+    /// cycle or is reachable by several threads), so "after the spin" does
+    /// not pin *which* release the acquire observed.
+    RepeatableRelease {
+        /// The release's pc.
+        pc: usize,
+    },
+}
+
+impl Demotion {
+    /// Stable lint-schema tag for the demotion reason.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Demotion::RogueWrite { .. } => "rogue_write",
+            Demotion::ReleaseWithoutHold { .. } => "release_without_hold",
+            Demotion::NonzeroInit { .. } => "nonzero_init",
+            Demotion::ExitOnZero { .. } => "exit_on_zero",
+            Demotion::RepeatableRelease { .. } => "repeatable_release",
+        }
+    }
+
+    /// The pc evidence carried by the demotion, when it has one.
+    #[must_use]
+    pub fn pc(&self) -> Option<usize> {
+        match *self {
+            Demotion::RogueWrite { pc }
+            | Demotion::ReleaseWithoutHold { pc }
+            | Demotion::ExitOnZero { pc }
+            | Demotion::RepeatableRelease { pc } => Some(pc),
+            Demotion::NonzeroInit { .. } => None,
+        }
+    }
+}
+
+/// Why an access pair was statically refuted. Exactly one reason is
+/// recorded per pruned `(pc_lo, pc_hi)` pair (the first rule that fired),
+/// and no reason survives for pairs that stay candidates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PruneReason {
+    /// The abstract locations cannot alias.
+    NoAlias,
+    /// Neither side writes.
+    ReadRead,
+    /// Both sides are sequencer points.
+    AtomicAtomic,
+    /// Both sides hold a common valid spin lock.
+    CommonLock,
+    /// A validated handoff chain orders the pair in every execution.
+    StaticallyOrdered,
+}
+
+impl PruneReason {
+    /// Stable lint-schema tag for the prune reason.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PruneReason::NoAlias => "no_alias",
+            PruneReason::ReadRead => "read_read",
+            PruneReason::AtomicAtomic => "atomic_atomic",
+            PruneReason::CommonLock => "common_lock",
+            PruneReason::StaticallyOrdered => "statically_ordered",
+        }
+    }
 }
 
 /// Everything the analysis learned about one spin-lock candidate.
@@ -172,6 +253,11 @@ impl CandidateSet {
         self.pairs.iter().copied()
     }
 
+    /// Iterates the monitored pcs (every pc in some candidate pair).
+    pub fn monitored(&self) -> impl Iterator<Item = usize> + '_ {
+        self.monitored.iter().copied()
+    }
+
     fn insert(&mut self, pc_a: usize, pc_b: usize) {
         let key = (pc_a.min(pc_b), pc_a.max(pc_b));
         self.pairs.insert(key);
@@ -199,6 +285,12 @@ pub struct AnalysisStats {
     pub lock_candidates: usize,
     /// Candidates that survived validation.
     pub valid_locks: usize,
+    /// Flag-handoff words recognized by the order pass (valid or not).
+    pub handoff_candidates: usize,
+    /// Handoff words that survived validation.
+    pub valid_handoffs: usize,
+    /// Cross-thread order edges after transitive closure.
+    pub order_edges: usize,
     /// Access pairs pruned because the locations cannot alias.
     pub pruned_no_alias: u64,
     /// Access pairs pruned because neither side writes.
@@ -207,6 +299,8 @@ pub struct AnalysisStats {
     pub pruned_atomic_atomic: u64,
     /// Access pairs pruned because both sides hold a common valid lock.
     pub pruned_common_lock: u64,
+    /// Access pairs pruned because a validated handoff chain orders them.
+    pub pruned_statically_ordered: u64,
     /// Warnings whose predicted verdict is benign (any idiom matched).
     pub predicted_benign: usize,
 }
@@ -222,6 +316,11 @@ pub struct Analysis {
     pub warnings: Vec<RaceWarning>,
     /// The candidate pairs for the detector pre-filter.
     pub candidates: CandidateSet,
+    /// The static order analysis: handoffs, edges, and the MHP query.
+    pub order: OrderAnalysis,
+    /// Why each refuted `(pc_lo, pc_hi)` pair was pruned. Exactly one
+    /// reason per pruned pair; pairs that stay candidates never appear.
+    pub pruned: BTreeMap<(usize, usize), PruneReason>,
     /// Aggregate counters.
     pub stats: AnalysisStats,
 }
@@ -232,26 +331,40 @@ struct ThreadFacts {
     raw_locks: Vec<BTreeSet<u64>>,
 }
 
-/// Statically analyzes every thread of the program and cross-products the
-/// summaries into may-race candidate pairs.
-#[must_use]
-pub fn analyze(program: &Program) -> Analysis {
+/// Everything one pass over all threads produces, before lock validation.
+struct Collected {
+    facts: Vec<ThreadFacts>,
+    flows: Vec<(Cfg, ThreadFlow)>,
+    acquires: BTreeMap<u64, BTreeSet<usize>>,
+    releases: BTreeMap<u64, BTreeSet<usize>>,
+    unheld_releases: BTreeMap<u64, usize>,
+    reachable_pcs: BTreeSet<usize>,
+    memory_pcs: BTreeSet<usize>,
+}
+
+/// Runs the per-thread fixpoints and harvests accesses and lock events,
+/// with loads of the globals in `consts` folded to their pinned values.
+fn collect_threads(
+    program: &Program,
+    barriers: &BTreeSet<usize>,
+    consts: &BTreeMap<u64, u64>,
+) -> Collected {
     let mut facts: Vec<ThreadFacts> = Vec::new();
+    let mut flows: Vec<(Cfg, ThreadFlow)> = Vec::new();
     let mut acquires: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
     let mut releases: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
     let mut unheld_releases: BTreeMap<u64, usize> = BTreeMap::new();
     let mut reachable_pcs: BTreeSet<usize> = BTreeSet::new();
     let mut memory_pcs: BTreeSet<usize> = BTreeSet::new();
-    let barriers = idioms::control_barriers(program);
 
     for spec in program.threads() {
         let cfg = Cfg::build(program, spec.entry);
-        let flow = fixpoint(program, &cfg, &spec.args);
+        let flow = fixpoint_with(program, &cfg, &spec.args, consts);
         let mut accesses = Vec::new();
         let mut raw_locks = Vec::new();
         for (&pc, state) in &flow.states {
             reachable_pcs.insert(pc);
-            let t = transfer(program, &cfg, pc, state);
+            let t = transfer_with(program, &cfg, pc, state, consts);
             if let Some(a) = t.access {
                 memory_pcs.insert(pc);
                 accesses.push(Access {
@@ -261,7 +374,7 @@ pub fn analyze(program: &Program) -> Analysis {
                     writes: a.writes,
                     atomic: a.atomic,
                     locks: BTreeSet::new(), // masked by validity below
-                    idiom: idioms::access_facts(program, &flow, &barriers, pc, &a),
+                    idiom: idioms::access_facts(program, &flow, barriers, pc, &a),
                 });
                 raw_locks.push(state.locks.clone());
             }
@@ -287,7 +400,76 @@ pub fn analyze(program: &Program) -> Analysis {
             },
             raw_locks,
         });
+        flows.push((cfg, flow));
     }
+
+    Collected { facts, flows, acquires, releases, unheld_releases, reachable_pcs, memory_pcs }
+}
+
+/// The globals no reachable access of any thread may write: their initial
+/// image value is the value every load observes.
+fn stable_globals(program: &Program, facts: &[ThreadFacts]) -> BTreeMap<u64, u64> {
+    program
+        .globals()
+        .iter()
+        .filter(|&(&addr, _)| {
+            let word = AbsLoc::Global { lo: addr, hi: addr };
+            !facts
+                .iter()
+                .flat_map(|f| &f.summary.accesses)
+                .any(|a| a.writes && a.loc.may_alias(word))
+        })
+        .map(|(&addr, &value)| (addr, value))
+        .collect()
+}
+
+/// Statically analyzes every thread of the program and cross-products the
+/// summaries into may-race candidate pairs.
+#[must_use]
+pub fn analyze(program: &Program) -> Analysis {
+    analyze_with(program, true)
+}
+
+/// [`analyze`] with the `StaticallyOrdered` prune rule disabled — the PR 2
+/// baseline, kept as the comparison point for precision/overhead reports.
+#[must_use]
+pub fn analyze_without_order(program: &Program) -> Analysis {
+    analyze_with(program, false)
+}
+
+fn analyze_with(program: &Program, use_order: bool) -> Analysis {
+    let barriers = idioms::control_barriers(program);
+
+    // Stable-global constant propagation: a global word no reachable
+    // instruction of any thread may write holds its image value forever, so
+    // loads of it fold to constants — which can prove branch edges dead (a
+    // configuration gate's off path), which removes the dead code's writes,
+    // which can stabilize further globals. The iteration is *optimistic*
+    // (greatest fixpoint): start from "every global is stable" and shed the
+    // ones some surviving write may touch until the set is self-consistent.
+    //
+    // Soundness of the circular justification is by a first-write argument:
+    // suppose some concrete execution wrote a word the final set calls
+    // stable, and take the earliest such write. Up to that event every
+    // folded load observed exactly its image value, so the abstract facts
+    // over-approximate the whole prefix — including the writing
+    // instruction, whose access fact then contradicts the word's
+    // stability. The step function is antitone-free (fewer consts ⇒ more
+    // reachable writes ⇒ fewer stable words), so the downward iteration
+    // terminates in at most |globals| rounds.
+    let mut consts: BTreeMap<u64, u64> =
+        program.globals().iter().map(|(&addr, &value)| (addr, value)).collect();
+    let mut collected = collect_threads(program, &barriers, &consts);
+    loop {
+        let stable = stable_globals(program, &collected.facts);
+        if stable == consts {
+            break;
+        }
+        consts = stable;
+        collected = collect_threads(program, &barriers, &consts);
+    }
+    let Collected { facts, flows, acquires, releases, unheld_releases, reachable_pcs, memory_pcs } =
+        collected;
 
     // Validate lock candidates: a lock is trustworthy only if its word is
     // written exclusively by recognized acquire/release sites and every
@@ -324,6 +506,15 @@ pub fn analyze(program: &Program) -> Analysis {
         threads.push(f.summary);
     }
 
+    // Segment the CFGs and validate flag handoffs before the cross-product
+    // so the `StaticallyOrdered` rule can consult the closed order edges.
+    let order = if use_order {
+        let per_thread: Vec<Vec<Access>> = threads.iter().map(|t| t.accesses.clone()).collect();
+        analyze_order(program, &flows, &per_thread)
+    } else {
+        OrderAnalysis::default()
+    };
+
     // Cross-product per-thread summaries into candidate pairs.
     let single_valued = idioms::single_valued_globals(program, &threads);
     let mut candidates = CandidateSet::default();
@@ -333,6 +524,9 @@ pub fn analyze(program: &Program) -> Analysis {
         memory_pcs: memory_pcs.len(),
         lock_candidates: locks.len(),
         valid_locks: valid.len(),
+        handoff_candidates: order.handoffs.len(),
+        valid_handoffs: order.handoffs.iter().filter(|h| h.valid()).count(),
+        order_edges: order.edges.len(),
         unknown_accesses: threads
             .iter()
             .flat_map(|t| &t.accesses)
@@ -341,24 +535,37 @@ pub fn analyze(program: &Program) -> Analysis {
         ..AnalysisStats::default()
     };
     let mut warnings: BTreeMap<(usize, usize), RaceWarning> = BTreeMap::new();
+    let mut pruned: BTreeMap<(usize, usize), PruneReason> = BTreeMap::new();
     for (i, ta) in threads.iter().enumerate() {
-        for tb in threads.iter().skip(i + 1) {
+        for (j, tb) in threads.iter().enumerate().skip(i + 1) {
             for a in &ta.accesses {
                 for b in &tb.accesses {
+                    let key = (a.pc.min(b.pc), a.pc.max(b.pc));
                     if !a.loc.may_alias(b.loc) {
                         stats.pruned_no_alias += 1;
+                        pruned.entry(key).or_insert(PruneReason::NoAlias);
                         continue;
                     }
                     if !a.writes && !b.writes {
                         stats.pruned_read_read += 1;
+                        pruned.entry(key).or_insert(PruneReason::ReadRead);
                         continue;
                     }
                     if a.atomic && b.atomic {
                         stats.pruned_atomic_atomic += 1;
+                        pruned.entry(key).or_insert(PruneReason::AtomicAtomic);
                         continue;
                     }
                     if a.locks.intersection(&b.locks).next().is_some() {
                         stats.pruned_common_lock += 1;
+                        pruned.entry(key).or_insert(PruneReason::CommonLock);
+                        continue;
+                    }
+                    if order.statically_ordered(i, a.pc, j, b.pc)
+                        || order.statically_ordered(j, b.pc, i, a.pc)
+                    {
+                        stats.pruned_statically_ordered += 1;
+                        pruned.entry(key).or_insert(PruneReason::StaticallyOrdered);
                         continue;
                     }
                     candidates.insert(a.pc, b.pc);
@@ -370,6 +577,9 @@ pub fn analyze(program: &Program) -> Analysis {
     }
     stats.candidate_pairs = candidates.len();
     stats.monitored_pcs = candidates.monitored.len();
+    // A pair pruned for one access combination may surface as a candidate
+    // through another; only fully refuted pairs keep their reason.
+    pruned.retain(|key, _| !candidates.pairs.contains(key));
 
     // The BTreeMap already iterates by `(pc_lo, pc_hi)`, but the emission
     // order is part of the lint JSON contract: sort explicitly by
@@ -379,7 +589,7 @@ pub fn analyze(program: &Program) -> Analysis {
     warnings.sort_by_key(|w| (w.lo.pc, w.hi.pc, addr_class(w)));
     stats.predicted_benign = warnings.iter().filter(|w| w.predicted.benign()).count();
 
-    Analysis { threads, locks, warnings, candidates, stats }
+    Analysis { threads, locks, warnings, candidates, order, pruned, stats }
 }
 
 /// Ordering class of a warning's addresses: resolved globals sort before

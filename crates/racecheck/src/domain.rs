@@ -218,6 +218,15 @@ pub enum AbsLoc {
         /// Allocation-site pc, if known.
         site: Option<usize>,
     },
+    /// An address at or above `lo` (with `lo` below [`HEAP_BASE`]): a global
+    /// in `[lo, HEAP_BASE)` or anywhere on the heap. This is what a widened
+    /// but monotonically-increasing pointer resolves to — the stable lower
+    /// bound survives widening and still refutes aliasing with globals
+    /// *below* `lo`.
+    Above {
+        /// Smallest possible address.
+        lo: u64,
+    },
     /// Any address.
     Unknown,
 }
@@ -239,8 +248,13 @@ impl AbsLoc {
                 let (lo, hi) = (lo as u64, hi as u64);
                 if hi < HEAP_BASE {
                     AbsLoc::Global { lo, hi }
+                } else if lo >= HEAP_BASE {
+                    // Entirely at or above the heap base: accesses below the
+                    // heap's mapped extent fault and emit no event, so for
+                    // aliasing this is a heap location.
+                    AbsLoc::Heap { site: None }
                 } else {
-                    AbsLoc::Unknown
+                    AbsLoc::Above { lo }
                 }
             }
             AbsVal::HeapPtr { site } => {
@@ -278,6 +292,11 @@ impl AbsLoc {
             (AbsLoc::Heap { .. }, AbsLoc::Heap { .. }) => true,
             (AbsLoc::Global { .. }, AbsLoc::Heap { .. })
             | (AbsLoc::Heap { .. }, AbsLoc::Global { .. }) => false,
+            // `Above { lo }` covers [lo, HEAP_BASE) plus the whole heap.
+            (AbsLoc::Above { lo }, AbsLoc::Global { hi, .. })
+            | (AbsLoc::Global { hi, .. }, AbsLoc::Above { lo }) => hi >= lo,
+            (AbsLoc::Above { .. }, AbsLoc::Heap { .. } | AbsLoc::Above { .. })
+            | (AbsLoc::Heap { .. }, AbsLoc::Above { .. }) => true,
         }
     }
 
@@ -290,6 +309,13 @@ impl AbsLoc {
                 AbsLoc::Global { lo: a.min(c), hi: b.max(d) }
             }
             (AbsLoc::Heap { .. }, AbsLoc::Heap { .. }) => AbsLoc::Heap { site: None },
+            (AbsLoc::Above { lo: a }, AbsLoc::Above { lo: b }) => AbsLoc::Above { lo: a.min(b) },
+            (AbsLoc::Above { lo }, AbsLoc::Global { lo: g, .. })
+            | (AbsLoc::Global { lo: g, .. }, AbsLoc::Above { lo }) => {
+                AbsLoc::Above { lo: lo.min(g) }
+            }
+            (AbsLoc::Above { lo }, AbsLoc::Heap { .. })
+            | (AbsLoc::Heap { .. }, AbsLoc::Above { lo }) => AbsLoc::Above { lo },
             _ => AbsLoc::Unknown,
         }
     }
@@ -302,6 +328,7 @@ impl fmt::Display for AbsLoc {
             AbsLoc::Global { lo, hi } => write!(f, "globals [{lo:#x}, {hi:#x}]"),
             AbsLoc::Heap { site: Some(pc) } => write!(f, "heap (alloc at pc {pc})"),
             AbsLoc::Heap { site: None } => write!(f, "heap"),
+            AbsLoc::Above { lo } => write!(f, "addresses >= {lo:#x}"),
             AbsLoc::Unknown => write!(f, "unknown"),
         }
     }
@@ -372,8 +399,15 @@ mod tests {
         assert!(AbsLoc::Unknown.may_alias(g8));
         // A negative heap offset may dip below HEAP_BASE.
         assert_eq!(AbsLoc::resolve(AbsVal::HeapPtr { site: None }, -8), AbsLoc::Unknown);
-        // A constant at or above HEAP_BASE may alias heap memory.
-        assert_eq!(AbsLoc::resolve(AbsVal::constant(HEAP_BASE), 0), AbsLoc::Unknown);
+        // A constant at or above HEAP_BASE is heap memory (unknown site).
+        assert_eq!(AbsLoc::resolve(AbsVal::constant(HEAP_BASE), 0), AbsLoc::Heap { site: None });
+        // A widened-but-bounded pointer keeps its lower bound: it cannot
+        // alias globals strictly below it, but may alias anything above.
+        let above = AbsLoc::resolve(AbsVal::Int { lo: 0x140, hi: u64::MAX }, 0);
+        assert_eq!(above, AbsLoc::Above { lo: 0x140 });
+        assert!(!above.may_alias(AbsLoc::Global { lo: 0x100, hi: 0x13f }));
+        assert!(above.may_alias(AbsLoc::Global { lo: 0x100, hi: 0x140 }));
+        assert!(above.may_alias(AbsLoc::Heap { site: Some(1) }));
         // Ranges overlap by intervals.
         let lo = AbsLoc::Global { lo: 0, hi: 10 };
         let hi = AbsLoc::Global { lo: 10, hi: 20 };

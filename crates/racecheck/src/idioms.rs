@@ -503,6 +503,7 @@ pub(crate) fn single_valued_globals(program: &Program, threads: &[ThreadSummary]
                 }
             }
             AbsLoc::Global { lo, hi } => killed_ranges.push((lo, hi)),
+            AbsLoc::Above { lo } => killed_ranges.push((lo, u64::MAX)),
         }
     }
     let constant_globals = candidates

@@ -37,15 +37,17 @@ pub mod analysis;
 pub mod cfg;
 pub mod domain;
 pub mod idioms;
+pub mod order;
 pub mod report;
 
 pub use analysis::{
-    analyze, Access, Analysis, AnalysisStats, CandidateSet, Demotion, LockReport, RaceWarning,
-    ThreadSummary, WarningSide,
+    analyze, analyze_without_order, Access, Analysis, AnalysisStats, CandidateSet, Demotion,
+    LockReport, PruneReason, RaceWarning, ThreadSummary, WarningSide,
 };
 pub use cfg::Cfg;
 pub use domain::{AbsLoc, AbsVal};
 pub use idioms::{AccessIdiom, Confidence, Idiom, PredictedVerdict, SpinPolarity};
+pub use order::{HandoffReport, OrderAnalysis, OrderEdge};
 pub use report::{render_json, render_text};
 
 #[cfg(test)]

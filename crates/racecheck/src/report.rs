@@ -14,6 +14,22 @@ fn predicted_kind(p: PredictedVerdict) -> &'static str {
     }
 }
 
+fn demotion_text(d: Demotion) -> String {
+    match d {
+        Demotion::RogueWrite { pc } => format!("demoted: non-idiom write at pc {pc}"),
+        Demotion::ReleaseWithoutHold { pc } => {
+            format!("demoted: release without hold at pc {pc}")
+        }
+        Demotion::NonzeroInit { value } => {
+            format!("demoted: flag starts non-zero ({value})")
+        }
+        Demotion::ExitOnZero { pc } => format!("demoted: spin exits on zero at pc {pc}"),
+        Demotion::RepeatableRelease { pc } => {
+            format!("demoted: release may repeat at pc {pc}")
+        }
+    }
+}
+
 fn side_kind(s: &WarningSide) -> &'static str {
     match (s.writes, s.atomic) {
         (true, true) => "atomic write",
@@ -55,15 +71,7 @@ pub fn render_text(analysis: &Analysis) -> String {
     } else {
         let _ = writeln!(out, "locks:");
         for l in &analysis.locks {
-            let status = match l.demoted {
-                None => "valid".to_string(),
-                Some(Demotion::RogueWrite { pc }) => {
-                    format!("demoted: non-idiom write at pc {pc}")
-                }
-                Some(Demotion::ReleaseWithoutHold { pc }) => {
-                    format!("demoted: release without hold at pc {pc}")
-                }
-            };
+            let status = l.demoted.map_or_else(|| "valid".to_string(), demotion_text);
             let _ = writeln!(
                 out,
                 "  [{:#x}] acquire {:?} release {:?} -- {}",
@@ -74,10 +82,38 @@ pub fn render_text(analysis: &Analysis) -> String {
             );
         }
     }
+    if analysis.order.handoffs.is_empty() {
+        let _ = writeln!(out, "handoffs: none recognized");
+    } else {
+        let _ = writeln!(out, "handoffs:");
+        for h in &analysis.order.handoffs {
+            let status = h.demoted.map_or_else(|| "valid".to_string(), demotion_text);
+            let _ = writeln!(
+                out,
+                "  [{:#x}] release {:?} acquire {:?} -- {}",
+                h.addr,
+                h.release_site,
+                h.acquire_sites.iter().collect::<Vec<_>>(),
+                status
+            );
+        }
+        for e in &analysis.order.edges {
+            let _ = writeln!(
+                out,
+                "  order edge [{:#x}]: thread {} pc {} -> thread {} pc {}",
+                e.addr, e.release_thread, e.release_pc, e.acquire_thread, e.acquire_pc
+            );
+        }
+    }
     let _ = writeln!(
         out,
-        "pruned access pairs: {} no-alias, {} read-read, {} atomic-atomic, {} common-lock",
-        s.pruned_no_alias, s.pruned_read_read, s.pruned_atomic_atomic, s.pruned_common_lock
+        "pruned access pairs: {} no-alias, {} read-read, {} atomic-atomic, {} common-lock, \
+         {} statically-ordered",
+        s.pruned_no_alias,
+        s.pruned_read_read,
+        s.pruned_atomic_atomic,
+        s.pruned_common_lock,
+        s.pruned_statically_ordered
     );
     if analysis.warnings.is_empty() {
         let _ = writeln!(out, "no may-race candidates: statically race-free");
@@ -102,6 +138,17 @@ pub fn render_text(analysis: &Analysis) -> String {
         }
     }
     out
+}
+
+/// The `(status, demoted_at)` JSON cell pair for a lock or handoff word.
+/// `demoted_at` carries the pc evidence, or the initial value for
+/// `nonzero_init`, or null.
+fn demotion_json(d: Option<Demotion>) -> (&'static str, Json) {
+    match d {
+        None => ("valid", Json::Null),
+        Some(Demotion::NonzeroInit { value }) => ("nonzero_init", Json::from(value)),
+        Some(d) => (d.tag(), d.pc().map_or(Json::Null, Json::from)),
+    }
 }
 
 fn side_json(s: &WarningSide) -> Json {
@@ -147,13 +194,7 @@ pub fn render_json(analysis: &Analysis) -> Json {
         .locks
         .iter()
         .map(|l| {
-            let (status, detail) = match l.demoted {
-                None => ("valid", Json::Null),
-                Some(Demotion::RogueWrite { pc }) => ("rogue_write", Json::from(pc)),
-                Some(Demotion::ReleaseWithoutHold { pc }) => {
-                    ("release_without_hold", Json::from(pc))
-                }
-            };
+            let (status, detail) = demotion_json(l.demoted);
             Json::obj(vec![
                 ("addr", Json::from(l.addr)),
                 (
@@ -169,6 +210,49 @@ pub fn render_json(analysis: &Analysis) -> Json {
             ])
         })
         .collect();
+    let handoffs: Vec<Json> = analysis
+        .order
+        .handoffs
+        .iter()
+        .map(|h| {
+            let (status, detail) = demotion_json(h.demoted);
+            Json::obj(vec![
+                ("addr", Json::from(h.addr)),
+                ("release_site", h.release_site.map_or(Json::Null, Json::from)),
+                (
+                    "acquire_sites",
+                    Json::Arr(h.acquire_sites.iter().map(|&p| Json::from(p)).collect()),
+                ),
+                ("status", Json::str(status)),
+                ("demoted_at", detail),
+            ])
+        })
+        .collect();
+    let order_edges: Vec<Json> = analysis
+        .order
+        .edges
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("addr", Json::from(e.addr)),
+                ("release_thread", Json::from(e.release_thread)),
+                ("release_pc", Json::from(e.release_pc)),
+                ("acquire_thread", Json::from(e.acquire_thread)),
+                ("acquire_pc", Json::from(e.acquire_pc)),
+            ])
+        })
+        .collect();
+    let pruned_pairs: Vec<Json> = analysis
+        .pruned
+        .iter()
+        .map(|(&(lo, hi), reason)| {
+            Json::obj(vec![
+                ("pc_lo", Json::from(lo)),
+                ("pc_hi", Json::from(hi)),
+                ("reason", Json::str(reason.tag())),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         (
             "stats",
@@ -181,15 +265,22 @@ pub fn render_json(analysis: &Analysis) -> Json {
                 ("unknown_accesses", Json::from(s.unknown_accesses)),
                 ("lock_candidates", Json::from(s.lock_candidates)),
                 ("valid_locks", Json::from(s.valid_locks)),
+                ("handoff_candidates", Json::from(s.handoff_candidates)),
+                ("valid_handoffs", Json::from(s.valid_handoffs)),
+                ("order_edges", Json::from(s.order_edges)),
                 ("pruned_no_alias", Json::from(s.pruned_no_alias)),
                 ("pruned_read_read", Json::from(s.pruned_read_read)),
                 ("pruned_atomic_atomic", Json::from(s.pruned_atomic_atomic)),
                 ("pruned_common_lock", Json::from(s.pruned_common_lock)),
+                ("pruned_statically_ordered", Json::from(s.pruned_statically_ordered)),
                 ("predicted_benign", Json::from(s.predicted_benign)),
             ]),
         ),
         ("threads", Json::Arr(threads)),
         ("locks", Json::Arr(locks)),
+        ("handoffs", Json::Arr(handoffs)),
+        ("order_edges", Json::Arr(order_edges)),
+        ("pruned_pairs", Json::Arr(pruned_pairs)),
         ("warnings", Json::Arr(analysis.warnings.iter().map(warning_json).collect())),
     ])
 }

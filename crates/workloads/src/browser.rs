@@ -60,6 +60,8 @@ const FETCHED: u64 = 0x12; // per-job fetched flags base (jobs words)
 const STAT_FETCH: u64 = 0x90;
 const STAT_PARSE: u64 = 0x91;
 const PARSED_COUNT: u64 = 0x92; // atomically maintained parse counter
+const CONFIG: u64 = 0x93; // page configuration, published once by main
+const CONFIG_READY: u64 = 0x94; // atomic release flag guarding CONFIG
 const CONTENT: u64 = 0x100; // per-job content words
 const PARSED: u64 = 0x200; // per-job parsed flags
 
@@ -86,6 +88,12 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
     // --- main: seed the queue ----------------------------------------
     b.thread("main");
     b.movi(Reg::R1, 0).store(Reg::R1, Reg::R15, QHEAD as i64);
+    // Publish the page configuration through a validated flag handoff:
+    // plain store of the value, then an atomic release of CONFIG_READY.
+    // The renderer acquires it with an atomic spin — the static order pass
+    // proves the pair ordered, so it never becomes a candidate.
+    b.movi(Reg::R4, cfg.jobs * 2 + 1).store(Reg::R4, Reg::R15, CONFIG as i64);
+    b.movi(Reg::R5, 1).atomic_rmw(RmwOp::Xchg, Reg::R6, Reg::R15, CONFIG_READY as i64, Reg::R5);
     // Publish "open for business" through the lock so fetchers can start.
     emit_lock(&mut b, "main", 0);
     emit_unlock(&mut b);
@@ -179,10 +187,19 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
 
     // --- renderer --------------------------------------------------------
     b.thread("renderer");
+    let rcfg = b.fresh_label("r_cfg");
     let rwait = b.fresh_label("r_wait");
     let ragg = b.fresh_label("r_agg");
     let rsum = b.fresh_label("r_sum");
     let rdone = b.fresh_label("r_done");
+    // Acquire the page configuration main published (validated handoff:
+    // identity-RMW spin until CONFIG_READY is nonzero, then a plain read
+    // of CONFIG that the order pass proves race-free).
+    b.label(rcfg);
+    b.movi(Reg::R2, 0)
+        .atomic_rmw(RmwOp::Or, Reg::R1, Reg::R15, CONFIG_READY as i64, Reg::R2)
+        .branch(Cond::Eq, Reg::R1, Reg::R15, rcfg);
+    b.load(Reg::R14, Reg::R15, CONFIG as i64);
     // Wait (atomically) for all jobs parsed.
     b.label(rwait);
     b.movi(Reg::R2, 0)
@@ -201,6 +218,9 @@ pub fn browser_program(cfg: &BrowserConfig) -> Arc<Program> {
         .addi(Reg::R5, Reg::R5, 1)
         .jump(ragg);
     b.label(rsum);
+    // Fold the handed-off configuration into the checksum: it is ordered,
+    // so the rendered value stays schedule-independent.
+    b.add(Reg::R4, Reg::R4, Reg::R14);
     b.print(Reg::R4);
     // Read the racy stats, as a browser's telemetry would.
     b.load(Reg::R1, Reg::R15, STAT_FETCH as i64)

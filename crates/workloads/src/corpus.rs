@@ -170,6 +170,12 @@ const INSTANCES: &[InstanceDef] = &[
     InstanceDef { id: "dc_x1", emit: double_check::emit_shared },
     InstanceDef { id: "rw_x1", emit: rw_status },
     InstanceDef { id: "db_x1", emit: db_bitfield },
+    // Atomic flag handoffs for the static order pass (D11): one validated
+    // (race-free, statically pruned), one demoted by a rogue release
+    // (really races, stays a candidate). Appended so earlier pcs stay
+    // stable.
+    InstanceDef { id: "ho_x1", emit: user_sync::emit_atomic_handoff },
+    InstanceDef { id: "ho_x2", emit: user_sync::emit_broken_handoff },
 ];
 
 /// One recorded execution: a service mix and a schedule.
@@ -190,7 +196,7 @@ pub fn corpus_executions() -> Vec<Execution> {
     vec![
         Execution {
             name: "e01_shell_startup",
-            enabled: vec!["us_h1", "rw1", "ax1", "us_x1"],
+            enabled: vec!["us_h1", "rw1", "ax1", "us_x1", "ho_x1"],
             schedule: rr(2),
         },
         Execution {
@@ -205,7 +211,7 @@ pub fn corpus_executions() -> Vec<Execution> {
         },
         Execution {
             name: "e04_media_scan",
-            enabled: vec!["us_h4", "db1", "ax_s1", "db_x1"],
+            enabled: vec!["us_h4", "db1", "ax_s1", "db_x1", "ho_x2"],
             schedule: rr(2),
         },
         Execution {

@@ -430,10 +430,22 @@ impl PrecisionRecall {
 /// and after replay classification.
 #[derive(Clone, Debug)]
 pub struct StaticEval {
-    /// Counters from the one static analysis of the corpus program.
+    /// Counters from the full-program (every instance enabled) analysis.
     pub stats: racecheck::AnalysisStats,
-    /// Static candidate pairs in total.
+    /// Distinct static candidate pairs across the per-execution analyses.
     pub candidates: usize,
+    /// Distinct pairs the order pass pruned in some execution.
+    pub order_pruned: usize,
+    /// Candidate pairs summed over the 18 per-execution analyses — the
+    /// work the detector pre-filter actually monitors.
+    pub aggregate_pairs: usize,
+    /// The same sum with the statically-ordered rule disabled (the PR 2
+    /// baseline the order pass is measured against).
+    pub aggregate_pairs_no_order: usize,
+    /// Monitored pcs summed over the per-execution analyses.
+    pub aggregate_monitored: usize,
+    /// Monitored pcs without the statically-ordered rule.
+    pub aggregate_monitored_no_order: usize,
     /// Candidate pairs that are planted races (covered by ground truth).
     pub covered: usize,
     /// Candidate pairs with no ground-truth entry (conservative
@@ -471,13 +483,12 @@ pub struct StaticEval {
     pub replay_benign_unpredicted: usize,
 }
 
-/// Runs the static analyzer once over the corpus program, then feeds its
-/// warnings through the replay classifier on each of the 18 executions.
-///
-/// The corpus instruction stream is identical for every enable set (only
-/// initial globals differ) and the abstract interpreter never reads
-/// initial memory, so a single `racecheck::analyze` covers all
-/// executions.
+/// Runs the static analyzer over each execution's program (the corpus
+/// instruction stream is identical across enable sets; only the gate
+/// globals differ, and the analysis folds them, so disabled instances'
+/// code is provably dead per execution), feeds each execution's candidate
+/// pairs through the replay classifier, and joins the union of the
+/// per-execution candidate sets with ground truth.
 ///
 /// # Panics
 ///
@@ -492,13 +503,33 @@ pub fn run_static_eval() -> StaticEval {
     // Evidence accumulated across executions, keyed by static id.
     let mut materialized: BTreeSet<StaticRaceId> = BTreeSet::new();
     let mut flagged: BTreeSet<StaticRaceId> = BTreeSet::new();
+    let mut union: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut order_pruned: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut aggregate_pairs = 0;
+    let mut aggregate_pairs_no_order = 0;
+    let mut aggregate_monitored = 0;
+    let mut aggregate_monitored_no_order = 0;
     for exec in &executions {
         let enabled: BTreeSet<&str> = exec.enabled.iter().copied().collect();
         let program = corpus_program(&enabled);
+        let exec_analysis = racecheck::analyze(&program);
+        let no_order = racecheck::analyze_without_order(&program);
+        union.extend(exec_analysis.candidates.iter());
+        aggregate_pairs += exec_analysis.stats.candidate_pairs;
+        aggregate_pairs_no_order += no_order.stats.candidate_pairs;
+        aggregate_monitored += exec_analysis.stats.monitored_pcs;
+        aggregate_monitored_no_order += no_order.stats.monitored_pcs;
+        order_pruned.extend(
+            exec_analysis
+                .pruned
+                .iter()
+                .filter(|(_, r)| **r == racecheck::PruneReason::StaticallyOrdered)
+                .map(|(&k, _)| k),
+        );
         let rec = record(&program, &exec.schedule);
         let trace = replay(&program, &rec.log).expect("corpus recording must replay");
         let summary =
-            classify_static_warnings(&trace, &analysis.candidates, VprocConfig::default());
+            classify_static_warnings(&trace, &exec_analysis.candidates, VprocConfig::default());
         for result in &summary.results {
             materialized.insert(result.id);
             if result.outcome != InstanceOutcome::NoStateChange {
@@ -544,7 +575,7 @@ pub fn run_static_eval() -> StaticEval {
             static_alone.benign_total += 1;
             combined.benign_total += 1;
         }
-        if !analysis.candidates.contains(id.pc_lo, id.pc_hi) {
+        if !union.contains(&(id.pc_lo, id.pc_hi)) {
             continue;
         }
         covered += 1;
@@ -569,7 +600,7 @@ pub fn run_static_eval() -> StaticEval {
 
     let mut outside_truth = 0;
     let mut outside_truth_flagged = 0;
-    for (pc_a, pc_b) in analysis.candidates.iter() {
+    for &(pc_a, pc_b) in &union {
         let id = StaticRaceId::new(pc_a, pc_b);
         if truth.verdict(id).is_some() {
             continue;
@@ -581,7 +612,12 @@ pub fn run_static_eval() -> StaticEval {
     }
 
     StaticEval {
-        candidates: analysis.candidates.len(),
+        candidates: union.len(),
+        order_pruned: order_pruned.len(),
+        aggregate_pairs,
+        aggregate_pairs_no_order,
+        aggregate_monitored,
+        aggregate_monitored_no_order,
         stats: analysis.stats,
         covered,
         outside_truth,
@@ -690,6 +726,16 @@ impl fmt::Display for StaticEval {
             f,
             "  static candidates: {} ({} on planted races, {} elsewhere)",
             self.candidates, self.covered, self.outside_truth
+        )?;
+        writeln!(
+            f,
+            "  order pruning (per-execution totals): pairs {} -> {}, \
+             monitored pcs {} -> {} ({} distinct pairs proven ordered)",
+            self.aggregate_pairs_no_order,
+            self.aggregate_pairs,
+            self.aggregate_monitored_no_order,
+            self.aggregate_monitored,
+            self.order_pruned
         )?;
         writeln!(
             f,

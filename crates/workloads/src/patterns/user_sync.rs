@@ -16,8 +16,22 @@
 //!   code the recording never touched — a **Replay-Failure**. This is one
 //!   of the paper's §5.2.4 "replayer limitation" misclassifications: the
 //!   race is really benign, but the tool flags it potentially harmful.
+//!
+//! Two further variants exercise the *atomic* flag handoff that
+//! `racecheck::order` recognizes statically:
+//!
+//! * [`emit_atomic_handoff`] — release `xchg` of 1 paired with an acquire
+//!   `lock.or r, [flag], 0` spin. The publish/consume data pair is ordered
+//!   in every execution (the spin cannot exit before the release), so the
+//!   dynamic detector never reports it and the static order pass prunes it:
+//!   zero planted races.
+//! * [`emit_broken_handoff`] — same shape plus a rogue third thread that
+//!   also `xchg`es the flag word. The consumer can leave its spin on the
+//!   intruder's write *before* the publish lands, so the data pair is a
+//!   real (benign, convergent) race; statically the second release site
+//!   demotes the handoff (`rogue_write`) and the pair stays a candidate.
 
-use tvm::isa::{Cond, Reg};
+use tvm::isa::{Cond, Reg, RmwOp};
 
 use super::{Ctx, Emitted};
 use crate::truth::{BenignCategory, TrueVerdict};
@@ -83,6 +97,66 @@ pub fn emit_checked_handoff(ctx: &mut Ctx<'_>) -> Emitted {
     emitted
 }
 
+/// Emits the producer and consumer halves of an atomic flag handoff over a
+/// fresh `flag`/`data` word pair. `publish`/`consume` mark names are
+/// returned so callers can plant (or not plant) the data pair.
+fn emit_handoff_halves(ctx: &mut Ctx<'_>, busy: usize) -> (u64, String, String) {
+    let flag = ctx.alloc.word();
+    let data = ctx.alloc.word();
+
+    ctx.thread("producer");
+    // Delay the publish so a spinning consumer is the common recording.
+    ctx.busywork(busy);
+    ctx.b.movi(Reg::R1, 42);
+    let publish = ctx.mark("publish");
+    ctx.b.store(Reg::R1, Reg::R15, data as i64);
+    ctx.b.movi(Reg::R2, 1);
+    ctx.b.atomic_rmw(RmwOp::Xchg, Reg::R3, Reg::R15, flag as i64, Reg::R2);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("consumer");
+    let spin = ctx.label("spin");
+    ctx.b.label(spin);
+    ctx.b.movi(Reg::R2, 0);
+    ctx.b.atomic_rmw(RmwOp::Or, Reg::R1, Reg::R15, flag as i64, Reg::R2).branch(
+        Cond::Eq,
+        Reg::R1,
+        Reg::R15,
+        spin,
+    );
+    let consume = ctx.mark("consume");
+    ctx.b.load(Reg::R4, Reg::R15, data as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    (flag, publish, consume)
+}
+
+/// Emits the validated atomic handoff (0 races: the publish/consume pair is
+/// ordered in every execution, and `racecheck::order` proves it).
+pub fn emit_atomic_handoff(ctx: &mut Ctx<'_>) -> Emitted {
+    let _ = emit_handoff_halves(ctx, 6);
+    Emitted::default()
+}
+
+/// Emits the broken atomic handoff (1 race, classified No-State-Change):
+/// an intruder thread's second `xchg` of the flag word lets the consumer
+/// escape its spin before the publish, and demotes the handoff statically.
+pub fn emit_broken_handoff(ctx: &mut Ctx<'_>) -> Emitted {
+    let (flag, publish, consume) = emit_handoff_halves(ctx, 8);
+    let mut emitted = Emitted::default();
+
+    ctx.thread("intruder");
+    ctx.b.movi(Reg::R2, 2);
+    ctx.b.atomic_rmw(RmwOp::Xchg, Reg::R3, Reg::R15, flag as i64, Reg::R2);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    emitted.push(publish, consume, TrueVerdict::Benign(BenignCategory::UserConstructedSync));
+    emitted
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +185,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn atomic_handoff_is_race_free() {
+        // The spin cannot exit before the release xchg, so the data pair is
+        // ordered in every schedule: nothing is planted, nothing detected.
+        let run = run_pattern(emit_atomic_handoff, RunConfig::round_robin(2));
+        assert_groups(&run, &[]);
+        for seed in 0..10 {
+            let run = run_pattern(emit_atomic_handoff, RunConfig::chunked(seed, 1, 4));
+            assert!(run.unexpected.is_empty(), "seed {seed}: {:?}", run.unexpected);
+        }
+    }
+
+    #[test]
+    fn broken_handoff_races_but_converges() {
+        let run = run_pattern(emit_broken_handoff, RunConfig::round_robin(2));
+        assert_groups(&run, &[("publish", "consume", OutcomeGroup::NoStateChange)]);
     }
 
     #[test]

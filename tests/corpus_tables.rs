@@ -29,11 +29,12 @@ fn corpus_reproduces_the_paper() {
     // Table 1 (paper §5.2.2): the paper's 68 unique races — 32
     // No-State-Change (all real-benign), 17 State-Change (15 benign + 2
     // harmful), 19 Replay-Failure (14 benign + 5 harmful) — plus the 8
-    // idiom-exemplar races, all No-State-Change benign (32 + 8 = 40).
+    // idiom-exemplar races and the broken-handoff exemplar (`ho_x2`), all
+    // No-State-Change benign (32 + 8 + 1 = 41).
     let t1 = Table1::compute(&report);
-    assert_eq!(t1.cells, [[40, 0], [15, 2], [14, 5]], "Table 1 mismatch:\n{t1}");
-    assert_eq!(t1.total(), 76);
-    assert_eq!(t1.potentially_benign(), 40);
+    assert_eq!(t1.cells, [[41, 0], [15, 2], [14, 5]], "Table 1 mismatch:\n{t1}");
+    assert_eq!(t1.total(), 77);
+    assert_eq!(t1.potentially_benign(), 41);
     assert_eq!(t1.potentially_harmful(), 36);
 
     // The paper's headline soundness result: every harmful race was
@@ -42,15 +43,15 @@ fn corpus_reproduces_the_paper() {
 
     // And the headline productivity result: over half of the real benign
     // races are filtered out.
-    let real_benign = 40 + t1.benign_flagged_harmful();
-    assert!(40 * 2 >= real_benign, "less than half of the benign races were filtered");
+    let real_benign = 41 + t1.benign_flagged_harmful();
+    assert!(41 * 2 >= real_benign, "less than half of the benign races were filtered");
 
     // Table 2 (paper §5.4): the paper's 61 benign races plus the 8
     // exemplars (+1 user-sync, +2 double-check, +3 redundant-write,
-    // +2 disjoint-bits).
+    // +2 disjoint-bits) and the broken atomic handoff (+1 user-sync).
     let t2 = Table2::compute(&report);
     let expect = [
-        (BenignCategory::UserConstructedSync, 9),
+        (BenignCategory::UserConstructedSync, 10),
         (BenignCategory::DoubleCheck, 5),
         (BenignCategory::BothValuesValid, 5),
         (BenignCategory::RedundantWrite, 16),
@@ -64,13 +65,13 @@ fn corpus_reproduces_the_paper() {
             "Table 2 mismatch for {cat}:\n{t2}"
         );
     }
-    assert_eq!(t2.total(), 69);
+    assert_eq!(t2.total(), 70);
 
-    // Figures 3-5 partition the 76 races: 40 + 7 + 29.
+    // Figures 3-5 partition the 77 races: 41 + 7 + 29.
     let f3 = Figure::figure3(&report);
     let f4 = Figure::figure4(&report);
     let f5 = Figure::figure5(&report);
-    assert_eq!(f3.bars.len(), 40, "Figure 3 bar count");
+    assert_eq!(f3.bars.len(), 41, "Figure 3 bar count");
     assert_eq!(f4.bars.len(), 7, "Figure 4 bar count");
     assert_eq!(f5.bars.len(), 29, "Figure 5 bar count");
 
@@ -189,6 +190,76 @@ fn idiom_exemplars_are_benign_and_statically_predicted() {
         assert_eq!(p.idiom, idiom, "idiom for ({mark_a}, {mark_b})");
         assert_eq!(p.confidence, confidence, "confidence for ({mark_a}, {mark_b})");
     }
+}
+
+#[test]
+fn handoff_exemplars_round_trip() {
+    // The two atomic-handoff instances pin the static order pass (D11)
+    // against the dynamic ground truth, from both directions. The static
+    // half runs on the per-execution programs — the exact inputs the
+    // detector pre-filter analyzes, where the configuration gates of
+    // disabled instances fold to zero and their code is provably dead.
+    let report = run_corpus();
+    let executions = corpus_executions();
+
+    let race_id = |program: &tvm::program::Program, a: &str, b: &str| {
+        let pc_a = program.mark(a).unwrap_or_else(|| panic!("mark {a} missing"));
+        let pc_b = program.mark(b).unwrap_or_else(|| panic!("mark {b} missing"));
+        replay_race::detect::StaticRaceId::new(pc_a, pc_b)
+    };
+
+    // ho_x1 (validated handoff), analyzed per-execution: the data pair is
+    // proven ordered — pruned with the statically-ordered reason, no
+    // candidate, and indeed never dynamically detected anywhere.
+    let e01 = executions.iter().find(|e| e.name == "e01_shell_startup").expect("e01");
+    assert!(e01.enabled.contains(&"ho_x1"));
+    let program = corpus_program(&e01.enabled.iter().copied().collect());
+    let analysis = racecheck::analyze(&program);
+    let valid = race_id(&program, "ho_x1.publish", "ho_x1.consume");
+    let key = (valid.pc_lo, valid.pc_hi);
+    assert_eq!(
+        analysis.pruned.get(&key),
+        Some(&racecheck::PruneReason::StaticallyOrdered),
+        "ho_x1 data pair must be pruned as statically ordered"
+    );
+    assert!(!analysis.candidates.contains(key.0, key.1));
+    assert_eq!(analysis.stats.valid_handoffs, 1);
+    assert!(analysis.stats.order_edges >= 1);
+    assert!(report.truth.verdict(valid).is_none(), "ho_x1 plants no races");
+    assert!(!report.merged.races.contains_key(&valid), "ho_x1 data pair detected dynamically");
+
+    // On the full program the same pair must stay a candidate: bv_w1's
+    // statically unresolved buffer store may hit the flag word, and the
+    // order pass records that demotion instead of guessing.
+    let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
+    let full_program = corpus_program(&full);
+    let full_analysis = racecheck::analyze(&full_program);
+    let full_key = {
+        let id = race_id(&full_program, "ho_x1.publish", "ho_x1.consume");
+        (id.pc_lo, id.pc_hi)
+    };
+    assert!(full_analysis.candidates.contains(full_key.0, full_key.1));
+
+    // ho_x2 (rogue second release), analyzed per-execution: the handoff is
+    // demoted, the pair stays a candidate, and the race really happens —
+    // benign, No-State-Change.
+    let e04 = executions.iter().find(|e| e.name == "e04_media_scan").expect("e04");
+    assert!(e04.enabled.contains(&"ho_x2"));
+    let program = corpus_program(&e04.enabled.iter().copied().collect());
+    let analysis = racecheck::analyze(&program);
+    let broken = race_id(&program, "ho_x2.publish", "ho_x2.consume");
+    assert!(analysis.candidates.contains(broken.pc_lo, broken.pc_hi));
+    assert!(
+        analysis.order.handoffs.iter().any(|h| h.demoted.is_some_and(|d| d.tag() == "rogue_write")),
+        "ho_x2 flag word must be demoted for its rogue second release"
+    );
+    assert_eq!(
+        report.truth.verdict(broken),
+        Some(TrueVerdict::Benign(BenignCategory::UserConstructedSync)),
+        "ground truth for (ho_x2.publish, ho_x2.consume)"
+    );
+    let race = report.merged.races.get(&broken).expect("ho_x2 race never detected");
+    assert_eq!(race.group, OutcomeGroup::NoStateChange);
 }
 
 #[test]

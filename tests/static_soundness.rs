@@ -85,6 +85,77 @@ fn every_dynamic_race_is_a_static_candidate_and_the_prefilter_is_exact() {
 }
 
 #[test]
+fn order_pruning_is_sound_per_execution() {
+    // The statically-ordered prune rule runs on the per-execution
+    // programs (the inputs the detector pre-filter analyzes). For every
+    // execution, under its pinned schedule *and* an alternate one: the
+    // per-execution candidate set still covers every dynamic race — in
+    // particular, no pair the order pass proved ordered ever races.
+    let executions = corpus_executions();
+    let mut order_pruned_somewhere = 0usize;
+    for (index, exec) in executions.iter().enumerate() {
+        let enabled: BTreeSet<&str> = exec.enabled.iter().copied().collect();
+        let program = corpus_program(&enabled);
+        let analysis = racecheck::analyze(&program);
+        let base = racecheck::analyze_without_order(&program);
+
+        // The order pass only ever shrinks the candidate set, and a pair
+        // is pruned or a candidate, never both.
+        for (lo, hi) in analysis.candidates.iter() {
+            assert!(
+                base.candidates.contains(lo, hi),
+                "{}: order pass added candidate ({lo}, {hi})",
+                exec.name
+            );
+        }
+        for (&(lo, hi), reason) in &analysis.pruned {
+            assert!(
+                !analysis.candidates.contains(lo, hi),
+                "{}: ({lo}, {hi}) both pruned ({}) and a candidate",
+                exec.name,
+                reason.tag()
+            );
+        }
+        order_pruned_somewhere += analysis.stats.pruned_statically_ordered as usize;
+
+        // May-happen-in-parallel is symmetric over the memory pcs.
+        let threads = program.threads().len();
+        let pcs: Vec<usize> = analysis.candidates.monitored().collect();
+        for ta in 0..threads {
+            for tb in 0..threads {
+                for &pc_a in &pcs {
+                    for &pc_b in &pcs {
+                        assert_eq!(
+                            analysis.order.may_happen_in_parallel(ta, pc_a, tb, pc_b),
+                            analysis.order.may_happen_in_parallel(tb, pc_b, ta, pc_a),
+                            "{}: MHP asymmetric for t{ta}:{pc_a} vs t{tb}:{pc_b}",
+                            exec.name
+                        );
+                    }
+                }
+            }
+        }
+
+        for schedule in [exec.schedule, alternate_schedule(index)] {
+            let rec = record(&program, &schedule);
+            let trace = replay(&program, &rec.log).expect("corpus recording must replay");
+            let detected = detect_races(&trace, &DetectorConfig::default());
+            for instance in &detected.instances {
+                let id = instance.static_id();
+                assert!(
+                    analysis.candidates.contains(id.pc_lo, id.pc_hi),
+                    "{}: dynamic race {id} missing from the per-execution candidates \
+                     (pruned: {:?})",
+                    exec.name,
+                    analysis.pruned.get(&(id.pc_lo, id.pc_hi))
+                );
+            }
+        }
+    }
+    assert!(order_pruned_somewhere > 0, "no execution exercised the order prune rule");
+}
+
+#[test]
 fn static_feed_classifies_corpus_warnings() {
     let executions = corpus_executions();
     let exec = &executions[0];
