@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 
 use bench::{row, PAPER_OVERHEADS};
 use minijson::Json;
-use replay_race::classify::{predictions_by_id, ClassifierConfig, TrustStatic};
+use replay_race::classify::{
+    classify_races, predictions_by_id, BatchMode, ClassifierConfig, TrustStatic,
+};
 use replay_race::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
 use tvm::machine::Machine;
 use tvm::predecode::DecodedProgram;
@@ -186,6 +188,65 @@ fn main() {
         corpus_valid_handoffs,
     );
 
+    // D12 companion: shared-prefix batched replay vs the unbatched engine.
+    // Classify wall-clock on the browser trace, full-region replay
+    // executions across the corpus, and a result-equality check (batching
+    // must only change cost, never the classification).
+    eprintln!("classify batching ablation (shared vs off) ...");
+    let classify_time = |batching: BatchMode| {
+        let config = ClassifierConfig { batching, ..ClassifierConfig::default() };
+        let mut best = Duration::MAX;
+        let mut classification = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let c = classify_races(&result.trace, &result.detected, &config);
+            best = best.min(start.elapsed());
+            classification = Some(c);
+        }
+        (best, classification.expect("at least one rep"))
+    };
+    let (browser_off_time, browser_off) = classify_time(BatchMode::Off);
+    let (browser_shared_time, browser_shared) = classify_time(BatchMode::Shared);
+    let start = Instant::now();
+    let corpus_off = run_corpus_with(&ClassifierConfig {
+        batching: BatchMode::Off,
+        ..ClassifierConfig::default()
+    });
+    let corpus_off_time = start.elapsed();
+    // A fresh Shared run adjacent to the Off run, so the wall-clock
+    // comparison is warm-vs-warm (the trust-static baseline above ran
+    // cold).
+    let start = Instant::now();
+    let corpus_shared_run = run_corpus_with(&ClassifierConfig::default());
+    let corpus_shared_time = start.elapsed();
+    let corpus_shared = &corpus_shared_run;
+    let results_identical = browser_off.races == browser_shared.races
+        && browser_off.vproc_replays == browser_shared.vproc_replays
+        && corpus_off.merged.races == corpus_shared.merged.races
+        && corpus_off.merged.vproc_replays == corpus_shared.merged.vproc_replays;
+    let executions_off = corpus_off.merged.batch_stats.prefix_executions;
+    let executions_shared = corpus_shared.merged.batch_stats.prefix_executions;
+    #[allow(clippy::cast_precision_loss)]
+    let execution_reduction = if executions_off == 0 {
+        0.0
+    } else {
+        1.0 - executions_shared as f64 / executions_off as f64
+    };
+    let shared_stats = corpus_shared.merged.batch_stats;
+    println!(
+        "batching: browser classify {:?} -> {:?}; corpus region executions {} -> {} \
+         ({:.0}% fewer; {} batches, {} forks, {} prefix instrs saved); results identical: {}",
+        browser_off_time,
+        browser_shared_time,
+        executions_off,
+        executions_shared,
+        execution_reduction * 100.0,
+        shared_stats.batches,
+        shared_stats.forks,
+        shared_stats.prefix_instrs_saved,
+        results_identical,
+    );
+
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let doc = Json::obj(vec![
         ("workload", Json::str("browser")),
@@ -229,6 +290,30 @@ fn main() {
                 ("races_skipped", Json::from(trusted.merged.static_skipped_races)),
                 ("corpus_classify_off_ms", Json::from(ms(baseline_time))),
                 ("corpus_classify_skip_benign_ms", Json::from(ms(trusted_time))),
+            ]),
+        ),
+        (
+            "classify_batching",
+            Json::obj(vec![
+                ("browser_classify_off_ms", Json::from(ms(browser_off_time))),
+                ("browser_classify_shared_ms", Json::from(ms(browser_shared_time))),
+                (
+                    "browser_speedup",
+                    Json::from(
+                        browser_off_time.as_secs_f64()
+                            / browser_shared_time.as_secs_f64().max(1e-12),
+                    ),
+                ),
+                ("corpus_classify_off_ms", Json::from(ms(corpus_off_time))),
+                ("corpus_classify_shared_ms", Json::from(ms(corpus_shared_time))),
+                ("corpus_region_executions_off", Json::from(executions_off)),
+                ("corpus_region_executions_shared", Json::from(executions_shared)),
+                ("corpus_execution_reduction", Json::from(execution_reduction)),
+                ("batches", Json::from(shared_stats.batches)),
+                ("forks", Json::from(shared_stats.forks)),
+                ("prefix_instrs_saved", Json::from(shared_stats.prefix_instrs_saved)),
+                ("live_in_index_hits", Json::from(shared_stats.live_in_index_hits)),
+                ("results_identical", Json::from(results_identical)),
             ]),
         ),
         (

@@ -9,9 +9,10 @@
 //! racerep replay    prog.tasm run.idna
 //! racerep races     prog.tasm run.idna [--format text|json] [--permissive]
 //!                   [--triage-db db.json] [--jobs N] [--cache off|exact|coarse]
+//!                   [--batch off|shared] [--replay-stats]
 //!                   [--trust-static off|skip-benign] [--tolerant]
 //! racerep classify  prog.tasm [--schedule S] [--format text|json] [--jobs N] [--cache MODE]
-//!                   [--trust-static off|skip-benign]
+//!                   [--batch off|shared] [--trust-static off|skip-benign]
 //! racerep lint      prog.tasm [--format text|json] [--fail-on none|harmful|warnings]
 //! racerep triage    db.json <benign|harmful> <pc_lo> <pc_hi> [note...]
 //! racerep loginfo   run.idna
@@ -32,7 +33,13 @@
 //!
 //! `--jobs N` sets the classifier's worker-thread count (0 or omitted =
 //! available parallelism, 1 = single-threaded); `--cache` picks the replay
-//! memoization mode. Neither changes the classification, only its cost.
+//! memoization mode; `--batch` toggles shared-prefix batched replay
+//! (`shared`, the default, executes each racing region pair's common
+//! oracle prefix once and forks per pair). None of the three changes the
+//! classification, only its cost. `--replay-stats` on `races` appends the
+//! replay-engine counters — cache hit/miss and the batch/fork/prefix
+//! figures — to the text report, or as a `replay_stats` object in
+//! `--format json`.
 //!
 //! `--trust-static skip-benign` (ablation) lets `races` and `classify` skip
 //! dual-order replays for races the static idiom pass predicts benign at
@@ -63,7 +70,9 @@ use idna_replay::event::ReplayLog;
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
 use idna_replay::vproc::VprocConfig;
-use replay_race::classify::{predictions_by_id, CacheMode, ClassifierConfig, TrustStatic};
+use replay_race::classify::{
+    predictions_by_id, BatchMode, CacheMode, ClassificationResult, ClassifierConfig, TrustStatic,
+};
 use replay_race::pipeline::{damage_profile, run_pipeline, PipelineConfig};
 use replay_race::triage::{ManualVerdict, TriageDb};
 use tvm::asm::{assemble, disassemble_annotated};
@@ -372,6 +381,55 @@ pub fn cmd_replay(path: &Path, log_path: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Renders the replay-engine counters — vproc replays, cache, batching —
+/// as report-trailer text (for `races --replay-stats` and the `classify`
+/// stats block).
+fn replay_stats_text(classification: &ClassificationResult) -> String {
+    let cache = classification.cache_stats_now();
+    let batching = classification.batch_stats;
+    format!(
+        "{} vproc replays, cache: {} hits / {} misses ({:.0}% hit rate), {} replays saved\n\
+         batching: {} batch(es), {} forked resume(s), {} prefix instrs saved, {} live-in index hits\n",
+        classification.vproc_replays,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.saved_replays,
+        batching.batches,
+        batching.forks,
+        batching.prefix_instrs_saved,
+        batching.live_in_index_hits,
+    )
+}
+
+/// The same counters as a JSON value (the `replay_stats` object of
+/// `races --replay-stats --format json`).
+fn replay_stats_json(classification: &ClassificationResult) -> Json {
+    let cache = classification.cache_stats_now();
+    let batching = classification.batch_stats;
+    Json::obj(vec![
+        ("vproc_replays", Json::from(classification.vproc_replays)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::from(cache.hits)),
+                ("misses", Json::from(cache.misses)),
+                ("saved_replays", Json::from(cache.saved_replays)),
+            ]),
+        ),
+        (
+            "batching",
+            Json::obj(vec![
+                ("batches", Json::from(batching.batches)),
+                ("forks", Json::from(batching.forks)),
+                ("prefix_executions", Json::from(batching.prefix_executions)),
+                ("prefix_instrs_saved", Json::from(batching.prefix_instrs_saved)),
+                ("live_in_index_hits", Json::from(batching.live_in_index_hits)),
+            ]),
+        ),
+    ])
+}
+
 /// `racerep races`: detects and classifies the races in a recorded log and
 /// renders the developer report.
 ///
@@ -393,6 +451,7 @@ pub fn cmd_races(
     classifier: &ClassifierConfig,
     triage_db: Option<&Path>,
     tolerant: bool,
+    replay_stats: bool,
 ) -> Result<String, CliError> {
     let program = load_program(path)?;
     let mode = if tolerant { DecodeMode::Tolerant } else { DecodeMode::Strict };
@@ -425,7 +484,15 @@ pub fn cmd_races(
     );
     let report = replay_race::report::Report::build(&trace, &classification);
     let mut out = if json {
-        report.to_json()
+        // The report is the document root; --replay-stats grafts the
+        // engine counters on as a sibling of "races".
+        let mut doc = report.to_json_value();
+        if replay_stats {
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("replay_stats".into(), replay_stats_json(&classification)));
+            }
+        }
+        doc.to_string_pretty()
     } else {
         let mut text = String::new();
         if damaged {
@@ -437,6 +504,10 @@ pub fn cmd_races(
             ));
         }
         text.push_str(&report.to_text());
+        if replay_stats {
+            text.push('\n');
+            text.push_str(&replay_stats_text(&classification));
+        }
         text
     };
     if let Some(db_path) = triage_db {
@@ -502,15 +573,7 @@ pub fn cmd_classify(
             result.detected.instance_count(),
             result.log_size.bits_per_instr_raw(),
         ));
-        let cache = result.timings.cache;
-        out.push_str(&format!(
-            "{} vproc replays, cache: {} hits / {} misses ({:.0}% hit rate), {} replays saved\n",
-            result.classification.vproc_replays,
-            cache.hits,
-            cache.misses,
-            cache.hit_rate() * 100.0,
-            cache.saved_replays,
-        ));
+        out.push_str(&replay_stats_text(&result.classification));
         if result.classification.static_skipped_races > 0 {
             out.push_str(&format!(
                 "{} race(s) recorded benign on static authority (no replays)\n",
@@ -740,6 +803,8 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
     let mut max_steps: Option<u64> = None;
     let mut jobs: usize = 0;
     let mut cache = CacheMode::default();
+    let mut batching = BatchMode::default();
+    let mut replay_stats = false;
     let mut trust_static = TrustStatic::default();
     let mut fail_on = FailOn::default();
     let mut positional: Vec<&String> = Vec::new();
@@ -801,6 +866,14 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
                     .ok_or_else(|| CliError { message: "--cache needs a mode".into() })?;
                 cache = CacheMode::parse(v).map_err(|message| CliError { message })?;
             }
+            "--batch" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--batch needs a mode".into() })?;
+                batching = BatchMode::parse(v).map_err(|message| CliError { message })?;
+            }
+            "--replay-stats" => replay_stats = true,
             "--trust-static" => {
                 i += 1;
                 let v = args
@@ -834,8 +907,14 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
         schedule = schedule.with_max_steps(ms);
     }
     let vproc = if permissive { VprocConfig::permissive() } else { VprocConfig::default() };
-    let classifier =
-        ClassifierConfig { vproc, jobs, cache, trust_static, ..ClassifierConfig::default() };
+    let classifier = ClassifierConfig {
+        vproc,
+        jobs,
+        cache,
+        batching,
+        trust_static,
+        ..ClassifierConfig::default()
+    };
 
     let usage =
         "usage: racerep <run|record|replay|races|classify|lint|triage|loginfo|doctor|disasm> ...";
@@ -863,6 +942,7 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
             &classifier,
             triage_db.as_deref().map(Path::new),
             tolerant,
+            replay_stats,
         )),
         "classify" => ok(cmd_classify(arg(0, "program path")?, schedule, json, &classifier)),
         "lint" => cmd_lint(arg(0, "program path")?, json, fail_on),
@@ -964,14 +1044,15 @@ mod tests {
         let rep = cmd_replay(&prog, &log).unwrap();
         assert!(rep.contains("sequencing regions"));
         assert!(rep.contains("fidelity verified"), "{rep}");
-        let races =
-            cmd_races(&prog, &log, false, &ClassifierConfig::default(), None, false).unwrap();
+        let races = cmd_races(&prog, &log, false, &ClassifierConfig::default(), None, false, false)
+            .unwrap();
         assert!(races.contains("data race report"));
         // With a triage database: first everything is new, then suppressed.
         let db = std::env::temp_dir().join(format!("racerep_db_{}.json", std::process::id()));
         let _ = fs::remove_file(&db);
         let with_queue =
-            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db), false).unwrap();
+            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db), false, false)
+                .unwrap();
         assert!(with_queue.contains("triage queue: 1 new"), "{with_queue}");
         // Mark the race benign; resolve the pcs from the report is overkill
         // here — mark via the id printed in the queue line.
@@ -986,10 +1067,67 @@ mod tests {
         let msg = cmd_triage(&db, "benign", nums[0], nums[1], "known ok").unwrap();
         assert!(msg.contains("1 races triaged"));
         let after =
-            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db), false).unwrap();
+            cmd_races(&prog, &log, false, &ClassifierConfig::default(), Some(&db), false, false)
+                .unwrap();
         assert!(after.contains("triage queue: 0 new"), "{after}");
         assert!(after.contains("1 suppressed"), "{after}");
         let _ = fs::remove_file(db);
+        let _ = fs::remove_file(prog);
+        let _ = fs::remove_file(log);
+    }
+
+    #[test]
+    fn replay_stats_flag_prints_batching_counters() {
+        let prog = temp_file("rstats.tasm", RACY);
+        let log = std::env::temp_dir().join(format!("racerep_rstats_{}.idna", std::process::id()));
+        cmd_record(&prog, &log, RunConfig::round_robin(1)).unwrap();
+        // Off by default: the report alone.
+        let plain = cmd_races(&prog, &log, false, &ClassifierConfig::default(), None, false, false)
+            .unwrap();
+        assert!(!plain.contains("batching:"), "{plain}");
+        // Text: the counters follow the report.
+        let text =
+            cmd_races(&prog, &log, false, &ClassifierConfig::default(), None, false, true).unwrap();
+        assert!(text.contains("vproc replays, cache:"), "{text}");
+        assert!(text.contains("batching:"), "{text}");
+        assert!(text.contains("live-in index hits"), "{text}");
+        // JSON: a replay_stats sibling of races, with the batching object.
+        let json =
+            cmd_races(&prog, &log, true, &ClassifierConfig::default(), None, false, true).unwrap();
+        let doc = Json::parse(&json).unwrap();
+        let stats = doc.field("replay_stats").unwrap();
+        assert!(stats.field("vproc_replays").unwrap().as_u64().is_some());
+        assert!(stats.field("cache").unwrap().field("hits").unwrap().as_u64().is_some());
+        let batching = stats.field("batching").unwrap();
+        for key in
+            ["batches", "forks", "prefix_executions", "prefix_instrs_saved", "live_in_index_hits"]
+        {
+            assert!(batching.field(key).unwrap().as_u64().is_some(), "missing {key}");
+        }
+        // Plain JSON omits the object entirely.
+        let json =
+            cmd_races(&prog, &log, true, &ClassifierConfig::default(), None, false, false).unwrap();
+        assert!(Json::parse(&json).unwrap().field("replay_stats").is_err());
+        // Dispatch understands both knobs; --batch rejects bad modes.
+        let args: Vec<String> = vec![
+            "races".into(),
+            prog.display().to_string(),
+            log.display().to_string(),
+            "--replay-stats".into(),
+            "--batch".into(),
+            "off".into(),
+        ];
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("batching: 0 batch(es)"), "{out}");
+        let args: Vec<String> = vec![
+            "races".into(),
+            prog.display().to_string(),
+            log.display().to_string(),
+            "--batch".into(),
+            "sometimes".into(),
+        ];
+        let e = dispatch(&args).unwrap_err();
+        assert!(e.message.contains("batch mode"), "{}", e.message);
         let _ = fs::remove_file(prog);
         let _ = fs::remove_file(log);
     }
@@ -1062,14 +1200,16 @@ mod tests {
         let (prog, log_path) = corrupted_container("tol");
         // Strict ingestion refuses the damaged log outright.
         assert!(load_log(&log_path).is_err());
-        let e = cmd_races(&prog, &log_path, false, &ClassifierConfig::default(), None, false)
-            .unwrap_err();
+        let e =
+            cmd_races(&prog, &log_path, false, &ClassifierConfig::default(), None, false, false)
+                .unwrap_err();
         assert!(e.message.contains("checksum"), "{}", e.message);
         // Tolerant ingestion salvages the intact frame and reports damage.
         let (_log, _sched, report) = load_log_mode(&log_path, DecodeMode::Tolerant).unwrap();
         assert_eq!(report.damaged_frames(), 1);
         let out =
-            cmd_races(&prog, &log_path, false, &ClassifierConfig::default(), None, true).unwrap();
+            cmd_races(&prog, &log_path, false, &ClassifierConfig::default(), None, true, false)
+                .unwrap();
         assert!(out.contains("!!! log damage: 1 of 2 frame(s) damaged"), "{out}");
         assert!(out.contains("data race report"), "{out}");
         // Doctor names the damaged frame and points at --tolerant.

@@ -24,12 +24,15 @@
 //! 1. **plans** the replays sequentially (a deterministic walk over
 //!    `detected.by_static` that also resolves cache reuse),
 //! 2. **executes** the planned replays on [`ClassifierConfig::jobs`] worker
-//!    threads pulling from a shared cursor, and
+//!    threads pulling from a shared cursor — grouped by `(region_a,
+//!    region_b, order)` under [`BatchMode::Shared`] so each group runs its
+//!    common oracle prefix once ([`Vproc::run_batch`]) — and
 //! 3. **assembles** the per-race outcomes sequentially, in the same order
 //!    the single-threaded classifier used.
 //!
 //! Because which replays run — and what each returns — is fixed during
-//! planning, the result is bit-for-bit identical at any job count.
+//! planning, the result is bit-for-bit identical at any job count, batched
+//! or not.
 //!
 //! The plan step also consults a [`ReplayCache`]: replays whose canonical
 //! key was already planned reuse the earlier live-outs instead of running
@@ -43,8 +46,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use tvm::fasthash::FastHashMap;
 
+use idna_replay::region::RegionId;
 use idna_replay::replayer::ReplayTrace;
-use idna_replay::vproc::{AccessSite, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig};
+use idna_replay::vproc::{
+    AccessSite, BatchStats, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig,
+};
 use racecheck::PredictedVerdict;
 
 use crate::detect::{DetectedRaces, RaceInstance, StaticRaceId};
@@ -188,6 +194,36 @@ impl CacheMode {
     }
 }
 
+/// Whether planned replays sharing a region pair run through the
+/// shared-prefix batch engine ([`Vproc::run_batch`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Every planned replay runs individually through [`Vproc::run_pair`].
+    Off,
+    /// Planned replays are grouped by canonical `(region_a, region_b,
+    /// order)` key during the planner's sequential walk; each group
+    /// executes its common oracle prefix once and forks per pair. The
+    /// classification is byte-identical to `Off` at any job count (pinned
+    /// by `tests/batch_equiv.rs`); only the cost changes.
+    #[default]
+    Shared,
+}
+
+impl BatchMode {
+    /// Parses a CLI-style mode name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unrecognized input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(BatchMode::Off),
+            "shared" => Ok(BatchMode::Shared),
+            other => Err(format!("batch mode must be off or shared, got {other:?}")),
+        }
+    }
+}
+
 /// How much the classifier trusts the static idiom pass's predictions
 /// ([`racecheck::idioms`]). **Ablation-only knob**: the default runs every
 /// replay; `SkipAgreedBenign` trades replays for trust in the static
@@ -268,11 +304,19 @@ struct ReplayKey {
 
 /// Memoization table for dual-order replays, shared between classification
 /// and report rendering.
+///
+/// Canonical [`ReplayKey`]s (two full [`AccessSite`]s plus an order) are
+/// interned into dense `u32` *pair ids* on first sight; the live-out map —
+/// and the planner's job-reuse map — hash those integers instead of the
+/// full site structs. Interning order is the planner's sequential walk, so
+/// the ids are deterministic.
 #[derive(Debug)]
 pub struct ReplayCache {
     mode: CacheMode,
     vproc: VprocConfig,
-    map: Mutex<FastHashMap<ReplayKey, Result<PairLiveOut, ReplayFailure>>>,
+    /// Canonical key → dense pair id, in first-interned order.
+    ids: Mutex<FastHashMap<ReplayKey, u32>>,
+    map: Mutex<FastHashMap<u32, Result<PairLiveOut, ReplayFailure>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     saved: AtomicU64,
@@ -285,6 +329,7 @@ impl ReplayCache {
         ReplayCache {
             mode,
             vproc,
+            ids: Mutex::new(FastHashMap::default()),
             map: Mutex::new(FastHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -330,6 +375,16 @@ impl ReplayCache {
         }
     }
 
+    /// Interns a replay's canonical key into its dense pair id, or `None`
+    /// when caching is off. Hashes the full key once; every later map
+    /// operation on this replay hashes only the `u32`.
+    fn pair_id(&self, a: &AccessSite, b: &AccessSite, order: PairOrder) -> Option<u32> {
+        let key = self.key(a, b, order)?;
+        let mut ids = self.ids.lock().unwrap();
+        let next = u32::try_from(ids.len()).expect("fewer than 2^32 distinct replays");
+        Some(*ids.entry(key).or_insert(next))
+    }
+
     /// Replays through the cache: returns the memoized live-out when the
     /// key is present, otherwise runs the replay and memoizes it. Used by
     /// the report phase; the classifier plans its reuse up front instead.
@@ -340,17 +395,17 @@ impl ReplayCache {
         b: &AccessSite,
         order: PairOrder,
     ) -> Result<PairLiveOut, ReplayFailure> {
-        let Some(key) = self.key(a, b, order) else {
+        let Some(id) = self.pair_id(a, b, order) else {
             return vproc.run_pair(a, b, order);
         };
-        if let Some(found) = self.map.lock().unwrap().get(&key) {
+        if let Some(found) = self.map.lock().unwrap().get(&id) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.saved.fetch_add(1, Ordering::Relaxed);
             return found.clone();
         }
         let out = vproc.run_pair(a, b, order);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().unwrap().insert(key, out.clone());
+        self.map.lock().unwrap().insert(id, out.clone());
         out
     }
 
@@ -368,11 +423,10 @@ impl ReplayCache {
         retain: &std::collections::HashSet<usize>,
     ) {
         if self.mode != CacheMode::Off {
-            let mut map = self.map.lock().unwrap();
             for &i in retain {
                 let job = &jobs[i];
-                if let Some(key) = self.key(&job.a, &job.b, job.order) {
-                    map.insert(key, outcomes[i].clone());
+                if let Some(id) = self.pair_id(&job.a, &job.b, job.order) {
+                    self.map.lock().unwrap().insert(id, outcomes[i].clone());
                 }
             }
         }
@@ -401,6 +455,8 @@ pub struct ClassifierConfig {
     /// Whether high-confidence benign static predictions skip replay
     /// (default [`TrustStatic::Off`]; see the type's ablation caveat).
     pub trust_static: TrustStatic,
+    /// Shared-prefix replay batching (default [`BatchMode::Shared`]).
+    pub batching: BatchMode,
 }
 
 impl ClassifierConfig {
@@ -424,6 +480,7 @@ impl Default for ClassifierConfig {
             jobs: 0,
             cache: CacheMode::default(),
             trust_static: TrustStatic::default(),
+            batching: BatchMode::default(),
         }
     }
 }
@@ -439,6 +496,11 @@ pub struct ClassificationResult {
     pub vproc_replays: u64,
     /// Replay-cache counters for the classification phase.
     pub cache_stats: CacheStats,
+    /// Shared-prefix batch-engine counters: batches formed, pairs forked
+    /// from checkpoints, oracle instructions saved, live-in index hits.
+    /// All zero under [`BatchMode::Off`] except the prefix-execution and
+    /// index-hit counters, which the unbatched engine also feeds.
+    pub batch_stats: BatchStats,
     /// Races recorded benign on static authority alone (zero replays),
     /// under [`TrustStatic::SkipAgreedBenign`]. Always 0 with trust off.
     pub static_skipped_races: u64,
@@ -547,36 +609,108 @@ struct PlannedInstance {
     rev_job: usize,
 }
 
+/// One batch of planned replays sharing a `(region_a, region_b, order)`
+/// key: indices into the job list, in plan order.
+struct Batch {
+    order: PairOrder,
+    jobs: Vec<usize>,
+}
+
+/// Groups the planned jobs by canonical batch key, preserving the
+/// planner's sequential walk: batches appear in first-job order and each
+/// batch's jobs stay in plan order, so the grouping — like everything else
+/// in the plan — is deterministic.
+fn form_batches(jobs: &[ReplayJob]) -> Vec<Batch> {
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut index: FastHashMap<(RegionId, RegionId, bool), usize> = FastHashMap::default();
+    for (i, job) in jobs.iter().enumerate() {
+        let key = (job.a.region, job.b.region, job.order == PairOrder::AThenB);
+        match index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(hit) => {
+                batches[*hit.get()].jobs.push(i);
+            }
+            std::collections::hash_map::Entry::Vacant(miss) => {
+                miss.insert(batches.len());
+                batches.push(Batch { order: job.order, jobs: vec![i] });
+            }
+        }
+    }
+    batches
+}
+
 /// Executes the planned replays on `workers` threads (inline when 1). Each
 /// job lands in its own slot, so the output order — and therefore the
-/// classification — is independent of scheduling.
+/// classification — is independent of scheduling. With `batches`, workers
+/// pull whole batches through [`Vproc::run_batch`] instead of single jobs;
+/// per-slot results are identical either way. Also returns the summed
+/// batch-engine counters of every worker (u64 addition commutes, so the
+/// totals are deterministic too).
 fn run_jobs(
     trace: &ReplayTrace,
     vproc_config: VprocConfig,
     jobs: &[ReplayJob],
+    batches: Option<&[Batch]>,
     workers: usize,
-) -> Vec<Result<PairLiveOut, ReplayFailure>> {
+) -> (Vec<Result<PairLiveOut, ReplayFailure>>, BatchStats) {
     if workers <= 1 || jobs.len() <= 1 {
         let vproc = Vproc::new(trace, vproc_config);
-        return jobs.iter().map(|j| vproc.run_pair(&j.a, &j.b, j.order)).collect();
+        let outcomes = match batches {
+            Some(batches) => {
+                let mut slots: Vec<Option<Result<PairLiveOut, ReplayFailure>>> =
+                    jobs.iter().map(|_| None).collect();
+                let mut pairs: Vec<(AccessSite, AccessSite)> = Vec::new();
+                for batch in batches {
+                    pairs.clear();
+                    pairs.extend(batch.jobs.iter().map(|&j| (jobs[j].a, jobs[j].b)));
+                    for (&j, out) in batch.jobs.iter().zip(vproc.run_batch(&pairs, batch.order)) {
+                        slots[j] = Some(out);
+                    }
+                }
+                slots.into_iter().map(|s| s.expect("every job is in a batch")).collect()
+            }
+            None => jobs.iter().map(|j| vproc.run_pair(&j.a, &j.b, j.order)).collect(),
+        };
+        return (outcomes, vproc.take_stats());
     }
     let slots: Vec<OnceLock<Result<PairLiveOut, ReplayFailure>>> =
         jobs.iter().map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
+    let stats = Mutex::new(BatchStats::default());
+    let units = batches.map_or(jobs.len(), <[Batch]>::len);
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(jobs.len()) {
+        for _ in 0..workers.min(units) {
             scope.spawn(|| {
                 let vproc = Vproc::new(trace, vproc_config);
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let out = vproc.run_pair(&job.a, &job.b, job.order);
-                    slots[i].set(out).expect("each job index is claimed once");
+                match batches {
+                    Some(batches) => {
+                        let mut pairs: Vec<(AccessSite, AccessSite)> = Vec::new();
+                        loop {
+                            let bi = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(batch) = batches.get(bi) else { break };
+                            pairs.clear();
+                            pairs.extend(batch.jobs.iter().map(|&j| (jobs[j].a, jobs[j].b)));
+                            let outs = vproc.run_batch(&pairs, batch.order);
+                            for (&j, out) in batch.jobs.iter().zip(outs) {
+                                slots[j].set(out).expect("each job index is claimed once");
+                            }
+                        }
+                    }
+                    None => loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let out = vproc.run_pair(&job.a, &job.b, job.order);
+                        slots[i].set(out).expect("each job index is claimed once");
+                    },
                 }
+                stats.lock().unwrap().absorb(vproc.take_stats());
             });
         }
     });
-    slots.into_iter().map(|slot| slot.into_inner().expect("scope joined all workers")).collect()
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("scope joined all workers"))
+        .collect();
+    (outcomes, stats.into_inner().unwrap())
 }
 
 /// Classifies every detected race in `trace`.
@@ -620,7 +754,7 @@ pub fn classify_races_with(
     // reuse an earlier job's live-outs, so the outcome cannot depend on
     // worker scheduling.
     let mut jobs: Vec<ReplayJob> = Vec::new();
-    let mut job_index: FastHashMap<ReplayKey, usize> = FastHashMap::default();
+    let mut job_index: FastHashMap<u32, usize> = FastHashMap::default();
     let mut planned_hits = 0u64;
     let mut plan: Vec<(StaticRaceId, usize, Vec<PlannedInstance>)> = Vec::new();
     let mut static_skipped: Vec<(StaticRaceId, usize)> = Vec::new();
@@ -637,8 +771,8 @@ pub fn classify_races_with(
             let mut slot = [0usize; 2];
             for (side, order) in PairOrder::BOTH.into_iter().enumerate() {
                 let job = ReplayJob { a: instance.a, b: instance.b, order };
-                slot[side] = match cache.key(&instance.a, &instance.b, order) {
-                    Some(key) => match job_index.entry(key) {
+                slot[side] = match cache.pair_id(&instance.a, &instance.b, order) {
+                    Some(id) => match job_index.entry(id) {
                         std::collections::hash_map::Entry::Occupied(hit) => {
                             planned_hits += 1;
                             *hit.get()
@@ -659,8 +793,11 @@ pub fn classify_races_with(
         plan.push((id, indices.len(), planned));
     }
 
-    // Phase 2: execute every planned replay.
-    let outcomes = run_jobs(trace, config.vproc, &jobs, config.effective_jobs());
+    // Phase 2: execute every planned replay, batched by region pair when
+    // batching is on.
+    let batches = (config.batching == BatchMode::Shared).then(|| form_batches(&jobs));
+    let (outcomes, batch_stats) =
+        run_jobs(trace, config.vproc, &jobs, batches.as_deref(), config.effective_jobs());
 
     // Phase 3: assemble, sequentially and in static-id order; note which
     // live-outs the report phase will want back (each race's first exposing
@@ -673,6 +810,7 @@ pub fn classify_races_with(
             misses: jobs.len() as u64,
             saved_replays: planned_hits,
         },
+        batch_stats,
         ..ClassificationResult::default()
     };
     result.static_skipped_races = static_skipped.len() as u64;
@@ -744,10 +882,12 @@ pub fn merge_classifications(results: &[ClassificationResult]) -> Classification
     let mut merged: BTreeMap<StaticRaceId, ClassifiedRace> = BTreeMap::new();
     let mut vproc_replays = 0;
     let mut cache_stats = CacheStats::default();
+    let mut batch_stats = BatchStats::default();
     let mut static_skipped_races = 0;
     for result in results {
         vproc_replays += result.vproc_replays;
         cache_stats = cache_stats.merged(result.cache_stats);
+        batch_stats.absorb(result.batch_stats);
         static_skipped_races += result.static_skipped_races;
         for (id, race) in &result.races {
             merged
@@ -778,6 +918,7 @@ pub fn merge_classifications(results: &[ClassificationResult]) -> Classification
         races: merged,
         vproc_replays,
         cache_stats,
+        batch_stats,
         static_skipped_races,
         log_damaged_races,
         cache: None,
@@ -1057,5 +1198,98 @@ mod tests {
         assert_eq!(CacheMode::parse("exact").unwrap(), CacheMode::Exact);
         assert_eq!(CacheMode::parse("coarse").unwrap(), CacheMode::Coarse);
         assert!(CacheMode::parse("lru").is_err());
+    }
+
+    #[test]
+    fn parse_batch_mode_names() {
+        assert_eq!(BatchMode::parse("off").unwrap(), BatchMode::Off);
+        assert_eq!(BatchMode::parse("shared").unwrap(), BatchMode::Shared);
+        assert!(BatchMode::parse("on").is_err());
+    }
+
+    #[test]
+    fn batches_group_by_region_pair_and_order_in_plan_order() {
+        let site = |tid: usize, index: usize, instr: u64| AccessSite {
+            region: RegionId { tid, index },
+            instr_index: instr,
+            pc: 0,
+            addr: 0x20,
+            kind: tvm::exec::AccessKind::Write,
+        };
+        let jobs = vec![
+            ReplayJob { a: site(0, 0, 1), b: site(1, 0, 1), order: PairOrder::AThenB },
+            ReplayJob { a: site(0, 0, 1), b: site(1, 0, 1), order: PairOrder::BThenA },
+            ReplayJob { a: site(0, 0, 2), b: site(1, 0, 3), order: PairOrder::AThenB },
+            ReplayJob { a: site(0, 1, 9), b: site(1, 0, 1), order: PairOrder::AThenB },
+        ];
+        let batches = form_batches(&jobs);
+        assert_eq!(batches.len(), 3, "two orders split, distinct region pairs split");
+        assert_eq!(batches[0].jobs, vec![0, 2], "same region pair + order share a batch");
+        assert_eq!(batches[1].jobs, vec![1]);
+        assert_eq!(batches[2].jobs, vec![3]);
+        assert_eq!(batches[0].order, PairOrder::AThenB);
+        assert_eq!(batches[1].order, PairOrder::BThenA);
+    }
+
+    #[test]
+    fn batching_off_matches_shared_batching() {
+        // A looping writer racing a one-shot writer yields several instances
+        // on one region pair — exactly the shape batching accelerates.
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.thread("a");
+            let top = b.fresh_label("top");
+            b.movi(Reg::R2, 6)
+                .movi(Reg::R1, 7)
+                .label(top)
+                .store(Reg::R1, Reg::R15, 0x20)
+                .subi(Reg::R2, Reg::R2, 1)
+                .branch(tvm::isa::Cond::Ne, Reg::R2, Reg::R15, top)
+                .halt();
+            b.thread("b");
+            b.movi(Reg::R1, 9).store(Reg::R1, Reg::R15, 0x20).halt();
+            b
+        };
+        let program: Arc<Program> = Arc::new(build().build());
+        let cfg = RunConfig::round_robin(2);
+        let rec = record(&program, &cfg);
+        let trace = replay(&program, &rec.log).unwrap();
+        let detected = detect_races(&trace, &DetectorConfig::default());
+        let batched = classify_races(&trace, &detected, &ClassifierConfig::default());
+        let unbatched = classify_races(
+            &trace,
+            &detected,
+            &ClassifierConfig { batching: BatchMode::Off, ..ClassifierConfig::default() },
+        );
+        assert_eq!(batched.races, unbatched.races);
+        assert_eq!(batched.vproc_replays, unbatched.vproc_replays);
+        assert_eq!(batched.cache_stats, unbatched.cache_stats);
+        assert!(batched.batch_stats.batches > 0, "the loop instances must share a batch");
+        assert!(batched.batch_stats.prefix_executions < unbatched.batch_stats.prefix_executions);
+        assert_eq!(unbatched.batch_stats.batches, 0);
+        assert_eq!(unbatched.batch_stats.forks, 0);
+    }
+
+    #[test]
+    fn merge_sums_batch_accounting() {
+        let one = ClassificationResult {
+            batch_stats: BatchStats {
+                batches: 2,
+                forks: 5,
+                prefix_executions: 4,
+                prefix_instrs_saved: 100,
+                live_in_index_hits: 7,
+            },
+            ..ClassificationResult::default()
+        };
+        let two = ClassificationResult {
+            batch_stats: BatchStats { batches: 1, forks: 2, ..BatchStats::default() },
+            ..ClassificationResult::default()
+        };
+        let merged = merge_classifications(&[one, two]);
+        assert_eq!(merged.batch_stats.batches, 3);
+        assert_eq!(merged.batch_stats.forks, 7);
+        assert_eq!(merged.batch_stats.prefix_instrs_saved, 100);
+        assert_eq!(merged.batch_stats.live_in_index_hits, 7);
     }
 }

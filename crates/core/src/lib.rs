@@ -58,7 +58,7 @@ pub mod static_feed;
 pub mod triage;
 
 pub use classify::{
-    classify_races, classify_races_with, predictions_by_id, ClassificationResult,
+    classify_races, classify_races_with, predictions_by_id, BatchMode, ClassificationResult,
     ClassifiedInstance, ClassifiedRace, ClassifierConfig, InstanceOutcome, OutcomeGroup,
     TrustStatic, Verdict,
 };

@@ -21,6 +21,7 @@ use tvm::scheduler::{run_native, RunConfig};
 use crate::classify::{classify_races_with, CacheStats, ClassificationResult, ClassifierConfig};
 use crate::detect::{detect_races, DetectedRaces, DetectorConfig, StaticRaceId};
 use crate::report::Report;
+use idna_replay::vproc::BatchStats;
 
 /// Pipeline options.
 #[derive(Clone, Debug)]
@@ -68,6 +69,8 @@ pub struct PhaseTimings {
     /// Replay-cache counters across classification *and* report building
     /// (the report reuses classification replays through the cache).
     pub cache: CacheStats,
+    /// Shared-prefix batch-engine counters for the classify phase.
+    pub batching: BatchStats,
 }
 
 impl PhaseTimings {
@@ -168,6 +171,7 @@ pub fn run_pipeline(
 
     let report = Report::build(&trace, &classification);
     timings.cache = classification.cache_stats_now();
+    timings.batching = classification.batch_stats;
 
     Ok(PipelineResult {
         trace,

@@ -171,12 +171,18 @@ impl Report {
     /// Serializes the report as JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// The report as a JSON value, for callers that compose it into a
+    /// larger document (the CLI's `--replay-stats` does).
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
         let races: Vec<Json> = self.races.iter().map(race_to_json).collect();
         Json::obj(vec![
             ("races", Json::Arr(races)),
             ("log_damaged_races", Json::from(self.log_damaged_races)),
         ])
-        .to_string_pretty()
     }
 
     /// Parses a report previously produced by [`Report::to_json`].

@@ -18,6 +18,67 @@
 
 use tvm::pagestore::PagedWords;
 
+/// A materialized live-in image for one replay version: every address the
+/// recording ever wrote, paired with its value as of that version, sorted
+/// by address.
+///
+/// The virtual processor's live-in fetches used to walk
+/// `VersionedMemory` per lookup (a hash probe plus a binary search over
+/// the address's whole write history). A region's live-in image is fixed,
+/// so it is materialized once per `(trace, version)` and every fetch
+/// becomes one binary search over a dense sorted table. Addresses absent
+/// from the table were never written before the version and read as
+/// `None` (the caller zero-fills), exactly like the history scan.
+///
+/// # Examples
+///
+/// ```
+/// use idna_replay::image::LiveInIndex;
+///
+/// let index = LiveInIndex::from_sorted(vec![(0x10, 7), (0x20, 9)]);
+/// assert_eq!(index.get(0x10), Some(7));
+/// assert_eq!(index.get(0x18), None);
+/// assert_eq!(index.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LiveInIndex {
+    /// `(addr, value)` sorted by address, one entry per written address.
+    entries: Vec<(u64, u64)>,
+}
+
+impl LiveInIndex {
+    /// Builds an index from entries already sorted by address.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the entries are sorted by strictly increasing address.
+    #[must_use]
+    pub fn from_sorted(entries: Vec<(u64, u64)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be sorted");
+        LiveInIndex { entries }
+    }
+
+    /// The live-in value at `addr`, or `None` when the recording never
+    /// wrote it before the index's version.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, addr: u64) -> Option<u64> {
+        self.entries.binary_search_by_key(&addr, |&(a, _)| a).ok().map(|i| self.entries[i].1)
+    }
+
+    /// Number of addresses in the index.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index covers no addresses at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A thread's replay image; see the module docs.
 ///
 /// # Examples
@@ -107,6 +168,22 @@ mod tests {
             }
             let expect = model.get(&addr).copied().unwrap_or(0);
             assert_eq!(image.get(addr), expect, "step {step}, addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn live_in_index_answers_like_a_map() {
+        let mut rng = SplitMix64::new(0xbeef);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..500 {
+            model.insert(rng.next_u64() % 4096, rng.next_u64());
+        }
+        let mut entries: Vec<(u64, u64)> = model.iter().map(|(&a, &v)| (a, v)).collect();
+        entries.sort_unstable();
+        let index = LiveInIndex::from_sorted(entries);
+        assert_eq!(index.len(), model.len());
+        for addr in 0..4096 {
+            assert_eq!(index.get(addr), model.get(&addr).copied(), "addr {addr:#x}");
         }
     }
 

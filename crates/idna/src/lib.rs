@@ -60,8 +60,10 @@ pub mod vproc;
 pub use codec::{DecodeMode, DecodeReport, FrameInfo, FrameStatus, LogWriter};
 pub use damage::{ThreadDamage, TraceDamage};
 pub use event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
-pub use image::ReplayImage;
+pub use image::{LiveInIndex, ReplayImage};
 pub use recorder::{record, record_with, Recorder, Recording};
 pub use region::{Region, RegionId};
 pub use replayer::{replay, replay_with, ReplayError, ReplayTrace, ReplayedRegion, ThreadSnapshot};
-pub use vproc::{AccessSite, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig};
+pub use vproc::{
+    AccessSite, BatchStats, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig,
+};

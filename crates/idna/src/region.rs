@@ -53,6 +53,20 @@ impl Region {
         self.start_instr == self.end_instr
     }
 
+    /// How far into the region a thread-local dynamic instruction index
+    /// lies — the oracle-replay step count needed to reach it from the
+    /// region entry. The batched virtual processor prices replays with
+    /// this before executing anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `instr_index` precedes the region.
+    #[must_use]
+    pub fn instr_offset(&self, instr_index: u64) -> u64 {
+        debug_assert!(instr_index >= self.start_instr, "instruction precedes region");
+        instr_index - self.start_instr
+    }
+
     /// Paper §3.2: every memory operation before a sequencer with timestamp
     /// `a` happens before every operation after a sequencer with timestamp
     /// `b >= a`. So this region happens before `other` iff it ends no later

@@ -4,7 +4,7 @@
 //! the classification virtual processor operate on.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use tvm::exec::AccessKind;
 use tvm::fasthash::FastHashMap;
@@ -15,7 +15,7 @@ use tvm::program::Program;
 
 use crate::damage::TraceDamage;
 use crate::event::{EndStatus, ReplayLog, ThreadEvent, ThreadLog};
-use crate::image::ReplayImage;
+use crate::image::{LiveInIndex, ReplayImage};
 use crate::region::{regions_of, Region, RegionId};
 
 /// Architectural snapshot of one thread at a region boundary.
@@ -103,6 +103,23 @@ impl VersionedMemory {
     pub fn addresses(&self) -> usize {
         self.writes.len()
     }
+
+    /// Materializes the live-in image at `version` as a sorted
+    /// addr→value table: for every address with a write at or before
+    /// `version`, the same value [`Self::value_at`] would return.
+    #[must_use]
+    pub fn index_at(&self, version: u32) -> LiveInIndex {
+        let mut entries: Vec<(u64, u64)> = self
+            .writes
+            .iter()
+            .filter_map(|(&addr, hist)| {
+                let idx = hist.partition_point(|&(v, _)| v <= version);
+                (idx > 0).then(|| (addr, hist[idx - 1].1))
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(addr, _)| addr);
+        LiveInIndex::from_sorted(entries)
+    }
 }
 
 /// Heap liveness of one address at some replay version.
@@ -182,6 +199,11 @@ pub struct ReplayTrace {
     /// Damage horizon for logs decoded in tolerant mode; `None` for clean
     /// logs. The virtual processor's live-in fetches consult it.
     damage: Option<TraceDamage>,
+    /// Lazily materialized per-version live-in indexes (one slot per
+    /// region version). Built on first use and shared by every replay
+    /// with that base version — classification replays of the same
+    /// region pair stop re-scanning the versioned history.
+    live_in: Vec<OnceLock<LiveInIndex>>,
 }
 
 impl ReplayTrace {
@@ -243,6 +265,18 @@ impl ReplayTrace {
     #[must_use]
     pub fn damage(&self) -> Option<&TraceDamage> {
         self.damage.as_ref()
+    }
+
+    /// The live-in index for `version`: the versioned memory's image at
+    /// that version as a sorted addr→value table, materialized once per
+    /// trace and shared by every virtual-processor replay based there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is not a region version of this trace.
+    #[must_use]
+    pub fn live_in_index(&self, version: u32) -> &LiveInIndex {
+        self.live_in[version as usize].get_or_init(|| self.memory.index_at(version))
     }
 
     /// Attaches a damage horizon (from `DecodeReport::trace_damage` or
@@ -415,6 +449,7 @@ pub fn replay_with(
         heap: HeapHistory::default(),
         total_instructions: log.total_instructions,
         damage: None,
+        live_in: Vec::new(),
     };
 
     // Paper §3.3: replay one sequencing region at a time, always the pending
@@ -433,6 +468,7 @@ pub fn replay_with(
         trace.region_pos[tid][region.id.index] = trace.regions.len();
         trace.regions.push(replayed);
     }
+    trace.live_in = (0..trace.regions.len()).map(|_| OnceLock::new()).collect();
 
     for (tid, t) in threads.iter().enumerate() {
         if t.instr != t.log.end_instr {

@@ -18,8 +18,25 @@
 //! (the versioned memory at the earlier region's entry). Reads of addresses
 //! the recording never saw, or control flow leaving the recorded code
 //! footprint, are **replay failures** (§4.2.1).
+//!
+//! # Shared-prefix batched replay
+//!
+//! Most pair replays of the same region pair differ only in *where* the
+//! racing instructions sit; the oracle phase up to the racing indexes is
+//! identical work re-done per pair. [`Vproc::run_batch`] executes that
+//! common prefix **once** per side, parks a cheap [fork-point
+//! checkpoint](ThreadSnapshot) at every distinct racing index (a checkpoint
+//! chain when the indexes are spread across the region), and resolves each
+//! pair by resuming phases 2–3 from the nearest checkpoint. Memory state is
+//! forked with an undo log — the virtual memory journals every touched
+//! word and rolls back after each pair instead of deep-copying — and
+//! live-in fetches go through the trace's materialized
+//! [`LiveInIndex`](crate::image::LiveInIndex) (one binary search) rather
+//! than a versioned-memory history scan. The batch engine is bit-for-bit
+//! equivalent to looping [`Vproc::run_pair`]; `tests/batch_equiv.rs` in the
+//! workspace root pins that. Work saved is accounted in [`BatchStats`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -30,6 +47,7 @@ use tvm::machine::{Fault, MAX_CALL_DEPTH};
 use tvm::memory::{GLOBAL_LIMIT, HEAP_BASE};
 use tvm::predecode::Decoded;
 
+use crate::image::LiveInIndex;
 use crate::region::RegionId;
 use crate::replayer::{HeapState, ReplayTrace, ReplayedRegion, ThreadSnapshot};
 
@@ -167,6 +185,41 @@ impl VprocConfig {
     }
 }
 
+/// Work accounting for the shared-prefix batch engine.
+///
+/// Counters accumulate inside a [`Vproc`] and are drained with
+/// [`Vproc::take_stats`]; the classifier sums them across workers (u64
+/// addition commutes, so the totals are deterministic at any job count).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Multi-pair batches executed through the fork-point engine.
+    pub batches: u64,
+    /// Pairs resolved by forking from a shared-prefix checkpoint.
+    pub forks: u64,
+    /// Region prefix executions actually performed: 2 per [`Vproc::run_pair`]
+    /// and 2 per multi-pair batch. The unbatched engine would have performed
+    /// `2 × (run_pair calls + forks)`; the difference is the saving.
+    pub prefix_executions: u64,
+    /// Oracle instructions *not* re-executed thanks to prefix sharing: the
+    /// sum of every forked pair's oracle distance minus the one prefix the
+    /// batch actually ran.
+    pub prefix_instrs_saved: u64,
+    /// Live-in fetches answered by the materialized per-region
+    /// [`LiveInIndex`](crate::image::LiveInIndex).
+    pub live_in_index_hits: u64,
+}
+
+impl BatchStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn absorb(&mut self, other: BatchStats) {
+        self.batches += other.batches;
+        self.forks += other.forks;
+        self.prefix_executions += other.prefix_executions;
+        self.prefix_instrs_saved += other.prefix_instrs_saved;
+        self.live_in_index_hits += other.live_in_index_hits;
+    }
+}
+
 /// The live-out of one thread after its region finished in the virtual
 /// processor.
 ///
@@ -242,6 +295,37 @@ fn thread_matches(out: &ThreadLiveOut, region: &ReplayedRegion) -> bool {
         && out.outputs == region.outputs
 }
 
+/// One state mutation performed by the oracle phase.
+///
+/// The oracle never *reads* virtual-processor memory — it only populates it
+/// from recorded access values — so a side's whole oracle phase can be
+/// captured once as a stream of these and re-applied per pair as a cheap
+/// map replay instead of instruction re-execution.
+#[derive(Copy, Clone, Debug)]
+enum OracleOp {
+    /// First-use copy-in of a recorded read value (`or_insert` semantics).
+    CopyIn { addr: u64, value: u64 },
+    /// A store / RMW / successful-CAS write.
+    Write { addr: u64, value: u64 },
+    /// A recorded allocation (base comes from the syscall log).
+    Alloc { base: u64, size: u64 },
+    /// A recorded free.
+    Free { base: u64 },
+}
+
+/// One entry of the fork undo log; rolling back pops these in reverse.
+#[derive(Copy, Clone, Debug)]
+enum UndoOp {
+    /// `writes[addr]` changed; `prev` is the displaced value, if any.
+    Write { addr: u64, prev: Option<u64> },
+    /// `vallocs[base]` changed (and `vfreed` may have dropped `base`).
+    Alloc { base: u64, prev_size: Option<u64>, was_freed: bool },
+    /// `base` entered `vfreed`.
+    FreeMark { base: u64 },
+    /// The fresh-allocation cursor advanced from `prev`.
+    Fresh { prev: u64 },
+}
+
 /// Memory as seen by the virtual processor: local writes over the live-in
 /// image, with unknown-address detection.
 struct VMem<'a> {
@@ -250,6 +334,9 @@ struct VMem<'a> {
     /// Starting timestamp of the base region: live-in fetches are ordered
     /// relative to it, so it is what damage horizons are compared against.
     base_ts: u64,
+    /// Materialized live-in image at `base_version` (sorted table, one
+    /// binary search per fetch).
+    live_in: &'a LiveInIndex,
     writes: FastHashMap<u64, u64>,
     /// Allocations made during this replay: base -> size.
     vallocs: FastHashMap<u64, u64>,
@@ -257,6 +344,15 @@ struct VMem<'a> {
     vfreed: BTreeSet<u64>,
     fresh: u64,
     permissive: bool,
+    /// Fetches answered by `live_in`, drained into [`BatchStats`].
+    index_hits: u64,
+    /// When set, mutations are journaled here so a batch fork can roll
+    /// back to the shared prefix instead of rebuilding the maps.
+    undo: Option<Vec<UndoOp>>,
+    /// When set, oracle mutations are *recorded* here instead of applied —
+    /// the batch prefix runs in this mode so one execution yields a
+    /// replayable per-side op stream.
+    record: Option<Vec<OracleOp>>,
 }
 
 enum Mem {
@@ -272,12 +368,139 @@ impl<'a> VMem<'a> {
             trace,
             base_version,
             base_ts,
+            live_in: trace.live_in_index(base_version),
             writes: FastHashMap::default(),
             vallocs: FastHashMap::default(),
             vfreed: BTreeSet::new(),
             fresh: VPROC_FRESH_BASE,
             permissive,
+            index_hits: 0,
+            undo: None,
+            record: None,
         }
+    }
+
+    /// The live-in value at `addr` through the materialized index.
+    #[inline]
+    fn live_in_value(&mut self, addr: u64) -> u64 {
+        self.index_hits += 1;
+        self.live_in.get(addr).unwrap_or(0)
+    }
+
+    /// Applies `writes[addr] = value`, journaling the displaced value.
+    fn write_word(&mut self, addr: u64, value: u64) {
+        let prev = self.writes.insert(addr, value);
+        if let Some(journal) = &mut self.undo {
+            journal.push(UndoOp::Write { addr, prev });
+        }
+    }
+
+    /// First-use copy-in: `writes.entry(addr).or_insert(value)`.
+    fn copy_in(&mut self, addr: u64, value: u64) {
+        if self.writes.contains_key(&addr) {
+            return;
+        }
+        self.writes.insert(addr, value);
+        if let Some(journal) = &mut self.undo {
+            journal.push(UndoOp::Write { addr, prev: None });
+        }
+    }
+
+    /// Marks `base` freed, journaling the transition.
+    fn mark_freed(&mut self, base: u64) {
+        if self.vfreed.insert(base) {
+            if let Some(journal) = &mut self.undo {
+                journal.push(UndoOp::FreeMark { base });
+            }
+        }
+    }
+
+    /// Oracle-phase copy-in (recorded when in record mode).
+    fn oracle_copy_in(&mut self, addr: u64, value: u64) {
+        match &mut self.record {
+            Some(ops) => ops.push(OracleOp::CopyIn { addr, value }),
+            None => self.copy_in(addr, value),
+        }
+    }
+
+    /// Oracle-phase write (recorded when in record mode).
+    fn oracle_write(&mut self, addr: u64, value: u64) {
+        match &mut self.record {
+            Some(ops) => ops.push(OracleOp::Write { addr, value }),
+            None => self.write_word(addr, value),
+        }
+    }
+
+    /// Oracle-phase allocation mirror (recorded when in record mode).
+    fn oracle_alloc(&mut self, base: u64, size: u64) {
+        match &mut self.record {
+            Some(ops) => ops.push(OracleOp::Alloc { base, size }),
+            None => {
+                self.alloc(Some(base), size);
+            }
+        }
+    }
+
+    /// Oracle-phase free mirror (recorded when in record mode).
+    fn oracle_free(&mut self, base: u64) {
+        match &mut self.record {
+            Some(ops) => ops.push(OracleOp::Free { base }),
+            None => self.mark_freed(base),
+        }
+    }
+
+    /// Number of oracle ops recorded so far (checkpoint cut points).
+    fn recorded_len(&self) -> usize {
+        self.record.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Re-applies a slice of recorded oracle ops to the live maps.
+    fn apply_ops(&mut self, ops: &[OracleOp]) {
+        for &op in ops {
+            match op {
+                OracleOp::CopyIn { addr, value } => self.copy_in(addr, value),
+                OracleOp::Write { addr, value } => self.write_word(addr, value),
+                OracleOp::Alloc { base, size } => {
+                    self.alloc(Some(base), size);
+                }
+                OracleOp::Free { base } => self.mark_freed(base),
+            }
+        }
+    }
+
+    /// Rolls the journaled state back to `mark`, undoing in reverse.
+    fn rollback_to(&mut self, mark: usize) {
+        let Some(mut journal) = self.undo.take() else { return };
+        while journal.len() > mark {
+            match journal.pop().expect("journal shorter than mark") {
+                UndoOp::Write { addr, prev } => match prev {
+                    Some(v) => {
+                        self.writes.insert(addr, v);
+                    }
+                    None => {
+                        self.writes.remove(&addr);
+                    }
+                },
+                UndoOp::Alloc { base, prev_size, was_freed } => {
+                    match prev_size {
+                        Some(s) => {
+                            self.vallocs.insert(base, s);
+                        }
+                        None => {
+                            self.vallocs.remove(&base);
+                        }
+                    }
+                    if was_freed {
+                        self.vfreed.insert(base);
+                    }
+                }
+                UndoOp::FreeMark { base } => {
+                    self.vfreed.remove(&base);
+                }
+                UndoOp::Fresh { prev } => self.fresh = prev,
+            }
+        }
+        self.undo = Some(journal);
     }
 
     /// Whether a live-in fetch of `addr` could be wrong because a damaged
@@ -323,7 +546,7 @@ impl<'a> VMem<'a> {
             if self.damage_tainted(addr) {
                 return Mem::Fail(ReplayFailure::LogDamage);
             }
-            return Mem::Value(self.trace.memory.value_at(addr, self.base_version).unwrap_or(0));
+            return Mem::Value(self.live_in_value(addr));
         }
         if addr < HEAP_BASE {
             return Mem::Fault(Fault::InvalidAccess { addr });
@@ -340,9 +563,7 @@ impl<'a> VMem<'a> {
             return Mem::Fail(ReplayFailure::LogDamage);
         }
         match self.trace.heap.state_at(addr, self.base_version) {
-            HeapState::Live { .. } => {
-                Mem::Value(self.trace.memory.value_at(addr, self.base_version).unwrap_or(0))
-            }
+            HeapState::Live { .. } => Mem::Value(self.live_in_value(addr)),
             HeapState::Freed { .. } => Mem::Fault(Fault::UseAfterFree { addr }),
             HeapState::Unknown => {
                 if self.permissive {
@@ -379,19 +600,28 @@ impl<'a> VMem<'a> {
                 }
             }
         }
-        self.writes.insert(addr, value);
+        self.write_word(addr, value);
         Mem::Value(value)
     }
 
     fn alloc(&mut self, recorded_base: Option<u64>, size: u64) -> u64 {
         let size = size.max(1);
-        let base = recorded_base.unwrap_or_else(|| {
-            let b = self.fresh;
-            self.fresh += size + 1;
-            b
-        });
-        self.vallocs.insert(base, size);
-        self.vfreed.remove(&base);
+        let base = match recorded_base {
+            Some(b) => b,
+            None => {
+                let b = self.fresh;
+                if let Some(journal) = &mut self.undo {
+                    journal.push(UndoOp::Fresh { prev: b });
+                }
+                self.fresh += size + 1;
+                b
+            }
+        };
+        let prev_size = self.vallocs.insert(base, size);
+        let was_freed = self.vfreed.remove(&base);
+        if let Some(journal) = &mut self.undo {
+            journal.push(UndoOp::Alloc { base, prev_size, was_freed });
+        }
         base
     }
 
@@ -401,7 +631,7 @@ impl<'a> VMem<'a> {
             return Mem::Fault(Fault::InvalidFree { addr: base });
         }
         if self.vallocs.contains_key(&base) {
-            self.vfreed.insert(base);
+            self.mark_freed(base);
             return Mem::Value(0);
         }
         if self.damage_tainted(base) {
@@ -409,7 +639,7 @@ impl<'a> VMem<'a> {
         }
         match self.trace.heap.state_at(base, self.base_version) {
             HeapState::Live { base: b } if b == base => {
-                self.vfreed.insert(base);
+                self.mark_freed(base);
                 Mem::Value(0)
             }
             HeapState::Live { .. } => Mem::Fault(Fault::InvalidFree { addr: base }),
@@ -419,32 +649,66 @@ impl<'a> VMem<'a> {
     }
 }
 
-/// Reusable per-[`Vproc`] working state: two thread snapshots and two
-/// output buffers, reset from the region entries at the start of every
-/// [`Vproc::run_pair`].
+/// A fork point parked during a batch's shared-prefix execution: enough to
+/// rebuild a [`VThread`] exactly as the unbatched oracle phase would have
+/// left it at this racing index.
+///
+/// Outputs are *not* stored: the oracle reproduces the recording exactly,
+/// so the thread's output buffer at the checkpoint is a prefix of
+/// `region.outputs` and only its length is kept.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    snap: ThreadSnapshot,
+    instr: u64,
+    access_cursor: usize,
+    sys_cursor: usize,
+    outputs_len: usize,
+    /// Oracle-op stream position: ops `[..ops_len]` rebuild this side's
+    /// memory effect up to the checkpoint.
+    ops_len: usize,
+    done: bool,
+    executed: u64,
+}
+
+/// Reusable per-[`Vproc`] working state — the pooled scratch behind both
+/// [`Vproc::run_pair`] and [`Vproc::run_batch`].
 ///
 /// The seed implementation cloned `region.entry` (registers, pc, and a
 /// freshly allocated call stack) for each thread on every replay — twice
 /// per race instance for the two pair orders, and again for every instance
 /// of the same static race. The arena keeps one copy per thread slot and
 /// overwrites it in place, so steady-state replays allocate nothing for
-/// snapshots or outputs.
+/// snapshots or outputs. The batch engine extends the pool with per-side
+/// checkpoint chains, recorded oracle-op streams, stop lists, and the fork
+/// undo journal; all of it is capacity-reused across batches (and, because
+/// each classifier worker owns its `Vproc`, across that worker's whole run).
 #[derive(Debug)]
 struct SnapshotArena {
     snaps: [ThreadSnapshot; 2],
     outputs: [Vec<u64>; 2],
+    checkpoints: [Vec<Checkpoint>; 2],
+    ops: [Vec<OracleOp>; 2],
+    stops: [Vec<u64>; 2],
+    journal: Vec<UndoOp>,
 }
 
 impl Default for SnapshotArena {
     fn default() -> Self {
         let blank = ThreadSnapshot { regs: [0; NUM_REGS], pc: 0, call_stack: Vec::new() };
-        SnapshotArena { snaps: [blank.clone(), blank], outputs: [Vec::new(), Vec::new()] }
+        SnapshotArena {
+            snaps: [blank.clone(), blank],
+            outputs: [Vec::new(), Vec::new()],
+            checkpoints: [Vec::new(), Vec::new()],
+            ops: [Vec::new(), Vec::new()],
+            stops: [Vec::new(), Vec::new()],
+            journal: Vec::new(),
+        }
     }
 }
 
 impl SnapshotArena {
-    /// Resets both slots from the region entries and hands out the working
-    /// borrows.
+    /// Resets both snapshot slots from the region entries and hands out the
+    /// working borrows.
     fn checkout(
         &mut self,
         entry_a: &ThreadSnapshot,
@@ -502,6 +766,35 @@ impl<'a, 's> VThread<'a, 's> {
         }
     }
 
+    /// Rebuilds a thread exactly as the oracle phase would have left it at
+    /// the checkpointed racing index, reusing the arena slot's allocations.
+    fn from_checkpoint(
+        region: &'a ReplayedRegion,
+        racing_index: u64,
+        cp: &Checkpoint,
+        (snap, outputs): (&'s mut ThreadSnapshot, &'s mut Vec<u64>),
+    ) -> Self {
+        snap.regs = cp.snap.regs;
+        snap.pc = cp.snap.pc;
+        snap.call_stack.clear();
+        snap.call_stack.extend_from_slice(&cp.snap.call_stack);
+        outputs.clear();
+        outputs.extend_from_slice(&region.outputs[..cp.outputs_len]);
+        VThread {
+            tid: region.region.id.tid,
+            region,
+            snap,
+            instr: cp.instr,
+            access_cursor: cp.access_cursor,
+            sys_cursor: cp.sys_cursor,
+            racing_index,
+            outputs,
+            fault: None,
+            done: cp.done,
+            executed: cp.executed,
+        }
+    }
+
     fn reg(&self, r: Reg) -> u64 {
         self.snap.regs[r.index()]
     }
@@ -543,23 +836,41 @@ impl<'a, 's> VThread<'a, 's> {
 pub struct Vproc<'a> {
     trace: &'a ReplayTrace,
     config: VprocConfig,
-    /// Reusable snapshot/output buffers; see [`SnapshotArena`]. The
-    /// `RefCell` keeps `run_pair` callable through `&self` (each classifier
-    /// worker owns its own `Vproc`, so there is no sharing to guard).
+    /// Pooled scratch; see [`SnapshotArena`]. The `RefCell` keeps `run_pair`
+    /// and `run_batch` callable through `&self` (each classifier worker owns
+    /// its own `Vproc`, so there is no sharing to guard).
     scratch: RefCell<SnapshotArena>,
+    /// Batch-engine work counters, drained by [`Vproc::take_stats`].
+    stats: Cell<BatchStats>,
 }
 
 impl<'a> Vproc<'a> {
     /// Creates a virtual processor over a replayed trace.
     #[must_use]
     pub fn new(trace: &'a ReplayTrace, config: VprocConfig) -> Self {
-        Vproc { trace, config, scratch: RefCell::new(SnapshotArena::default()) }
+        Vproc {
+            trace,
+            config,
+            scratch: RefCell::new(SnapshotArena::default()),
+            stats: Cell::new(BatchStats::default()),
+        }
     }
 
     /// The trace this virtual processor replays.
     #[must_use]
     pub fn trace(&self) -> &ReplayTrace {
         self.trace
+    }
+
+    /// Drains the accumulated batch/fork/live-in counters.
+    pub fn take_stats(&self) -> BatchStats {
+        self.stats.take()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut BatchStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 
     /// Replays the regions of `a` and `b` with the racing instructions in
@@ -587,6 +898,23 @@ impl<'a> Vproc<'a> {
         let rb = self.trace.region(b.region);
         let base_version = ra.version.min(rb.version);
         let mut vmem = VMem::new(self.trace, base_version, self.config.permissive_unknown_loads);
+        let result = self.run_pair_in(a, b, order, ra, rb, &mut vmem);
+        self.bump(|s| {
+            s.prefix_executions += 2;
+            s.live_in_index_hits += vmem.index_hits;
+        });
+        result
+    }
+
+    fn run_pair_in(
+        &self,
+        a: &AccessSite,
+        b: &AccessSite,
+        order: PairOrder,
+        ra: &'a ReplayedRegion,
+        rb: &'a ReplayedRegion,
+        vmem: &mut VMem<'_>,
+    ) -> Result<PairLiveOut, ReplayFailure> {
         let mut scratch = self.scratch.borrow_mut();
         let [slot_a, slot_b] = scratch.checkout(&ra.entry, &rb.entry);
         let mut threads =
@@ -603,10 +931,24 @@ impl<'a> Vproc<'a> {
                     return Err(ReplayFailure::BudgetExhausted);
                 }
                 budget -= 1;
-                step_oracle(self.trace, t, &mut vmem);
+                step_oracle(self.trace, t, vmem);
             }
         }
 
+        self.run_phases_2_3(&mut threads, vmem, budget, order)?;
+        Ok(collect_live_out(&threads, vmem))
+    }
+
+    /// Phases 2–3: the racing instructions live in the prescribed order,
+    /// then both threads round-robin to their region ends. Shared verbatim
+    /// by the unbatched and fork-resumed paths — equivalence depends on it.
+    fn run_phases_2_3(
+        &self,
+        threads: &mut [VThread<'_, '_>; 2],
+        vmem: &mut VMem<'_>,
+        mut budget: u64,
+        order: PairOrder,
+    ) -> Result<(), ReplayFailure> {
         // Phase 2: the racing instructions, live, in the prescribed order.
         let exec_order: [usize; 2] = match order {
             PairOrder::AThenB => [0, 1],
@@ -621,7 +963,7 @@ impl<'a> Vproc<'a> {
                 step_live(
                     self.trace,
                     &mut threads[idx],
-                    &mut vmem,
+                    vmem,
                     self.config.permissive_control_flow,
                 )?;
             }
@@ -652,20 +994,202 @@ impl<'a> Vproc<'a> {
                 step_live(
                     self.trace,
                     &mut threads[idx],
-                    &mut vmem,
+                    vmem,
                     self.config.permissive_control_flow,
                 )?;
             }
         }
+        Ok(())
+    }
 
-        let [ta, tb] = threads;
-        Ok(PairLiveOut {
-            a: ta.live_out(),
-            b: tb.live_out(),
-            writes: vmem.writes.into_iter().collect(),
-            freed: vmem.vfreed,
-            allocated: vmem.vallocs.into_keys().collect(),
-        })
+    /// Replays every pair of a batch — all sharing one `(region_a,
+    /// region_b)` pair — under `order`, executing the common oracle prefix
+    /// once and forking each pair from the checkpoint at its racing
+    /// indexes.
+    ///
+    /// Bit-for-bit equivalent to calling [`Vproc::run_pair`] on each pair
+    /// in sequence; results come back in input order. Singleton batches
+    /// simply delegate to [`Vproc::run_pair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pairs do not all share the first pair's region pair,
+    /// or if the two sites are in the same thread (not a data race).
+    pub fn run_batch(
+        &self,
+        pairs: &[(AccessSite, AccessSite)],
+        order: PairOrder,
+    ) -> Vec<Result<PairLiveOut, ReplayFailure>> {
+        let Some((first_a, first_b)) = pairs.first() else { return Vec::new() };
+        if pairs.len() == 1 {
+            return vec![self.run_pair(first_a, first_b, order)];
+        }
+        assert!(
+            pairs.iter().all(|(a, b)| a.region == first_a.region && b.region == first_b.region),
+            "batch must share one region pair"
+        );
+        assert_ne!(first_a.tid(), first_b.tid(), "racing accesses must be in different threads");
+        let ra = self.trace.region(first_a.region);
+        let rb = self.trace.region(first_b.region);
+
+        // Price every pair up front: a pair whose oracle distance alone
+        // reaches the budget fails exactly like the unbatched engine would
+        // (phase 2 always needs at least one step of headroom), without
+        // executing anything.
+        let budget = self.config.step_budget;
+        let mut results: Vec<Option<Result<PairLiveOut, ReplayFailure>>> = vec![None; pairs.len()];
+        let mut survivors: Vec<usize> = Vec::with_capacity(pairs.len());
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            let pa = ra.region.instr_offset(a.instr_index) + rb.region.instr_offset(b.instr_index);
+            if pa >= budget {
+                results[i] = Some(Err(ReplayFailure::BudgetExhausted));
+            } else {
+                survivors.push(i);
+            }
+        }
+        if survivors.len() <= 1 {
+            // Nothing to share; resolve any lone survivor the plain way.
+            if let Some(&i) = survivors.first() {
+                results[i] = Some(self.run_pair(&pairs[i].0, &pairs[i].1, order));
+            }
+            return results.into_iter().map(|r| r.expect("every slot filled")).collect();
+        }
+
+        let base_version = ra.version.min(rb.version);
+        let mut vmem = VMem::new(self.trace, base_version, self.config.permissive_unknown_loads);
+        let mut scratch = self.scratch.borrow_mut();
+        let arena = &mut *scratch;
+
+        // The checkpoint chain: distinct racing indexes per side, sorted.
+        let [stops_a, stops_b] = &mut arena.stops;
+        stops_a.clear();
+        stops_b.clear();
+        for &i in &survivors {
+            stops_a.push(pairs[i].0.instr_index);
+            stops_b.push(pairs[i].1.instr_index);
+        }
+        for stops in [&mut *stops_a, &mut *stops_b] {
+            stops.sort_unstable();
+            stops.dedup();
+        }
+
+        // Execute each side's oracle prefix once, in record mode, parking a
+        // checkpoint at every stop.
+        let [cps_a, cps_b] = &mut arena.checkpoints;
+        let [ops_a, ops_b] = &mut arena.ops;
+        let [snap_a, snap_b] = &mut arena.snaps;
+        let [out_a, out_b] = &mut arena.outputs;
+        for (region, stops, cps, ops, snap, out) in [
+            (ra, &mut *stops_a, &mut *cps_a, &mut *ops_a, &mut *snap_a, &mut *out_a),
+            (rb, &mut *stops_b, &mut *cps_b, &mut *ops_b, &mut *snap_b, &mut *out_b),
+        ] {
+            cps.clear();
+            ops.clear();
+            vmem.record = Some(std::mem::take(ops));
+            run_prefix(self.trace, region, stops, &mut vmem, (snap, out), cps);
+            *ops = vmem.record.take().expect("record mode still on");
+        }
+
+        // The first-applied side is the earlier-replayed region, matching
+        // the unbatched phase-1 order; its effect up to its earliest stop
+        // is shared by every pair, so apply it once, un-journaled.
+        let a_first = ra.version <= rb.version;
+        let (first_ops, second_ops) = if a_first { (&*ops_a, &*ops_b) } else { (&*ops_b, &*ops_a) };
+        let base_len = if a_first { cps_a[0].ops_len } else { cps_b[0].ops_len };
+        vmem.apply_ops(&first_ops[..base_len]);
+        arena.journal.clear();
+        vmem.undo = Some(std::mem::take(&mut arena.journal));
+
+        let mut total_oracle = 0u64;
+        for &i in &survivors {
+            let (a, b) = &pairs[i];
+            let off_a = ra.region.instr_offset(a.instr_index);
+            let off_b = rb.region.instr_offset(b.instr_index);
+            total_oracle += off_a + off_b;
+            let cp_a = &cps_a[stops_a.binary_search(&a.instr_index).expect("stop parked")];
+            let cp_b = &cps_b[stops_b.binary_search(&b.instr_index).expect("stop parked")];
+            // Memory: the first side's delta past the shared base, then the
+            // second side in full — the unbatched phase-1 sequence.
+            let (first_cp, second_cp) = if a_first { (cp_a, cp_b) } else { (cp_b, cp_a) };
+            vmem.apply_ops(&first_ops[base_len..first_cp.ops_len]);
+            vmem.apply_ops(&second_ops[..second_cp.ops_len]);
+            let mut threads = [
+                VThread::from_checkpoint(ra, a.instr_index, cp_a, (&mut *snap_a, &mut *out_a)),
+                VThread::from_checkpoint(rb, b.instr_index, cp_b, (&mut *snap_b, &mut *out_b)),
+            ];
+            let res = self
+                .run_phases_2_3(&mut threads, &mut vmem, budget - (off_a + off_b), order)
+                .map(|()| collect_live_out(&threads, &vmem));
+            results[i] = Some(res);
+            vmem.rollback_to(0);
+        }
+
+        // Return the journal to the pool and settle the books.
+        arena.journal = vmem.undo.take().expect("undo mode still on");
+        let prefix_cost = ra.region.instr_offset(*stops_a.last().expect("survivors have stops"))
+            + rb.region.instr_offset(*stops_b.last().expect("survivors have stops"));
+        self.bump(|s| {
+            s.batches += 1;
+            s.forks += survivors.len() as u64;
+            s.prefix_executions += 2;
+            s.prefix_instrs_saved += total_oracle - prefix_cost;
+            s.live_in_index_hits += vmem.index_hits;
+        });
+        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+}
+
+/// Collects both threads' live-outs plus the memory/heap effect, leaving
+/// the virtual memory intact (the batch engine rolls it back afterwards).
+fn collect_live_out(threads: &[VThread<'_, '_>; 2], vmem: &VMem<'_>) -> PairLiveOut {
+    let [ta, tb] = threads;
+    PairLiveOut {
+        a: ta.live_out(),
+        b: tb.live_out(),
+        writes: vmem.writes.iter().map(|(&addr, &v)| (addr, v)).collect(),
+        freed: vmem.vfreed.clone(),
+        allocated: vmem.vallocs.keys().copied().collect(),
+    }
+}
+
+/// Executes one side's oracle prefix from the region entry to the last
+/// stop, parking a [`Checkpoint`] at every stop index. The virtual memory
+/// must be in record mode: nothing is applied, and each checkpoint stores
+/// its cut point into the recorded op stream.
+fn run_prefix(
+    trace: &ReplayTrace,
+    region: &ReplayedRegion,
+    stops: &[u64],
+    vmem: &mut VMem<'_>,
+    (snap, outputs): (&mut ThreadSnapshot, &mut Vec<u64>),
+    checkpoints: &mut Vec<Checkpoint>,
+) {
+    snap.regs = region.entry.regs;
+    snap.pc = region.entry.pc;
+    snap.call_stack.clear();
+    snap.call_stack.extend_from_slice(&region.entry.call_stack);
+    outputs.clear();
+    let last = *stops.last().expect("batch has at least one stop");
+    let mut t = VThread::new(region, last, (snap, outputs));
+    let mut si = 0;
+    loop {
+        while si < stops.len() && t.instr == stops[si] {
+            checkpoints.push(Checkpoint {
+                snap: t.snap.clone(),
+                instr: t.instr,
+                access_cursor: t.access_cursor,
+                sys_cursor: t.sys_cursor,
+                outputs_len: t.outputs.len(),
+                ops_len: vmem.recorded_len(),
+                done: t.done,
+                executed: t.executed,
+            });
+            si += 1;
+        }
+        if si == stops.len() {
+            break;
+        }
+        step_oracle(trace, &mut t, vmem);
     }
 }
 
@@ -712,7 +1236,7 @@ fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_, '_>, vmem: &mut VMem<'_>
         Decoded::Load { dst, base, offset } => {
             let addr = t.reg_i(base).wrapping_add(offset as u64);
             let v = oracle_read(t);
-            vmem.writes.entry(addr).or_insert(v); // first-use copy-in
+            vmem.oracle_copy_in(addr, v); // first-use copy-in
             t.set_reg_i(dst, v);
             t.snap.pc = next;
         }
@@ -720,7 +1244,7 @@ fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_, '_>, vmem: &mut VMem<'_>
             let addr = t.reg_i(base).wrapping_add(offset as u64);
             let v = t.reg_i(src);
             t.access_cursor += 1;
-            vmem.writes.insert(addr, v);
+            vmem.oracle_write(addr, v);
             t.snap.pc = next;
         }
         Decoded::AtomicRmw { op, dst, base, offset, src } => {
@@ -728,7 +1252,7 @@ fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_, '_>, vmem: &mut VMem<'_>
             let old = oracle_read(t);
             let new = op.apply(old, t.reg_i(src));
             t.access_cursor += 1; // the write half
-            vmem.writes.insert(addr, new);
+            vmem.oracle_write(addr, new);
             t.set_reg_i(dst, old);
             t.snap.pc = next;
         }
@@ -739,9 +1263,9 @@ fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_, '_>, vmem: &mut VMem<'_>
             if success {
                 let nv = t.reg_i(new);
                 t.access_cursor += 1;
-                vmem.writes.insert(addr, nv);
+                vmem.oracle_write(addr, nv);
             } else {
-                vmem.writes.entry(addr).or_insert(old);
+                vmem.oracle_copy_in(addr, old);
             }
             t.set_reg_i(dst, u64::from(success));
             t.snap.pc = next;
@@ -766,12 +1290,12 @@ fn step_oracle(trace: &ReplayTrace, t: &mut VThread<'_, '_>, vmem: &mut VMem<'_>
             match call {
                 SysCall::Alloc => {
                     let size = t.reg(Reg::R0).max(1);
-                    vmem.alloc(Some(sys.ret), size);
+                    vmem.oracle_alloc(sys.ret, size);
                 }
                 SysCall::Free => {
                     let base = t.reg(Reg::R0);
                     // The recorded free succeeded; mirror it.
-                    vmem.vfreed.insert(base);
+                    vmem.oracle_free(base);
                 }
                 SysCall::Print => t.outputs.push(t.reg(Reg::R0)),
                 SysCall::Tid | SysCall::Yield | SysCall::Nop => {}
