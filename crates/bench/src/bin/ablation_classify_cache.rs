@@ -1,4 +1,4 @@
-//! Ablation: replay-cache modes over the full 18-execution corpus.
+//! Ablation: replay-cache modes over the full 20-execution corpus.
 //!
 //! Holds the corpus fixed and varies only the classifier's cache mode,
 //! reporting Table 1 under each mode together with the replay counts the

@@ -1,26 +1,37 @@
-//! E-SC3: the idiom pass's predicted verdicts cross-validated against the
-//! replay classifier, plus the trust-static ablation (replays saved when
-//! high-confidence benign predictions skip replay entirely).
+//! E-SC3/E-SC4: the idiom pass's predicted verdicts and the value-impact
+//! pass's unreachability proofs cross-validated against the replay
+//! classifier, plus the trust-static ablation (replays saved when
+//! high-confidence benign predictions and impact-unreachable warnings
+//! skip replay entirely).
 //!
 //! ```sh
 //! cargo run --release -p bench --bin idiom_eval
 //! ```
 
 fn main() {
-    eprintln!("static idiom pass + 18-execution classifier feed ...");
+    eprintln!("static idiom + impact passes + per-execution classifier feed ...");
     let eval = workloads::eval::run_static_eval();
     print!("{eval}");
     assert_eq!(
         eval.confusion_high.static_optimistic, 0,
         "a high-confidence benign prediction was refuted by replay"
     );
+    assert_eq!(
+        eval.impact_unreachable_flagged, 0,
+        "an impact-unreachable proof was refuted by replay ({} of {} materialized)",
+        eval.impact_unreachable_flagged, eval.impact_unreachable_materialized
+    );
 
-    eprintln!("trust-static ablation (two corpus passes) ...");
+    eprintln!("trust-static ablation (four corpus passes) ...");
     let ablation = workloads::eval::run_trust_ablation();
     print!("{ablation}");
     assert!(
         ablation.verdict_flips.is_empty(),
         "trusting static predictions flipped verdicts: {:?}",
         ablation.verdict_flips
+    );
+    assert!(
+        ablation.replays_saved_combined() >= ablation.replays_saved(),
+        "combined trust must save at least as many replays as skip-benign alone"
     );
 }

@@ -128,28 +128,52 @@ fn main() {
         }
     );
 
-    // E-SC3 companion: classify replay counts over the 18-execution corpus
-    // with static-prediction trust off vs on (skip high-confidence benign).
-    eprintln!("trust-static ablation on the corpus (off vs skip-benign) ...");
+    // E-SC3/E-SC4 companion: classify replay counts over the corpus with
+    // static-prediction trust off vs each tier (skip high-confidence
+    // benign, skip impact-unreachable, both).
+    eprintln!("trust-static ablation on the corpus (off vs each trust tier) ...");
     let start = Instant::now();
     let baseline = run_corpus_with(&ClassifierConfig::default());
     let baseline_time = start.elapsed();
     let executions = corpus_executions();
     let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
-    let predictions = Arc::new(predictions_by_id(&racecheck::analyze(&corpus_program(&full))));
-    let trusted_config = ClassifierConfig {
-        trust_static: TrustStatic::SkipAgreedBenign,
-        ..ClassifierConfig::default()
+    let corpus_analysis = racecheck::analyze(&corpus_program(&full));
+    let predictions = Arc::new(predictions_by_id(&corpus_analysis));
+    let run_tier = |trust: TrustStatic| {
+        let config = ClassifierConfig { trust_static: trust, ..ClassifierConfig::default() };
+        let start = Instant::now();
+        let report = run_corpus_with_predictions(&config, Some(Arc::clone(&predictions)));
+        (report, start.elapsed())
     };
-    let start = Instant::now();
-    let trusted = run_corpus_with_predictions(&trusted_config, Some(predictions));
-    let trusted_time = start.elapsed();
+    let (trusted, trusted_time) = run_tier(TrustStatic::SkipAgreedBenign);
+    let (unreachable, _) = run_tier(TrustStatic::SkipUnreachable);
+    let (combined, _) = run_tier(TrustStatic::SkipBoth);
+    // Byte-level acceptance check: no trust tier may change a verdict.
+    let verdict_flips: usize = [&trusted, &unreachable, &combined]
+        .iter()
+        .map(|report| {
+            baseline
+                .merged
+                .races
+                .iter()
+                .filter(|(id, race)| {
+                    report.merged.races.get(id).is_none_or(|t| t.verdict != race.verdict)
+                })
+                .count()
+        })
+        .sum();
     println!(
-        "trust-static: {} -> {} vproc replays ({} saved, {} race skips); corpus classify {:?} -> {:?}",
+        "trust-static: {} -> {} vproc replays skip-benign ({} saved), \
+         {} skip-unreachable ({} saved), {} combined ({} saved); \
+         verdict flips {}; corpus classify {:?} -> {:?}",
         baseline.merged.vproc_replays,
         trusted.merged.vproc_replays,
         baseline.merged.vproc_replays.saturating_sub(trusted.merged.vproc_replays),
-        trusted.merged.static_skipped_races,
+        unreachable.merged.vproc_replays,
+        baseline.merged.vproc_replays.saturating_sub(unreachable.merged.vproc_replays),
+        combined.merged.vproc_replays,
+        baseline.merged.vproc_replays.saturating_sub(combined.merged.vproc_replays),
+        verdict_flips,
         baseline_time,
         trusted_time,
     );
@@ -290,6 +314,34 @@ fn main() {
                 ("races_skipped", Json::from(trusted.merged.static_skipped_races)),
                 ("corpus_classify_off_ms", Json::from(ms(baseline_time))),
                 ("corpus_classify_skip_benign_ms", Json::from(ms(trusted_time))),
+            ]),
+        ),
+        (
+            "impact",
+            Json::obj(vec![
+                ("warnings_unreachable", Json::from(corpus_analysis.stats.impact_unreachable)),
+                ("warnings_possible", Json::from(corpus_analysis.stats.impact_possible)),
+                ("warnings_proven", Json::from(corpus_analysis.stats.impact_proven)),
+                ("corpus_replays_skip_unreachable", Json::from(unreachable.merged.vproc_replays)),
+                ("corpus_replays_combined", Json::from(combined.merged.vproc_replays)),
+                (
+                    "replays_saved_unreachable",
+                    Json::from(
+                        baseline
+                            .merged
+                            .vproc_replays
+                            .saturating_sub(unreachable.merged.vproc_replays),
+                    ),
+                ),
+                (
+                    "replays_saved_combined",
+                    Json::from(
+                        baseline.merged.vproc_replays.saturating_sub(combined.merged.vproc_replays),
+                    ),
+                ),
+                ("races_skipped_unreachable", Json::from(unreachable.merged.static_skipped_races)),
+                ("races_skipped_combined", Json::from(combined.merged.static_skipped_races)),
+                ("verdict_flips", Json::from(verdict_flips)),
             ]),
         ),
         (

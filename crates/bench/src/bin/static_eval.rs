@@ -7,7 +7,7 @@
 //! ```
 
 fn main() {
-    eprintln!("static analysis + 18-execution classifier feed ...");
+    eprintln!("static analysis + 20-execution classifier feed ...");
     let eval = workloads::eval::run_static_eval();
     print!("{eval}");
     assert_eq!(

@@ -1,5 +1,5 @@
 //! E-T1: regenerates the paper's **Table 1** (data race classification) on
-//! the 18-execution corpus and compares it against the published numbers.
+//! the 20-execution corpus and compares it against the published numbers.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin table1

@@ -1,5 +1,6 @@
 //! Seeded generator of small handoff-shaped concurrent programs for the
-//! order-soundness fuzzer (`fuzz_order`).
+//! order-soundness fuzzer (`fuzz_order`) and the value-impact fuzzer
+//! (`fuzz_impact`).
 //!
 //! Each generated program is a set of 2-4 threads communicating over a
 //! few flag/data "channels". Every channel is a handoff attempt: a
@@ -9,6 +10,10 @@
 //! spin) or broken in one of the ways the static order pass must demote:
 //! a rogue plain write to the flag, a nonzero flag initializer, a plain
 //! (non-atomic) release, a second releaser, or an exit-on-zero spin.
+//! Independently, each channel picks what its consumer does with the
+//! loaded data word ([`DataUse`]): write it back, discard it before the
+//! next sequencer point, or print it — the value-impact pass must prove
+//! only the discarded loads unreachable.
 //!
 //! Termination is guaranteed by construction so every schedule runs to
 //! completion: all releases and rogue writes are unconditional
@@ -59,6 +64,23 @@ impl Shape {
     ];
 }
 
+/// What the consumer does with the data word it loads after its spin —
+/// the mutation the value-impact fuzzer (`fuzz_impact`) pivots on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DataUse {
+    /// Increment and store back: the racy value provably reaches memory.
+    WriteBack,
+    /// Consume into a scratch register, then kill every register that saw
+    /// it before the next sequencer point: computed but never observed.
+    Dead,
+    /// Feed the value to `sys.print`: it reaches the output stream.
+    Print,
+}
+
+impl DataUse {
+    const ALL: [DataUse; 3] = [DataUse::WriteBack, DataUse::Dead, DataUse::Print];
+}
+
 /// One producer/consumer flag-data channel.
 #[derive(Debug)]
 struct Channel {
@@ -71,8 +93,8 @@ struct Channel {
     shape: Shape,
     /// Value the producer publishes.
     payload: u64,
-    /// Whether the consumer also writes the data word after its spin.
-    consumer_writes: bool,
+    /// What the consumer does with the loaded data word.
+    data_use: DataUse,
 }
 
 /// Generates one program from the rng. The same rng state always yields
@@ -94,7 +116,7 @@ pub fn generate(rng: &mut SplitMix64) -> Program {
                 intruder,
                 shape: Shape::ALL[(rng.next_u64() as usize) % Shape::ALL.len()],
                 payload: 1 + rng.next_u64() % 1000,
-                consumer_writes: rng.next_u64().is_multiple_of(2),
+                data_use: DataUse::ALL[(rng.next_u64() as usize) % DataUse::ALL.len()],
             }
         })
         .collect();
@@ -164,8 +186,19 @@ pub fn generate(rng: &mut SplitMix64) -> Program {
                 b.branch(Cond::Eq, Reg::R8, Reg::R15, spin);
             }
             b.load(Reg::R9, Reg::R15, ch.data as i64);
-            if ch.consumer_writes {
-                b.addi(Reg::R9, Reg::R9, 1).store(Reg::R9, Reg::R15, ch.data as i64);
+            match ch.data_use {
+                DataUse::WriteBack => {
+                    b.addi(Reg::R9, Reg::R9, 1).store(Reg::R9, Reg::R15, ch.data as i64);
+                }
+                DataUse::Dead => {
+                    // Consume (so the read is live and no read-mask idiom
+                    // fires), then kill both registers that saw the value.
+                    b.add(Reg::R10, Reg::R9, Reg::R9);
+                    b.movi(Reg::R9, 0).movi(Reg::R10, 0);
+                }
+                DataUse::Print => {
+                    b.print(Reg::R9).movi(Reg::R9, 0).movi(Reg::R0, 0);
+                }
             }
         }
         b.syscall(SysCall::Nop);

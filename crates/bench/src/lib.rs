@@ -33,6 +33,6 @@ pub fn row(label: &str, paper: impl std::fmt::Display, measured: impl std::fmt::
 /// Runs the corpus once (shared by the table/figure binaries).
 #[must_use]
 pub fn corpus() -> CorpusReport {
-    eprintln!("running the 18-execution corpus ...");
+    eprintln!("running the 20-execution corpus ...");
     workloads::eval::run_corpus()
 }

@@ -1,7 +1,8 @@
 //! Pins the `racerep lint --format json` output for the four Table 2 idiom
 //! exemplars against committed golden files, locking both the extended
-//! schema (`idiom`, `predicted`, `confidence`) and the stable warning order
-//! (sorted by `(pc_lo, pc_hi)`, i.e. lowest address class first).
+//! schema (`idiom`, `predicted`, `confidence`, `impact`, `sink_chain`) and
+//! the stable warning order (sorted by `(pc_lo, pc_hi)`, i.e. lowest
+//! address class first).
 //!
 //! To refresh after an intentional schema or recognizer change:
 //!
@@ -10,7 +11,7 @@
 //!   cargo run -p racerep -- lint examples/asm/idiom_$f.tasm --format json \
 //!     > examples/asm/golden/idiom_$f.lint.json
 //! done
-//! for f in handoff_valid handoff_broken; do
+//! for f in handoff_valid handoff_broken impact_dead impact_sink; do
 //!   cargo run -p racerep -- lint examples/asm/$f.tasm --format json \
 //!     > examples/asm/golden/$f.lint.json
 //! done
@@ -32,13 +33,18 @@ const EXEMPLARS: [(&str, &str, &str); 4] = [
 /// its candidate warning.
 const HANDOFFS: [&str; 2] = ["handoff_valid", "handoff_broken"];
 
+/// Value-impact exemplars (DESIGN.md D13): a race whose tainted registers
+/// die before anything observable, and one whose value flows into
+/// `sys.print`.
+const IMPACTS: [&str; 2] = ["impact_dead", "impact_sink"];
+
 fn repo_path(rel: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel)
 }
 
 #[test]
 fn lint_json_matches_committed_goldens() {
-    for name in EXEMPLARS.iter().map(|(name, _, _)| *name).chain(HANDOFFS) {
+    for name in EXEMPLARS.iter().map(|(name, _, _)| *name).chain(HANDOFFS).chain(IMPACTS) {
         let asm = repo_path(&format!("examples/asm/{name}.tasm"));
         let golden = repo_path(&format!("examples/asm/golden/{name}.lint.json"));
         let (out, _) = cmd_lint(&asm, true, FailOn::None).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -78,6 +84,31 @@ fn handoff_exemplars_lint_as_designed() {
         handoffs.iter().any(|h| h.get("status").and_then(|s| s.as_str()) == Some("rogue_write")),
         "broken handoff must record the rogue-write demotion: {out}"
     );
+}
+
+#[test]
+fn impact_exemplars_lint_as_designed() {
+    // Both impact exemplars race a plain store against a live load, so no
+    // benign idiom matches — the reach tier is what distinguishes them.
+    // The dead one is proven unreachable (and the `harmful` gate lets it
+    // pass); the sink one carries a pc-chain witness to the print.
+    let (out, code) =
+        cmd_lint(&repo_path("examples/asm/impact_dead.tasm"), true, FailOn::Harmful).unwrap();
+    assert_eq!(code, 0, "unreachable impact must pass the harmful gate");
+    let json = minijson::Json::parse(&out).expect("lint json parses");
+    let w = &json.get("warnings").and_then(|v| v.as_arr()).expect("warnings")[0];
+    assert_eq!(w.get("predicted").and_then(|v| v.as_str()), Some("harmful"));
+    assert_eq!(w.get("impact").and_then(|v| v.as_str()), Some("unreachable"));
+    assert_eq!(w.get("sink_chain").and_then(|v| v.as_arr()).map(<[_]>::len), Some(0));
+
+    let (out, code) =
+        cmd_lint(&repo_path("examples/asm/impact_sink.tasm"), true, FailOn::Harmful).unwrap();
+    assert_eq!(code, 1, "a proven sink must keep gating");
+    let json = minijson::Json::parse(&out).expect("lint json parses");
+    let w = &json.get("warnings").and_then(|v| v.as_arr()).expect("warnings")[0];
+    assert_eq!(w.get("impact").and_then(|v| v.as_str()), Some("proven"));
+    let chain = w.get("sink_chain").and_then(|v| v.as_arr()).expect("sink_chain");
+    assert!(!chain.is_empty(), "proven impact must carry its witness chain: {out}");
 }
 
 #[test]

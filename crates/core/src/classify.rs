@@ -51,7 +51,7 @@ use idna_replay::replayer::ReplayTrace;
 use idna_replay::vproc::{
     AccessSite, BatchStats, PairLiveOut, PairOrder, ReplayFailure, Vproc, VprocConfig,
 };
-use racecheck::PredictedVerdict;
+use racecheck::{PredictedVerdict, Reach};
 
 use crate::detect::{DetectedRaces, RaceInstance, StaticRaceId};
 
@@ -224,12 +224,13 @@ impl BatchMode {
     }
 }
 
-/// How much the classifier trusts the static idiom pass's predictions
-/// ([`racecheck::idioms`]). **Ablation-only knob**: the default runs every
-/// replay; `SkipAgreedBenign` trades replays for trust in the static
-/// recognizers, and graduates from ablation status only while it produces
-/// zero verdict flips on the corpus (pinned by `tests/static_idioms.rs`,
-/// measured in EXPERIMENTS.md E-SC3).
+/// How much the classifier trusts the static passes' predictions
+/// ([`racecheck::idioms`] and [`racecheck::impact`]). **Ablation-only
+/// knob**: the default runs every replay; the skip tiers trade replays for
+/// trust in the static analyses, and graduate from ablation status only
+/// while they produce zero verdict flips on the corpus (pinned by
+/// `tests/static_idioms.rs` and `tests/static_impact.rs`, measured in
+/// EXPERIMENTS.md E-SC3/E-SC4).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum TrustStatic {
     /// Ignore static predictions; classify every race by replay.
@@ -239,10 +240,20 @@ pub enum TrustStatic {
     /// at high confidence, recording them as No-State-Change with zero
     /// analyzed instances.
     SkipAgreedBenign,
+    /// Skip dual-order replays for races whose impact verdict is
+    /// [`Reach::Unreachable`] — the taint pass proved neither order's value
+    /// can reach anything the replay comparison looks at, so the race must
+    /// replay to No-State-Change. `Possible` never skips: it means the walk
+    /// widened before finishing the proof.
+    SkipUnreachable,
+    /// Both skip tiers at once: a race is skipped when *either* tier
+    /// clears it.
+    SkipBoth,
 }
 
 impl TrustStatic {
-    /// Parses a CLI-style mode name.
+    /// Parses a CLI-style mode name. The combined tier accepts the comma
+    /// form in either order.
     ///
     /// # Errors
     ///
@@ -251,8 +262,49 @@ impl TrustStatic {
         match s {
             "off" => Ok(TrustStatic::Off),
             "skip-benign" => Ok(TrustStatic::SkipAgreedBenign),
-            other => Err(format!("trust-static mode must be off or skip-benign, got {other:?}")),
+            "skip-unreachable" => Ok(TrustStatic::SkipUnreachable),
+            "skip-benign,skip-unreachable" | "skip-unreachable,skip-benign" => {
+                Ok(TrustStatic::SkipBoth)
+            }
+            other => Err(format!(
+                "trust-static mode must be off, skip-benign, skip-unreachable, \
+                 or skip-benign,skip-unreachable, got {other:?}"
+            )),
         }
+    }
+
+    /// Whether high-confidence benign idiom predictions skip replay.
+    #[must_use]
+    pub fn skips_benign(self) -> bool {
+        matches!(self, TrustStatic::SkipAgreedBenign | TrustStatic::SkipBoth)
+    }
+
+    /// Whether proven-unreachable impact verdicts skip replay.
+    #[must_use]
+    pub fn skips_unreachable(self) -> bool {
+        matches!(self, TrustStatic::SkipUnreachable | TrustStatic::SkipBoth)
+    }
+}
+
+/// One static race's prediction bundle, as handed to the classifier: the
+/// idiom pass's replay-verdict prediction plus the impact pass's reach
+/// tier. Advisory under [`TrustStatic::Off`]; the skip tiers each consult
+/// their half.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StaticPrediction {
+    /// The D9 idiom prediction.
+    pub predicted: PredictedVerdict,
+    /// The D13 value-impact reach tier.
+    pub reach: Reach,
+}
+
+impl StaticPrediction {
+    /// Whether the configured trust tier lets this prediction skip the
+    /// race's dual-order replays.
+    #[must_use]
+    pub fn skips_under(&self, trust: TrustStatic) -> bool {
+        (trust.skips_benign() && self.predicted.high_confidence_benign())
+            || (trust.skips_unreachable() && self.reach == Reach::Unreachable)
     }
 }
 
@@ -452,7 +504,8 @@ pub struct ClassifierConfig {
     pub jobs: usize,
     /// Replay memoization granularity (default [`CacheMode::Exact`]).
     pub cache: CacheMode,
-    /// Whether high-confidence benign static predictions skip replay
+    /// Which static predictions may skip replay: high-confidence benign
+    /// idioms, proven-unreachable impact verdicts, both, or neither
     /// (default [`TrustStatic::Off`]; see the type's ablation caveat).
     pub trust_static: TrustStatic,
     /// Shared-prefix replay batching (default [`BatchMode::Shared`]).
@@ -502,7 +555,9 @@ pub struct ClassificationResult {
     /// index-hit counters, which the unbatched engine also feeds.
     pub batch_stats: BatchStats,
     /// Races recorded benign on static authority alone (zero replays),
-    /// under [`TrustStatic::SkipAgreedBenign`]. Always 0 with trust off.
+    /// under the [`TrustStatic`] skip tiers (`skip-benign` idiom
+    /// agreement and/or `skip-unreachable` impact proofs). Always 0 with
+    /// trust off.
     pub static_skipped_races: u64,
     /// Races with at least one instance that failed replay because the
     /// log decoded tolerantly and damage cost the replay a needed live-in
@@ -727,26 +782,36 @@ pub fn classify_races(
     classify_races_with(trace, detected, config, None)
 }
 
-/// Converts a [`racecheck`] idiom-pass prediction map to the classifier's
-/// [`StaticRaceId`] keying, for [`classify_races_with`].
+/// Converts a [`racecheck`] analysis's per-warning predictions (idiom
+/// verdict + impact reach) to the classifier's [`StaticRaceId`] keying, for
+/// [`classify_races_with`].
 #[must_use]
 pub fn predictions_by_id(
     analysis: &racecheck::Analysis,
-) -> BTreeMap<StaticRaceId, PredictedVerdict> {
-    analysis.predictions().into_iter().map(|((lo, hi), p)| (StaticRaceId::new(lo, hi), p)).collect()
+) -> BTreeMap<StaticRaceId, StaticPrediction> {
+    analysis
+        .warnings
+        .iter()
+        .map(|w| {
+            let id = StaticRaceId::new(w.lo.pc, w.hi.pc);
+            (id, StaticPrediction { predicted: w.predicted, reach: w.impact.reach })
+        })
+        .collect()
 }
 
 /// [`classify_races`], with an optional static-prediction map consulted only
-/// under [`TrustStatic::SkipAgreedBenign`]: races the idiom pass predicts
-/// benign at high confidence are recorded No-State-Change without planning
-/// any replays. With trust off (or `predictions` `None`) the map is ignored
-/// and the result is identical to [`classify_races`].
+/// under the [`TrustStatic`] skip tiers: races the idiom pass predicts
+/// benign at high confidence (`skip-benign`), or whose racy value the
+/// impact pass proves unobservable (`skip-unreachable`), are recorded
+/// No-State-Change without planning any replays. With trust off (or
+/// `predictions` `None`) the map is ignored and the result is identical to
+/// [`classify_races`].
 #[must_use]
 pub fn classify_races_with(
     trace: &ReplayTrace,
     detected: &DetectedRaces,
     config: &ClassifierConfig,
-    predictions: Option<&BTreeMap<StaticRaceId, PredictedVerdict>>,
+    predictions: Option<&BTreeMap<StaticRaceId, StaticPrediction>>,
 ) -> ClassificationResult {
     let cache = ReplayCache::new(config.cache, config.vproc);
 
@@ -759,8 +824,7 @@ pub fn classify_races_with(
     let mut plan: Vec<(StaticRaceId, usize, Vec<PlannedInstance>)> = Vec::new();
     let mut static_skipped: Vec<(StaticRaceId, usize)> = Vec::new();
     for (&id, indices) in &detected.by_static {
-        if config.trust_static == TrustStatic::SkipAgreedBenign
-            && predictions.and_then(|m| m.get(&id)).is_some_and(|p| p.high_confidence_benign())
+        if predictions.and_then(|m| m.get(&id)).is_some_and(|p| p.skips_under(config.trust_static))
         {
             static_skipped.push((id, indices.len()));
             continue;
@@ -1118,11 +1182,14 @@ mod tests {
         let (&id, base_race) = baseline.races.iter().next().unwrap();
         assert!(base_race.counts.analyzed > 0);
 
-        let benign = PredictedVerdict {
-            idiom: racecheck::Idiom::RedundantWrite,
-            confidence: racecheck::Confidence::High,
+        let benign = StaticPrediction {
+            predicted: PredictedVerdict {
+                idiom: racecheck::Idiom::RedundantWrite,
+                confidence: racecheck::Confidence::High,
+            },
+            reach: Reach::Possible,
         };
-        let predictions: BTreeMap<StaticRaceId, PredictedVerdict> = [(id, benign)].into();
+        let predictions: BTreeMap<StaticRaceId, StaticPrediction> = [(id, benign)].into();
         let trusted = ClassifierConfig {
             trust_static: TrustStatic::SkipAgreedBenign,
             ..ClassifierConfig::default()
@@ -1166,8 +1233,9 @@ mod tests {
             idiom: racecheck::Idiom::DoubleCheck,
             confidence: racecheck::Confidence::Low,
         };
-        for prediction in [low, PredictedVerdict::UNKNOWN] {
-            let predictions: BTreeMap<StaticRaceId, PredictedVerdict> = [(id, prediction)].into();
+        for predicted in [low, PredictedVerdict::UNKNOWN] {
+            let prediction = StaticPrediction { predicted, reach: Reach::Proven };
+            let predictions: BTreeMap<StaticRaceId, StaticPrediction> = [(id, prediction)].into();
             let trusted = ClassifierConfig {
                 trust_static: TrustStatic::SkipAgreedBenign,
                 ..ClassifierConfig::default()
@@ -1176,6 +1244,69 @@ mod tests {
             assert_eq!(result.static_skipped_races, 0, "{prediction:?} must still replay");
             assert!(result.races[&id].counts.analyzed > 0);
         }
+    }
+
+    #[test]
+    fn trust_static_skip_unreachable_skips_on_impact_authority() {
+        // A dead racy load: the reader *consumes* the value (so the idiom
+        // pass's read-mask recognizers see a live read and match nothing)
+        // but every derived register dies before the halt — only the impact
+        // pass proves the race unobservable.
+        let mut b = ProgramBuilder::new();
+        b.thread("w");
+        b.movi(Reg::R1, 5).store(Reg::R1, Reg::R15, 0x20).halt();
+        b.thread("r");
+        b.load(Reg::R1, Reg::R15, 0x20)
+            .add(Reg::R2, Reg::R1, Reg::R1)
+            .movi(Reg::R1, 0)
+            .movi(Reg::R2, 0)
+            .halt();
+        let program: Arc<Program> = Arc::new(b.build());
+        let cfg = RunConfig::round_robin(1);
+        let rec = record(&program, &cfg);
+        let trace = replay(&program, &rec.log).unwrap();
+        let detected = detect_races(&trace, &DetectorConfig::default());
+        let predictions = predictions_by_id(&racecheck::analyze(&program));
+        let (&id, prediction) = predictions.iter().next().unwrap();
+        assert_eq!(prediction.reach, Reach::Unreachable);
+        assert!(!prediction.predicted.high_confidence_benign(), "no idiom matches a dead load");
+
+        let baseline = classify_races(&trace, &detected, &ClassifierConfig::default());
+        assert_eq!(baseline.races[&id].group, OutcomeGroup::NoStateChange, "soundness");
+
+        // skip-benign alone must NOT skip it (the idiom half says nothing)…
+        let benign_only = ClassifierConfig {
+            trust_static: TrustStatic::SkipAgreedBenign,
+            ..ClassifierConfig::default()
+        };
+        let result = classify_races_with(&trace, &detected, &benign_only, Some(&predictions));
+        assert_eq!(result.static_skipped_races, 0);
+
+        // …while skip-unreachable (and the combined tier) skips on impact
+        // authority with the same verdict and zero replays.
+        for trust in [TrustStatic::SkipUnreachable, TrustStatic::SkipBoth] {
+            let trusted = ClassifierConfig { trust_static: trust, ..ClassifierConfig::default() };
+            let result = classify_races_with(&trace, &detected, &trusted, Some(&predictions));
+            assert_eq!(result.static_skipped_races, 1, "{trust:?}");
+            assert_eq!(result.vproc_replays, 0, "{trust:?}");
+            let race = &result.races[&id];
+            assert_eq!(race.group, OutcomeGroup::NoStateChange);
+            assert_eq!(race.verdict, Verdict::PotentiallyBenign);
+            assert_eq!(race.counts.analyzed, 0);
+            assert_eq!(race.counts.detected, baseline.races[&id].counts.detected);
+        }
+    }
+
+    #[test]
+    fn skip_unreachable_never_skips_possible_or_proven() {
+        let prediction = |reach| StaticPrediction { predicted: PredictedVerdict::UNKNOWN, reach };
+        for reach in [Reach::Possible, Reach::Proven] {
+            assert!(!prediction(reach).skips_under(TrustStatic::SkipUnreachable), "{reach:?}");
+            assert!(!prediction(reach).skips_under(TrustStatic::SkipBoth), "{reach:?}");
+        }
+        assert!(prediction(Reach::Unreachable).skips_under(TrustStatic::SkipUnreachable));
+        assert!(!prediction(Reach::Unreachable).skips_under(TrustStatic::Off));
+        assert!(!prediction(Reach::Unreachable).skips_under(TrustStatic::SkipAgreedBenign));
     }
 
     #[test]
@@ -1189,6 +1320,15 @@ mod tests {
     fn parse_trust_static_names() {
         assert_eq!(TrustStatic::parse("off").unwrap(), TrustStatic::Off);
         assert_eq!(TrustStatic::parse("skip-benign").unwrap(), TrustStatic::SkipAgreedBenign);
+        assert_eq!(TrustStatic::parse("skip-unreachable").unwrap(), TrustStatic::SkipUnreachable);
+        assert_eq!(
+            TrustStatic::parse("skip-benign,skip-unreachable").unwrap(),
+            TrustStatic::SkipBoth
+        );
+        assert_eq!(
+            TrustStatic::parse("skip-unreachable,skip-benign").unwrap(),
+            TrustStatic::SkipBoth
+        );
         assert!(TrustStatic::parse("always").is_err());
     }
 

@@ -60,7 +60,7 @@ pub mod triage;
 pub use classify::{
     classify_races, classify_races_with, predictions_by_id, BatchMode, ClassificationResult,
     ClassifiedInstance, ClassifiedRace, ClassifierConfig, InstanceOutcome, OutcomeGroup,
-    TrustStatic, Verdict,
+    StaticPrediction, TrustStatic, Verdict,
 };
 pub use detect::{detect_races, DetectedRaces, DetectorConfig, RaceInstance, StaticRaceId};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult};

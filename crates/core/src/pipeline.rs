@@ -11,14 +11,15 @@ use idna_replay::damage::{ThreadDamage, TraceDamage};
 use idna_replay::recorder::record_with;
 use idna_replay::replayer::{replay_with, ReplayError, ReplayTrace};
 use racecheck::domain::AbsLoc;
-use racecheck::PredictedVerdict;
 use tvm::isa::{Instr, SysCall};
 use tvm::machine::Machine;
 use tvm::predecode::DecodedProgram;
 use tvm::program::Program;
 use tvm::scheduler::{run_native, RunConfig};
 
-use crate::classify::{classify_races_with, CacheStats, ClassificationResult, ClassifierConfig};
+use crate::classify::{
+    classify_races_with, CacheStats, ClassificationResult, ClassifierConfig, StaticPrediction,
+};
 use crate::detect::{detect_races, DetectedRaces, DetectorConfig, StaticRaceId};
 use crate::report::Report;
 use idna_replay::vproc::BatchStats;
@@ -30,10 +31,10 @@ pub struct PipelineConfig {
     pub run: RunConfig,
     pub detector: DetectorConfig,
     pub classifier: ClassifierConfig,
-    /// Static idiom-pass predictions keyed by race id, consulted only under
-    /// [`crate::classify::TrustStatic::SkipAgreedBenign`]. `None` (the
-    /// default) classifies every race by replay.
-    pub static_predictions: Option<Arc<BTreeMap<StaticRaceId, PredictedVerdict>>>,
+    /// Static predictions (idiom verdict + impact reach) keyed by race id,
+    /// consulted only under the [`crate::classify::TrustStatic`] skip
+    /// tiers. `None` (the default) classifies every race by replay.
+    pub static_predictions: Option<Arc<BTreeMap<StaticRaceId, StaticPrediction>>>,
     /// Whether to run the program once *without* recording to obtain the
     /// native-execution baseline for the overhead ratios.
     pub measure_native: bool,

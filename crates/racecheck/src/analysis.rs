@@ -35,6 +35,7 @@ use crate::absint::{fixpoint_with, transfer_with, LockEvent, ThreadFlow};
 use crate::cfg::Cfg;
 use crate::domain::AbsLoc;
 use crate::idioms::{self, AccessIdiom, PredictedVerdict};
+use crate::impact::{ImpactAnalyzer, ImpactVerdict, Reach};
 use crate::order::{analyze_order, OrderAnalysis};
 
 /// One statically observed memory access in one thread.
@@ -211,6 +212,9 @@ pub struct RaceWarning {
     /// The idiom pass's predicted replay verdict, folded over every
     /// contributing access pair.
     pub predicted: PredictedVerdict,
+    /// The value-impact verdict: can the racy value reach observable
+    /// state? Folded over every contributing access pair (worst wins).
+    pub impact: ImpactVerdict,
 }
 
 /// The set of statically-may-race pc pairs, the interface consumed by the
@@ -303,6 +307,12 @@ pub struct AnalysisStats {
     pub pruned_statically_ordered: u64,
     /// Warnings whose predicted verdict is benign (any idiom matched).
     pub predicted_benign: usize,
+    /// Warnings whose racy value provably cannot reach observable state.
+    pub impact_unreachable: usize,
+    /// Warnings where the impact walk widened before deciding.
+    pub impact_possible: usize,
+    /// Warnings with a resolved dataflow path into observable state.
+    pub impact_proven: usize,
 }
 
 /// The full result of [`analyze`].
@@ -536,6 +546,7 @@ fn analyze_with(program: &Program, use_order: bool) -> Analysis {
     };
     let mut warnings: BTreeMap<(usize, usize), RaceWarning> = BTreeMap::new();
     let mut pruned: BTreeMap<(usize, usize), PruneReason> = BTreeMap::new();
+    let mut impact = ImpactAnalyzer::new(program, flows.iter().map(|(cfg, _)| cfg).collect());
     for (i, ta) in threads.iter().enumerate() {
         for (j, tb) in threads.iter().enumerate().skip(i + 1) {
             for a in &ta.accesses {
@@ -570,7 +581,8 @@ fn analyze_with(program: &Program, use_order: bool) -> Analysis {
                     }
                     candidates.insert(a.pc, b.pc);
                     let predicted = idioms::classify_pair(a, b, &single_valued);
-                    record_warning(&mut warnings, ta, a, tb, b, predicted);
+                    let reach = impact.pair_impact(i, a, j, b, &ta.accesses, &tb.accesses);
+                    record_warning(&mut warnings, ta, a, tb, b, predicted, reach);
                 }
             }
         }
@@ -588,6 +600,10 @@ fn analyze_with(program: &Program, use_order: bool) -> Analysis {
     let mut warnings: Vec<RaceWarning> = warnings.into_values().collect();
     warnings.sort_by_key(|w| (w.lo.pc, w.hi.pc, addr_class(w)));
     stats.predicted_benign = warnings.iter().filter(|w| w.predicted.benign()).count();
+    stats.impact_unreachable =
+        warnings.iter().filter(|w| w.impact.reach == Reach::Unreachable).count();
+    stats.impact_possible = warnings.iter().filter(|w| w.impact.reach == Reach::Possible).count();
+    stats.impact_proven = warnings.iter().filter(|w| w.impact.reach == Reach::Proven).count();
 
     Analysis { threads, locks, warnings, candidates, order, pruned, stats }
 }
@@ -621,6 +637,7 @@ fn record_warning(
     tb: &ThreadSummary,
     b: &Access,
     predicted: PredictedVerdict,
+    impact: ImpactVerdict,
 ) {
     let key = (a.pc.min(b.pc), a.pc.max(b.pc));
     let w = warnings.entry(key).or_insert_with(|| RaceWarning {
@@ -628,8 +645,10 @@ fn record_warning(
         hi: WarningSide { pc: key.1, ..WarningSide::default() },
         unresolved: false,
         predicted,
+        impact: ImpactVerdict::UNREACHABLE,
     });
     w.predicted = w.predicted.combine(predicted);
+    w.impact = w.impact.clone().combine(impact);
     w.unresolved |= a.loc == AbsLoc::Unknown || b.loc == AbsLoc::Unknown;
     // Tie-break equal pcs by putting `a` on the low side so both sides of a
     // same-pc pair (one function run by two threads) are populated.

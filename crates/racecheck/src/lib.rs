@@ -37,6 +37,7 @@ pub mod analysis;
 pub mod cfg;
 pub mod domain;
 pub mod idioms;
+pub mod impact;
 pub mod order;
 pub mod report;
 
@@ -47,6 +48,7 @@ pub use analysis::{
 pub use cfg::Cfg;
 pub use domain::{AbsLoc, AbsVal};
 pub use idioms::{AccessIdiom, Confidence, Idiom, PredictedVerdict, SpinPolarity};
+pub use impact::{ImpactVerdict, Reach};
 pub use order::{HandoffReport, OrderAnalysis, OrderEdge};
 pub use report::{render_json, render_text};
 

@@ -135,9 +135,21 @@ pub fn render_text(analysis: &Analysis) -> String {
                 w.predicted.idiom.label(),
                 w.predicted.confidence.label()
             );
+            let _ = writeln!(out, "    impact {}", impact_text(w));
         }
     }
     out
+}
+
+/// The one-line impact description: the reach tier plus the pc-chain
+/// witness from the racy access to the deciding sink.
+fn impact_text(w: &RaceWarning) -> String {
+    if w.impact.sink_chain.is_empty() {
+        format!("{} (no observable sink)", w.impact.reach)
+    } else {
+        let chain: Vec<String> = w.impact.sink_chain.iter().map(usize::to_string).collect();
+        format!("{} (sink chain {})", w.impact.reach, chain.join(" -> "))
+    }
 }
 
 /// The `(status, demoted_at)` JSON cell pair for a lock or handoff word.
@@ -168,6 +180,8 @@ fn warning_json(w: &RaceWarning) -> Json {
         ("idiom", Json::str(w.predicted.idiom.label())),
         ("predicted", Json::str(predicted_kind(w.predicted))),
         ("confidence", Json::str(w.predicted.confidence.label())),
+        ("impact", Json::str(w.impact.reach.tag())),
+        ("sink_chain", Json::Arr(w.impact.sink_chain.iter().map(|&p| Json::from(p)).collect())),
         ("lo", side_json(&w.lo)),
         ("hi", side_json(&w.hi)),
     ])
@@ -274,6 +288,9 @@ pub fn render_json(analysis: &Analysis) -> Json {
                 ("pruned_common_lock", Json::from(s.pruned_common_lock)),
                 ("pruned_statically_ordered", Json::from(s.pruned_statically_ordered)),
                 ("predicted_benign", Json::from(s.predicted_benign)),
+                ("impact_unreachable", Json::from(s.impact_unreachable)),
+                ("impact_possible", Json::from(s.impact_possible)),
+                ("impact_proven", Json::from(s.impact_proven)),
             ]),
         ),
         ("threads", Json::Arr(threads)),

@@ -347,9 +347,11 @@ pub fn disassemble(program: &Program) -> String {
 }
 
 /// Like [`disassemble`], but annotates every instruction with a trailing
-/// comment carrying its pc and two markers: `*` when the instruction is a
-/// sequencer point (it starts a new replay region) and `m` when it touches
-/// data memory. The output still round-trips through [`assemble`] because
+/// comment carrying its pc and three markers: `*` when the instruction is a
+/// sequencer point (it starts a new replay region), `m` when it touches
+/// data memory, and `o` when it is an observable sink (a syscall whose
+/// `r0` operand escapes to the outside world: `sys.print`, `sys.alloc`,
+/// `sys.free`). The output still round-trips through [`assemble`] because
 /// comments are stripped.
 #[must_use]
 pub fn disassemble_annotated(program: &Program) -> String {
@@ -418,6 +420,12 @@ fn render(program: &Program, annotate: bool) -> String {
             }
             if instr.touches_memory() {
                 markers.push('m');
+            }
+            if matches!(
+                instr,
+                Instr::Syscall { call: SysCall::Print | SysCall::Alloc | SysCall::Free }
+            ) {
+                markers.push('o');
             }
             if !markers.is_empty() {
                 markers.insert(0, ' ');
@@ -551,15 +559,17 @@ top:
     #[test]
     fn annotated_disassembly_marks_sequencers_and_memory() {
         let src = ".thread t\n  movi r1, 1\n  st [r15+8], r1\n  fence\n  \
-                   lock.add r0, [r15+0], r1\n  halt\n";
+                   lock.add r0, [r15+0], r1\n  sys.print\n  sys.tid\n  halt\n";
         let p = assemble(src).unwrap();
         let text = disassemble_annotated(&p);
-        // `.thread t` then the five instructions, each with a pc comment.
+        // `.thread t` then the instructions, each with a pc comment.
         let comment = |n: usize| text.lines().nth(n).unwrap().split(';').nth(1).unwrap().trim();
         assert_eq!(comment(1), "@0", "movi is plain: {text}");
         assert_eq!(comment(2), "@1 m", "store touches memory: {text}");
         assert_eq!(comment(3), "@2 *", "fence is a sequencer point: {text}");
         assert_eq!(comment(4), "@3 *m", "atomic is both: {text}");
+        assert_eq!(comment(5), "@4 *o", "print is an observable sink: {text}");
+        assert_eq!(comment(6), "@5 *", "tid stays inside the machine: {text}");
         // Annotations are comments: the text still assembles identically.
         let p2 = assemble(&text).unwrap();
         assert_eq!(p.instrs(), p2.instrs());

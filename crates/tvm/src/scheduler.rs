@@ -4,7 +4,7 @@
 //! the same program, policy, and seed always produce the same interleaving,
 //! so recorded logs, detected races, and classification outcomes are stable
 //! across runs. Distinct seeds produce distinct interleavings, which is how
-//! the evaluation corpus varies race instances across its 18 executions.
+//! the evaluation corpus varies race instances across its 20 executions.
 
 use crate::exec::Observer;
 use crate::machine::{Fault, Machine};

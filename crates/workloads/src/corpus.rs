@@ -17,6 +17,7 @@ use tvm::{Program, ProgramBuilder};
 
 use crate::patterns::{
     approx_stats, both_values, disjoint_bits, double_check, harmful, redundant_write, user_sync,
+    value_impact,
 };
 use crate::patterns::{Ctx, Emitted, GlobalAlloc};
 use crate::truth::GroundTruthRace;
@@ -176,6 +177,12 @@ const INSTANCES: &[InstanceDef] = &[
     // stable.
     InstanceDef { id: "ho_x1", emit: user_sync::emit_atomic_handoff },
     InstanceDef { id: "ho_x2", emit: user_sync::emit_broken_handoff },
+    // Value-impact exemplars for the taint pass (D13): one race whose
+    // value dies before anything observable, one that flows into the
+    // output stream. Appended so earlier pcs stay stable.
+    InstanceDef { id: "im_x1", emit: value_impact::emit_dead_value },
+    InstanceDef { id: "im_x2", emit: value_impact::emit_sink_value },
+    InstanceDef { id: "im_x3", emit: value_impact::emit_dead_block },
 ];
 
 /// One recorded execution: a service mix and a schedule.
@@ -187,8 +194,9 @@ pub struct Execution {
     pub schedule: RunConfig,
 }
 
-/// The paper's 18 executions. Seeds were chosen once and pinned; they
-/// determine which race instances each execution contributes.
+/// The paper's 18 executions plus the two value-impact feeds (e19/e20).
+/// Seeds were chosen once and pinned; they determine which race instances
+/// each execution contributes.
 #[must_use]
 pub fn corpus_executions() -> Vec<Execution> {
     let chunked = |seed| RunConfig::chunked(seed, 1, 6).with_max_steps(400_000);
@@ -280,6 +288,17 @@ pub fn corpus_executions() -> Vec<Execution> {
             enabled: vec!["us_h4", "us_h5", "us_h6", "ax3", "hf_rc", "rw3"],
             schedule: chunked(28),
         },
+        // Appended with the D13 value-impact exemplars so the earlier
+        // executions' logs and pinned numbers stay byte-stable.
+        Execution { name: "e19_impact_probe", enabled: vec!["im_x1", "im_x2"], schedule: rr(1) },
+        // Bulk dead-value feed: the single-word exemplar again under the
+        // other scheduler family plus the scratch-word bank, so the
+        // skip-unreachable replay savings rest on more than one execution.
+        Execution {
+            name: "e20_impact_sweep",
+            enabled: vec!["im_x1", "im_x3"],
+            schedule: chunked(31),
+        },
     ]
 }
 
@@ -362,7 +381,7 @@ mod tests {
     fn executions_reference_known_instances() {
         let known: BTreeSet<&str> = INSTANCES.iter().map(|i| i.id).collect();
         let execs = corpus_executions();
-        assert_eq!(execs.len(), 18, "the paper records 18 executions");
+        assert_eq!(execs.len(), 20, "the paper's 18 executions plus the two impact feeds");
         let mut used = BTreeSet::new();
         for e in &execs {
             for id in &e.enabled {

@@ -1,5 +1,5 @@
 //! Corpus evaluation: regenerates the paper's Table 1, Table 2, and
-//! Figures 3–5 by running the full pipeline over the 18 executions and
+//! Figures 3–5 by running the full pipeline over the 20 executions and
 //! joining the merged classification with the ground-truth manifests.
 //!
 //! [`run_static_eval`] is the E-SC2 companion: it runs the *static*
@@ -15,10 +15,9 @@ use std::sync::Arc;
 use idna_replay::recorder::record;
 use idna_replay::replayer::replay;
 use idna_replay::vproc::VprocConfig;
-use racecheck::PredictedVerdict;
 use replay_race::classify::{
     merge_classifications, predictions_by_id, ClassificationResult, ClassifierConfig, OutcomeGroup,
-    TrustStatic, Verdict,
+    StaticPrediction, TrustStatic, Verdict,
 };
 use replay_race::detect::{DetectorConfig, StaticRaceId};
 use replay_race::pipeline::{run_pipeline, PipelineConfig, PipelineResult};
@@ -74,7 +73,7 @@ impl CorpusReport {
     }
 }
 
-/// Runs the full corpus (18 executions), classifies, merges, and joins with
+/// Runs the full corpus (20 executions), classifies, merges, and joins with
 /// ground truth.
 ///
 /// # Panics
@@ -106,7 +105,7 @@ pub fn run_corpus_with(classifier: &ClassifierConfig) -> CorpusReport {
 #[must_use]
 pub fn run_corpus_with_predictions(
     classifier: &ClassifierConfig,
-    predictions: Option<Arc<BTreeMap<StaticRaceId, PredictedVerdict>>>,
+    predictions: Option<Arc<BTreeMap<StaticRaceId, StaticPrediction>>>,
 ) -> CorpusReport {
     let executions = corpus_executions();
     let mut results = Vec::new();
@@ -436,7 +435,7 @@ pub struct StaticEval {
     pub candidates: usize,
     /// Distinct pairs the order pass pruned in some execution.
     pub order_pruned: usize,
-    /// Candidate pairs summed over the 18 per-execution analyses — the
+    /// Candidate pairs summed over the 20 per-execution analyses — the
     /// work the detector pre-filter actually monitors.
     pub aggregate_pairs: usize,
     /// The same sum with the statically-ordered rule disabled (the PR 2
@@ -481,6 +480,18 @@ pub struct StaticEval {
     /// Detected replay-benign races whose warning matched *no* idiom —
     /// recall gaps of the recognizers (E-SC3 reports these).
     pub replay_benign_unpredicted: usize,
+    /// E-SC4: warnings the value-impact pass proves can never reach
+    /// observable state.
+    pub impact_unreachable_warnings: usize,
+    /// E-SC4: impact-unreachable warnings some execution materialized —
+    /// each one is a direct replay check of the unreachability proof.
+    pub impact_unreachable_materialized: usize,
+    /// E-SC4 soundness: materialized impact-unreachable warnings the
+    /// replay classifier *flagged* (anything but No-State-Change). A
+    /// non-zero count means the taint pass's proof is wrong — the
+    /// `skip-unreachable` trust tier must never graduate while this is
+    /// non-zero.
+    pub impact_unreachable_flagged: usize,
 }
 
 /// Runs the static analyzer over each execution's program (the corpus
@@ -547,19 +558,34 @@ pub fn run_static_eval() -> StaticEval {
     let mut confusion = StaticConfusion::default();
     let mut confusion_high = StaticConfusion::default();
     for id in &materialized {
-        let p = predictions.get(id).copied().unwrap_or(PredictedVerdict::UNKNOWN);
+        let p = predictions.get(id).map_or(racecheck::PredictedVerdict::UNKNOWN, |p| p.predicted);
         let replay_benign = !flagged.contains(id);
         confusion.record(p.benign(), replay_benign);
         if !p.benign() || p.high_confidence_benign() {
             confusion_high.record(p.benign(), replay_benign);
         }
     }
-    let predicted_benign = predictions.values().filter(|p| p.benign()).count();
-    let predicted_benign_high = predictions.values().filter(|p| p.high_confidence_benign()).count();
+    let predicted_benign = predictions.values().filter(|p| p.predicted.benign()).count();
+    let predicted_benign_high =
+        predictions.values().filter(|p| p.predicted.high_confidence_benign()).count();
     let replay_benign_unpredicted = materialized
         .iter()
-        .filter(|id| !flagged.contains(id) && !predictions.get(id).is_some_and(|p| p.benign()))
+        .filter(|id| {
+            !flagged.contains(id) && !predictions.get(id).is_some_and(|p| p.predicted.benign())
+        })
         .count();
+
+    // E-SC4: cross-validate the value-impact pass against the replay
+    // verdicts. An impact-unreachable warning that any execution flags is
+    // a refuted proof — a soundness bug in the taint pass.
+    let unreachable = |id: &StaticRaceId| {
+        predictions.get(id).is_some_and(|p| p.reach == racecheck::Reach::Unreachable)
+    };
+    let impact_unreachable_warnings =
+        predictions.values().filter(|p| p.reach == racecheck::Reach::Unreachable).count();
+    let impact_unreachable_materialized = materialized.iter().filter(|id| unreachable(id)).count();
+    let impact_unreachable_flagged =
+        materialized.iter().filter(|id| unreachable(id) && flagged.contains(id)).count();
 
     let mut static_alone = PrecisionRecall::default();
     let mut combined = PrecisionRecall::default();
@@ -632,32 +658,54 @@ pub fn run_static_eval() -> StaticEval {
         predicted_benign,
         predicted_benign_high,
         replay_benign_unpredicted,
+        impact_unreachable_warnings,
+        impact_unreachable_materialized,
+        impact_unreachable_flagged,
     }
 }
 
-/// E-SC3 trust ablation: the corpus classified with every replay run
-/// versus with [`TrustStatic::SkipAgreedBenign`] skipping the races the
-/// idiom pass predicts benign at high confidence.
+/// E-SC3/E-SC4 trust ablation: the corpus classified with every replay
+/// run versus each trust tier — [`TrustStatic::SkipAgreedBenign`] (skip
+/// races the idiom pass predicts benign at high confidence),
+/// [`TrustStatic::SkipUnreachable`] (skip races the value-impact pass
+/// proves can't reach observable state), and both combined.
 #[derive(Debug)]
 pub struct TrustAblation {
     /// Corpus run with trust off (replay everything).
     pub baseline: CorpusReport,
     /// Corpus run trusting high-confidence benign predictions.
     pub trusted: CorpusReport,
-    /// Race ids whose merged verdict differs between the two runs. Must be
-    /// empty for the mode to graduate from ablation status.
+    /// Corpus run trusting impact-unreachability proofs.
+    pub unreachable: CorpusReport,
+    /// Corpus run trusting both (the deepest skip tier).
+    pub combined: CorpusReport,
+    /// Race ids whose merged verdict differs between the baseline and
+    /// *any* trusted run. Must be empty for the modes to graduate from
+    /// ablation status.
     pub verdict_flips: Vec<StaticRaceId>,
 }
 
 impl TrustAblation {
-    /// Virtual-processor replays saved by trusting the static pass.
+    /// Virtual-processor replays saved by trusting the idiom pass.
     #[must_use]
     pub fn replays_saved(&self) -> u64 {
         self.baseline.merged.vproc_replays.saturating_sub(self.trusted.merged.vproc_replays)
     }
 
-    /// Race skips across all 18 executions (one race can be skipped in
-    /// several executions).
+    /// Virtual-processor replays saved by trusting the impact pass alone.
+    #[must_use]
+    pub fn replays_saved_unreachable(&self) -> u64 {
+        self.baseline.merged.vproc_replays.saturating_sub(self.unreachable.merged.vproc_replays)
+    }
+
+    /// Virtual-processor replays saved by trusting both passes.
+    #[must_use]
+    pub fn replays_saved_combined(&self) -> u64 {
+        self.baseline.merged.vproc_replays.saturating_sub(self.combined.merged.vproc_replays)
+    }
+
+    /// Race skips across all executions under skip-benign (one race can
+    /// be skipped in several executions).
     #[must_use]
     pub fn skipped_races(&self) -> u64 {
         self.trusted.merged.static_skipped_races
@@ -665,8 +713,9 @@ impl TrustAblation {
 }
 
 /// Runs the trust ablation: one corpus pass with the default classifier,
-/// one with [`TrustStatic::SkipAgreedBenign`] fed by a single static
-/// analysis of the corpus program.
+/// then one per trust tier ([`TrustStatic::SkipAgreedBenign`],
+/// [`TrustStatic::SkipUnreachable`], [`TrustStatic::SkipBoth`]), all fed
+/// by a single static analysis of the corpus program.
 ///
 /// # Panics
 ///
@@ -677,28 +726,35 @@ pub fn run_trust_ablation() -> TrustAblation {
     let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
     let predictions = Arc::new(predictions_by_id(&racecheck::analyze(&corpus_program(&full))));
     let baseline = run_corpus_with(&ClassifierConfig::default());
-    let trusted_config = ClassifierConfig {
-        trust_static: TrustStatic::SkipAgreedBenign,
-        ..ClassifierConfig::default()
+    let run_tier = |trust: TrustStatic| {
+        let config = ClassifierConfig { trust_static: trust, ..ClassifierConfig::default() };
+        run_corpus_with_predictions(&config, Some(Arc::clone(&predictions)))
     };
-    let trusted = run_corpus_with_predictions(&trusted_config, Some(predictions));
-    let verdict_flips = baseline
-        .merged
-        .races
-        .iter()
-        .filter(|(id, race)| trusted.merged.races.get(id).is_none_or(|t| t.verdict != race.verdict))
-        .map(|(id, _)| *id)
-        .collect();
-    TrustAblation { baseline, trusted, verdict_flips }
+    let trusted = run_tier(TrustStatic::SkipAgreedBenign);
+    let unreachable = run_tier(TrustStatic::SkipUnreachable);
+    let combined = run_tier(TrustStatic::SkipBoth);
+    let mut verdict_flips: BTreeSet<StaticRaceId> = BTreeSet::new();
+    for report in [&trusted, &unreachable, &combined] {
+        verdict_flips.extend(baseline.merged.races.iter().filter_map(|(id, race)| {
+            report.merged.races.get(id).is_none_or(|t| t.verdict != race.verdict).then_some(*id)
+        }));
+    }
+    let verdict_flips = verdict_flips.into_iter().collect();
+    TrustAblation { baseline, trusted, unreachable, combined, verdict_flips }
 }
 
 impl fmt::Display for TrustAblation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E-SC3 ablation: trust-static off vs skip-benign")?;
-        for (label, report) in [("off", &self.baseline), ("skip-benign", &self.trusted)] {
+        writeln!(f, "E-SC3/E-SC4 ablation: trust-static tiers vs off")?;
+        for (label, report) in [
+            ("off", &self.baseline),
+            ("skip-benign", &self.trusted),
+            ("skip-unreachable", &self.unreachable),
+            ("combined", &self.combined),
+        ] {
             writeln!(
                 f,
-                "  {:<12} races={:<3} vproc replays={:<5} statically skipped={}",
+                "  {:<18} races={:<3} vproc replays={:<5} statically skipped={}",
                 label,
                 report.merged.races.len(),
                 report.merged.vproc_replays,
@@ -707,9 +763,10 @@ impl fmt::Display for TrustAblation {
         }
         writeln!(
             f,
-            "  replays saved: {} ({} race-execution skips)",
+            "  replays saved: skip-benign {} | skip-unreachable {} | combined {}",
             self.replays_saved(),
-            self.skipped_races()
+            self.replays_saved_unreachable(),
+            self.replays_saved_combined()
         )?;
         if self.verdict_flips.is_empty() {
             writeln!(f, "  verdict flips: none")
@@ -795,6 +852,14 @@ impl fmt::Display for StaticEval {
             f,
             "  ({} replay-benign races matched no idiom — recognizer recall gaps)",
             self.replay_benign_unpredicted
+        )?;
+        writeln!(f, "E-SC4: value-impact proofs vs replay verdicts")?;
+        writeln!(
+            f,
+            "  impact-unreachable warnings: {} ({} materialized, {} refuted by replay)",
+            self.impact_unreachable_warnings,
+            self.impact_unreachable_materialized,
+            self.impact_unreachable_flagged
         )
     }
 }

@@ -1,4 +1,4 @@
-//! Extra patterns beyond the 18-execution corpus: classic concurrency
+//! Extra patterns beyond the 20-execution corpus: classic concurrency
 //! idioms that exercise interesting corners of the classifier. They are
 //! library patterns (not part of the Table 1 corpus) used by tests and
 //! available for experimentation.

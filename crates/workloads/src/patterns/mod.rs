@@ -28,6 +28,7 @@ pub mod extras;
 pub mod harmful;
 pub mod redundant_write;
 pub mod user_sync;
+pub mod value_impact;
 
 use tvm::builder::{Label, ProgramBuilder};
 use tvm::isa::{Cond, Reg};

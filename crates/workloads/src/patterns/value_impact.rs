@@ -1,0 +1,181 @@
+//! Value-impact exemplars (DESIGN.md D13): races distinguished not by a
+//! benign idiom but by whether the racy value can reach observable state.
+//! They mirror `examples/asm/impact_dead.tasm` and `impact_sink.tasm`.
+//!
+//! * [`emit_dead_value`] — the reader consumes the racy value and then
+//!   overwrites every register that ever saw it before anything escapes.
+//!   No benign idiom matches (the read is live), but the value-impact
+//!   pass proves the race can never reach observable state, so the
+//!   `skip-unreachable` trust tier can record it No-State-Change without
+//!   a single replay.
+//! * [`emit_sink_value`] — the racy value flows straight into
+//!   `sys.print`: impact *proven* with a pc-chain witness, and the
+//!   dual-order replay really does observe divergent output
+//!   (State-Change, flagged potentially harmful).
+
+use tvm::isa::Reg;
+
+use super::{Ctx, Emitted};
+use crate::truth::{BenignCategory, HarmfulKind, TrueVerdict};
+
+/// Emits the dead-value race; see the module docs. Plants one race,
+/// real-benign (both values valid: whatever the read observes is
+/// discarded before anything depends on it).
+pub fn emit_dead_value(ctx: &mut Ctx<'_>) -> Emitted {
+    let word = ctx.alloc.word();
+    ctx.b.global(word, 0);
+    let mut emitted = Emitted::default();
+
+    ctx.thread("writer");
+    ctx.b.movi(Reg::R1, 5);
+    let store = ctx.mark("dead_store");
+    ctx.b.store(Reg::R1, Reg::R15, word as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("scratch");
+    let load = ctx.mark("dead_load");
+    ctx.b.load(Reg::R1, Reg::R15, word as i64);
+    // Consume the value so the read is live — the disjoint-bits read-mask
+    // shortcut must not fire — then kill every register that saw it.
+    ctx.b.add(Reg::R2, Reg::R1, Reg::R1);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    emitted.push(store, load, TrueVerdict::Benign(BenignCategory::BothValuesValid));
+    emitted
+}
+
+/// Emits a block of dead-value races: the writer refreshes a bank of
+/// scratch words (think debug counters) while the reader sums them into a
+/// register it then discards. Every word is one race, every race is
+/// real-benign and impact-unreachable — the bulk feed for the
+/// `skip-unreachable` replay-savings measurement.
+pub fn emit_dead_block(ctx: &mut Ctx<'_>) -> Emitted {
+    const WORDS: u64 = 3;
+    const PASSES: u64 = 4;
+    let base = ctx.alloc.block(WORDS);
+    for i in 0..WORDS {
+        ctx.b.global(base + i, 0);
+    }
+    let mut emitted = Emitted::default();
+
+    // Both threads loop over the bank so every static race accumulates
+    // several dynamic instances (the loop keeps the pcs fixed; unrolling
+    // would mint a fresh static race per pass). The loop counter in `r9`
+    // never touches the racy values, so the branch stays untainted.
+    ctx.thread("writer");
+    ctx.b.movi(Reg::R9, PASSES);
+    let w_loop = ctx.label("w_loop");
+    ctx.b.label(w_loop);
+    let mut stores = Vec::new();
+    for i in 0..WORDS {
+        ctx.b.addi(Reg::R1, Reg::R9, 10 + i);
+        stores.push(ctx.mark(&format!("dead_store{i}")));
+        ctx.b.store(Reg::R1, Reg::R15, (base + i) as i64);
+    }
+    ctx.b.subi(Reg::R9, Reg::R9, 1);
+    ctx.b.branch(tvm::isa::Cond::Ne, Reg::R9, Reg::R15, w_loop);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("scanner");
+    ctx.b.movi(Reg::R9, PASSES);
+    let s_loop = ctx.label("s_loop");
+    ctx.b.label(s_loop);
+    let mut loads = Vec::new();
+    for i in 0..WORDS {
+        loads.push(ctx.mark(&format!("dead_load{i}")));
+        ctx.b.load(Reg::R1, Reg::R15, (base + i) as i64);
+        // Keep each read live (defeats the read-mask shortcut), then let
+        // the running sum die with the scratch registers.
+        ctx.b.add(Reg::R2, Reg::R2, Reg::R1);
+    }
+    ctx.b.subi(Reg::R9, Reg::R9, 1);
+    ctx.b.branch(tvm::isa::Cond::Ne, Reg::R9, Reg::R15, s_loop);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    for (store, load) in stores.into_iter().zip(loads) {
+        emitted.push(store, load, TrueVerdict::Benign(BenignCategory::BothValuesValid));
+    }
+    emitted
+}
+
+/// Emits the sink-reaching race; see the module docs. Plants one race,
+/// harmful: the logger can publish whichever value the interleaving
+/// happened to leave in the word.
+pub fn emit_sink_value(ctx: &mut Ctx<'_>) -> Emitted {
+    let word = ctx.alloc.word();
+    ctx.b.global(word, 0);
+    let mut emitted = Emitted::default();
+
+    ctx.thread("writer");
+    ctx.b.movi(Reg::R1, 5);
+    let store = ctx.mark("sink_store");
+    ctx.b.store(Reg::R1, Reg::R15, word as i64);
+    ctx.clobber_scratch();
+    ctx.b.halt();
+
+    ctx.thread("logger");
+    let load = ctx.mark("sink_load");
+    ctx.b.load(Reg::R0, Reg::R15, word as i64);
+    ctx.b.print(Reg::R0);
+    ctx.clobber_scratch();
+    ctx.b.movi(Reg::R0, 0).halt();
+
+    emitted.push(store, load, TrueVerdict::Harmful(HarmfulKind::RacyPublication));
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use replay_race::classify::OutcomeGroup;
+    use tvm::scheduler::RunConfig;
+
+    use super::super::testutil::run_pattern;
+    use super::*;
+
+    #[test]
+    fn dead_value_is_no_state_change_and_impact_unreachable() {
+        let run = run_pattern(emit_dead_value, RunConfig::round_robin(1));
+        assert!(run.unexpected.is_empty(), "{:?}", run.unexpected);
+        for (id, group) in &run.groups {
+            assert_eq!(*group, Some(OutcomeGroup::NoStateChange), "{id}");
+        }
+        let analysis = racecheck::analyze(&run.program);
+        assert_eq!(analysis.warnings.len(), 1);
+        let w = &analysis.warnings[0];
+        assert_eq!(w.impact.reach, racecheck::Reach::Unreachable, "{w:?}");
+        assert!(!w.predicted.high_confidence_benign(), "no idiom should vouch for it");
+    }
+
+    #[test]
+    fn dead_block_races_are_no_state_change_and_impact_unreachable() {
+        let run = run_pattern(emit_dead_block, RunConfig::round_robin(1));
+        assert!(run.unexpected.is_empty(), "{:?}", run.unexpected);
+        assert_eq!(run.groups.len(), 3, "one race per scratch word");
+        for (id, group) in &run.groups {
+            assert_eq!(*group, Some(OutcomeGroup::NoStateChange), "{id}");
+        }
+        let analysis = racecheck::analyze(&run.program);
+        assert_eq!(analysis.warnings.len(), 3);
+        for w in &analysis.warnings {
+            assert_eq!(w.impact.reach, racecheck::Reach::Unreachable, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn sink_value_is_state_change_and_impact_proven() {
+        let run = run_pattern(emit_sink_value, RunConfig::round_robin(1));
+        assert!(run.unexpected.is_empty(), "{:?}", run.unexpected);
+        for (id, group) in &run.groups {
+            assert_eq!(*group, Some(OutcomeGroup::StateChange), "{id}");
+        }
+        let analysis = racecheck::analyze(&run.program);
+        assert_eq!(analysis.warnings.len(), 1);
+        let w = &analysis.warnings[0];
+        assert_eq!(w.impact.reach, racecheck::Reach::Proven, "{w:?}");
+        assert!(!w.impact.sink_chain.is_empty(), "a proven sink carries its witness");
+    }
+}

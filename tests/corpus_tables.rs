@@ -11,7 +11,7 @@ use racecheck::{Confidence, Idiom};
 use replay_race::classify::{predictions_by_id, OutcomeGroup};
 use workloads::corpus::{corpus_executions, corpus_program};
 use workloads::eval::{run_corpus, Figure, Table1, Table2};
-use workloads::truth::{BenignCategory, TrueVerdict};
+use workloads::truth::{BenignCategory, HarmfulKind, TrueVerdict};
 
 #[test]
 fn corpus_reproduces_the_paper() {
@@ -29,13 +29,16 @@ fn corpus_reproduces_the_paper() {
     // Table 1 (paper §5.2.2): the paper's 68 unique races — 32
     // No-State-Change (all real-benign), 17 State-Change (15 benign + 2
     // harmful), 19 Replay-Failure (14 benign + 5 harmful) — plus the 8
-    // idiom-exemplar races and the broken-handoff exemplar (`ho_x2`), all
-    // No-State-Change benign (32 + 8 + 1 = 41).
+    // idiom-exemplar races, the broken-handoff exemplar (`ho_x2`), and the
+    // dead-value impact exemplars (`im_x1` plus the three `im_x3` scratch
+    // words), all No-State-Change benign (32 + 8 + 1 + 4 = 45), plus the
+    // sink-reaching impact exemplar (`im_x2`), State-Change harmful
+    // (2 + 1 = 3).
     let t1 = Table1::compute(&report);
-    assert_eq!(t1.cells, [[41, 0], [15, 2], [14, 5]], "Table 1 mismatch:\n{t1}");
-    assert_eq!(t1.total(), 77);
-    assert_eq!(t1.potentially_benign(), 41);
-    assert_eq!(t1.potentially_harmful(), 36);
+    assert_eq!(t1.cells, [[45, 0], [15, 3], [14, 5]], "Table 1 mismatch:\n{t1}");
+    assert_eq!(t1.total(), 82);
+    assert_eq!(t1.potentially_benign(), 45);
+    assert_eq!(t1.potentially_harmful(), 37);
 
     // The paper's headline soundness result: every harmful race was
     // classified potentially harmful.
@@ -43,17 +46,18 @@ fn corpus_reproduces_the_paper() {
 
     // And the headline productivity result: over half of the real benign
     // races are filtered out.
-    let real_benign = 41 + t1.benign_flagged_harmful();
-    assert!(41 * 2 >= real_benign, "less than half of the benign races were filtered");
+    let real_benign = 45 + t1.benign_flagged_harmful();
+    assert!(45 * 2 >= real_benign, "less than half of the benign races were filtered");
 
     // Table 2 (paper §5.4): the paper's 61 benign races plus the 8
     // exemplars (+1 user-sync, +2 double-check, +3 redundant-write,
-    // +2 disjoint-bits) and the broken atomic handoff (+1 user-sync).
+    // +2 disjoint-bits), the broken atomic handoff (+1 user-sync), and
+    // the dead-value impact exemplars (+4 both-values-valid).
     let t2 = Table2::compute(&report);
     let expect = [
         (BenignCategory::UserConstructedSync, 10),
         (BenignCategory::DoubleCheck, 5),
-        (BenignCategory::BothValuesValid, 5),
+        (BenignCategory::BothValuesValid, 9),
         (BenignCategory::RedundantWrite, 16),
         (BenignCategory::DisjointBitManipulation, 11),
         (BenignCategory::ApproximateComputation, 23),
@@ -65,14 +69,14 @@ fn corpus_reproduces_the_paper() {
             "Table 2 mismatch for {cat}:\n{t2}"
         );
     }
-    assert_eq!(t2.total(), 70);
+    assert_eq!(t2.total(), 74);
 
-    // Figures 3-5 partition the 77 races: 41 + 7 + 29.
+    // Figures 3-5 partition the 82 races: 45 + 8 + 29.
     let f3 = Figure::figure3(&report);
     let f4 = Figure::figure4(&report);
     let f5 = Figure::figure5(&report);
-    assert_eq!(f3.bars.len(), 41, "Figure 3 bar count");
-    assert_eq!(f4.bars.len(), 7, "Figure 4 bar count");
+    assert_eq!(f3.bars.len(), 45, "Figure 3 bar count");
+    assert_eq!(f4.bars.len(), 8, "Figure 4 bar count");
     assert_eq!(f5.bars.len(), 29, "Figure 5 bar count");
 
     // Figure 3: potentially-benign races never exposed anything.
@@ -187,8 +191,8 @@ fn idiom_exemplars_are_benign_and_statically_predicted() {
         let p = predictions
             .get(&id)
             .unwrap_or_else(|| panic!("no static prediction for ({mark_a}, {mark_b})"));
-        assert_eq!(p.idiom, idiom, "idiom for ({mark_a}, {mark_b})");
-        assert_eq!(p.confidence, confidence, "confidence for ({mark_a}, {mark_b})");
+        assert_eq!(p.predicted.idiom, idiom, "idiom for ({mark_a}, {mark_b})");
+        assert_eq!(p.predicted.confidence, confidence, "confidence for ({mark_a}, {mark_b})");
     }
 }
 
@@ -260,6 +264,55 @@ fn handoff_exemplars_round_trip() {
     );
     let race = report.merged.races.get(&broken).expect("ho_x2 race never detected");
     assert_eq!(race.group, OutcomeGroup::NoStateChange);
+}
+
+#[test]
+fn impact_exemplars_round_trip() {
+    // The two value-impact instances (DESIGN.md D13) pin the taint pass
+    // against the dynamic ground truth from both directions: the
+    // dead-value race is proven unreachable and replays No-State-Change;
+    // the sink-reaching race is proven to hit the output stream and the
+    // replay really observes the divergence.
+    let report = run_corpus();
+    let executions = corpus_executions();
+    let full: BTreeSet<&str> = executions.iter().flat_map(|e| e.enabled.iter().copied()).collect();
+    let program = corpus_program(&full);
+    let analysis = racecheck::analyze(&program);
+    let race_id = |a: &str, b: &str| {
+        let pc_a = program.mark(a).unwrap_or_else(|| panic!("mark {a} missing"));
+        let pc_b = program.mark(b).unwrap_or_else(|| panic!("mark {b} missing"));
+        replay_race::detect::StaticRaceId::new(pc_a, pc_b)
+    };
+    let impact = |id: replay_race::detect::StaticRaceId| {
+        analysis
+            .warnings
+            .iter()
+            .find(|w| w.lo.pc == id.pc_lo && w.hi.pc == id.pc_hi)
+            .map(|w| w.impact.clone())
+            .unwrap_or_else(|| panic!("no warning for {id}"))
+    };
+
+    let dead = race_id("im_x1.dead_store", "im_x1.dead_load");
+    assert_eq!(
+        report.truth.verdict(dead),
+        Some(TrueVerdict::Benign(BenignCategory::BothValuesValid)),
+        "ground truth for im_x1"
+    );
+    let race = report.merged.races.get(&dead).expect("im_x1 race never detected");
+    assert_eq!(race.group, OutcomeGroup::NoStateChange);
+    assert_eq!(impact(dead).reach, racecheck::Reach::Unreachable);
+
+    let sink = race_id("im_x2.sink_store", "im_x2.sink_load");
+    assert_eq!(
+        report.truth.verdict(sink),
+        Some(TrueVerdict::Harmful(HarmfulKind::RacyPublication)),
+        "ground truth for im_x2"
+    );
+    let race = report.merged.races.get(&sink).expect("im_x2 race never detected");
+    assert_eq!(race.group, OutcomeGroup::StateChange);
+    let sink_impact = impact(sink);
+    assert_eq!(sink_impact.reach, racecheck::Reach::Proven);
+    assert!(!sink_impact.sink_chain.is_empty(), "proven impact carries its witness chain");
 }
 
 #[test]

@@ -43,7 +43,7 @@ fn high_confidence_benign_predictions_are_never_replayed_harmful() {
             let detected = detect_races(&trace, &DetectorConfig::default());
             let result = classify_races(&trace, &detected, &ClassifierConfig::default());
             for (race_id, race) in &result.races {
-                if predictions.get(race_id).is_some_and(|p| p.high_confidence_benign()) {
+                if predictions.get(race_id).is_some_and(|p| p.predicted.high_confidence_benign()) {
                     assert_eq!(
                         race.group,
                         OutcomeGroup::NoStateChange,
