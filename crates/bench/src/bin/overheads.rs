@@ -271,6 +271,78 @@ fn main() {
         results_identical,
     );
 
+    // D14 companion: classification-service latency, cold vs warm. A first
+    // server generation primes the on-disk replay cache; a second
+    // generation over the same directory must answer from persisted
+    // replays alone (zero vproc executions) with a byte-identical report.
+    eprintln!("service mode: cold vs warm submit over the browser workload ...");
+    let source = tvm::asm::disassemble_annotated(&program);
+    let recording = idna_replay::recorder::record(&program, &run);
+    let container = serviced::container::log_to_bytes_with(
+        &recording.log,
+        &run,
+        &mut idna_replay::codec::LogWriter::new(),
+    );
+    let one_shot_json = result.report.to_json_value().to_string_pretty();
+    let cache_dir =
+        std::env::temp_dir().join(format!("racerepd-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let boot = || {
+        let server = serviced::Server::bind(serviced::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_dir: Some(cache_dir.clone()),
+            ..serviced::ServerConfig::default()
+        })
+        .expect("bind service");
+        let addr = server.local_addr().expect("local addr").to_string();
+        (addr, std::thread::spawn(move || server.run()))
+    };
+    let submit = |addr: &str| {
+        let start = Instant::now();
+        let response =
+            serviced::client::submit(addr, &source, &container, 40).expect("submit succeeds");
+        (start.elapsed(), response)
+    };
+    let (addr, handle) = boot();
+    let (cold_time, cold) = submit(&addr);
+    serviced::client::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+    let (addr, handle) = boot();
+    let mut warm_time = Duration::MAX;
+    let mut warm = cold.clone();
+    for _ in 0..reps {
+        let (t, response) = submit(&addr);
+        warm_time = warm_time.min(t);
+        warm = response;
+    }
+    let svc_stats = serviced::client::stats(&addr).expect("stats");
+    serviced::client::shutdown(&addr).expect("shutdown");
+    handle.join().expect("server thread").expect("clean drain");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let report_of = |response: &Json| {
+        response.get("report").expect("result carries a report").to_string_pretty()
+    };
+    let service_reports_identical =
+        report_of(&cold) == one_shot_json && report_of(&warm) == one_shot_json;
+    let warm_replays = warm.get("replays").and_then(Json::as_u64).unwrap_or(u64::MAX);
+    let warm_store_hits = warm.get("store_hits").and_then(Json::as_u64).unwrap_or(0);
+    let warm_persisted_hits = svc_stats
+        .get("cache")
+        .and_then(|c| c.get("persisted_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    println!(
+        "service: cold submit {:?} -> warm {:?}; warm vproc replays {}, \
+         {} store hits ({} persisted); reports identical to one-shot: {}",
+        cold_time,
+        warm_time,
+        warm_replays,
+        warm_store_hits,
+        warm_persisted_hits,
+        service_reports_identical,
+    );
+
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let doc = Json::obj(vec![
         ("workload", Json::str("browser")),
@@ -381,6 +453,17 @@ fn main() {
                 ("corpus_monitored_no_order", Json::from(corpus_monitored.1)),
                 ("corpus_monitored", Json::from(corpus_monitored.0)),
                 ("corpus_valid_handoffs", Json::from(corpus_valid_handoffs)),
+            ]),
+        ),
+        (
+            "service",
+            Json::obj(vec![
+                ("cold_submit_ms", Json::from(ms(cold_time))),
+                ("warm_submit_ms", Json::from(ms(warm_time))),
+                ("warm_vproc_replays", Json::from(warm_replays)),
+                ("warm_store_hits", Json::from(warm_store_hits)),
+                ("warm_persisted_hits", Json::from(warm_persisted_hits)),
+                ("reports_identical", Json::from(service_reports_identical)),
             ]),
         ),
     ]);

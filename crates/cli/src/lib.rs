@@ -18,6 +18,11 @@
 //! racerep loginfo   run.idna
 //! racerep doctor    run.idna
 //! racerep disasm    prog.tasm
+//! racerep serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache-dir DIR]
+//! racerep submit    prog.tasm run.idna [--addr HOST:PORT] [--format text|json]
+//!                   [--fail-on none|harmful|warnings]
+//! racerep svc-stats    [--addr HOST:PORT] [--format text|json]
+//! racerep svc-shutdown [--addr HOST:PORT]
 //! ```
 //!
 //! Schedules: `rr:<quantum>`, `random:<seed>`, `chunked:<seed>:<min>:<max>`.
@@ -59,6 +64,15 @@
 //! prints per-frame integrity diagnostics for a log file without needing
 //! the program.
 //!
+//! `serve` runs the racerepd classification service (DESIGN.md D14): a
+//! long-lived server with a bounded job queue, a worker pool, and a
+//! persistent content-addressed replay cache under `--cache-dir`.
+//! `submit` classifies a recorded workload through it — the JSON output
+//! is byte-identical to one-shot `races --format json`, and `--fail-on
+//! harmful` gates the exit code on the remote verdicts like `lint` does.
+//! `svc-stats` and `svc-shutdown` fetch the counters and drain the
+//! server.
+//!
 //! The library half exists so the command implementations are unit-testable
 //! without spawning processes.
 
@@ -70,7 +84,8 @@ use std::sync::Arc;
 use minijson::Json;
 
 use idna_replay::codec::{
-    decode_log_mode, decompress, frame_spans, strip_damaged, DecodeMode, DecodeReport, LogWriter,
+    decode_log_mode, decompress, frame_spans, strip_damaged, with_log_writer, DecodeMode,
+    DecodeReport, LogWriter,
 };
 use idna_replay::event::ReplayLog;
 use idna_replay::recorder::record;
@@ -78,6 +93,7 @@ use idna_replay::replayer::replay;
 use idna_replay::vproc::VprocConfig;
 use replay_race::classify::{
     predictions_by_id, BatchMode, CacheMode, ClassificationResult, ClassifierConfig, TrustStatic,
+    Verdict,
 };
 use replay_race::pipeline::{damage_profile, run_pipeline, PipelineConfig};
 use replay_race::triage::{ManualVerdict, TriageDb};
@@ -85,10 +101,11 @@ use tvm::asm::{assemble, disassemble_annotated};
 use tvm::machine::Machine;
 use tvm::predecode::DecodedProgram;
 use tvm::program::Program;
-use tvm::scheduler::{run_native, RunConfig, SchedulePolicy};
+use tvm::scheduler::{run_native, RunConfig};
 
-/// Log-file magic (followed by the LZSS-compressed encoded log).
-const FILE_MAGIC: &[u8; 8] = b"IDNAFIL2";
+/// Log-file magic (the container format lives in [`serviced::container`],
+/// shared with the classification service).
+use serviced::container::FILE_MAGIC;
 
 /// A CLI error: message plus the exit code to use.
 #[derive(Debug)]
@@ -172,57 +189,19 @@ pub fn load_program(path: &Path) -> Result<Arc<Program>, CliError> {
 /// replay).
 #[must_use]
 pub fn log_to_bytes(log: &ReplayLog, schedule: &RunConfig) -> Vec<u8> {
-    log_to_bytes_with(log, schedule, &mut LogWriter::new())
+    with_log_writer(|writer| log_to_bytes_with(log, schedule, writer))
 }
 
 /// [`log_to_bytes`] with a caller-provided [`LogWriter`], so repeated
 /// serializations reuse the writer's encode/compress buffers.
 #[must_use]
 pub fn log_to_bytes_with(log: &ReplayLog, schedule: &RunConfig, writer: &mut LogWriter) -> Vec<u8> {
-    let mut out = Vec::from(&FILE_MAGIC[..]);
-    let schedule_json = schedule_to_json(schedule).to_string_compact().into_bytes();
-    out.extend(u32::try_from(schedule_json.len()).expect("tiny header").to_le_bytes());
-    out.extend(schedule_json);
-    out.extend_from_slice(writer.encode_compressed(log));
-    out
-}
-
-/// Renders a schedule as JSON for the log-file header.
-fn schedule_to_json(schedule: &RunConfig) -> Json {
-    let policy = match schedule.policy {
-        SchedulePolicy::RoundRobin { quantum } => {
-            Json::obj(vec![("kind", Json::str("RoundRobin")), ("quantum", Json::from(quantum))])
-        }
-        SchedulePolicy::Random { seed } => {
-            Json::obj(vec![("kind", Json::str("Random")), ("seed", Json::from(seed))])
-        }
-        SchedulePolicy::Chunked { seed, min_quantum, max_quantum } => Json::obj(vec![
-            ("kind", Json::str("Chunked")),
-            ("seed", Json::from(seed)),
-            ("min_quantum", Json::from(min_quantum)),
-            ("max_quantum", Json::from(max_quantum)),
-        ]),
-    };
-    Json::obj(vec![("policy", policy), ("max_steps", Json::from(schedule.max_steps))])
+    serviced::container::log_to_bytes_with(log, schedule, writer)
 }
 
 /// Parses the log-file header's schedule.
 fn schedule_from_json(doc: &Json) -> Result<RunConfig, String> {
-    let u64_field = |obj: &Json, key: &str| -> Result<u64, String> {
-        obj.field(key)?.as_u64().ok_or_else(|| format!("{key} must be an integer"))
-    };
-    let policy = doc.field("policy")?;
-    let policy = match policy.field("kind")?.as_str() {
-        Some("RoundRobin") => SchedulePolicy::RoundRobin { quantum: u64_field(policy, "quantum")? },
-        Some("Random") => SchedulePolicy::Random { seed: u64_field(policy, "seed")? },
-        Some("Chunked") => SchedulePolicy::Chunked {
-            seed: u64_field(policy, "seed")?,
-            min_quantum: u64_field(policy, "min_quantum")?,
-            max_quantum: u64_field(policy, "max_quantum")?,
-        },
-        other => return Err(format!("unknown schedule policy {other:?}")),
-    };
-    Ok(RunConfig { policy, max_steps: u64_field(doc, "max_steps")? })
+    serviced::container::schedule_from_json(doc)
 }
 
 /// Parses the on-disk container format.
@@ -249,26 +228,7 @@ pub fn log_from_bytes_mode(
     bytes: &[u8],
     mode: DecodeMode,
 ) -> Result<(ReplayLog, RunConfig, DecodeReport), CliError> {
-    let payload = bytes
-        .strip_prefix(&FILE_MAGIC[..])
-        .ok_or_else(|| CliError { message: "not a racerep log file (bad magic)".into() })?;
-    if payload.len() < 4 {
-        return err("truncated log file header");
-    }
-    let hlen = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
-    if payload.len() < 4 + hlen {
-        return err("truncated schedule header");
-    }
-    let header = std::str::from_utf8(&payload[4..4 + hlen])
-        .map_err(|e| CliError { message: format!("bad schedule header: {e}") })?;
-    let schedule = Json::parse(header)
-        .map_err(|e| e.to_string())
-        .and_then(|doc| schedule_from_json(&doc))
-        .map_err(|e| CliError { message: format!("bad schedule header: {e}") })?;
-    let raw = decompress(&payload[4 + hlen..]).map_err(|e| CliError { message: e.to_string() })?;
-    let (log, report) =
-        decode_log_mode(&raw, mode).map_err(|e| CliError { message: e.to_string() })?;
-    Ok((log, schedule, report))
+    serviced::container::log_from_bytes_mode(bytes, mode).map_err(|message| CliError { message })
 }
 
 /// Loads a log file.
@@ -342,10 +302,11 @@ pub fn cmd_run(path: &Path, schedule: RunConfig, stats: bool) -> Result<String, 
 pub fn cmd_record(path: &Path, out_path: &Path, schedule: RunConfig) -> Result<String, CliError> {
     let program = load_program(path)?;
     let recording = record(&program, &schedule);
-    let mut writer = LogWriter::new();
-    let bytes = log_to_bytes_with(&recording.log, &schedule, &mut writer);
+    let (bytes, sizes) = with_log_writer(|writer| {
+        let bytes = log_to_bytes_with(&recording.log, &schedule, writer);
+        (bytes, writer.measure(&recording.log))
+    });
     fs::write(out_path, &bytes)?;
-    let sizes = writer.measure(&recording.log);
     Ok(format!(
         "recorded {} instructions across {} threads\nwrote {} ({} bytes; {:.3} bits/instr raw, {:.3} compressed)\n",
         recording.summary.steps,
@@ -560,6 +521,7 @@ pub fn cmd_classify(
     schedule: RunConfig,
     json: bool,
     classifier: &ClassifierConfig,
+    replay_stats: bool,
 ) -> Result<String, CliError> {
     let program = load_program(path)?;
     let mut config = PipelineConfig { classifier: *classifier, ..PipelineConfig::new(schedule) };
@@ -570,7 +532,16 @@ pub fn cmd_classify(
     let result =
         run_pipeline(&program, &config).map_err(|e| CliError { message: e.to_string() })?;
     Ok(if json {
-        result.report.to_json()
+        // Same document shape as `races --format json`: the report is the
+        // root; --replay-stats grafts the engine counters on as a sibling
+        // of "races".
+        let mut doc = result.report.to_json_value();
+        if replay_stats {
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("replay_stats".into(), replay_stats_json(&result.classification)));
+            }
+        }
+        doc.to_string_pretty()
     } else {
         let mut out = result.report.to_text();
         out.push_str(&format!(
@@ -598,7 +569,7 @@ pub fn cmd_classify(
 pub fn cmd_loginfo(log_path: &Path) -> Result<String, CliError> {
     let (log, schedule) = load_log(log_path)?;
     let _ = &schedule;
-    let sizes = LogWriter::new().measure(&log);
+    let sizes = with_log_writer(|writer| writer.measure(&log));
     let mut out = format!(
         "{} threads, {} instructions, {} events, {} sequencers\n",
         log.threads.len(),
@@ -788,6 +759,141 @@ pub fn cmd_lint(path: &Path, json: bool, fail_on: FailOn) -> Result<(String, i32
     Ok((text, i32::from(gate_tripped)))
 }
 
+// --- Service mode -----------------------------------------------------------
+
+/// `racerep serve`: boots the persistent classification service and blocks
+/// until a `svc-shutdown` request (or SIGINT/SIGTERM on unix) drains it.
+///
+/// The listening line is printed before the accept loop starts so scripts
+/// can wait for readiness on stdout.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound or the cache directory is
+/// unusable.
+pub fn cmd_serve(config: serviced::ServerConfig) -> Result<String, CliError> {
+    let server = serviced::Server::bind(config).map_err(|message| CliError { message })?;
+    let addr = server.local_addr().map_err(|message| CliError { message })?;
+    println!("racerepd listening on {addr}");
+    server.run().map_err(|message| CliError { message })?;
+    Ok(format!("racerepd on {addr} drained and exited\n"))
+}
+
+/// `racerep submit`: classifies a recorded workload through a running
+/// service. The JSON output is byte-identical to one-shot
+/// `racerep races --format json` on the same program and log; text mode
+/// renders the same report plus a service trailer. With `--fail-on
+/// harmful` the exit code gates on the remote verdicts like `lint` does.
+///
+/// # Errors
+///
+/// Fails on io errors, connection failures, or server-side errors.
+pub fn cmd_submit(
+    path: &Path,
+    log_path: &Path,
+    addr: &str,
+    json: bool,
+    fail_on: FailOn,
+) -> Result<(String, i32), CliError> {
+    let source = fs::read_to_string(path)
+        .map_err(|e| CliError { message: format!("cannot read {}: {e}", path.display()) })?;
+    let container = fs::read(log_path)
+        .map_err(|e| CliError { message: format!("cannot read {}: {e}", log_path.display()) })?;
+    let response = serviced::client::submit(addr, &source, &container, 20)
+        .map_err(|message| CliError { message })?;
+    let report_value = response
+        .get("report")
+        .ok_or_else(|| CliError { message: "response missing \"report\"".into() })?;
+    let report = replay_race::report::Report::from_json(&report_value.to_string_compact())
+        .map_err(|message| CliError { message })?;
+    let gate_tripped = match fail_on {
+        FailOn::None => false,
+        FailOn::Harmful => report.races.iter().any(|r| r.verdict == Verdict::PotentiallyHarmful),
+        FailOn::Warnings => !report.races.is_empty(),
+    };
+    let out = if json {
+        report_value.to_string_pretty()
+    } else {
+        let replays = response.get("replays").and_then(Json::as_u64).unwrap_or(0);
+        let store_hits = response.get("store_hits").and_then(Json::as_u64).unwrap_or(0);
+        let mut text = report.to_text();
+        text.push_str(&format!(
+            "\nservice: {replays} replay(s) executed, {store_hits} served from the replay cache\n"
+        ));
+        text
+    };
+    Ok((out, i32::from(gate_tripped)))
+}
+
+/// `racerep svc-stats`: fetches and renders the service counters.
+///
+/// # Errors
+///
+/// Fails on connection or protocol errors.
+pub fn cmd_svc_stats(addr: &str, json: bool) -> Result<String, CliError> {
+    let doc = serviced::client::stats(addr).map_err(|message| CliError { message })?;
+    if json {
+        return Ok(doc.to_string_pretty());
+    }
+    let num = |path: &[&str]| -> u64 {
+        let mut cur = &doc;
+        for key in path {
+            match cur.get(key) {
+                Some(next) => cur = next,
+                None => return 0,
+            }
+        }
+        cur.as_u64().unwrap_or(0)
+    };
+    let mut out = format!(
+        "racerepd at {addr}: up {}s, {} worker(s), queue {}/{}\n",
+        num(&["uptime_ms"]) / 1000,
+        num(&["workers"]),
+        num(&["queue_depth"]),
+        num(&["queue_capacity"]),
+    );
+    out.push_str(&format!(
+        "jobs: {} accepted, {} rejected, {} completed, {} failed\n",
+        num(&["jobs", "accepted"]),
+        num(&["jobs", "rejected"]),
+        num(&["jobs", "completed"]),
+        num(&["jobs", "failed"]),
+    ));
+    if doc.get("cache").is_some() {
+        out.push_str(&format!(
+            "cache: {} entr(ies) in {} segment(s) ({} bytes), {} mem hit(s), {} persisted hit(s), {} miss(es), {} write(s)\n",
+            num(&["cache", "entries"]),
+            num(&["cache", "segments"]),
+            num(&["cache", "disk_bytes"]),
+            num(&["cache", "mem_hits"]),
+            num(&["cache", "persisted_hits"]),
+            num(&["cache", "misses"]),
+            num(&["cache", "persisted_writes"]),
+        ));
+    } else {
+        out.push_str("cache: disabled (no --cache-dir)\n");
+    }
+    out.push_str(&format!(
+        "phase_ns: decode {} replay {} detect {} classify {} report {}\n",
+        num(&["phase_ns", "decode"]),
+        num(&["phase_ns", "replay"]),
+        num(&["phase_ns", "detect"]),
+        num(&["phase_ns", "classify"]),
+        num(&["phase_ns", "report"]),
+    ));
+    Ok(out)
+}
+
+/// `racerep svc-shutdown`: asks the service to drain and exit.
+///
+/// # Errors
+///
+/// Fails on connection or protocol errors.
+pub fn cmd_svc_shutdown(addr: &str) -> Result<String, CliError> {
+    serviced::client::shutdown(addr).map_err(|message| CliError { message })?;
+    Ok(format!("racerepd at {addr} draining\n"))
+}
+
 /// Top-level argument dispatch; returns the text to print.
 ///
 /// # Errors
@@ -818,6 +924,10 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
     let mut replay_stats = false;
     let mut trust_static = TrustStatic::default();
     let mut fail_on = FailOn::default();
+    let mut addr = String::from("127.0.0.1:7199");
+    let mut workers: usize = 2;
+    let mut queue: usize = 64;
+    let mut cache_dir: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
 
     let mut i = 0;
@@ -907,6 +1017,37 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
                         .clone(),
                 );
             }
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--addr needs host:port".into() })?
+                    .clone();
+            }
+            "--workers" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--workers needs a count".into() })?;
+                workers =
+                    v.parse().map_err(|_| CliError { message: format!("bad --workers {v:?}") })?;
+            }
+            "--queue" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError { message: "--queue needs a depth".into() })?;
+                queue =
+                    v.parse().map_err(|_| CliError { message: format!("bad --queue {v:?}") })?;
+            }
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError { message: "--cache-dir needs a path".into() })?
+                        .clone(),
+                );
+            }
             other if other.starts_with('-') => {
                 return err(format!("unknown flag {other:?}"));
             }
@@ -927,8 +1068,7 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
         ..ClassifierConfig::default()
     };
 
-    let usage =
-        "usage: racerep <run|record|replay|races|classify|lint|triage|loginfo|doctor|disasm> ...";
+    let usage = "usage: racerep <run|record|replay|races|classify|lint|triage|loginfo|doctor|disasm|serve|submit|svc-stats|svc-shutdown> ...";
     let Some((&cmd, rest)) = positional.split_first() else {
         return err(usage);
     };
@@ -955,7 +1095,9 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
             tolerant,
             replay_stats,
         )),
-        "classify" => ok(cmd_classify(arg(0, "program path")?, schedule, json, &classifier)),
+        "classify" => {
+            ok(cmd_classify(arg(0, "program path")?, schedule, json, &classifier, replay_stats))
+        }
         "lint" => cmd_lint(arg(0, "program path")?, json, fail_on),
         "triage" => {
             let parse_pc = |n: usize, what: &str| -> Result<usize, CliError> {
@@ -981,6 +1123,17 @@ pub fn dispatch_with_status(args: &[String]) -> Result<(String, i32), CliError> 
         "loginfo" => ok(cmd_loginfo(arg(0, "log path")?)),
         "doctor" => ok(cmd_doctor(arg(0, "log path")?)),
         "disasm" => ok(cmd_disasm(arg(0, "program path")?)),
+        "serve" => ok(cmd_serve(serviced::ServerConfig {
+            addr,
+            workers,
+            queue_capacity: queue,
+            cache_dir: cache_dir.map(std::path::PathBuf::from),
+            classifier,
+            ..serviced::ServerConfig::default()
+        })),
+        "submit" => cmd_submit(arg(0, "program path")?, arg(1, "log path")?, &addr, json, fail_on),
+        "svc-stats" => ok(cmd_svc_stats(&addr, json)),
+        "svc-shutdown" => ok(cmd_svc_shutdown(&addr)),
         other => err(format!("unknown command {other:?}\n{usage}")),
     }
 }
@@ -1033,13 +1186,23 @@ mod tests {
         let out = cmd_run(&prog, RunConfig::round_robin(1), true).unwrap();
         assert!(out.contains("stats:"), "{out}");
         assert!(out.contains("Minstr/s"), "{out}");
-        let report =
-            cmd_classify(&prog, RunConfig::round_robin(1), false, &ClassifierConfig::default())
-                .unwrap();
+        let report = cmd_classify(
+            &prog,
+            RunConfig::round_robin(1),
+            false,
+            &ClassifierConfig::default(),
+            false,
+        )
+        .unwrap();
         assert!(report.contains("POTENTIALLY HARMFUL"), "{report}");
-        let json =
-            cmd_classify(&prog, RunConfig::round_robin(1), true, &ClassifierConfig::default())
-                .unwrap();
+        let json = cmd_classify(
+            &prog,
+            RunConfig::round_robin(1),
+            true,
+            &ClassifierConfig::default(),
+            false,
+        )
+        .unwrap();
         assert!(json.contains("\"verdict\""));
         let _ = fs::remove_file(prog);
     }
@@ -1196,7 +1359,8 @@ mod tests {
         // Flip a bit inside the second frame's payload, past its header.
         raw[spans[1].start + 12 + 2] ^= 0x40;
         let mut container = Vec::from(&FILE_MAGIC[..]);
-        let sched_json = schedule_to_json(&schedule).to_string_compact().into_bytes();
+        let sched_json =
+            serviced::container::schedule_to_json(&schedule).to_string_compact().into_bytes();
         container.extend(u32::try_from(sched_json.len()).unwrap().to_le_bytes());
         container.extend(sched_json);
         container.extend(idna_replay::codec::compress(&raw));
@@ -1349,14 +1513,19 @@ mod tests {
             trust_static: TrustStatic::SkipAgreedBenign,
             ..ClassifierConfig::default()
         };
-        let out = cmd_classify(&prog, RunConfig::round_robin(1), false, &trusted).unwrap();
+        let out = cmd_classify(&prog, RunConfig::round_robin(1), false, &trusted, false).unwrap();
         assert!(out.contains("recorded benign on static authority"), "{out}");
         assert!(out.contains("potentially benign"), "{out}");
         assert!(out.contains("0 vproc replays"), "{out}");
         // The default config replays instead of skipping.
-        let out =
-            cmd_classify(&prog, RunConfig::round_robin(1), false, &ClassifierConfig::default())
-                .unwrap();
+        let out = cmd_classify(
+            &prog,
+            RunConfig::round_robin(1),
+            false,
+            &ClassifierConfig::default(),
+            false,
+        )
+        .unwrap();
         assert!(!out.contains("static authority"), "{out}");
         // Flag parsing: bad modes are reported.
         let args: Vec<String> = vec![
@@ -1393,7 +1562,7 @@ mod tests {
             trust_static: TrustStatic::SkipUnreachable,
             ..ClassifierConfig::default()
         };
-        let out = cmd_classify(&prog, RunConfig::round_robin(1), false, &trusted).unwrap();
+        let out = cmd_classify(&prog, RunConfig::round_robin(1), false, &trusted, false).unwrap();
         assert!(out.contains("recorded benign on static authority"), "{out}");
         assert!(out.contains("0 vproc replays"), "{out}");
         // skip-benign alone does not cover it: the load is live, so no
@@ -1402,7 +1571,8 @@ mod tests {
             trust_static: TrustStatic::SkipAgreedBenign,
             ..ClassifierConfig::default()
         };
-        let out = cmd_classify(&prog, RunConfig::round_robin(1), false, &benign_only).unwrap();
+        let out =
+            cmd_classify(&prog, RunConfig::round_robin(1), false, &benign_only, false).unwrap();
         assert!(!out.contains("static authority"), "{out}");
         // The combined spelling parses through dispatch.
         let args: Vec<String> = vec![

@@ -33,6 +33,7 @@ fn refcount_sample_is_flagged_harmful_under_an_adversarial_schedule() {
             parse_schedule(&spec).unwrap(),
             false,
             &ClassifierConfig::default(),
+            false,
         )
         .unwrap();
         if report.contains("POTENTIALLY HARMFUL") {
@@ -49,9 +50,14 @@ fn refcount_sample_is_flagged_harmful_under_an_adversarial_schedule() {
 #[test]
 fn handoff_sample_is_filtered_benign() {
     let path = sample("handoff.tasm");
-    let report =
-        cmd_classify(&path, parse_schedule("rr:2").unwrap(), false, &ClassifierConfig::default())
-            .unwrap();
+    let report = cmd_classify(
+        &path,
+        parse_schedule("rr:2").unwrap(),
+        false,
+        &ClassifierConfig::default(),
+        false,
+    )
+    .unwrap();
     assert!(report.contains("potentially benign"), "{report}");
     assert!(!report.contains("POTENTIALLY HARMFUL"), "{report}");
 }
@@ -60,8 +66,13 @@ fn handoff_sample_is_filtered_benign() {
 fn stats_sample_is_flagged_like_the_paper() {
     // Approximate computation: really benign, flagged potentially harmful.
     let path = sample("stats.tasm");
-    let report =
-        cmd_classify(&path, parse_schedule("rr:2").unwrap(), false, &ClassifierConfig::default())
-            .unwrap();
+    let report = cmd_classify(
+        &path,
+        parse_schedule("rr:2").unwrap(),
+        false,
+        &ClassifierConfig::default(),
+        false,
+    )
+    .unwrap();
     assert!(report.contains("POTENTIALLY HARMFUL"), "{report}");
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use idna_replay::codec::{DecodeReport, LogSizeReport, LogWriter};
+use idna_replay::codec::{with_log_writer, DecodeReport, LogSizeReport};
 use idna_replay::damage::{ThreadDamage, TraceDamage};
 use idna_replay::recorder::record_with;
 use idna_replay::replayer::{replay_with, ReplayError, ReplayTrace};
@@ -155,7 +155,7 @@ pub fn run_pipeline(
     let recording = record_with(&decoded, &config.run);
     timings.record = start.elapsed();
 
-    let log_size = LogWriter::new().measure(&recording.log);
+    let log_size = with_log_writer(|writer| writer.measure(&recording.log));
 
     let start = Instant::now();
     let trace = replay_with(&decoded, &recording.log)?;

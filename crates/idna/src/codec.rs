@@ -1217,6 +1217,32 @@ impl LogWriter {
     }
 }
 
+thread_local! {
+    /// Per-thread [`LogWriter`] scratch for [`with_log_writer`]. One writer
+    /// per thread — never a process-wide global — so concurrent encoders
+    /// (the classification service's worker pool, parallel tests) can reuse
+    /// scratch without sharing buffers mid-encode.
+    static SCRATCH_WRITER: std::cell::RefCell<LogWriter> =
+        std::cell::RefCell::new(LogWriter::new());
+}
+
+/// Runs `f` with this thread's reusable [`LogWriter`] scratch.
+///
+/// Call sites that used to hold a long-lived writer (or allocate a fresh one
+/// per encode) can route through here instead: each OS thread owns exactly
+/// one scratch writer, so repeated encodes on a thread stop reallocating
+/// while concurrent threads never contend or interleave buffers. Output is
+/// byte-identical to a fresh `LogWriter::new()` — the scratch holds no
+/// state that leaks between encodes.
+///
+/// # Panics
+///
+/// Panics if `f` re-enters `with_log_writer` on the same thread (the
+/// scratch is singular per thread).
+pub fn with_log_writer<T>(f: impl FnOnce(&mut LogWriter) -> T) -> T {
+    SCRATCH_WRITER.with(|w| f(&mut w.borrow_mut()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1249,6 +1275,32 @@ mod tests {
         let bytes = encode_log(&log);
         let decoded = decode_log(&bytes).unwrap();
         assert_eq!(log, decoded);
+    }
+
+    /// Two threads hammering the shared scratch entry point concurrently
+    /// must each produce exactly what a fresh writer produces — the
+    /// regression this guards is a process-global scratch interleaving
+    /// buffers between server workers.
+    #[test]
+    fn scratch_writer_is_per_thread() {
+        let logs = [sample_log(), two_thread_log()];
+        let handles: Vec<_> = logs
+            .into_iter()
+            .map(|log| {
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let scratch = with_log_writer(|w| w.encode_compressed(&log).to_vec());
+                        let fresh = LogWriter::new().encode_compressed(&log).to_vec();
+                        assert_eq!(scratch, fresh, "scratch output diverged from fresh writer");
+                        let report = with_log_writer(|w| w.measure(&log));
+                        assert_eq!(report, LogWriter::new().measure(&log));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Client side of the racerepd protocol: one request frame, one response
+//! frame, per connection.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use minijson::Json;
+
+use crate::proto::{b64_encode, read_frame, write_frame};
+
+/// Sends one request document and returns the response document.
+///
+/// # Errors
+///
+/// Fails on connection errors, protocol damage, or a server-side `error`
+/// response (surfaced as the error message).
+pub fn request(addr: &str, doc: &Json) -> Result<Json, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(120))).ok();
+    write_frame(&mut stream, doc).map_err(|e| e.message)?;
+    let response = read_frame(&mut stream).map_err(|e| e.message)?;
+    if response.get("type").and_then(Json::as_str) == Some("error") {
+        let message =
+            response.get("message").and_then(Json::as_str).unwrap_or("unknown server error");
+        return Err(format!("server error: {message}"));
+    }
+    Ok(response)
+}
+
+/// Builds a `submit` request from program source text and log container
+/// bytes.
+#[must_use]
+pub fn submit_request(program_source: &str, log_container: &[u8]) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("submit")),
+        ("program", Json::str(program_source)),
+        ("log", Json::str(b64_encode(log_container))),
+    ])
+}
+
+/// Submits a workload, retrying while the server sheds load (`busy`
+/// responses), up to `attempts` tries.
+///
+/// # Errors
+///
+/// Fails on protocol errors, server errors, or when every attempt was
+/// rejected.
+pub fn submit(
+    addr: &str,
+    program_source: &str,
+    log_container: &[u8],
+    attempts: usize,
+) -> Result<Json, String> {
+    let doc = submit_request(program_source, log_container);
+    for _ in 0..attempts.max(1) {
+        let response = request(addr, &doc)?;
+        match response.get("type").and_then(Json::as_str) {
+            Some("busy") => {
+                let wait =
+                    response.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(250).min(5_000);
+                std::thread::sleep(Duration::from_millis(wait));
+            }
+            _ => return Ok(response),
+        }
+    }
+    Err(format!("server at {addr} stayed busy after {attempts} attempts"))
+}
+
+/// Fetches the server's `stats` document.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures.
+pub fn stats(addr: &str) -> Result<Json, String> {
+    request(addr, &Json::obj(vec![("type", Json::str("stats"))]))
+}
+
+/// Asks the server to drain and exit. The acknowledgement arrives before
+/// the drain completes.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures.
+pub fn shutdown(addr: &str) -> Result<Json, String> {
+    request(addr, &Json::obj(vec![("type", Json::str("shutdown"))]))
+}

@@ -1,0 +1,106 @@
+//! The on-disk log container format, shared by the one-shot CLI and the
+//! classification service.
+//!
+//! A log file is the [`FILE_MAGIC`] followed by a length-prefixed schedule
+//! header (compact JSON, so `racerep replay` can verify fidelity against
+//! the recorded schedule) and the LZSS-compressed encoded log. This module
+//! used to live in the CLI crate; it moved here so the service can decode
+//! submitted logs without depending on the command-line front end.
+
+use idna_replay::codec::{decode_log_mode, decompress, DecodeMode, DecodeReport, LogWriter};
+use idna_replay::event::ReplayLog;
+use minijson::Json;
+use tvm::scheduler::{RunConfig, SchedulePolicy};
+
+/// Log-file magic (followed by the schedule header and the compressed log).
+pub const FILE_MAGIC: &[u8; 8] = b"IDNAFIL2";
+
+/// Serializes a replay log plus the schedule that produced it into the
+/// container format.
+#[must_use]
+pub fn log_to_bytes_with(log: &ReplayLog, schedule: &RunConfig, writer: &mut LogWriter) -> Vec<u8> {
+    let mut out = Vec::from(&FILE_MAGIC[..]);
+    let schedule_json = schedule_to_json(schedule).to_string_compact().into_bytes();
+    out.extend(u32::try_from(schedule_json.len()).expect("tiny header").to_le_bytes());
+    out.extend(schedule_json);
+    out.extend_from_slice(writer.encode_compressed(log));
+    out
+}
+
+/// Renders a schedule as JSON for the log-file header.
+#[must_use]
+pub fn schedule_to_json(schedule: &RunConfig) -> Json {
+    let policy = match schedule.policy {
+        SchedulePolicy::RoundRobin { quantum } => {
+            Json::obj(vec![("kind", Json::str("RoundRobin")), ("quantum", Json::from(quantum))])
+        }
+        SchedulePolicy::Random { seed } => {
+            Json::obj(vec![("kind", Json::str("Random")), ("seed", Json::from(seed))])
+        }
+        SchedulePolicy::Chunked { seed, min_quantum, max_quantum } => Json::obj(vec![
+            ("kind", Json::str("Chunked")),
+            ("seed", Json::from(seed)),
+            ("min_quantum", Json::from(min_quantum)),
+            ("max_quantum", Json::from(max_quantum)),
+        ]),
+    };
+    Json::obj(vec![("policy", policy), ("max_steps", Json::from(schedule.max_steps))])
+}
+
+/// Parses the log-file header's schedule.
+///
+/// # Errors
+///
+/// Returns a message for unknown policies or missing fields.
+pub fn schedule_from_json(doc: &Json) -> Result<RunConfig, String> {
+    let u64_field = |obj: &Json, key: &str| -> Result<u64, String> {
+        obj.field(key)?.as_u64().ok_or_else(|| format!("{key} must be an integer"))
+    };
+    let policy = doc.field("policy")?;
+    let policy = match policy.field("kind")?.as_str() {
+        Some("RoundRobin") => SchedulePolicy::RoundRobin { quantum: u64_field(policy, "quantum")? },
+        Some("Random") => SchedulePolicy::Random { seed: u64_field(policy, "seed")? },
+        Some("Chunked") => SchedulePolicy::Chunked {
+            seed: u64_field(policy, "seed")?,
+            min_quantum: u64_field(policy, "min_quantum")?,
+            max_quantum: u64_field(policy, "max_quantum")?,
+        },
+        other => return Err(format!("unknown schedule policy {other:?}")),
+    };
+    Ok(RunConfig { policy, max_steps: u64_field(doc, "max_steps")? })
+}
+
+/// Parses the container format with an explicit [`DecodeMode`], returning
+/// the decoder's [`DecodeReport`] alongside the log. The container framing
+/// (magic, schedule header, compression) must be intact even in tolerant
+/// mode — only the per-thread frames inside the compressed payload can
+/// degrade.
+///
+/// # Errors
+///
+/// Returns a message on bad magic or a corrupt payload (strict), or when
+/// not even one salvageable byte of log survives (tolerant).
+pub fn log_from_bytes_mode(
+    bytes: &[u8],
+    mode: DecodeMode,
+) -> Result<(ReplayLog, RunConfig, DecodeReport), String> {
+    let payload = bytes
+        .strip_prefix(&FILE_MAGIC[..])
+        .ok_or_else(|| String::from("not a racerep log file (bad magic)"))?;
+    if payload.len() < 4 {
+        return Err("truncated log file header".into());
+    }
+    let hlen = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    if payload.len() < 4 + hlen {
+        return Err("truncated schedule header".into());
+    }
+    let header = std::str::from_utf8(&payload[4..4 + hlen])
+        .map_err(|e| format!("bad schedule header: {e}"))?;
+    let schedule = Json::parse(header)
+        .map_err(|e| e.to_string())
+        .and_then(|doc| schedule_from_json(&doc))
+        .map_err(|e| format!("bad schedule header: {e}"))?;
+    let raw = decompress(&payload[4 + hlen..]).map_err(|e| e.to_string())?;
+    let (log, report) = decode_log_mode(&raw, mode).map_err(|e| e.to_string())?;
+    Ok((log, schedule, report))
+}

@@ -1,0 +1,266 @@
+//! Property tests for the persistent replay cache: seeded entries are
+//! written, the segment file is crash-truncated at every byte boundary,
+//! and the reopened cache must salvage exactly the clean prefix — with
+//! every salvaged hit equal to the originally computed value.
+
+use std::path::Path;
+
+use idna_replay::region::RegionId;
+use idna_replay::vproc::{
+    AccessSite, PairLiveOut, PairOrder, ReplayFailure, ThreadLiveOut, VprocConfig,
+};
+use serviced::cache::{CacheKey, PersistentCache, SEGMENT_MAGIC};
+use tvm::exec::AccessKind;
+use tvm::isa::NUM_REGS;
+use tvm::machine::Fault;
+
+/// xorshift64* — deterministic, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn site(rng: &mut Rng) -> AccessSite {
+    AccessSite {
+        region: RegionId { tid: rng.below(4) as usize, index: rng.below(16) as usize },
+        instr_index: rng.below(1000),
+        pc: rng.below(200) as usize,
+        addr: 0x1000 + rng.below(64) * 8,
+        kind: if rng.below(2) == 0 { AccessKind::Read } else { AccessKind::Write },
+    }
+}
+
+fn thread_live_out(rng: &mut Rng) -> ThreadLiveOut {
+    let mut regs = [0u64; NUM_REGS];
+    for r in &mut regs {
+        *r = rng.next();
+    }
+    let fault = match rng.below(9) {
+        0 => Some(Fault::InvalidAccess { addr: rng.next() }),
+        1 => Some(Fault::UseAfterFree { addr: rng.next() }),
+        2 => Some(Fault::DivideByZero),
+        3 => Some(Fault::PcOutOfRange { pc: rng.below(500) as usize }),
+        _ => None,
+    };
+    ThreadLiveOut {
+        tid: rng.below(4) as usize,
+        regs,
+        pc: rng.below(300) as usize,
+        call_stack: (0..rng.below(4)).map(|_| rng.below(100) as usize).collect(),
+        fault,
+        outputs: (0..rng.below(5)).map(|_| rng.next()).collect(),
+        instrs_executed: rng.below(10_000),
+    }
+}
+
+fn outcome(rng: &mut Rng) -> Result<PairLiveOut, ReplayFailure> {
+    match rng.below(8) {
+        0 => Err(ReplayFailure::UnknownLoad { addr: rng.next() }),
+        1 => Err(ReplayFailure::UnrecordedControlFlow {
+            tid: rng.below(4) as usize,
+            pc: rng.below(200) as usize,
+        }),
+        2 => Err(ReplayFailure::BudgetExhausted),
+        3 => Err(ReplayFailure::LogDamage),
+        _ => Ok(PairLiveOut {
+            a: thread_live_out(rng),
+            b: thread_live_out(rng),
+            writes: (0..rng.below(6)).map(|_| (0x2000 + rng.below(32) * 8, rng.next())).collect(),
+            freed: (0..rng.below(3)).map(|_| 0x10_0000 + rng.below(8) * 64).collect(),
+            allocated: (0..rng.below(3)).map(|_| 0x20_0000 + rng.below(8) * 64).collect(),
+        }),
+    }
+}
+
+fn seeded_entries(seed: u64, n: usize) -> Vec<(CacheKey, Result<PairLiveOut, ReplayFailure>)> {
+    let mut rng = Rng(seed | 1);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    while out.len() < n {
+        let (a, b) = (site(&mut rng), site(&mut rng));
+        let order = if rng.below(2) == 0 { PairOrder::AThenB } else { PairOrder::BThenA };
+        let key = CacheKey::new(rng.below(3), rng.below(3), VprocConfig::default(), &a, &b, order);
+        if !seen.insert(key.0) {
+            continue; // content-addressed: duplicate keys would collapse
+        }
+        out.push((key, outcome(&mut rng)));
+    }
+    out
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("racerepd-cache-props-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn single_segment_bytes(dir: &Path) -> std::path::PathBuf {
+    let mut segments: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rrc"))
+        .collect();
+    segments.sort();
+    assert_eq!(segments.len(), 1, "test writes fit one segment");
+    segments.remove(0)
+}
+
+/// Write N entries, then crash-truncate the segment at *every* byte
+/// boundary: the reopened cache must hold exactly the records whose bytes
+/// fully survive, each hit byte-equal to the original, and must treat
+/// everything after the tear as a miss.
+#[test]
+fn crash_truncation_salvages_exact_prefix() {
+    let entries = seeded_entries(0x5eed_cafe, 40);
+    let dir = temp_dir("truncate");
+    {
+        let cache = PersistentCache::open(&dir, 8).unwrap();
+        for (key, value) in &entries {
+            cache.insert(key.clone(), value).unwrap();
+        }
+        cache.flush().unwrap();
+    }
+    let seg_path = single_segment_bytes(&dir);
+    let full = std::fs::read(&seg_path).unwrap();
+
+    // Record boundaries: prefix ends after magic, then after each record.
+    let mut boundaries = vec![SEGMENT_MAGIC.len()];
+    let mut at = SEGMENT_MAGIC.len();
+    while at < full.len() {
+        let len = u32::from_le_bytes(full[at..at + 4].try_into().unwrap()) as usize;
+        at += 4 + 8 + len;
+        boundaries.push(at);
+    }
+    assert_eq!(at, full.len(), "clean file parses exactly");
+    assert_eq!(boundaries.len(), entries.len() + 1);
+
+    let work = temp_dir("truncate-work");
+    for cut in 0..=full.len() {
+        // How many whole records survive a tear at `cut`?
+        let survivors = boundaries.iter().filter(|&&b| b <= cut).count().saturating_sub(1);
+        let expect: usize = if cut < SEGMENT_MAGIC.len() { 0 } else { survivors };
+        let seg = work.join("cache-000000.rrc");
+        std::fs::write(&seg, &full[..cut]).unwrap();
+        let cache = PersistentCache::open(&work, 4).unwrap();
+        assert_eq!(cache.len(), expect, "cut at byte {cut}");
+        for (i, (key, value)) in entries.iter().enumerate() {
+            let got = cache.lookup(key);
+            if i < expect {
+                assert_eq!(got.as_ref(), Some(value), "entry {i} after cut {cut}");
+            } else {
+                assert_eq!(got, None, "entry {i} must be lost after cut {cut}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+/// A reopened cache keeps serving every entry (through the tiny LRU and
+/// from disk), and re-inserting is idempotent on disk.
+#[test]
+fn reopen_roundtrip_and_idempotent_insert() {
+    let entries = seeded_entries(0xd1ce_f00d, 60);
+    let dir = temp_dir("reopen");
+    {
+        let cache = PersistentCache::open(&dir, 4).unwrap();
+        for (key, value) in &entries {
+            cache.insert(key.clone(), value).unwrap();
+        }
+        cache.flush().unwrap();
+    }
+    let cache = PersistentCache::open(&dir, 4).unwrap();
+    assert_eq!(cache.len(), entries.len());
+    for (key, value) in &entries {
+        assert_eq!(cache.lookup(key).as_ref(), Some(value));
+    }
+    let snap = cache.snapshot();
+    assert!(snap.persisted_hits >= (entries.len() as u64 - 4), "LRU holds at most 4");
+    assert_eq!(snap.salvaged_dropped_bytes, 0, "clean file loses nothing");
+    // Idempotent: re-inserting existing keys appends nothing.
+    let bytes_before = cache.snapshot().disk_bytes;
+    for (key, value) in &entries {
+        cache.insert(key.clone(), value).unwrap();
+    }
+    cache.flush().unwrap();
+    assert_eq!(cache.snapshot().disk_bytes, bytes_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Compaction rewrites every live entry into one fresh segment without
+/// changing a single lookup result.
+#[test]
+fn compaction_preserves_every_entry() {
+    let entries = seeded_entries(0xabad_1dea, 50);
+    let dir = temp_dir("compact");
+    let cache = PersistentCache::open(&dir, 16).unwrap();
+    for (key, value) in &entries {
+        cache.insert(key.clone(), value).unwrap();
+    }
+    cache.compact().unwrap();
+    assert_eq!(cache.snapshot().segments, 1);
+    assert_eq!(cache.len(), entries.len());
+    for (key, value) in &entries {
+        assert_eq!(cache.lookup(key).as_ref(), Some(value));
+    }
+    // And the compacted file reopens clean.
+    drop(cache);
+    let cache = PersistentCache::open(&dir, 16).unwrap();
+    assert_eq!(cache.len(), entries.len());
+    for (key, value) in &entries {
+        assert_eq!(cache.lookup(key).as_ref(), Some(value));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bit flip inside a record's payload drops that record and everything
+/// after it (the tolerant-decode discipline), never a wrong value.
+#[test]
+fn bit_flip_never_serves_damaged_values() {
+    let entries = seeded_entries(0xfeed_beef, 20);
+    let dir = temp_dir("bitflip");
+    {
+        let cache = PersistentCache::open(&dir, 8).unwrap();
+        for (key, value) in &entries {
+            cache.insert(key.clone(), value).unwrap();
+        }
+        cache.flush().unwrap();
+    }
+    let seg_path = single_segment_bytes(&dir);
+    let full = std::fs::read(&seg_path).unwrap();
+    let work = temp_dir("bitflip-work");
+    let mut rng = Rng(0x0dd_b17 | 1);
+    for _ in 0..200 {
+        let pos =
+            SEGMENT_MAGIC.len() + rng.below((full.len() - SEGMENT_MAGIC.len()) as u64) as usize;
+        let mut damaged = full.clone();
+        damaged[pos] ^= 1 << rng.below(8);
+        std::fs::write(work.join("cache-000000.rrc"), &damaged).unwrap();
+        let cache = PersistentCache::open(&work, 8).unwrap();
+        // Every salvaged answer must exactly match its original value.
+        let mut salvaged = 0;
+        for (key, value) in &entries {
+            if let Some(got) = cache.lookup(key) {
+                assert_eq!(&got, value);
+                salvaged += 1;
+            }
+        }
+        assert!(salvaged < entries.len(), "a flipped bit must cost at least its record");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&work);
+}
